@@ -1,0 +1,309 @@
+(* raqo: command-line front end for the RAQO optimizer.
+
+   Subcommands:
+     plan    — optimize a TPC-H-schema query jointly over plans and resources
+     switch  — locate the BHJ/SMJ switch point for a resource configuration
+     tree    — print the default or trained join-implementation decision tree
+     queue   — simulate a contended cluster queue and print wait statistics *)
+
+open Cmdliner
+
+let engine_of_string = function
+  | "hive" -> Ok Raqo_execsim.Engine.hive
+  | "spark" -> Ok Raqo_execsim.Engine.spark
+  | s -> Error (`Msg (Printf.sprintf "unknown engine %S (expected hive or spark)" s))
+
+let engine_conv = Arg.conv (engine_of_string, fun fmt e -> Raqo_execsim.Engine.pp fmt e)
+
+let engine_arg =
+  Arg.(value & opt engine_conv Raqo_execsim.Engine.hive & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Execution engine profile: hive or spark.")
+
+let containers_arg =
+  Arg.(value & opt int 100 & info [ "max-containers" ] ~docv:"N"
+         ~doc:"Cluster condition: maximum concurrent containers.")
+
+let memory_arg =
+  Arg.(value & opt float 10.0 & info [ "max-gb" ] ~docv:"GB"
+         ~doc:"Cluster condition: maximum container memory in GB.")
+
+let conditions max_containers max_gb =
+  Raqo_cluster.Conditions.make ~max_containers ~max_gb ()
+
+(* ------------------------------------------------------------------ plan *)
+
+let plan_cmd =
+  let relations_arg =
+    Arg.(value & pos_all string Raqo_catalog.Tpch.q3 & info [] ~docv:"RELATION"
+           ~doc:"TPC-H relations to join (default: customer orders lineitem).")
+  in
+  let planner_arg =
+    Arg.(value & opt (enum [ ("selinger", `Selinger); ("randomized", `Randomized) ]) `Selinger
+           & info [ "planner" ] ~docv:"PLANNER" ~doc:"Join-order planner.")
+  in
+  let mode_arg =
+    Arg.(value & opt (enum [ ("raqo", `Raqo); ("qo", `Qo) ]) `Raqo & info [ "mode" ]
+           ~docv:"MODE"
+           ~doc:"raqo = joint query and resource optimization; qo = plan only, at the \
+                 fixed resources given by --containers/--gb.")
+  in
+  let fixed_containers =
+    Arg.(value & opt int 10 & info [ "containers" ] ~docv:"N"
+           ~doc:"Fixed container count for --mode qo.")
+  in
+  let fixed_gb =
+    Arg.(value & opt float 5.0 & info [ "gb" ] ~docv:"GB"
+           ~doc:"Fixed container memory for --mode qo.")
+  in
+  let sql_arg =
+    Arg.(value & opt (some string) None & info [ "sql" ] ~docv:"SQL"
+           ~doc:"Optimize a SQL query against the TPC-H catalog instead of a relation list, \
+                 e.g. \"select * from orders, lineitem where o_orderkey = l_orderkey and \
+                 o_totalprice < 172000\".")
+  in
+  let run relations planner mode max_containers max_gb nc gb sql =
+    let schema = Raqo_catalog.Tpch.schema () in
+    let model = Raqo.Models.hive () in
+    let kind =
+      match planner with
+      | `Selinger -> Raqo.Cost_based.Selinger
+      | `Randomized -> Raqo.Cost_based.Fast_randomized
+    in
+    let conditions = conditions max_containers max_gb in
+    match sql with
+    | Some sql -> begin
+        match
+          Raqo.Sql_frontend.plan ~kind ~model ~conditions ~schema
+            ~columns:(Raqo_catalog.Tpch.columns ()) sql
+        with
+        | Ok planned ->
+            List.iter
+              (fun (table, s) ->
+                if s < 1.0 then
+                  Printf.printf "filter selectivity on %s: %.4f\n" table s)
+              planned.Raqo.Sql_frontend.analyzed.Raqo_sql.Resolver.table_selectivity;
+            print_string
+              (Raqo.Explain.joint model
+                 planned.Raqo.Sql_frontend.analyzed.Raqo_sql.Resolver.schema
+                 planned.Raqo.Sql_frontend.plan)
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+      end
+    | None -> begin
+        match Raqo_catalog.Query.make ~name:"cli" schema relations with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+        | _ ->
+            let opt = Raqo.Cost_based.create ~kind ~model ~conditions schema in
+            let result =
+              match mode with
+              | `Raqo -> Raqo.Cost_based.optimize opt relations
+              | `Qo ->
+                  Raqo.Cost_based.optimize_qo opt
+                    ~resources:(Raqo_cluster.Resources.make ~containers:nc ~container_gb:gb)
+                    relations
+            in
+            (match result with
+            | Some (plan, _) ->
+                print_string (Raqo.Explain.joint model schema plan);
+                let k = Raqo.Cost_based.counters opt in
+                Printf.printf "resource configurations explored: %d (cache hits %d)\n"
+                  k.Raqo_resource.Counters.cost_evaluations
+                  k.Raqo_resource.Counters.cache_hits
+            | None ->
+                print_endline "no feasible plan";
+                exit 2)
+      end
+  in
+  let term =
+    Term.(const run $ relations_arg $ planner_arg $ mode_arg $ containers_arg $ memory_arg
+          $ fixed_containers $ fixed_gb $ sql_arg)
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Jointly optimize a TPC-H query's plan and resources") term
+
+(* ---------------------------------------------------------------- switch *)
+
+let switch_cmd =
+  let nc_arg = Arg.(value & opt int 10 & info [ "containers" ] ~docv:"N" ~doc:"Containers.") in
+  let gb_arg = Arg.(value & opt float 3.0 & info [ "gb" ] ~docv:"GB" ~doc:"Container memory.") in
+  let big_arg = Arg.(value & opt float 77.0 & info [ "big-gb" ] ~docv:"GB" ~doc:"Probe-side size.") in
+  let run engine nc gb big =
+    let resources = Raqo_cluster.Resources.make ~containers:nc ~container_gb:gb in
+    match
+      Raqo_workload.Switch_points.find engine ~big_gb:big ~resources ~lo:0.05 ~hi:14.0 ()
+    with
+    | Some s ->
+        Printf.printf
+          "BHJ/SMJ switch point at %d x %.1f GB (probe %.0f GB): %.2f GB build side\n" nc gb
+          big s
+    | None -> print_endline "no switch point in [0.05, 14] GB (one implementation dominates)"
+  in
+  Cmd.v
+    (Cmd.info "switch" ~doc:"Locate the BHJ/SMJ switch point for a resource configuration")
+    Term.(const run $ engine_arg $ nc_arg $ gb_arg $ big_arg)
+
+(* ------------------------------------------------------------------ tree *)
+
+let tree_cmd =
+  let kind_arg =
+    Arg.(value & opt (enum [ ("default", `Default); ("raqo", `Raqo) ]) `Raqo
+           & info [ "kind" ] ~doc:"default = the engine's stock rule; raqo = trained tree.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.")
+  in
+  let run engine kind dot =
+    let tree =
+      match kind with
+      | `Default -> Raqo.Join_dt.default_tree engine
+      | `Raqo -> Raqo.Join_dt.train ~prune:true engine ~big_gb:77.0
+    in
+    if dot then
+      print_string
+        (Raqo_dtree.Tree.to_dot
+           ~feature_names:Raqo_workload.Profile_runs.dtree_feature_names
+           ~label_names:Raqo_workload.Profile_runs.dtree_labels tree)
+    else print_string (Raqo.Join_dt.render tree)
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Print a join-implementation decision tree (paper Figs 10/11)")
+    Term.(const run $ engine_arg $ kind_arg $ dot_arg)
+
+(* ---------------------------------------------------------------- pareto *)
+
+let relations_pos =
+  Arg.(value & pos_all string Raqo_catalog.Tpch.q3 & info [] ~docv:"RELATION"
+         ~doc:"TPC-H relations to join (default: customer orders lineitem).")
+
+let pareto_cmd =
+  let run relations max_containers max_gb =
+    let schema = Raqo_catalog.Tpch.schema () in
+    let opt =
+      Raqo.Cost_based.create ~kind:Raqo.Cost_based.Fast_randomized
+        ~model:(Raqo.Models.hive ()) ~conditions:(conditions max_containers max_gb) schema
+    in
+    let front = Raqo.Pareto.front opt relations in
+    print_string (Raqo.Pareto.render front);
+    print_newline ();
+    match Raqo.Pareto.knee front with
+    | Some k ->
+        Format.printf "knee: %a (est cost %.1f, $%.4f)\n" Raqo_plan.Join_tree.pp_joint
+          k.Raqo.Use_cases.plan k.Raqo.Use_cases.est_cost k.Raqo.Use_cases.est_money
+    | None -> print_endline "empty front"
+  in
+  Cmd.v
+    (Cmd.info "pareto" ~doc:"Print the time-money Pareto front of joint plans")
+    Term.(const run $ relations_pos $ containers_arg $ memory_arg)
+
+(* ---------------------------------------------------------------- robust *)
+
+let robust_cmd =
+  let spike_containers =
+    Arg.(value & opt int 10 & info [ "spike-containers" ] ~docv:"N"
+           ~doc:"Containers left during the spike scenario.")
+  in
+  let spike_gb =
+    Arg.(value & opt float 3.0 & info [ "spike-gb" ] ~docv:"GB"
+           ~doc:"Container memory left during the spike scenario.")
+  in
+  let run relations max_containers max_gb sc sgb =
+    let schema = Raqo_catalog.Tpch.schema () in
+    let normal = conditions max_containers max_gb in
+    let spiked = conditions sc sgb in
+    let opt =
+      Raqo.Cost_based.create ~kind:Raqo.Cost_based.Fast_randomized
+        ~model:(Raqo.Models.hive ()) ~conditions:normal schema
+    in
+    match Raqo.Robust.optimize opt ~scenarios:[ normal; spiked ] relations with
+    | Some choice ->
+        Printf.printf "most resilient plan shape (worst-case cost %.1f):\n"
+          choice.Raqo.Robust.score;
+        List.iter
+          (fun (cond, plan, cost) ->
+            Format.printf "  under [%a]:\n    %a  (cost %.1f)\n" Raqo_cluster.Conditions.pp
+              cond Raqo_plan.Join_tree.pp_joint plan cost)
+          choice.Raqo.Robust.per_scenario
+    | None ->
+        print_endline "no plan shape is feasible in every scenario";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:"Pick the plan shape most resilient to a cluster-condition spike")
+    Term.(const run $ relations_pos $ containers_arg $ memory_arg $ spike_containers $ spike_gb)
+
+(* ----------------------------------------------------------------- queue *)
+
+let queue_cmd =
+  let capacity_arg =
+    Arg.(value & opt int 90 & info [ "capacity" ] ~docv:"N" ~doc:"Cluster containers.")
+  in
+  let jobs_arg = Arg.(value & opt int 5000 & info [ "jobs" ] ~docv:"N" ~doc:"Jobs to simulate.") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let run capacity jobs seed =
+    let rng = Raqo_util.Rng.create seed in
+    let w = { Raqo_cluster.Queue_sim.default_workload with Raqo_cluster.Queue_sim.jobs } in
+    let outcomes =
+      Raqo_cluster.Queue_sim.run ~capacity (Raqo_cluster.Queue_sim.generate rng w ~capacity)
+    in
+    let ratios = Raqo_cluster.Queue_sim.ratios outcomes in
+    Printf.printf "jobs: %d, cluster capacity: %d containers\n" jobs capacity;
+    List.iter
+      (fun t ->
+        Printf.printf "  queue/run ratio >= %-6g : %5.1f%% of jobs\n" t
+          (100.0 *. Raqo_util.Stats.fraction_at_least ratios t))
+      [ 0.01; 0.1; 1.0; 4.0; 10.0; 100.0 ];
+    Printf.printf "median ratio: %.2f\n" (Raqo_util.Stats.median ratios)
+  in
+  Cmd.v
+    (Cmd.info "queue" ~doc:"Simulate a contended cluster queue (paper Fig 1)")
+    Term.(const run $ capacity_arg $ jobs_arg $ seed_arg)
+
+(* -------------------------------------------------------------- workload *)
+
+let workload_cmd =
+  let n_arg = Arg.(value & opt int 100 & info [ "queries" ] ~docv:"N" ~doc:"Queries to simulate.") in
+  let seed_arg = Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let run n seed max_containers max_gb =
+    let schema = Raqo_catalog.Tpch.schema () in
+    let engine = Raqo_execsim.Engine.hive in
+    let model = Raqo.Models.hive () in
+    let rng = Raqo_util.Rng.create seed in
+    let submissions =
+      Raqo_scheduler.Workload_runner.generate rng ~n ~arrival_rate:0.002 schema
+    in
+    let conditions = conditions max_containers max_gb in
+    let show name planner =
+      let s, _ = Raqo_scheduler.Workload_runner.run engine schema submissions ~planner in
+      Printf.printf
+        "%-32s done %3d  makespan %7.1f h  mean lat %8.0f s  p95 %8.0f s  %8.0f TB·s  planning %6.1f ms\n"
+        name s.Raqo_scheduler.Workload_runner.completed
+        (s.Raqo_scheduler.Workload_runner.makespan /. 3600.0)
+        s.Raqo_scheduler.Workload_runner.mean_latency
+        s.Raqo_scheduler.Workload_runner.p95_latency
+        s.Raqo_scheduler.Workload_runner.total_tb_seconds
+        s.Raqo_scheduler.Workload_runner.total_plan_ms
+    in
+    Printf.printf "%d queries, FIFO on a shared cluster (%s)\n\n" n
+      (Format.asprintf "%a" Raqo_cluster.Conditions.pp conditions);
+    show "default two-step (10 x 3 GB)"
+      (Raqo_scheduler.Workload_runner.default_planner engine
+         ~resources:(Raqo_cluster.Resources.make ~containers:10 ~container_gb:3.0));
+    show "RAQO"
+      (Raqo_scheduler.Workload_runner.raqo_planner ~model ~conditions ())
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Compare RAQO vs the two-step default on a query workload")
+    Term.(const run $ n_arg $ seed_arg $ containers_arg $ memory_arg)
+
+let () =
+  let info =
+    Cmd.info "raqo" ~version:"1.0.0"
+      ~doc:"Resource and query optimization (RAQO) for big data systems"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ plan_cmd; switch_cmd; tree_cmd; queue_cmd; pareto_cmd; robust_cmd; workload_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_reopt.ml: Format Printf Raqo Raqo_catalog Raqo_cluster Raqo_execsim Raqo_plan

@@ -1,0 +1,1 @@
+examples/cloud_budget.ml: Format Printf Raqo Raqo_catalog Raqo_cluster Raqo_plan Raqo_planner

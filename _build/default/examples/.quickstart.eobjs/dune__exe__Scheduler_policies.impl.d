@@ -1,0 +1,1 @@
+examples/scheduler_policies.ml: Format List Printf Raqo Raqo_catalog Raqo_cluster Raqo_execsim Raqo_plan Raqo_scheduler

@@ -1,0 +1,1 @@
+examples/scheduler_policies.mli:

@@ -1,0 +1,1 @@
+examples/train_your_own.ml: Format List Printf Raqo Raqo_cluster Raqo_cost Raqo_dtree Raqo_execsim Raqo_plan Raqo_workload

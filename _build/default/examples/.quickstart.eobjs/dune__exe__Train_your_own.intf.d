@@ -1,0 +1,1 @@
+examples/train_your_own.mli:

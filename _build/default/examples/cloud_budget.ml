@@ -1,0 +1,50 @@
+(* The four RAQO use cases of paper Section IV, on TPC-H Q3:
+
+     r => p       best plan for a fixed resource budget (tenant quota)
+     p => (r, c)  cheapest resources + price for an already-fixed plan
+     (p, r)       jointly optimal plan and resources
+     c => (p, r)  best performance under a monetary cap
+
+   Run with: dune exec examples/cloud_budget.exe *)
+
+let describe tag (p : Raqo.Use_cases.priced_plan) =
+  Format.printf "%s\n  plan: %a\n  est cost %.1f, est price $%.4f\n\n" tag
+    Raqo_plan.Join_tree.pp_joint p.Raqo.Use_cases.plan p.Raqo.Use_cases.est_cost
+    p.Raqo.Use_cases.est_money
+
+let () =
+  let schema = Raqo_catalog.Tpch.schema () in
+  let model = Raqo.Models.hive () in
+  let opt =
+    Raqo.Cost_based.create ~kind:Raqo.Cost_based.Fast_randomized ~model
+      ~conditions:Raqo_cluster.Conditions.default schema
+  in
+  let query = Raqo_catalog.Tpch.q3 in
+
+  (* Use case 1 — r => p: the tenant's quota is 20 containers x 4 GB. *)
+  let quota = Raqo_cluster.Resources.make ~containers:20 ~container_gb:4.0 in
+  (match Raqo.Use_cases.plan_for_resources opt ~resources:quota query with
+  | Some p -> describe "[r => p] best plan within a 20 x 4 GB quota:" p
+  | None -> print_endline "[r => p] no feasible plan");
+
+  (* Use case 2 — p => (r, c): the user insists on the stock join order;
+     RAQO picks the resources and quotes the price. *)
+  let shape = Raqo_planner.Heuristics.greedy_left_deep schema query in
+  (match Raqo.Use_cases.resources_for_plan opt shape with
+  | Some p -> describe "[p => (r, c)] resources for the stock join order:" p
+  | None -> print_endline "[p => (r, c)] no feasible resources");
+
+  (* Use case 3 — (p, r): abundant resources, jointly optimal. *)
+  (match Raqo.Use_cases.best_joint opt query with
+  | Some p -> describe "[(p, r)] jointly optimal plan and resources:" p
+  | None -> print_endline "[(p, r)] no feasible plan");
+
+  (* Use case 4 — c => (p, r): a hard monetary cap. *)
+  let budget = 0.40 in
+  match Raqo.Use_cases.plan_for_price opt ~budget query with
+  | Some (p, within) ->
+      describe
+        (Printf.sprintf "[c => (p, r)] best plan under a $%.2f cap (%s):" budget
+           (if within then "within budget" else "budget infeasible; cheapest shown"))
+        p
+  | None -> print_endline "[c => (p, r)] no plan"

@@ -1,0 +1,55 @@
+(* Scheduler policies: the paper's "interaction with the DAG scheduler"
+   question made concrete. A query is optimized for the full cluster and
+   submitted; a load spike takes most of the capacity away mid-flight.
+   Should the scheduler delay the job, fail it, or adapt the remaining
+   stages (downscale / re-optimize)?
+
+   Run with: dune exec examples/scheduler_policies.exe *)
+
+module Capacity = Raqo_scheduler.Capacity
+module Executor = Raqo_scheduler.Executor
+
+let () =
+  let schema = Raqo_catalog.Tpch.schema () in
+  let schema =
+    Raqo_catalog.Schema.with_relation schema
+      (Raqo_catalog.Relation.scale (Raqo_catalog.Schema.find schema "orders") 0.31)
+  in
+  let model = Raqo.Models.hive () in
+  let engine = Raqo_execsim.Engine.hive in
+  let roomy = Raqo_cluster.Conditions.make ~max_containers:100 ~max_gb:10.0 () in
+  let reduced = Raqo_cluster.Conditions.make ~max_containers:20 ~max_gb:3.0 () in
+
+  let opt = Raqo.Cost_based.create ~model ~conditions:roomy schema in
+  match Raqo.Cost_based.optimize opt Raqo_catalog.Tpch.q3 with
+  | None -> print_endline "no plan"
+  | Some (plan, _) ->
+      Format.printf "Plan (optimized for the full cluster):\n  %a\n\n"
+        Raqo_plan.Join_tree.pp_joint plan;
+      let capacity =
+        Capacity.dip ~normal:roomy ~reduced ~from_t:1.0 ~until_t:2000.0
+      in
+      print_endline "Cluster: full, but a spike reduces it to 20 x 3 GB during [1, 2000) s.\n";
+      List.iter
+        (fun (name, policy) ->
+          match Executor.run ~policy engine ~model schema ~capacity plan with
+          | Executor.Completed { finish; total_wait; gb_seconds; stages } ->
+              Printf.printf "%-20s completed at %6.0f s (waited %5.0f s, %.1f TB·s)\n" name
+                finish total_wait (gb_seconds /. 1024.0);
+              List.iter
+                (fun (s : Executor.stage_report) ->
+                  Format.printf "    stage %d: %a at %a%s\n" s.Executor.index
+                    Raqo_plan.Join_impl.pp s.Executor.impl Raqo_cluster.Resources.pp
+                    s.Executor.resources
+                    (if s.Executor.adapted then "  [adapted]" else ""))
+                stages
+          | Executor.Failed { at_time; stage; reason } ->
+              Printf.printf "%-20s FAILED at %.0f s (stage %d): %s\n" name at_time stage
+                reason)
+        [
+          ("Wait", Executor.Wait None);
+          ("Wait (500 s cap)", Executor.Wait (Some 500.0));
+          ("Fail", Executor.Fail);
+          ("Downscale", Executor.Downscale);
+          ("Reoptimize", Executor.Reoptimize);
+        ]

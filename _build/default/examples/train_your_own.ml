@@ -1,0 +1,62 @@
+(* Train-your-own: regenerate the paper's learning pipeline end to end —
+   profile runs over the data-resource grid, a linear-regression cost model
+   per operator (Section VI-A), and a CART decision tree for rule-based
+   RAQO (Section V-B) — then compare against the shipped artifacts.
+
+   Run with: dune exec examples/train_your_own.exe *)
+
+let () =
+  let engine = Raqo_execsim.Engine.hive in
+
+  (* 1. Profile runs: sweep the simulator over the data-resource grid. *)
+  let small_sizes, configs = Raqo.Join_dt.training_grid engine ~big_gb:77.0 in
+  let samples = Raqo_workload.Profile_runs.sweep engine ~big_gb:77.0 ~small_sizes ~configs in
+  Printf.printf "Profiled %d (implementation, size, configuration) runs\n"
+    (List.length samples);
+
+  (* 2. Cost model: OLS per operator. The paper's published coefficients use
+     the 7-feature space; the extended space adds the reciprocal terms. *)
+  let paper_space =
+    Raqo_workload.Profile_runs.train_cost_model ~space:Raqo_cost.Feature.Paper samples
+  in
+  let extended =
+    Raqo_workload.Profile_runs.train_cost_model ~space:Raqo_cost.Feature.Extended samples
+  in
+  let report name model =
+    let r2_smj, r2_bhj = Raqo_workload.Profile_runs.model_fit samples model in
+    Printf.printf "  %-22s R2(SMJ)=%.3f  R2(BHJ)=%.3f\n" name r2_smj r2_bhj
+  in
+  print_endline "\nCost-model fit on the profile runs:";
+  report "paper 7-feature space" paper_space;
+  report "extended space" extended;
+  Format.printf "  SMJ coefficients (extended): %a\n" Raqo_cost.Linreg.pp
+    extended.Raqo_cost.Op_cost.smj;
+
+  (* 3. Decision tree: CART over the switch-point grid (Figure 11). *)
+  let tree = Raqo.Join_dt.train engine ~big_gb:77.0 in
+  let pruned = Raqo.Join_dt.train ~prune:true engine ~big_gb:77.0 in
+  Printf.printf
+    "\nRAQO decision tree: %d nodes, depth %d (pruned: %d nodes, depth %d)\n"
+    (Raqo_dtree.Tree.n_nodes tree) (Raqo_dtree.Tree.depth tree)
+    (Raqo_dtree.Tree.n_nodes pruned) (Raqo_dtree.Tree.depth pruned);
+  print_endline "\nPruned tree (cf. paper Figure 11):";
+  print_string (Raqo.Join_dt.render pruned);
+
+  (* 4. Sanity: the freshly trained artifacts agree with the shipped model
+     on the paper's headline decision. *)
+  let r_big = Raqo_cluster.Resources.make ~containers:10 ~container_gb:10.0 in
+  let r_par = Raqo_cluster.Resources.make ~containers:40 ~container_gb:3.0 in
+  let show name resources =
+    let model_pick =
+      match Raqo_cost.Op_cost.best_impl extended ~small_gb:5.1 ~resources with
+      | Some (impl, _) -> Raqo_plan.Join_impl.to_string impl
+      | None -> "none"
+    in
+    let tree_pick =
+      Raqo_plan.Join_impl.to_string (Raqo.Join_dt.choose tree ~small_gb:5.1 ~resources)
+    in
+    Format.printf "  %-18s model: %-3s  tree: %-3s\n" name model_pick tree_pick
+  in
+  print_endline "\n5.1 GB build side, who wins?";
+  show "10 x 10 GB" r_big;
+  show "40 x 3 GB" r_par

@@ -1,0 +1,1 @@
+lib/catalog/column.ml: Histogram List Printf

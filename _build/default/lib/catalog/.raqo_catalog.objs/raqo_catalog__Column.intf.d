@@ -1,0 +1,1 @@
+lib/catalog/column.mli: Histogram

@@ -1,0 +1,1 @@
+lib/catalog/histogram.ml: Array Float

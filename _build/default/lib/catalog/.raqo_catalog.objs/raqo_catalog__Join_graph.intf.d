@@ -1,0 +1,1 @@
+lib/catalog/join_graph.mli:

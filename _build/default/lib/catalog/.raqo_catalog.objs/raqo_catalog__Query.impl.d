@@ -1,0 +1,1 @@
+lib/catalog/query.ml: Format List Schema String

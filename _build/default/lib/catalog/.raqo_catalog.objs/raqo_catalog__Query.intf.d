@@ -1,0 +1,1 @@
+lib/catalog/query.mli: Format Schema

@@ -1,0 +1,1 @@
+lib/catalog/random_schema.ml: Array Float Join_graph List Printf Raqo_util Relation Schema Set String

@@ -1,0 +1,1 @@
+lib/catalog/random_schema.mli: Raqo_util Schema

@@ -1,0 +1,1 @@
+lib/catalog/relation.ml: Format Raqo_util

@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Float Join_graph List Map Raqo_util Relation String

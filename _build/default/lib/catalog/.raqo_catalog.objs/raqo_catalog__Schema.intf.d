@@ -1,0 +1,1 @@
+lib/catalog/schema.mli: Join_graph Relation

@@ -1,0 +1,1 @@
+lib/catalog/tpch.ml: Column Histogram Join_graph List Relation Schema

@@ -1,0 +1,32 @@
+type t = { table : string; name : string; histogram : Histogram.t; distinct : float }
+
+let make ~table ~name ~histogram ~distinct =
+  if distinct <= 0.0 then invalid_arg "Column.make: nonpositive distinct count";
+  { table; name; histogram; distinct }
+
+type catalog = t list
+
+let catalog columns = columns
+
+let find catalog ?table name =
+  let matches =
+    List.filter
+      (fun c ->
+        c.name = name
+        &&
+        match table with
+        | Some t -> c.table = t
+        | None -> true)
+      catalog
+  in
+  match matches with
+  | [ c ] -> Ok c
+  | [] ->
+      Error
+        (match table with
+        | Some t -> Printf.sprintf "unknown column %s.%s" t name
+        | None -> Printf.sprintf "unknown column %s" name)
+  | _ :: _ :: _ ->
+      Error (Printf.sprintf "ambiguous column %s (qualify it with a table name)" name)
+
+let columns catalog = catalog

@@ -1,0 +1,24 @@
+(** Column metadata and statistics: what the SQL front end needs to resolve
+    a column reference to its table and estimate filter selectivities. *)
+
+type t = {
+  table : string;
+  name : string;
+  histogram : Histogram.t;
+  distinct : float;  (** estimated distinct-value count, for equality *)
+}
+
+val make : table:string -> name:string -> histogram:Histogram.t -> distinct:float -> t
+
+(** A set of columns with name-based lookup. *)
+type catalog
+
+val catalog : t list -> catalog
+
+(** [find catalog ?table name] resolves a column. With [table] the lookup is
+    exact; without, the bare name must be unambiguous across tables.
+    Errors are reported as [Error message]. *)
+val find : catalog -> ?table:string -> string -> (t, string) result
+
+(** [columns catalog] lists all columns. *)
+val columns : catalog -> t list

@@ -1,0 +1,63 @@
+(* Equi-depth: each of the n buckets holds 1/n of the rows; only the bucket
+   boundaries are stored. *)
+type t = { bounds : float array }
+
+let of_bounds bounds =
+  if Array.length bounds < 2 then invalid_arg "Histogram.of_bounds: need at least 2 bounds";
+  for i = 0 to Array.length bounds - 2 do
+    if bounds.(i) > bounds.(i + 1) then
+      invalid_arg "Histogram.of_bounds: bounds must be nondecreasing"
+  done;
+  { bounds }
+
+let of_samples ~buckets samples =
+  if buckets <= 0 then invalid_arg "Histogram.of_samples: nonpositive bucket count";
+  if Array.length samples = 0 then invalid_arg "Histogram.of_samples: empty samples";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let bounds =
+    Array.init (buckets + 1) (fun i ->
+        if i = buckets then sorted.(n - 1)
+        else sorted.(i * n / buckets))
+  in
+  of_bounds bounds
+
+let uniform ~lo ~hi =
+  if hi < lo then invalid_arg "Histogram.uniform: hi < lo";
+  of_bounds [| lo; hi |]
+
+let n_buckets t = Array.length t.bounds - 1
+let min_value t = t.bounds.(0)
+let max_value t = t.bounds.(Array.length t.bounds - 1)
+
+let selectivity_lt t v =
+  let n = n_buckets t in
+  if v <= min_value t then 0.0
+  else if v >= max_value t then 1.0
+  else begin
+    (* Find the bucket containing v, interpolate inside it. *)
+    let rec go i =
+      if i >= n then 1.0
+      else begin
+        let lo = t.bounds.(i) and hi = t.bounds.(i + 1) in
+        if v <= hi then begin
+          let within = if hi > lo then (v -. lo) /. (hi -. lo) else 0.0 in
+          (float_of_int i +. within) /. float_of_int n
+        end
+        else go (i + 1)
+      end
+    in
+    go 0
+  end
+
+let selectivity_le = selectivity_lt
+let selectivity_gt t v = 1.0 -. selectivity_le t v
+let selectivity_ge t v = 1.0 -. selectivity_lt t v
+
+let selectivity_between t ~lo ~hi =
+  if hi < lo then 0.0 else Float.max 0.0 (selectivity_le t hi -. selectivity_lt t lo)
+
+let selectivity_eq t ~distinct v =
+  if distinct <= 0.0 then invalid_arg "Histogram.selectivity_eq: nonpositive distinct count";
+  if v < min_value t || v > max_value t then 0.0 else 1.0 /. distinct

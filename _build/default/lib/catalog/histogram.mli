@@ -1,0 +1,45 @@
+(** Equi-depth histograms for filter-selectivity estimation: the statistics
+    a SQL WHERE clause needs to scale base-relation cardinalities before
+    join planning (this is how "orders sampled down to 5.1 GB" enters the
+    optimizer when written as a predicate). *)
+
+type t
+
+(** [of_bounds bounds] builds an equi-depth histogram from bucket
+    boundaries: [bounds.(i) .. bounds.(i+1)] is one bucket holding an equal
+    fraction of the rows. Bounds must be nondecreasing with at least two
+    entries.
+    @raise Invalid_argument otherwise. *)
+val of_bounds : float array -> t
+
+(** [of_samples ~buckets samples] builds an equi-depth histogram over
+    observed values.
+    @raise Invalid_argument on empty samples or nonpositive bucket count. *)
+val of_samples : buckets:int -> float array -> t
+
+(** [uniform ~lo ~hi] models a uniform distribution on [\[lo, hi\]]. *)
+val uniform : lo:float -> hi:float -> t
+
+val n_buckets : t -> int
+val min_value : t -> float
+val max_value : t -> float
+
+(** [selectivity_lt t v] estimates the fraction of rows with value < [v]
+    (linear interpolation within the containing bucket). In [\[0, 1\]]. *)
+val selectivity_lt : t -> float -> float
+
+(** [selectivity_le t v], [selectivity_gt t v], [selectivity_ge t v] —
+    the other comparison directions. With continuous-value interpolation,
+    [le] and [lt] coincide. *)
+val selectivity_le : t -> float -> float
+
+val selectivity_gt : t -> float -> float
+val selectivity_ge : t -> float -> float
+
+(** [selectivity_between t ~lo ~hi] estimates [lo <= value <= hi]. *)
+val selectivity_between : t -> lo:float -> hi:float -> float
+
+(** [selectivity_eq t ~distinct v] estimates equality against one of
+    [distinct] distinct values: [1/distinct] when [v] lies in range, 0
+    outside. *)
+val selectivity_eq : t -> distinct:float -> float -> float

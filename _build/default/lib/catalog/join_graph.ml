@@ -1,0 +1,68 @@
+type edge = { left : string; right : string; selectivity : float }
+
+module Pair = struct
+  type t = string * string
+
+  (* Unordered pair key. *)
+  let normalize (a, b) = if String.compare a b <= 0 then (a, b) else (b, a)
+  let compare x y = compare (normalize x) (normalize y)
+end
+
+module Pair_map = Map.Make (Pair)
+
+type t = { edge_list : edge list; by_pair : float Pair_map.t }
+
+let make edges =
+  let by_pair =
+    List.fold_left
+      (fun acc e ->
+        if e.left = e.right then invalid_arg "Join_graph.make: self-edge";
+        if e.selectivity <= 0.0 || e.selectivity > 1.0 then
+          invalid_arg "Join_graph.make: selectivity out of (0,1]";
+        let key = (e.left, e.right) in
+        if Pair_map.mem key acc then invalid_arg "Join_graph.make: duplicate edge";
+        Pair_map.add key e.selectivity acc)
+      Pair_map.empty edges
+  in
+  { edge_list = edges; by_pair }
+
+let edges t = t.edge_list
+let selectivity t a b = Pair_map.find_opt (a, b) t.by_pair
+
+let neighbors t a =
+  List.filter_map
+    (fun e ->
+      if e.left = a then Some e.right else if e.right = a then Some e.left else None)
+    t.edge_list
+
+let edges_between t xs ys =
+  let in_list l name = List.mem name l in
+  List.filter
+    (fun e ->
+      (in_list xs e.left && in_list ys e.right)
+      || (in_list xs e.right && in_list ys e.left))
+    t.edge_list
+
+let connected t names =
+  match names with
+  | [] -> true
+  | first :: _ ->
+      let module S = Set.Make (String) in
+      let universe = S.of_list names in
+      let rec grow frontier seen =
+        if S.is_empty frontier then seen
+        else begin
+          let next =
+            S.fold
+              (fun name acc ->
+                List.fold_left
+                  (fun acc n ->
+                    if S.mem n universe && not (S.mem n seen) then S.add n acc else acc)
+                  acc (neighbors t name))
+              frontier S.empty
+          in
+          grow next (S.union seen next)
+        end
+      in
+      let start = S.singleton first in
+      S.equal (grow start start) universe

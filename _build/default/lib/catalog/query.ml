@@ -1,0 +1,19 @@
+type t = { name : string; relations : string list }
+
+let make ~name schema relations =
+  if relations = [] then invalid_arg "Query.make: empty relation set";
+  let sorted = List.sort_uniq compare relations in
+  if List.length sorted <> List.length relations then
+    invalid_arg "Query.make: duplicate relations";
+  List.iter
+    (fun r ->
+      if not (Schema.mem schema r) then invalid_arg ("Query.make: unknown relation " ^ r))
+    relations;
+  if not (Schema.joinable schema relations) then
+    invalid_arg ("Query.make: relations of " ^ name ^ " are not joinable (cartesian product)");
+  { name; relations }
+
+let n_joins q = List.length q.relations - 1
+
+let pp fmt q =
+  Format.fprintf fmt "%s: join(%s)" q.name (String.concat ", " q.relations)

@@ -1,0 +1,16 @@
+(** A query, for this optimizer's purposes, is a named set of relations to be
+    joined (the paper: "the queries consist of a set of relations that need
+    to be joined"). *)
+
+type t = { name : string; relations : string list }
+
+(** [make ~name schema relations] validates that every relation exists, that
+    the set is non-empty and duplicate-free, and that it is joinable without
+    a cartesian product.
+    @raise Invalid_argument otherwise. *)
+val make : name:string -> Schema.t -> string list -> t
+
+(** [n_joins q] is the number of join operators ([relations - 1]). *)
+val n_joins : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+module Rng = Raqo_util.Rng
+
+let generate ?(extra_edge_fraction = 0.3) rng ~tables =
+  if tables < 1 then invalid_arg "Random_schema.generate: need at least one table";
+  let relation i =
+    Relation.make
+      ~name:(Printf.sprintf "t%d" i)
+      ~rows:(float_of_int (Rng.int_in_range rng ~lo:100_000 ~hi:2_000_000))
+      ~row_bytes:(float_of_int (Rng.int_in_range rng ~lo:100 ~hi:200))
+  in
+  let relations = List.init tables relation in
+  let rel = Array.of_list relations in
+  (* FK-style selectivity: one match per row of the larger side. *)
+  let edge i j =
+    let bigger = Float.max rel.(i).Relation.rows rel.(j).Relation.rows in
+    { Join_graph.left = rel.(i).Relation.name;
+      right = rel.(j).Relation.name;
+      selectivity = 1.0 /. bigger }
+  in
+  (* Spanning tree: t_i attaches to a random earlier table. *)
+  let tree = List.init (tables - 1) (fun i -> edge (i + 1) (Rng.int rng (i + 1))) in
+  let n_extra =
+    if tables < 3 then 0
+    else int_of_float (extra_edge_fraction *. float_of_int tables)
+  in
+  let module S = Set.Make (struct
+    type t = string * string
+
+    let compare = compare
+  end) in
+  let key i j =
+    let a = rel.(i).Relation.name and b = rel.(j).Relation.name in
+    if String.compare a b < 0 then (a, b) else (b, a)
+  in
+  let existing =
+    List.fold_left
+      (fun acc (e : Join_graph.edge) ->
+        S.add (if e.left < e.right then (e.left, e.right) else (e.right, e.left)) acc)
+      S.empty tree
+  in
+  let rec add_extras acc existing remaining attempts =
+    if remaining = 0 || attempts = 0 then acc
+    else begin
+      let i = Rng.int rng tables and j = Rng.int rng tables in
+      if i = j || S.mem (key i j) existing then add_extras acc existing remaining (attempts - 1)
+      else add_extras (edge i j :: acc) (S.add (key i j) existing) (remaining - 1) (attempts - 1)
+    end
+  in
+  let extras = add_extras [] existing n_extra (20 * n_extra) in
+  Schema.make relations (Join_graph.make (tree @ extras))
+
+let query rng schema ~joins =
+  let wanted = joins + 1 in
+  let names = Array.of_list (Schema.relation_names schema) in
+  if wanted > Array.length names then
+    invalid_arg "Random_schema.query: more joins than relations";
+  let graph = Schema.graph schema in
+  let module S = Set.Make (String) in
+  let start = Rng.pick rng names in
+  (* Grow a connected set by repeatedly absorbing a random frontier node. *)
+  let rec grow chosen =
+    if S.cardinal chosen >= wanted then chosen
+    else begin
+      let frontier =
+        S.fold
+          (fun name acc ->
+            List.fold_left
+              (fun acc n -> if S.mem n chosen then acc else S.add n acc)
+              acc
+              (Join_graph.neighbors graph name))
+          chosen S.empty
+      in
+      if S.is_empty frontier then chosen
+      else begin
+        let pickable = Array.of_list (S.elements frontier) in
+        grow (S.add (Rng.pick rng pickable) chosen)
+      end
+    end
+  in
+  S.elements (grow (S.singleton start))

@@ -1,0 +1,15 @@
+(** Randomly generated schemas for the scalability experiments (Figure 15):
+    "a random number of tables, each of which have a randomly picked row size
+    between 100 and 200 bytes, and a randomly picked number of rows between
+    100K and 2M", with randomly generated join edges of TPC-H-like
+    selectivities. *)
+
+(** [generate rng ~tables] builds a connected random schema with [tables]
+    relations named ["t0" .. "t<n-1>"]. A random spanning tree guarantees
+    connectivity; [extra_edge_fraction] (default 0.3) extra edges are added
+    on top, giving non-trivial join-order choices. *)
+val generate : ?extra_edge_fraction:float -> Raqo_util.Rng.t -> tables:int -> Schema.t
+
+(** [query rng schema ~joins] picks a connected set of [joins + 1] relations
+    (a query with [joins] join operators), by random graph walk. *)
+val query : Raqo_util.Rng.t -> Schema.t -> joins:int -> string list

@@ -1,0 +1,12 @@
+type t = { name : string; rows : float; row_bytes : float }
+
+let make ~name ~rows ~row_bytes =
+  if rows <= 0.0 then invalid_arg "Relation.make: rows must be positive";
+  if row_bytes <= 0.0 then invalid_arg "Relation.make: row_bytes must be positive";
+  { name; rows; row_bytes }
+
+let size_gb r = Raqo_util.Units.gb_of_bytes (r.rows *. r.row_bytes)
+let scale r factor = make ~name:r.name ~rows:(r.rows *. factor) ~row_bytes:r.row_bytes
+
+let pp fmt r =
+  Format.fprintf fmt "%s(%.0f rows, %a)" r.name r.rows Raqo_util.Units.pp_gb (size_gb r)

@@ -1,0 +1,22 @@
+(** Base relations (tables) with the statistics the optimizer needs:
+    cardinality and average row width. *)
+
+type t = {
+  name : string;  (** unique within a schema *)
+  rows : float;  (** estimated cardinality *)
+  row_bytes : float;  (** average row width in bytes *)
+}
+
+(** [make ~name ~rows ~row_bytes] validates and builds a relation.
+    @raise Invalid_argument on nonpositive rows or row width. *)
+val make : name:string -> rows:float -> row_bytes:float -> t
+
+(** [size_gb r] is the estimated on-disk size in gigabytes. *)
+val size_gb : t -> float
+
+(** [scale r factor] multiplies the cardinality by [factor]; used to derive
+    the sampled sub-tables of the paper's switch-point sweeps (e.g. a 3.4 GB
+    slice of orders). *)
+val scale : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

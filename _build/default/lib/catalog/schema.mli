@@ -1,0 +1,36 @@
+(** A schema is the optimizer's view of the database: base relations plus the
+    join graph, with the cardinality estimation the planners rely on. *)
+
+type t
+
+(** [make relations graph] validates that every edge endpoint names a known
+    relation and that relation names are unique. *)
+val make : Relation.t list -> Join_graph.t -> t
+
+val relations : t -> Relation.t list
+val graph : t -> Join_graph.t
+
+(** [find t name] looks up a relation. @raise Not_found if absent. *)
+val find : t -> string -> Relation.t
+
+val mem : t -> string -> bool
+val relation_names : t -> string list
+
+(** [with_relation t r] replaces the relation named [r.name] (e.g. swap in a
+    sampled, smaller orders table as the paper does for its sweeps). *)
+val with_relation : t -> Relation.t -> t
+
+(** [join_rows t names] estimates the cardinality of joining [names]:
+    the product of base cardinalities times the selectivity of every join
+    edge internal to the set (the textbook independence assumption). *)
+val join_rows : t -> string list -> float
+
+(** [join_row_bytes t names] is the width of the concatenated output row. *)
+val join_row_bytes : t -> string list -> float
+
+(** [join_size_gb t names] is the estimated intermediate-result size. *)
+val join_size_gb : t -> string list -> float
+
+(** [joinable t names] is true when [names] can be joined without a cartesian
+    product (the induced join sub-graph is connected). *)
+val joinable : t -> string list -> bool

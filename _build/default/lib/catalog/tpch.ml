@@ -1,0 +1,98 @@
+(* Cardinalities per the TPC-H spec; row widths chosen so SF-100 sizes match
+   the paper's reported table sizes (lineitem ~77 GB, orders ~16.5 GB). *)
+let base_tables =
+  [
+    ("region", 5.0, 120.0, false);
+    ("nation", 25.0, 110.0, false);
+    ("supplier", 10_000.0, 160.0, true);
+    ("customer", 150_000.0, 180.0, true);
+    ("part", 200_000.0, 155.0, true);
+    ("partsupp", 800_000.0, 145.0, true);
+    ("orders", 1_500_000.0, 118.0, true);
+    ("lineitem", 6_000_000.0, 138.0, true);
+  ]
+
+let relations ~scale_factor =
+  List.map
+    (fun (name, rows, row_bytes, scales) ->
+      let rows = if scales then rows *. scale_factor else rows in
+      Relation.make ~name ~rows ~row_bytes)
+    base_tables
+
+(* PK-FK joins: selectivity 1/|PK side| (the textbook estimate the paper
+   inherits from the benchmark spec). *)
+let edges ~scale_factor =
+  let cardinality name =
+    match List.find_opt (fun (n, _, _, _) -> n = name) base_tables with
+    | Some (_, rows, _, scales) -> if scales then rows *. scale_factor else rows
+    | None -> invalid_arg ("Tpch.edges: unknown " ^ name)
+  in
+  let pk_fk pk fk = { Join_graph.left = fk; right = pk; selectivity = 1.0 /. cardinality pk } in
+  [
+    pk_fk "region" "nation";
+    pk_fk "nation" "supplier";
+    pk_fk "nation" "customer";
+    pk_fk "customer" "orders";
+    pk_fk "orders" "lineitem";
+    pk_fk "part" "partsupp";
+    pk_fk "supplier" "partsupp";
+    pk_fk "partsupp" "lineitem";
+  ]
+
+let schema ?(scale_factor = 100.0) () =
+  if scale_factor <= 0.0 then invalid_arg "Tpch.schema: scale factor must be positive";
+  Schema.make (relations ~scale_factor) (Join_graph.make (edges ~scale_factor))
+
+(* Column statistics per the TPC-H specification: uniform value ranges and
+   distinct counts (keys scale with SF; categorical and range columns do
+   not). Dates are days since 1992-01-01 (last order date ~2405, last ship
+   date ~2526). *)
+let columns ?(scale_factor = 100.0) () =
+  let sf = scale_factor in
+  let u table name lo hi distinct =
+    Column.make ~table ~name ~histogram:(Histogram.uniform ~lo ~hi) ~distinct
+  in
+  Column.catalog
+    [
+      u "region" "r_regionkey" 0.0 4.0 5.0;
+      u "nation" "n_nationkey" 0.0 24.0 25.0;
+      u "nation" "n_regionkey" 0.0 4.0 5.0;
+      u "supplier" "s_suppkey" 1.0 (10_000.0 *. sf) (10_000.0 *. sf);
+      u "supplier" "s_nationkey" 0.0 24.0 25.0;
+      u "supplier" "s_acctbal" (-999.99) 9999.99 (10_000.0 *. sf);
+      u "customer" "c_custkey" 1.0 (150_000.0 *. sf) (150_000.0 *. sf);
+      u "customer" "c_nationkey" 0.0 24.0 25.0;
+      u "customer" "c_acctbal" (-999.99) 9999.99 (150_000.0 *. sf);
+      u "customer" "c_mktsegment" 0.0 4.0 5.0;
+      u "part" "p_partkey" 1.0 (200_000.0 *. sf) (200_000.0 *. sf);
+      u "part" "p_size" 1.0 50.0 50.0;
+      u "part" "p_retailprice" 901.0 2098.99 21_000.0;
+      u "part" "p_brand" 0.0 24.0 25.0;
+      u "partsupp" "ps_partkey" 1.0 (200_000.0 *. sf) (200_000.0 *. sf);
+      u "partsupp" "ps_suppkey" 1.0 (10_000.0 *. sf) (10_000.0 *. sf);
+      u "partsupp" "ps_availqty" 1.0 9999.0 9999.0;
+      u "partsupp" "ps_supplycost" 1.0 1000.0 99_901.0;
+      u "orders" "o_orderkey" 1.0 (6_000_000.0 *. sf) (1_500_000.0 *. sf);
+      u "orders" "o_custkey" 1.0 (150_000.0 *. sf) (99_996.0 *. sf);
+      u "orders" "o_totalprice" 857.71 555_285.16 (1_500_000.0 *. sf);
+      u "orders" "o_orderdate" 0.0 2405.0 2406.0;
+      u "orders" "o_orderpriority" 0.0 4.0 5.0;
+      u "lineitem" "l_orderkey" 1.0 (6_000_000.0 *. sf) (1_500_000.0 *. sf);
+      u "lineitem" "l_partkey" 1.0 (200_000.0 *. sf) (200_000.0 *. sf);
+      u "lineitem" "l_suppkey" 1.0 (10_000.0 *. sf) (10_000.0 *. sf);
+      u "lineitem" "l_quantity" 1.0 50.0 50.0;
+      u "lineitem" "l_extendedprice" 901.0 104_949.5 933_900.0;
+      u "lineitem" "l_discount" 0.0 0.1 11.0;
+      u "lineitem" "l_shipdate" 1.0 2526.0 2526.0;
+      u "lineitem" "l_returnflag" 0.0 2.0 3.0;
+    ]
+
+let q12 = [ "orders"; "lineitem" ]
+let q3 = [ "customer"; "orders"; "lineitem" ]
+let q2 = [ "part"; "partsupp"; "supplier"; "nation" ]
+let q5 = [ "customer"; "orders"; "lineitem"; "partsupp"; "supplier"; "nation" ]
+
+let all =
+  [ "region"; "nation"; "supplier"; "customer"; "part"; "partsupp"; "orders"; "lineitem" ]
+
+let evaluation_queries = [ ("Q12", q12); ("Q3", q3); ("Q2", q2); ("All", all) ]

@@ -1,0 +1,35 @@
+(** The TPC-H schema as used by the paper: same tables, join edges and
+    PK-FK join selectivities as the benchmark, scalable by scale factor.
+    The paper runs at SF 100 (lineitem ~77 GB, matching its Section III). *)
+
+(** [schema ~scale_factor ()] builds the 8-table TPC-H schema. Default
+    scale factor is 100. *)
+val schema : ?scale_factor:float -> unit -> Schema.t
+
+(** [columns ~scale_factor ()] is the column catalog — value ranges and
+    distinct counts per the TPC-H specification — that the SQL front end
+    resolves references and estimates filter selectivities against. Dates
+    are encoded as days since 1992-01-01. *)
+val columns : ?scale_factor:float -> unit -> Column.catalog
+
+(** The evaluation queries of Section VII, as sets of relations to join. *)
+
+(** Q12 simplified: orders ⋈ lineitem (single join). *)
+val q12 : string list
+
+(** Q3 simplified: customer ⋈ orders ⋈ lineitem (two joins). *)
+val q3 : string list
+
+(** Q2 simplified: part ⋈ partsupp ⋈ supplier ⋈ nation (three joins). *)
+val q2 : string list
+
+(** Q5 simplified: customer ⋈ orders ⋈ lineitem ⋈ supplier ⋈ nation ⋈
+    region (five joins) — a larger preset for examples and tests beyond the
+    paper's evaluation set. *)
+val q5 : string list
+
+(** All: join all eight tables. *)
+val all : string list
+
+(** [(name, relations)] for the four evaluation queries, in paper order. *)
+val evaluation_queries : (string * string list) list

@@ -1,0 +1,1 @@
+lib/cluster/conditions.ml: Float Format List Resources

@@ -1,0 +1,1 @@
+lib/cluster/conditions.mli: Format Resources

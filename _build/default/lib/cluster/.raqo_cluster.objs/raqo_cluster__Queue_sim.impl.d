@@ -1,0 +1,1 @@
+lib/cluster/queue_sim.ml: Array Float List Raqo_util

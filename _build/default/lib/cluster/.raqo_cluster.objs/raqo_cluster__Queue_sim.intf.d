@@ -1,0 +1,1 @@
+lib/cluster/queue_sim.mli: Raqo_util

@@ -1,0 +1,1 @@
+lib/cluster/resources.ml: Format

@@ -1,0 +1,8 @@
+type t = { dollars_per_gb_hour : float }
+
+let default = { dollars_per_gb_hour = 0.016 }
+
+let gb_seconds_cost t gbs = gbs /. 3600.0 *. t.dollars_per_gb_hour
+
+let run_cost t ~resources ~seconds =
+  gb_seconds_cost t (Resources.gb_seconds resources seconds)

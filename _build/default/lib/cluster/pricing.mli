@@ -1,0 +1,18 @@
+(** Serverless pricing, as in the paper's monetary-cost analysis: "users only
+    pay for the total container hours consumed", i.e. price is proportional
+    to memory held x time held. *)
+
+type t = {
+  dollars_per_gb_hour : float;
+      (** rate per GB of container memory per hour (Azure-Data-Lake-style AU pricing) *)
+}
+
+(** Default rate (order of magnitude of 2018 serverless analytics pricing). *)
+val default : t
+
+(** [run_cost t ~resources ~seconds] is the dollar cost of holding
+    [resources] for [seconds]. *)
+val run_cost : t -> resources:Resources.t -> seconds:float -> float
+
+(** [gb_seconds_cost t gbs] prices raw GB·s usage. *)
+val gb_seconds_cost : t -> float -> float

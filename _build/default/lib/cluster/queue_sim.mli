@@ -1,0 +1,42 @@
+(** Discrete-event simulation of a contended, shared YARN-style queue.
+
+    Substitutes for the production Microsoft trace behind the paper's
+    Figure 1: jobs arrive (Poisson), demand a number of containers, run for a
+    heavy-tailed (Pareto) duration, and wait FIFO until their demand fits in
+    the remaining cluster capacity. The interesting output is the
+    queue-time / run-time ratio distribution. *)
+
+type job = {
+  arrival : float;  (** submission time, seconds *)
+  demand : int;  (** containers requested *)
+  runtime : float;  (** execution time once started, seconds *)
+}
+
+type outcome = {
+  job : job;
+  start : float;  (** time the job actually acquired its containers *)
+  queue_time : float;  (** [start - arrival] *)
+}
+
+type workload = {
+  jobs : int;
+  arrival_rate : float;  (** jobs per second *)
+  mean_demand : int;  (** mean containers per job *)
+  runtime_shape : float;  (** Pareto shape for runtimes (lower = heavier tail) *)
+  runtime_scale : float;  (** Pareto scale: minimum runtime, seconds *)
+}
+
+(** A busy business-unit queue: enough load that most jobs wait. *)
+val default_workload : workload
+
+(** [generate rng w ~capacity] draws [w.jobs] jobs. Demands are geometric-ish
+    around [mean_demand], capped by [capacity] so every job is feasible. *)
+val generate : Raqo_util.Rng.t -> workload -> capacity:int -> job list
+
+(** [run ~capacity jobs] simulates a FIFO queue on a cluster with [capacity]
+    containers. Jobs are started strictly in arrival order; a job starts as
+    soon as its demand fits. Returns outcomes in arrival order. *)
+val run : capacity:int -> job list -> outcome list
+
+(** [ratios outcomes] is queue-time / run-time per job — Figure 1's metric. *)
+val ratios : outcome list -> float array

@@ -1,0 +1,14 @@
+type t = { containers : int; container_gb : float }
+
+let make ~containers ~container_gb =
+  if containers <= 0 then invalid_arg "Resources.make: containers must be positive";
+  if container_gb <= 0.0 then invalid_arg "Resources.make: container_gb must be positive";
+  { containers; container_gb }
+
+let total_gb t = float_of_int t.containers *. t.container_gb
+let gb_seconds t seconds = total_gb t *. seconds
+let tb_seconds t seconds = gb_seconds t seconds /. 1024.0
+let equal a b = a.containers = b.containers && a.container_gb = b.container_gb
+let compare = compare
+let pp fmt t = Format.fprintf fmt "<%d x %.1fGB>" t.containers t.container_gb
+let to_string t = Format.asprintf "%a" pp t

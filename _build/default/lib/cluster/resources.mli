@@ -1,0 +1,27 @@
+(** A resource configuration in the YARN container model the paper targets:
+    how many concurrent containers, and how much memory per container.
+    (CPU is folded into memory sizing, as in the paper's Section III setup.) *)
+
+type t = {
+  containers : int;  (** maximum number of concurrent containers *)
+  container_gb : float;  (** memory per container, in GB *)
+}
+
+(** [make ~containers ~container_gb] validates and builds a configuration.
+    @raise Invalid_argument on nonpositive values. *)
+val make : containers:int -> container_gb:float -> t
+
+(** [total_gb t] is the aggregate memory of the configuration. *)
+val total_gb : t -> float
+
+(** [gb_seconds t seconds] is the resource usage of holding this
+    configuration for [seconds] (GB·s) — the serverless billing unit. *)
+val gb_seconds : t -> float -> float
+
+(** [tb_seconds t seconds] is [gb_seconds] in the paper's TB·s unit. *)
+val tb_seconds : t -> float -> float
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Cost_based Raqo_cluster Raqo_cost Raqo_plan

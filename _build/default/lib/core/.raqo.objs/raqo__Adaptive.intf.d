@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Cost_based Raqo_cluster Raqo_plan

@@ -1,0 +1,1 @@
+lib/core/cost_based.ml: Option Raqo_catalog Raqo_cost Raqo_planner Raqo_resource Raqo_util

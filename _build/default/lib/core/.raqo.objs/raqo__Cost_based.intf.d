@@ -1,0 +1,1 @@
+lib/core/cost_based.mli: Raqo_catalog Raqo_cluster Raqo_cost Raqo_plan Raqo_planner Raqo_resource

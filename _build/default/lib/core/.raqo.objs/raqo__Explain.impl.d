@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Format List Printf Raqo_catalog Raqo_cluster Raqo_cost Raqo_plan Raqo_util String

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Raqo_catalog Raqo_cluster Raqo_cost Raqo_plan

@@ -1,0 +1,1 @@
+lib/core/join_dt.ml: List Printf Raqo_cluster Raqo_dtree Raqo_execsim Raqo_plan Raqo_workload

@@ -1,0 +1,1 @@
+lib/core/join_dt.mli: Raqo_cluster Raqo_dtree Raqo_execsim Raqo_plan

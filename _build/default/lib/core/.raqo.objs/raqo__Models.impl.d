@@ -1,0 +1,1 @@
+lib/core/models.ml: Hashtbl Join_dt Raqo_cluster Raqo_execsim Raqo_util Raqo_workload

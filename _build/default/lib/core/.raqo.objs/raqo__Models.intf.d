@@ -1,0 +1,1 @@
+lib/core/models.mli: Raqo_cost Raqo_execsim

@@ -1,0 +1,1 @@
+lib/core/pareto.ml: Cost_based Float Format List Option Printf Raqo_cluster Raqo_cost Raqo_plan Raqo_util Use_cases

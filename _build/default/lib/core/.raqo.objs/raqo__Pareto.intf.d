@@ -1,0 +1,1 @@
+lib/core/pareto.mli: Cost_based Use_cases

@@ -1,0 +1,1 @@
+lib/core/robust.ml: Cost_based Float List Raqo_cluster Raqo_plan Raqo_planner

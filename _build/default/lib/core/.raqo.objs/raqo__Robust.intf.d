@@ -1,0 +1,1 @@
+lib/core/robust.mli: Cost_based Raqo_cluster Raqo_plan Raqo_planner

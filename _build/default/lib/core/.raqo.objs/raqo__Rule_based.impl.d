@@ -1,0 +1,1 @@
+lib/core/rule_based.ml: Join_dt Raqo_catalog Raqo_cost Raqo_plan Raqo_planner

@@ -1,0 +1,1 @@
+lib/core/rule_based.mli: Raqo_catalog Raqo_cluster Raqo_dtree Raqo_execsim Raqo_plan Raqo_planner

@@ -1,0 +1,1 @@
+lib/core/sql_frontend.ml: Cost_based Models Raqo_catalog Raqo_cluster Raqo_plan Raqo_sql

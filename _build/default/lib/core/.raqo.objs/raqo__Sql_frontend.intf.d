@@ -1,0 +1,1 @@
+lib/core/sql_frontend.mli: Cost_based Raqo_catalog Raqo_cluster Raqo_cost Raqo_plan Raqo_sql

@@ -1,0 +1,1 @@
+lib/core/use_cases.ml: Cost_based List Option Raqo_cost Raqo_plan Raqo_planner

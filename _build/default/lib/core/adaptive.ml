@@ -1,0 +1,39 @@
+module Join_tree = Raqo_plan.Join_tree
+module Conditions = Raqo_cluster.Conditions
+module Plan_cost = Raqo_cost.Plan_cost
+
+type reoptimization = {
+  stale : Join_tree.joint;
+  stale_cost_now : float;
+  fresh : Join_tree.joint;
+  fresh_cost : float;
+  plan_changed : bool;
+  improvement : float;
+}
+
+let reoptimize opt ~stale ~new_conditions relations =
+  let opt' = Cost_based.with_conditions opt new_conditions in
+  match Cost_based.optimize opt' relations with
+  | None -> None
+  | Some (fresh, fresh_cost) ->
+      let clamped =
+        Join_tree.map_annot
+          (fun (impl, res) -> (impl, Conditions.clamp new_conditions res))
+          stale
+      in
+      let stale_cost_now =
+        (Plan_cost.joint (Cost_based.model opt) (Cost_based.schema opt) clamped)
+          .Plan_cost.cost
+      in
+      let equal_annot (i1, r1) (i2, r2) =
+        Raqo_plan.Join_impl.equal i1 i2 && Raqo_cluster.Resources.equal r1 r2
+      in
+      Some
+        {
+          stale;
+          stale_cost_now;
+          fresh;
+          fresh_cost;
+          plan_changed = not (Join_tree.equal_shape equal_annot stale fresh);
+          improvement = (if fresh_cost > 0.0 then stale_cost_now /. fresh_cost else 1.0);
+        }

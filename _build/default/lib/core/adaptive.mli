@@ -1,0 +1,26 @@
+(** Adaptive RAQO (paper Sections IV and VIII): when cluster conditions
+    change between optimization and execution — a load spike shrinks the
+    usable cluster, or capacity frees up — re-consult the optimizer and
+    compare the fresh joint plan against the stale one. *)
+
+type reoptimization = {
+  stale : Raqo_plan.Join_tree.joint;  (** plan chosen under the old conditions *)
+  stale_cost_now : float;  (** the stale plan re-costed under the new conditions *)
+  fresh : Raqo_plan.Join_tree.joint;  (** plan chosen under the new conditions *)
+  fresh_cost : float;
+  plan_changed : bool;
+      (** the fresh plan differs from the original stale plan in shape,
+          operators or resources *)
+  improvement : float;  (** stale_cost_now / fresh_cost (>= 1 when re-optimizing helps) *)
+}
+
+(** [reoptimize opt ~stale ~new_conditions relations] re-plans under
+    [new_conditions]. The stale plan's resources are clamped into the new
+    conditions before re-costing (the cluster may no longer offer them).
+    [None] when no feasible plan exists under the new conditions. *)
+val reoptimize :
+  Cost_based.t ->
+  stale:Raqo_plan.Join_tree.joint ->
+  new_conditions:Raqo_cluster.Conditions.t ->
+  string list ->
+  reoptimization option

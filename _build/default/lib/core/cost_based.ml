@@ -1,0 +1,65 @@
+module Coster = Raqo_planner.Coster
+module Resource_planner = Raqo_resource.Resource_planner
+
+type planner_kind = Selinger | Fast_randomized | Bushy_dp
+
+type t = {
+  kind : planner_kind;
+  schema : Raqo_catalog.Schema.t;
+  model : Raqo_cost.Op_cost.t;
+  resource_planner : Resource_planner.t;
+  rng : Raqo_util.Rng.t;
+  randomized_params : Raqo_planner.Randomized.params;
+}
+
+let create ?(kind = Selinger) ?(seed = 42)
+    ?(randomized_params = Raqo_planner.Randomized.default_params)
+    ?(resource_strategy = Resource_planner.Hill_climb) ?(cache = true)
+    ?(lookup = Raqo_resource.Plan_cache.Exact) ~model ~conditions schema =
+  {
+    kind;
+    schema;
+    model;
+    resource_planner = Resource_planner.create ~strategy:resource_strategy ~cache ~lookup conditions;
+    rng = Raqo_util.Rng.create seed;
+    randomized_params;
+  }
+
+let schema t = t.schema
+let model t = t.model
+let conditions t = Resource_planner.conditions t.resource_planner
+let resource_planner t = t.resource_planner
+
+let with_conditions t conditions =
+  { t with resource_planner = Resource_planner.with_conditions t.resource_planner conditions }
+
+let run_planner t coster relations =
+  match t.kind with
+  | Selinger -> Raqo_planner.Selinger.optimize coster t.schema relations
+  | Bushy_dp -> Raqo_planner.Dpsub.optimize coster t.schema relations
+  | Fast_randomized ->
+      Raqo_planner.Randomized.optimize ~params:t.randomized_params t.rng coster t.schema
+        relations
+
+let optimize t relations =
+  let coster = Coster.raqo t.model t.schema t.resource_planner in
+  run_planner t coster relations
+
+let optimize_qo t ~resources relations =
+  let coster = Coster.fixed t.model t.schema resources in
+  run_planner t coster relations
+
+let candidates t relations =
+  let coster = Coster.raqo t.model t.schema t.resource_planner in
+  match t.kind with
+  | Selinger -> Option.to_list (Raqo_planner.Selinger.optimize coster t.schema relations)
+  | Bushy_dp -> Option.to_list (Raqo_planner.Dpsub.optimize coster t.schema relations)
+  | Fast_randomized ->
+      Raqo_planner.Randomized.local_optima ~params:t.randomized_params t.rng coster
+        t.schema relations
+
+let counters t = Resource_planner.counters t.resource_planner
+
+let reset t =
+  Resource_planner.reset_counters t.resource_planner;
+  Resource_planner.clear_cache t.resource_planner

@@ -1,0 +1,64 @@
+(** Cost-based RAQO (paper Section VI): a query planner whose
+    [get_plan_cost] performs resource planning per sub-plan, emitting a
+    joint query/resource plan. Works with both the Selinger DP and the fast
+    randomized planner, with hill-climbing and resource-plan caching
+    controlled through the embedded {!Raqo_resource.Resource_planner}. *)
+
+type planner_kind =
+  | Selinger  (** System R bottom-up DP over left-deep trees *)
+  | Fast_randomized  (** randomized bushy-tree search (Trummer–Koch style) *)
+  | Bushy_dp  (** exact bushy DP over connected subgraphs (DPsub; <= 16 relations) *)
+
+type t
+
+(** [create ?kind ?seed ?randomized_params ~model ~conditions schema] builds
+    an optimizer. Defaults: Selinger, hill-climbing resource planning with
+    an exact-match cache, seed 42. *)
+val create :
+  ?kind:planner_kind ->
+  ?seed:int ->
+  ?randomized_params:Raqo_planner.Randomized.params ->
+  ?resource_strategy:Raqo_resource.Resource_planner.strategy ->
+  ?cache:bool ->
+  ?lookup:Raqo_resource.Plan_cache.lookup ->
+  model:Raqo_cost.Op_cost.t ->
+  conditions:Raqo_cluster.Conditions.t ->
+  Raqo_catalog.Schema.t ->
+  t
+
+val schema : t -> Raqo_catalog.Schema.t
+val model : t -> Raqo_cost.Op_cost.t
+val conditions : t -> Raqo_cluster.Conditions.t
+val resource_planner : t -> Raqo_resource.Resource_planner.t
+
+(** [with_conditions t conditions] re-targets new cluster conditions,
+    sharing the cost model; cache and counters are fresh. *)
+val with_conditions : t -> Raqo_cluster.Conditions.t -> t
+
+(** [optimize t relations] emits the joint query and resource plan with its
+    estimated cost — RAQO proper. [None] when no feasible plan exists. *)
+val optimize :
+  t -> string list -> (Raqo_plan.Join_tree.joint * float) option
+
+(** [optimize_qo t ~resources relations] is the conventional two-step
+    baseline: query planning only, every join costed at the given fixed
+    resource configuration. *)
+val optimize_qo :
+  t ->
+  resources:Raqo_cluster.Resources.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option
+
+(** [candidates t relations] returns the feasible joint plans the planner
+    saw as local optima (for multi-objective selection); with the Selinger
+    kind this is the single DP optimum. *)
+val candidates : t -> string list -> (Raqo_plan.Join_tree.joint * float) list
+
+(** [counters t] exposes resource-planning instrumentation (configurations
+    explored, cache hits) accumulated across optimizations. *)
+val counters : t -> Raqo_resource.Counters.t
+
+(** [reset t] zeroes counters and clears the resource-plan cache — the
+    evaluation does this between queries unless measuring across-query
+    caching. *)
+val reset : t -> unit

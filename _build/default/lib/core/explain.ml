@@ -1,0 +1,69 @@
+module Join_tree = Raqo_plan.Join_tree
+module Schema = Raqo_catalog.Schema
+module Plan_cost = Raqo_cost.Plan_cost
+module Op_cost = Raqo_cost.Op_cost
+
+let joint ?(pricing = Raqo_cluster.Pricing.default) model schema plan =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Format.asprintf "Joint query/resource plan: %a\n" Join_tree.pp_joint plan);
+  let step = ref 0 in
+  let _ =
+    Join_tree.fold_joins
+      (fun () (impl, resources) left right ->
+        incr step;
+        let small_gb = Plan_cost.join_small_gb schema ~left ~right in
+        let cost = Op_cost.predict_exn model impl ~small_gb ~resources in
+        Buffer.add_string buf
+          (Format.asprintf
+             "  join %d: %a  [%s] ⋈ [%s]\n    build side %a, resources %a, est cost %.1f, est price $%.4f\n"
+             !step Raqo_plan.Join_impl.pp impl
+             (String.concat ", " left)
+             (String.concat ", " right)
+             Raqo_util.Units.pp_gb small_gb Raqo_cluster.Resources.pp resources cost
+             (Raqo_cluster.Pricing.run_cost pricing ~resources ~seconds:cost)))
+      () plan
+  in
+  let estimate = Plan_cost.joint model schema plan in
+  Buffer.add_string buf
+    (Printf.sprintf "  total: est cost %.1f, est usage %.1f GB·s, est price $%.4f\n"
+       estimate.Plan_cost.cost estimate.Plan_cost.gb_seconds
+       (Plan_cost.money ~pricing estimate));
+  Buffer.contents buf
+
+let joins plan =
+  List.rev
+    (Join_tree.fold_joins
+       (fun acc annot left right -> (annot, left, right) :: acc)
+       [] plan)
+
+let diff ~before ~after =
+  let buf = Buffer.create 256 in
+  let order_changed =
+    Join_tree.relations before <> Join_tree.relations after
+    || not
+         (Join_tree.equal_shape (fun _ _ -> true) before after)
+  in
+  if order_changed then begin
+    Buffer.add_string buf
+      (Format.asprintf "join order changed:\n  before: %a\n  after:  %a\n" Join_tree.pp_joint
+         before Join_tree.pp_joint after)
+  end
+  else begin
+    let changes = ref 0 in
+    List.iteri
+      (fun i (((bi, br), _, _), ((ai, ar), left, right)) ->
+        let impl_changed = not (Raqo_plan.Join_impl.equal bi ai) in
+        let res_changed = not (Raqo_cluster.Resources.equal br ar) in
+        if impl_changed || res_changed then begin
+          incr changes;
+          Buffer.add_string buf
+            (Format.asprintf "join %d ([%s] ⋈ [%s]): %a%a -> %a%a\n" (i + 1)
+               (String.concat ", " left) (String.concat ", " right) Raqo_plan.Join_impl.pp bi
+               Raqo_cluster.Resources.pp br Raqo_plan.Join_impl.pp ai
+               Raqo_cluster.Resources.pp ar)
+        end)
+      (List.combine (joins before) (joins after));
+    if !changes = 0 then Buffer.add_string buf "plans are identical\n"
+  end;
+  Buffer.contents buf

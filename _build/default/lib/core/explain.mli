@@ -1,0 +1,17 @@
+(** Human-readable explain output for joint query/resource plans — the
+    paper's closing question ("how will the 'explain' command look in such
+    systems?") answered concretely: per join, the operator, its input sizes,
+    the resources requested, and the estimated cost and price. *)
+
+(** [joint ?pricing model schema plan] renders a multi-line explanation. *)
+val joint :
+  ?pricing:Raqo_cluster.Pricing.t ->
+  Raqo_cost.Op_cost.t ->
+  Raqo_catalog.Schema.t ->
+  Raqo_plan.Join_tree.joint ->
+  string
+
+(** [diff ~before ~after] renders what changed between two joint plans —
+    join order, per-join operator, resources — for adaptive re-optimization
+    reports. *)
+val diff : before:Raqo_plan.Join_tree.joint -> after:Raqo_plan.Join_tree.joint -> string

@@ -1,0 +1,51 @@
+module Join_impl = Raqo_plan.Join_impl
+module Profile_runs = Raqo_workload.Profile_runs
+module Dtree = Raqo_dtree
+
+let impl_of_label = function
+  | 0 -> Join_impl.Bhj
+  | 1 -> Join_impl.Smj
+  | l -> invalid_arg (Printf.sprintf "Join_dt.impl_of_label: %d" l)
+
+let label_of_impl = function
+  | Join_impl.Bhj -> 0
+  | Join_impl.Smj -> 1
+
+(* Figure 10: a single split on data size at the stock threshold. The
+   histogram is nominal (one sample per side), as in the paper's rendering. *)
+let default_tree (engine : Raqo_execsim.Engine.t) =
+  Dtree.Tree.Node
+    {
+      feature = 0;
+      threshold = engine.default_bhj_threshold_gb;
+      counts = [| 1; 1 |];
+      left = Dtree.Tree.Leaf { counts = [| 1; 0 |] };
+      right = Dtree.Tree.Leaf { counts = [| 0; 1 |] };
+    }
+
+let training_grid (_ : Raqo_execsim.Engine.t) ~big_gb:_ =
+  let small_sizes = List.init 30 (fun i -> 0.2 +. (float_of_int i *. 0.4)) in
+  let configs =
+    List.concat_map
+      (fun containers ->
+        List.map
+          (fun gb ->
+            Raqo_cluster.Resources.make ~containers ~container_gb:(float_of_int gb))
+          [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+      [ 5; 10; 15; 20; 25; 30; 35; 40; 45 ]
+  in
+  (small_sizes, configs)
+
+let train ?params ?(prune = false) engine ~big_gb =
+  let small_sizes, configs = training_grid engine ~big_gb in
+  let dataset = Profile_runs.classification_dataset engine ~big_gb ~small_sizes ~configs in
+  let tree = Dtree.Cart.train ?params dataset in
+  if prune then Dtree.Prune.prune tree else tree
+
+let choose tree ~small_gb ~resources =
+  impl_of_label
+    (Dtree.Tree.predict tree (Profile_runs.dtree_features ~small_gb ~resources))
+
+let render tree =
+  Dtree.Tree.render ~feature_names:Profile_runs.dtree_feature_names
+    ~label_names:Profile_runs.dtree_labels tree

@@ -1,0 +1,42 @@
+(** Decision trees for join-implementation selection (paper Section V):
+    the engines' stock data-size-only rules (Figure 10) and the
+    resource-aware RAQO trees trained on the data-resource space
+    (Figure 11). *)
+
+(** [impl_of_label l] maps a dataset label index back to an operator. *)
+val impl_of_label : int -> Raqo_plan.Join_impl.t
+
+val label_of_impl : Raqo_plan.Join_impl.t -> int
+
+(** [default_tree engine] encodes the engine's stock rule: BHJ iff the small
+    side is below the (10 MB) threshold — Figure 10, independent of
+    resources. *)
+val default_tree : Raqo_execsim.Engine.t -> Raqo_dtree.Tree.t
+
+(** [training_grid engine] is the sweep the RAQO trees are trained on:
+    build-side sizes 0.2..12 GB against the engine's evaluation probe side,
+    container sizes 1..10 GB, container counts 5..45. *)
+val training_grid :
+  Raqo_execsim.Engine.t ->
+  big_gb:float ->
+  float list * Raqo_cluster.Resources.t list
+
+(** [train ?params ?prune engine ~big_gb] sweeps the simulator and fits a
+    CART tree (optionally pruned) — the Figure 11 construction. *)
+val train :
+  ?params:Raqo_dtree.Cart.params ->
+  ?prune:bool ->
+  Raqo_execsim.Engine.t ->
+  big_gb:float ->
+  Raqo_dtree.Tree.t
+
+(** [choose tree ~small_gb ~resources] runs a trained (or default) tree on
+    the current data and resource characteristics. *)
+val choose :
+  Raqo_dtree.Tree.t ->
+  small_gb:float ->
+  resources:Raqo_cluster.Resources.t ->
+  Raqo_plan.Join_impl.t
+
+(** [render tree] pretty-prints with the join feature/label names. *)
+val render : Raqo_dtree.Tree.t -> string

@@ -1,0 +1,84 @@
+module Objective = Raqo_cost.Objective
+
+let objective (p : Use_cases.priced_plan) =
+  Objective.make ~time:p.Use_cases.est_cost ~money:p.Use_cases.est_money
+
+(* A ladder of fixed resource scales spanning the cluster conditions: each
+   rung trades money for speed (more/bigger containers run faster and bill
+   more), which is where the interesting Pareto points come from. *)
+let resource_ladder conditions =
+  let open Raqo_cluster.Conditions in
+  let pick lo hi k steps =
+    lo + (k * (hi - lo) / (steps - 1))
+  in
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun j ->
+          Raqo_cluster.Resources.make
+            ~containers:(pick conditions.min_containers conditions.max_containers i 5)
+            ~container_gb:
+              (conditions.min_gb
+              +. (float_of_int j *. (conditions.max_gb -. conditions.min_gb) /. 2.0)))
+        [ 0; 1; 2 ])
+    [ 0; 1; 2; 3; 4 ]
+
+let front opt relations =
+  let joint_candidates =
+    List.map (fun (plan, _) -> Use_cases.price opt plan) (Cost_based.candidates opt relations)
+  in
+  let ladder_candidates =
+    List.filter_map
+      (fun resources ->
+        Option.map
+          (fun (plan, _) -> Use_cases.price opt plan)
+          (Cost_based.optimize_qo opt ~resources relations))
+      (resource_ladder (Cost_based.conditions opt))
+  in
+  let priced = joint_candidates @ ladder_candidates in
+  (* Dedup identical (time, money) points so the front is readable. *)
+  let distinct =
+    List.fold_left
+      (fun acc p ->
+        if
+          List.exists
+            (fun q ->
+              q.Use_cases.est_cost = p.Use_cases.est_cost
+              && q.Use_cases.est_money = p.Use_cases.est_money)
+            acc
+        then acc
+        else p :: acc)
+      [] priced
+  in
+  Objective.pareto_front (List.rev distinct) ~objective
+  |> List.sort (fun a b -> compare a.Use_cases.est_cost b.Use_cases.est_cost)
+
+let knee plans =
+  match plans with
+  | [] -> None
+  | _ ->
+      let max_by f = List.fold_left (fun acc p -> Float.max acc (f p)) 0.0 plans in
+      let tmax = Float.max 1e-12 (max_by (fun p -> p.Use_cases.est_cost)) in
+      let mmax = Float.max 1e-12 (max_by (fun p -> p.Use_cases.est_money)) in
+      let score p =
+        (p.Use_cases.est_cost /. tmax) *. (p.Use_cases.est_money /. mmax)
+      in
+      List.fold_left
+        (fun best p ->
+          match best with
+          | Some b when score b <= score p -> best
+          | Some _ | None -> Some p)
+        None plans
+
+let render plans =
+  let rows =
+    List.map
+      (fun (p : Use_cases.priced_plan) ->
+        [
+          Format.asprintf "%a" Raqo_plan.Join_tree.pp_joint p.Use_cases.plan;
+          Printf.sprintf "%.1f" p.Use_cases.est_cost;
+          Printf.sprintf "$%.4f" p.Use_cases.est_money;
+        ])
+      plans
+  in
+  Raqo_util.Table_fmt.render ~headers:[ "plan"; "est cost"; "est money" ] rows

@@ -1,0 +1,19 @@
+(** Multi-objective RAQO: instead of one plan, the Pareto front of joint
+    plans over (execution time, monetary cost) — the trade-off the paper's
+    multi-objective baseline (Trummer–Koch) navigates, now with resources in
+    the loop. *)
+
+(** [front opt relations] collects candidate joint plans — the planner's
+    local optima plus the best plan at each rung of a resource ladder
+    spanning the cluster conditions (more/bigger containers: faster but
+    pricier) — prices each, and filters to the non-dominated set, sorted by
+    ascending estimated cost. *)
+val front : Cost_based.t -> string list -> Use_cases.priced_plan list
+
+(** [knee plans] picks the knee of a front: the plan minimizing the product
+    of normalized time and money (a scale-free compromise). [None] on an
+    empty front. *)
+val knee : Use_cases.priced_plan list -> Use_cases.priced_plan option
+
+(** [render front] is a small table of the front for explain output. *)
+val render : Use_cases.priced_plan list -> string

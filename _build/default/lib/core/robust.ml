@@ -1,0 +1,85 @@
+module Coster = Raqo_planner.Coster
+module Join_tree = Raqo_plan.Join_tree
+
+type criterion = Worst_case | Expected of float list
+
+type choice = {
+  shape : Coster.shape;
+  per_scenario : (Raqo_cluster.Conditions.t * Join_tree.joint * float) list;
+  score : float;
+}
+
+let aggregate criterion costs =
+  match criterion with
+  | Worst_case -> List.fold_left Float.max Float.neg_infinity costs
+  | Expected weights ->
+      if List.length weights <> List.length costs then
+        invalid_arg "Robust.optimize: weights must match scenarios";
+      List.fold_left2 (fun acc w c -> acc +. (w *. c)) 0.0 weights costs
+
+let optimize opt ~scenarios ?(criterion = Worst_case) relations =
+  if scenarios = [] then invalid_arg "Robust.optimize: no scenarios";
+  (match criterion with
+  | Expected weights ->
+      if List.exists (fun w -> w < 0.0) weights then
+        invalid_arg "Robust.optimize: negative weight";
+      let total = List.fold_left ( +. ) 0.0 weights in
+      if Float.abs (total -. 1.0) > 1e-6 then
+        invalid_arg "Robust.optimize: weights must sum to 1"
+  | Worst_case -> ());
+  (* Candidate shapes: the per-scenario nominal optima plus randomized local
+     optima — a shape that is best somewhere is a natural candidate for
+     being good everywhere. *)
+  let scenario_opts = List.map (Cost_based.with_conditions opt) scenarios in
+  let candidate_shapes =
+    let from_scenarios =
+      List.concat_map
+        (fun o -> List.map (fun (p, _) -> Coster.shape_of p) (Cost_based.candidates o relations))
+        scenario_opts
+    in
+    (* Dedup structurally. *)
+    List.fold_left
+      (fun acc s ->
+        if List.exists (Join_tree.equal_shape (fun () () -> true) s) acc then acc
+        else s :: acc)
+      [] from_scenarios
+  in
+  (* Evaluate each shape under each scenario: resources re-planned there. *)
+  let evaluate shape =
+    let results =
+      List.map
+        (fun o ->
+          let coster =
+            Coster.raqo (Cost_based.model o) (Cost_based.schema o)
+              (Cost_based.resource_planner o)
+          in
+          match Coster.cost_tree coster shape with
+          | Some (plan, cost) -> (Cost_based.conditions o, plan, cost)
+          | None ->
+              (* Infeasible in this scenario: infinite cost, keep a clamped
+                 placeholder plan for reporting. *)
+              let placeholder =
+                Join_tree.map_annot
+                  (fun () ->
+                    ( Raqo_plan.Join_impl.Smj,
+                      Raqo_cluster.Conditions.min_config (Cost_based.conditions o) ))
+                  shape
+              in
+              (Cost_based.conditions o, placeholder, Float.infinity))
+        scenario_opts
+    in
+    let costs = List.map (fun (_, _, c) -> c) results in
+    (results, aggregate criterion costs)
+  in
+  let best =
+    List.fold_left
+      (fun best shape ->
+        let per_scenario, score = evaluate shape in
+        match best with
+        | Some b when b.score <= score -> best
+        | Some _ | None -> Some { shape; per_scenario; score })
+      None candidate_shapes
+  in
+  match best with
+  | Some b when Float.is_finite b.score -> Some b
+  | Some _ | None -> None

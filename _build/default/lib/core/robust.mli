@@ -1,0 +1,36 @@
+(** Robust RAQO — the paper's "Adaptive RAQO" agenda item taken further:
+    "RAQO could also pick plans that are more resilient to changes of
+    cluster condition."
+
+    Given a set of cluster-condition scenarios (e.g. the cluster as
+    promised, the cluster under a load spike), evaluate each candidate plan
+    shape under every scenario — re-planning its resources per scenario —
+    and pick the shape whose worst-case (or expected) cost is lowest. A
+    shape that OOMs in some scenario is penalized with that scenario's
+    infinite cost. *)
+
+type criterion =
+  | Worst_case  (** minimize the maximum cost across scenarios *)
+  | Expected of float list
+      (** minimize the probability-weighted mean; weights must match the
+          scenario list and sum to ~1 *)
+
+type choice = {
+  shape : Raqo_planner.Coster.shape;  (** the resilient join order/operators are re-derived per scenario *)
+  per_scenario : (Raqo_cluster.Conditions.t * Raqo_plan.Join_tree.joint * float) list;
+      (** the joint plan and cost the shape gets under each scenario *)
+  score : float;  (** the minimized criterion value *)
+}
+
+(** [optimize opt ~scenarios ?criterion relations] returns the most
+    resilient plan shape, or [None] when no candidate is feasible in every
+    required sense. Candidate shapes come from the optimizer's planner
+    (plus the nominal optimum).
+    @raise Invalid_argument on an empty scenario list or mismatched
+    weights. *)
+val optimize :
+  Cost_based.t ->
+  scenarios:Raqo_cluster.Conditions.t list ->
+  ?criterion:criterion ->
+  string list ->
+  choice option

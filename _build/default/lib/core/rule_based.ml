@@ -1,0 +1,16 @@
+module Join_tree = Raqo_plan.Join_tree
+module Schema = Raqo_catalog.Schema
+
+let choose_impls tree schema ~resources shape =
+  Join_tree.map_joins
+    (fun () left right ->
+      let small_gb = Raqo_cost.Plan_cost.join_small_gb schema ~left ~right in
+      Join_dt.choose tree ~small_gb ~resources)
+    shape
+
+let plan tree schema ~resources relations =
+  let shape = Raqo_planner.Heuristics.greedy_left_deep schema relations in
+  choose_impls tree schema ~resources shape
+
+let default_plan engine schema ~resources relations =
+  plan (Join_dt.default_tree engine) schema ~resources relations

@@ -1,0 +1,34 @@
+(** Rule-based RAQO (paper Section V-B): keep the engine's join order, but
+    pick each join's implementation by traversing a resource-aware decision
+    tree with the current cluster conditions — "we can simply plug these
+    decision trees into Hive and Spark". *)
+
+(** [choose_impls tree schema ~resources shape] assigns every join of
+    [shape] an implementation via [tree], evaluated on the join's estimated
+    smaller-input size and the given resources. *)
+val choose_impls :
+  Raqo_dtree.Tree.t ->
+  Raqo_catalog.Schema.t ->
+  resources:Raqo_cluster.Resources.t ->
+  Raqo_planner.Coster.shape ->
+  Raqo_plan.Join_tree.plain
+
+(** [plan tree schema ~resources relations] is the full rule-based pipeline:
+    the engine's stock greedy join order, implementations by the RAQO
+    tree. *)
+val plan :
+  Raqo_dtree.Tree.t ->
+  Raqo_catalog.Schema.t ->
+  resources:Raqo_cluster.Resources.t ->
+  string list ->
+  Raqo_plan.Join_tree.plain
+
+(** [default_plan engine schema ~resources relations] is the same pipeline
+    with the stock (Figure 10) tree — the baseline rule-based RAQO is
+    compared against. *)
+val default_plan :
+  Raqo_execsim.Engine.t ->
+  Raqo_catalog.Schema.t ->
+  resources:Raqo_cluster.Resources.t ->
+  string list ->
+  Raqo_plan.Join_tree.plain

@@ -1,0 +1,24 @@
+type planned = {
+  analyzed : Raqo_sql.Resolver.analyzed;
+  plan : Raqo_plan.Join_tree.joint;
+  est_cost : float;
+}
+
+let plan ?kind ?seed ~model ~conditions ~schema ~columns sql =
+  match Raqo_sql.Resolver.analyze schema columns sql with
+  | Error e -> Error e
+  | Ok analyzed -> begin
+      (* Optimize against the filter-scaled schema the resolver produced. *)
+      let opt =
+        Cost_based.create ?kind ?seed ~model ~conditions analyzed.Raqo_sql.Resolver.schema
+      in
+      match Cost_based.optimize opt analyzed.Raqo_sql.Resolver.relations with
+      | Some (plan, est_cost) -> Ok { analyzed; plan; est_cost }
+      | None -> Error "no feasible joint plan under the current cluster conditions"
+    end
+
+let plan_tpch ?kind ?(scale_factor = 100.0) sql =
+  plan ?kind ~model:(Models.hive ()) ~conditions:Raqo_cluster.Conditions.default
+    ~schema:(Raqo_catalog.Tpch.schema ~scale_factor ())
+    ~columns:(Raqo_catalog.Tpch.columns ~scale_factor ())
+    sql

@@ -1,0 +1,29 @@
+(** The declarative entry point: from a SQL string to a joint query/resource
+    plan, via the SQL resolver's filter-scaled schema — the full pipeline a
+    user of the paper's systems would invoke ("users simply submit their
+    declarative queries"). *)
+
+type planned = {
+  analyzed : Raqo_sql.Resolver.analyzed;  (** resolution & selectivities *)
+  plan : Raqo_plan.Join_tree.joint;
+  est_cost : float;
+}
+
+(** [plan ?kind ?seed ~model ~conditions ~schema ~columns sql] parses,
+    resolves, and jointly optimizes [sql]. Errors are SQL front-end errors;
+    an infeasible plan reports as an error too. *)
+val plan :
+  ?kind:Cost_based.planner_kind ->
+  ?seed:int ->
+  model:Raqo_cost.Op_cost.t ->
+  conditions:Raqo_cluster.Conditions.t ->
+  schema:Raqo_catalog.Schema.t ->
+  columns:Raqo_catalog.Column.catalog ->
+  string ->
+  (planned, string) result
+
+(** [plan_tpch ?kind ?scale_factor sql] is {!plan} against the TPC-H catalog
+    with the trained Hive model and default cluster conditions — the
+    one-call quickstart. *)
+val plan_tpch :
+  ?kind:Cost_based.planner_kind -> ?scale_factor:float -> string -> (planned, string) result

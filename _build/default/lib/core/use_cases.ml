@@ -1,0 +1,60 @@
+module Plan_cost = Raqo_cost.Plan_cost
+
+type priced_plan = {
+  plan : Raqo_plan.Join_tree.joint;
+  est_cost : float;
+  est_money : float;
+}
+
+let price opt plan =
+  let estimate = Plan_cost.joint (Cost_based.model opt) (Cost_based.schema opt) plan in
+  {
+    plan;
+    est_cost = estimate.Plan_cost.cost;
+    est_money = Plan_cost.money estimate;
+  }
+
+let plan_for_resources opt ~resources relations =
+  Cost_based.optimize_qo opt ~resources relations
+  |> Option.map (fun (plan, _) -> price opt plan)
+
+let resources_for_plan opt shape =
+  let coster =
+    Raqo_planner.Coster.raqo (Cost_based.model opt) (Cost_based.schema opt)
+      (Cost_based.resource_planner opt)
+  in
+  Raqo_planner.Coster.cost_tree coster shape
+  |> Option.map (fun (plan, _) -> price opt plan)
+
+let best_joint opt relations =
+  Cost_based.optimize opt relations |> Option.map (fun (plan, _) -> price opt plan)
+
+let plan_for_price opt ~budget relations =
+  if budget <= 0.0 then invalid_arg "Use_cases.plan_for_price: nonpositive budget";
+  let priced = List.map (fun (plan, _) -> price opt plan) (Cost_based.candidates opt relations) in
+  match priced with
+  | [] -> None
+  | _ -> begin
+      let affordable = List.filter (fun p -> p.est_money <= budget) priced in
+      match affordable with
+      | _ :: _ ->
+          let fastest =
+            List.fold_left
+              (fun best p ->
+                match best with
+                | Some b when b.est_cost <= p.est_cost -> best
+                | Some _ | None -> Some p)
+              None affordable
+          in
+          Option.map (fun p -> (p, true)) fastest
+      | [] ->
+          let cheapest =
+            List.fold_left
+              (fun best p ->
+                match best with
+                | Some b when b.est_money <= p.est_money -> best
+                | Some _ | None -> Some p)
+              None priced
+          in
+          Option.map (fun p -> (p, false)) cheapest
+    end

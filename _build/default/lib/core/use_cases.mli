@@ -1,0 +1,37 @@
+(** The RAQO use cases of paper Section IV: the four directions in which a
+    joint optimizer can be driven.
+
+    - r ⇒ p: best plan for a fixed resource budget (multi-tenant quotas);
+    - p ⇒ (r, c): cheapest resources (and price) for an already-chosen plan;
+    - (p, r): jointly optimal plan and resources;
+    - c ⇒ (p, r): best performance under a monetary cap. *)
+
+type priced_plan = {
+  plan : Raqo_plan.Join_tree.joint;
+  est_cost : float;  (** model-estimated execution cost (seconds scale) *)
+  est_money : float;  (** model-estimated dollars under serverless pricing *)
+}
+
+(** [plan_for_resources opt ~resources relations] — r ⇒ p. *)
+val plan_for_resources :
+  Cost_based.t ->
+  resources:Raqo_cluster.Resources.t ->
+  string list ->
+  priced_plan option
+
+(** [resources_for_plan opt shape] — p ⇒ (r, c): resource-plans each join of
+    a fixed plan shape, keeping the shape's join order. *)
+val resources_for_plan : Cost_based.t -> Raqo_planner.Coster.shape -> priced_plan option
+
+(** [best_joint opt relations] — the jointly optimal (p, r). *)
+val best_joint : Cost_based.t -> string list -> priced_plan option
+
+(** [plan_for_price opt ~budget relations] — c ⇒ (p, r): among candidate
+    joint plans, the fastest whose estimated dollars fit [budget]; falls
+    back to the cheapest-money plan when none fits (with [within_budget =
+    false]). *)
+val plan_for_price :
+  Cost_based.t -> budget:float -> string list -> (priced_plan * bool) option
+
+(** [price opt plan] prices an existing joint plan. *)
+val price : Cost_based.t -> Raqo_plan.Join_tree.joint -> priced_plan

@@ -1,0 +1,1 @@
+lib/cost/feature.ml: Array Raqo_cluster

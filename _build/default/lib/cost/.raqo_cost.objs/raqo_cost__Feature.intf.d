@@ -1,0 +1,1 @@
+lib/cost/feature.mli: Raqo_cluster

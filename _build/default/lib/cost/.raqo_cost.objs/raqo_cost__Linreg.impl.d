@@ -1,0 +1,1 @@
+lib/cost/linreg.ml: Array Format Printf Raqo_util String

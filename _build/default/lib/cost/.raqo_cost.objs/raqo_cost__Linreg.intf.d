@@ -1,0 +1,1 @@
+lib/cost/linreg.mli: Format

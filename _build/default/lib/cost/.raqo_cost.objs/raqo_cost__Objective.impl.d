@@ -1,0 +1,1 @@
+lib/cost/objective.ml: Format List

@@ -1,0 +1,1 @@
+lib/cost/op_cost.ml: Feature Float Linreg List Raqo_cluster Raqo_plan

@@ -1,0 +1,1 @@
+lib/cost/op_cost.mli: Feature Linreg Raqo_cluster Raqo_plan

@@ -1,0 +1,1 @@
+lib/cost/plan_cost.ml: Float Op_cost Raqo_catalog Raqo_cluster Raqo_plan

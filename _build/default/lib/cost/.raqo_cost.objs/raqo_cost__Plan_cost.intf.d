@@ -1,0 +1,1 @@
+lib/cost/plan_cost.mli: Op_cost Raqo_catalog Raqo_cluster Raqo_plan

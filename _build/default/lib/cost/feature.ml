@@ -1,0 +1,30 @@
+type space = Paper | Extended
+
+let paper_names = [| "ss"; "ss2"; "cs"; "cs2"; "nc"; "nc2"; "cs*nc" |]
+
+let extended_names =
+  Array.append paper_names [| "1/nc"; "ss/nc"; "ss*nc"; "ss/cs" |]
+
+let names = function
+  | Paper -> paper_names
+  | Extended -> extended_names
+
+let dims space = Array.length (names space)
+
+let base ~small_gb ~resources =
+  let cs = resources.Raqo_cluster.Resources.container_gb in
+  let nc = float_of_int resources.Raqo_cluster.Resources.containers in
+  let ss = small_gb in
+  (ss, cs, nc)
+
+let vector_of space ~small_gb ~resources =
+  let ss, cs, nc = base ~small_gb ~resources in
+  let paper = [| ss; ss *. ss; cs; cs *. cs; nc; nc *. nc; cs *. nc |] in
+  match space with
+  | Paper -> paper
+  | Extended -> Array.append paper [| 1.0 /. nc; ss /. nc; ss *. nc; ss /. cs |]
+
+let vector ~small_gb ~resources = vector_of Paper ~small_gb ~resources
+
+let vector_with_intercept ~small_gb ~resources =
+  Array.append [| 1.0 |] (vector ~small_gb ~resources)

@@ -1,0 +1,32 @@
+(** Cost-model feature spaces.
+
+    The paper's space (Section VI-A) uses smaller input size [ss], container
+    size [cs] and number of containers [nc], augmented with non-linear
+    terms: [\[ss; ss²; cs; cs²; nc; nc²; cs·nc\]].
+
+    The paper notes the model "could be further tuned by adding more
+    features"; the {!Extended} space does exactly that, adding the
+    reciprocal/interaction terms ([1/nc], [ss/nc], [ss·nc], [ss/cs]) that let
+    a linear model capture parallel-scaling and memory-pressure shapes. *)
+
+type space =
+  | Paper  (** the published 7-feature vector *)
+  | Extended  (** paper features + 1/nc, ss/nc, ss·nc, ss/cs *)
+
+(** [names space] is index-aligned with {!vector_of}. *)
+val names : space -> string array
+
+(** [dims space] is the vector width (Paper: 7, Extended: 11). *)
+val dims : space -> int
+
+(** [vector_of space ~small_gb ~resources] builds a feature vector. *)
+val vector_of :
+  space -> small_gb:float -> resources:Raqo_cluster.Resources.t -> float array
+
+(** [vector ~small_gb ~resources] is [vector_of Paper]. *)
+val vector : small_gb:float -> resources:Raqo_cluster.Resources.t -> float array
+
+(** [vector_with_intercept ~small_gb ~resources] is [vector] with a leading
+    constant 1. *)
+val vector_with_intercept :
+  small_gb:float -> resources:Raqo_cluster.Resources.t -> float array

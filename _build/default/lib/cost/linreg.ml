@@ -1,0 +1,42 @@
+module Linalg = Raqo_util.Linalg
+
+type t = { intercept : float; coefficients : float array }
+
+let validate features targets =
+  let rows = Array.length features in
+  if rows = 0 then invalid_arg "Linreg.train: no samples";
+  if Array.length targets <> rows then invalid_arg "Linreg.train: X/y size mismatch";
+  let width = Array.length features.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> width then invalid_arg "Linreg.train: ragged features")
+    features
+
+let train ?(with_intercept = true) ~features ~targets () =
+  validate features targets;
+  if with_intercept then begin
+    let augmented = Array.map (fun row -> Array.append [| 1.0 |] row) features in
+    let beta = Linalg.least_squares augmented targets in
+    { intercept = beta.(0); coefficients = Array.sub beta 1 (Array.length beta - 1) }
+  end
+  else { intercept = 0.0; coefficients = Linalg.least_squares features targets }
+
+let predict t x = t.intercept +. Linalg.dot t.coefficients x
+
+let r_squared t ~features ~targets =
+  validate features targets;
+  let mean = Raqo_util.Stats.mean targets in
+  let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      let y = targets.(i) in
+      ss_tot := !ss_tot +. ((y -. mean) *. (y -. mean));
+      let e = y -. predict t row in
+      ss_res := !ss_res +. (e *. e))
+    features;
+  if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot)
+
+let of_coefficients ?(intercept = 0.0) coefficients = { intercept; coefficients }
+
+let pp fmt t =
+  Format.fprintf fmt "intercept=%.4g coefs=[%s]" t.intercept
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.4g") t.coefficients)))

@@ -1,0 +1,26 @@
+(** Ordinary least squares regression — the paper's estimator for learning
+    per-operator cost models from profile runs. *)
+
+type t = {
+  intercept : float;
+  coefficients : float array;
+}
+
+(** [train ?with_intercept ~features ~targets] fits OLS coefficients.
+    Every row of [features] must have equal width.
+    @raise Invalid_argument on empty or ragged input. *)
+val train :
+  ?with_intercept:bool -> features:float array array -> targets:float array -> unit -> t
+
+(** [predict t x] evaluates the model on a feature vector. *)
+val predict : t -> float array -> float
+
+(** [r_squared t ~features ~targets] is the coefficient of determination on
+    the given set. *)
+val r_squared : t -> features:float array array -> targets:float array -> float
+
+(** [of_coefficients ?intercept coefs] wraps externally supplied weights
+    (e.g. the paper's published SMJ/BHJ vectors). *)
+val of_coefficients : ?intercept:float -> float array -> t
+
+val pp : Format.formatter -> t -> unit

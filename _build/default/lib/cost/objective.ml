@@ -1,0 +1,19 @@
+type t = { time : float; money : float }
+
+let make ~time ~money = { time; money }
+
+let dominates a b =
+  a.time <= b.time && a.money <= b.money && (a.time < b.time || a.money < b.money)
+
+let pareto_front items ~objective =
+  List.filter
+    (fun x ->
+      not (List.exists (fun y -> y != x && dominates (objective y) (objective x)) items))
+    items
+
+let scalarize ?(money_scale = 1000.0) ~time_weight t =
+  if time_weight < 0.0 || time_weight > 1.0 then
+    invalid_arg "Objective.scalarize: weight out of [0,1]";
+  (time_weight *. t.time) +. ((1.0 -. time_weight) *. t.money *. money_scale)
+
+let pp fmt t = Format.fprintf fmt "{time=%.1fs, money=$%.4f}" t.time t.money

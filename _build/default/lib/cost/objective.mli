@@ -1,0 +1,26 @@
+(** Multi-objective costs: the paper targets execution time and monetary
+    cost simultaneously (its cost-based RAQO is validated against the
+    Trummer–Koch multi-objective planner). *)
+
+type t = {
+  time : float;  (** estimated execution time *)
+  money : float;  (** estimated dollar cost *)
+}
+
+val make : time:float -> money:float -> t
+
+(** [dominates a b] is true when [a] is no worse than [b] on every objective
+    and strictly better on at least one (Pareto dominance). *)
+val dominates : t -> t -> bool
+
+(** [pareto_front items ~objective] filters [items] down to the
+    non-dominated set, preserving input order. *)
+val pareto_front : 'a list -> objective:('a -> t) -> 'a list
+
+(** [scalarize ~time_weight t] collapses to a single score:
+    [time_weight * time + (1 - time_weight) * money_scaled]. Weights must lie
+    in [\[0, 1\]]. [money_scale] (default 1000) converts dollars to the
+    seconds scale so the two objectives are comparable. *)
+val scalarize : ?money_scale:float -> time_weight:float -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+module Schema = Raqo_catalog.Schema
+module Resources = Raqo_cluster.Resources
+module Join_tree = Raqo_plan.Join_tree
+
+type estimate = { cost : float; gb_seconds : float }
+
+let join_small_gb schema ~left ~right =
+  Float.min (Schema.join_size_gb schema left) (Schema.join_size_gb schema right)
+
+let sum_joins model schema ~resources_of plan =
+  Join_tree.fold_joins
+    (fun acc annot left right ->
+      let small_gb = join_small_gb schema ~left ~right in
+      let impl, resources = resources_of annot in
+      let cost = Op_cost.predict_exn model impl ~small_gb ~resources in
+      {
+        cost = acc.cost +. cost;
+        gb_seconds =
+          (if Float.is_finite cost then acc.gb_seconds +. Resources.gb_seconds resources cost
+           else Float.infinity);
+      })
+    { cost = 0.0; gb_seconds = 0.0 }
+    plan
+
+let joint model schema plan = sum_joins model schema ~resources_of:(fun a -> a) plan
+
+let plain model schema ~resources plan =
+  sum_joins model schema ~resources_of:(fun impl -> (impl, resources)) plan
+
+let money ?(pricing = Raqo_cluster.Pricing.default) estimate =
+  Raqo_cluster.Pricing.gb_seconds_cost pricing estimate.gb_seconds

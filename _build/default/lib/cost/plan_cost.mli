@@ -1,0 +1,28 @@
+(** Whole-plan cost estimation under a cost model: the sum of per-join
+    operator costs, each join evaluated at its own resource configuration
+    (paper Section VI-A). Infeasible plans cost [infinity]. *)
+
+type estimate = {
+  cost : float;  (** model cost (seconds-scale) *)
+  gb_seconds : float;  (** estimated resource usage: per-join memory x cost *)
+}
+
+(** [joint model schema plan] estimates a joint query/resource plan. *)
+val joint : Op_cost.t -> Raqo_catalog.Schema.t -> Raqo_plan.Join_tree.joint -> estimate
+
+(** [plain model schema ~resources plan] estimates a conventional plan under
+    one global resource configuration. *)
+val plain :
+  Op_cost.t ->
+  Raqo_catalog.Schema.t ->
+  resources:Raqo_cluster.Resources.t ->
+  Raqo_plan.Join_tree.plain ->
+  estimate
+
+(** [money ?pricing estimate] prices the estimated resource usage. *)
+val money : ?pricing:Raqo_cluster.Pricing.t -> estimate -> float
+
+(** [join_small_gb schema ~left ~right] is the smaller-input feature of the
+    join of the two relation sets — the data characteristic the cost model
+    and the resource-plan cache key on. *)
+val join_small_gb : Raqo_catalog.Schema.t -> left:string list -> right:string list -> float

@@ -1,0 +1,1 @@
+lib/dtree/cart.ml: Array Dataset List Tree

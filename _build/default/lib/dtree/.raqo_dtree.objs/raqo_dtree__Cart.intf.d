@@ -1,0 +1,1 @@
+lib/dtree/cart.mli: Dataset Tree

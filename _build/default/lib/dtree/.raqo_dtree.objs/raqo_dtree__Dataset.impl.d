@@ -1,0 +1,1 @@
+lib/dtree/dataset.ml: Array

@@ -1,0 +1,1 @@
+lib/dtree/prune.ml: Array Dataset Tree

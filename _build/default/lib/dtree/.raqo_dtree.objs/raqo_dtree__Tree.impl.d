@@ -1,0 +1,1 @@
+lib/dtree/tree.ml: Array Buffer Dataset Printf String

@@ -1,0 +1,124 @@
+type params = { max_depth : int; min_samples_split : int; min_samples_leaf : int }
+
+let default_params = { max_depth = 64; min_samples_split = 2; min_samples_leaf = 1 }
+
+let gini counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let t = float_of_int total in
+    Array.fold_left
+      (fun acc c ->
+        let p = float_of_int c /. t in
+        acc -. (p *. p))
+      1.0 counts
+  end
+
+(* Weighted gini of a candidate split, from the two child histograms. *)
+let split_impurity left_counts right_counts =
+  let nl = Array.fold_left ( + ) 0 left_counts in
+  let nr = Array.fold_left ( + ) 0 right_counts in
+  let n = float_of_int (nl + nr) in
+  ((float_of_int nl *. gini left_counts) +. (float_of_int nr *. gini right_counts)) /. n
+
+let best_split_for_feature dataset indices feature ~min_samples_leaf =
+  (* Sort the subset by this feature; sweep thresholds between distinct
+     consecutive values, maintaining running left/right histograms. *)
+  let sorted = Array.copy indices in
+  Array.sort
+    (fun a b ->
+      let xa, _ = Dataset.sample dataset a and xb, _ = Dataset.sample dataset b in
+      compare xa.(feature) xb.(feature))
+    sorted;
+  let n = Array.length sorted in
+  let left = Array.make (Dataset.n_labels dataset) 0 in
+  let right = Dataset.label_counts dataset sorted in
+  let best = ref None in
+  for i = 0 to n - 2 do
+    let xi, li = Dataset.sample dataset sorted.(i) in
+    let xj, _ = Dataset.sample dataset sorted.(i + 1) in
+    left.(li) <- left.(li) + 1;
+    right.(li) <- right.(li) - 1;
+    let vi = xi.(feature) and vj = xj.(feature) in
+    if vi < vj && i + 1 >= min_samples_leaf && n - i - 1 >= min_samples_leaf then begin
+      let impurity = split_impurity left right in
+      let threshold = (vi +. vj) /. 2.0 in
+      match !best with
+      | Some (_, _, bi) when bi <= impurity -> ()
+      | Some _ | None -> best := Some (feature, threshold, impurity)
+    end
+  done;
+  !best
+
+let best_split dataset indices =
+  let candidates =
+    List.filter_map
+      (fun f -> best_split_for_feature dataset indices f ~min_samples_leaf:1)
+      (List.init (Dataset.n_features dataset) (fun f -> f))
+  in
+  List.fold_left
+    (fun best ((_, _, gi) as cand) ->
+      match best with
+      | Some (_, _, bg) when bg <= gi -> best
+      | Some _ | None -> Some cand)
+    None candidates
+
+let train ?(params = default_params) dataset =
+  if Dataset.length dataset = 0 then invalid_arg "Cart.train: empty dataset";
+  let best_split_constrained indices =
+    let candidates =
+      List.filter_map
+        (fun f ->
+          best_split_for_feature dataset indices f
+            ~min_samples_leaf:params.min_samples_leaf)
+        (List.init (Dataset.n_features dataset) (fun f -> f))
+    in
+    List.fold_left
+      (fun best ((_, _, gi) as cand) ->
+        match best with
+        | Some (_, _, bg) when bg <= gi -> best
+        | Some _ | None -> Some cand)
+      None candidates
+  in
+  let rec grow indices depth =
+    let counts = Dataset.label_counts dataset indices in
+    let pure = gini counts = 0.0 in
+    let too_deep = depth >= params.max_depth in
+    let too_small = Array.length indices < params.min_samples_split in
+    if pure || too_deep || too_small then Tree.Leaf { counts }
+    else begin
+      match best_split_constrained indices with
+      | None -> Tree.Leaf { counts }
+      | Some (feature, threshold, _impurity) ->
+          (* Zero-improvement splits are kept (as scikit-learn does): deeper
+             splits may still separate, e.g. XOR-shaped labels. Termination
+             holds because every split strictly shrinks both sides. *)
+          let goes_left i =
+            let x, _ = Dataset.sample dataset i in
+            x.(feature) <= threshold
+          in
+          let left_idx = Array.of_list (List.filter goes_left (Array.to_list indices)) in
+          let right_idx =
+            Array.of_list (List.filter (fun i -> not (goes_left i)) (Array.to_list indices))
+          in
+          Tree.Node
+            {
+              feature;
+              threshold;
+              counts;
+              left = grow left_idx (depth + 1);
+              right = grow right_idx (depth + 1);
+            }
+    end
+  in
+  grow (Dataset.all_indices dataset) 0
+
+let accuracy tree dataset =
+  let n = Dataset.length dataset in
+  if n = 0 then invalid_arg "Cart.accuracy: empty dataset";
+  let correct = ref 0 in
+  for i = 0 to n - 1 do
+    let x, label = Dataset.sample dataset i in
+    if Tree.predict tree x = label then incr correct
+  done;
+  float_of_int !correct /. float_of_int n

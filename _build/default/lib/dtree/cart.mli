@@ -1,0 +1,29 @@
+(** CART training: greedy recursive partitioning by the gini criterion —
+    the same algorithm the paper runs via scikit-learn's
+    [DecisionTreeClassifier] to produce its Figure 11 RAQO trees. *)
+
+type params = {
+  max_depth : int;  (** stop splitting below this depth *)
+  min_samples_split : int;  (** nodes smaller than this become leaves *)
+  min_samples_leaf : int;  (** candidate splits leaving fewer samples on a side are rejected *)
+}
+
+(** scikit-learn-like defaults: effectively unbounded depth, split nodes of
+    two or more samples. *)
+val default_params : params
+
+(** [gini counts] is the gini impurity of a label histogram:
+    [1 - sum p_i^2], in [\[0, 1)]. *)
+val gini : int array -> float
+
+(** [best_split dataset indices] is the [(feature, threshold, weighted_gini)]
+    of the impurity-minimizing binary split of the subset, or [None] when no
+    split separates it (all features constant or all labels equal). *)
+val best_split : Dataset.t -> int array -> (int * float * float) option
+
+(** [train ?params dataset] grows a tree on the full dataset. *)
+val train : ?params:params -> Dataset.t -> Tree.t
+
+(** [accuracy tree dataset] is the fraction of samples the tree classifies
+    correctly. *)
+val accuracy : Tree.t -> Dataset.t -> float

@@ -1,0 +1,40 @@
+type t = {
+  feature_names : string array;
+  label_names : string array;
+  samples : (float array * int) array;
+}
+
+let make ~feature_names ~label_names samples =
+  let width = Array.length feature_names in
+  let n_labels = Array.length label_names in
+  if width = 0 then invalid_arg "Dataset.make: no features";
+  if n_labels < 2 then invalid_arg "Dataset.make: need at least two labels";
+  Array.iter
+    (fun (x, label) ->
+      if Array.length x <> width then invalid_arg "Dataset.make: ragged sample";
+      if label < 0 || label >= n_labels then invalid_arg "Dataset.make: label out of range")
+    samples;
+  { feature_names; label_names; samples }
+
+let length t = Array.length t.samples
+let n_features t = Array.length t.feature_names
+let n_labels t = Array.length t.label_names
+let feature_names t = t.feature_names
+let label_names t = t.label_names
+let sample t i = t.samples.(i)
+
+let label_counts t indices =
+  let counts = Array.make (n_labels t) 0 in
+  Array.iter
+    (fun i ->
+      let _, label = t.samples.(i) in
+      counts.(label) <- counts.(label) + 1)
+    indices;
+  counts
+
+let majority_label counts =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > counts.(!best) then best := i) counts;
+  !best
+
+let all_indices t = Array.init (length t) (fun i -> i)

@@ -1,0 +1,32 @@
+(** Labelled training sets for decision-tree classification (numeric
+    features, categorical labels), mirroring the scikit-learn input the paper
+    feeds its switch-point data into. *)
+
+type t
+
+(** [make ~feature_names ~label_names samples] validates widths and label
+    ranges. Each sample is a feature vector with a label index. *)
+val make :
+  feature_names:string array ->
+  label_names:string array ->
+  (float array * int) array ->
+  t
+
+val length : t -> int
+val n_features : t -> int
+val n_labels : t -> int
+val feature_names : t -> string array
+val label_names : t -> string array
+
+(** [sample t i] is the [i]-th (features, label) pair. *)
+val sample : t -> int -> float array * int
+
+(** [label_counts t indices] is a histogram over labels of the subset. *)
+val label_counts : t -> int array -> int array
+
+(** [majority_label counts] is the argmax label (ties to the lower index,
+    matching scikit-learn). *)
+val majority_label : int array -> int
+
+(** [all_indices t] is [0 .. length-1]. *)
+val all_indices : t -> int array

@@ -1,0 +1,19 @@
+let leaf_errors counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  total - counts.(Dataset.majority_label counts)
+
+let prune ?(penalty = 0.5) tree =
+  let rec go node =
+    match node with
+    | Tree.Leaf _ -> node
+    | Tree.Node n ->
+        let left = go n.left and right = go n.right in
+        let kept = Tree.Node { n with left; right } in
+        let subtree_cost =
+          float_of_int (Tree.training_errors kept)
+          +. (penalty *. float_of_int (Tree.n_leaves kept))
+        in
+        let collapsed_cost = float_of_int (leaf_errors n.counts) +. penalty in
+        if collapsed_cost <= subtree_cost then Tree.Leaf { counts = n.counts } else kept
+  in
+  go tree

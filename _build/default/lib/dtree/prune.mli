@@ -1,0 +1,7 @@
+(** Size-based pessimistic pruning (the paper cites Mansour'97): collapse a
+    subtree to a leaf whenever doing so does not increase the pessimistic
+    error estimate — training errors plus a per-leaf complexity penalty. *)
+
+(** [prune ?penalty tree] bottom-up prunes [tree]. [penalty] (default 0.5
+    errors per saved leaf) is the pessimistic correction per leaf. *)
+val prune : ?penalty:float -> Tree.t -> Tree.t

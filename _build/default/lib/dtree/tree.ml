@@ -1,0 +1,106 @@
+type t =
+  | Leaf of { counts : int array }
+  | Node of { feature : int; threshold : float; counts : int array; left : t; right : t }
+
+let rec predict t x =
+  match t with
+  | Leaf { counts } -> Dataset.majority_label counts
+  | Node { feature; threshold; left; right; _ } ->
+      if x.(feature) <= threshold then predict left x else predict right x
+
+let counts = function
+  | Leaf { counts } -> counts
+  | Node { counts; _ } -> counts
+
+let label t = Dataset.majority_label (counts t)
+
+let gini_of_counts counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let t = float_of_int total in
+    Array.fold_left
+      (fun acc c ->
+        let p = float_of_int c /. t in
+        acc -. (p *. p))
+      1.0 counts
+  end
+
+let gini t = gini_of_counts (counts t)
+
+let rec n_nodes = function
+  | Leaf _ -> 1
+  | Node { left; right; _ } -> 1 + n_nodes left + n_nodes right
+
+let rec n_leaves = function
+  | Leaf _ -> 1
+  | Node { left; right; _ } -> n_leaves left + n_leaves right
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node { left; right; _ } -> 1 + max (depth left) (depth right)
+
+let rec training_errors = function
+  | Leaf { counts } ->
+      let total = Array.fold_left ( + ) 0 counts in
+      total - counts.(Dataset.majority_label counts)
+  | Node { left; right; _ } -> training_errors left + training_errors right
+
+let to_dot ~feature_names ~label_names t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph dtree {\n  node [shape=box];\n";
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    Printf.sprintf "n%d" !next
+  in
+  let describe counts =
+    let total = Array.fold_left ( + ) 0 counts in
+    Printf.sprintf "gini = %.3f\\nsamples = %d\\nvalue = [%s]\\nclass = %s"
+      (gini_of_counts counts) total
+      (String.concat "; " (Array.to_list (Array.map string_of_int counts)))
+      label_names.(Dataset.majority_label counts)
+  in
+  let rec emit node =
+    let id = fresh () in
+    (match node with
+    | Leaf { counts } ->
+        Buffer.add_string buf (Printf.sprintf "  %s [label=\"%s\"];\n" id (describe counts))
+    | Node { feature; threshold; counts; left; right } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [label=\"%s <= %.4g\\n%s\"];\n" id feature_names.(feature)
+             threshold (describe counts));
+        let lid = emit left in
+        Buffer.add_string buf (Printf.sprintf "  %s -> %s [label=\"True\"];\n" id lid);
+        let rid = emit right in
+        Buffer.add_string buf (Printf.sprintf "  %s -> %s [label=\"False\"];\n" id rid));
+    id
+  in
+  let _root = emit t in
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let render ~feature_names ~label_names t =
+  let buf = Buffer.create 512 in
+  let describe counts =
+    let total = Array.fold_left ( + ) 0 counts in
+    Printf.sprintf "gini=%.4f samples=%d value=[%s] class=%s"
+      (gini_of_counts counts)
+      total
+      (String.concat "; " (Array.to_list (Array.map string_of_int counts)))
+      label_names.(Dataset.majority_label counts)
+  in
+  let rec go indent node =
+    match node with
+    | Leaf { counts } -> Buffer.add_string buf (Printf.sprintf "%s%s\n" indent (describe counts))
+    | Node { feature; threshold; counts; left; right } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s <= %.4g | %s\n" indent feature_names.(feature) threshold
+             (describe counts));
+        Buffer.add_string buf (Printf.sprintf "%s|-true:\n" indent);
+        go (indent ^ "|  ") left;
+        Buffer.add_string buf (Printf.sprintf "%s|-false:\n" indent);
+        go (indent ^ "|  ") right
+  in
+  go "" t;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Trained decision trees (the paper's Figures 10 and 11): internal nodes
+    test [feature <= threshold] (true branch left, scikit-learn convention);
+    leaves carry the class histogram seen in training. *)
+
+type t =
+  | Leaf of { counts : int array }
+  | Node of { feature : int; threshold : float; counts : int array; left : t; right : t }
+
+(** [predict t x] classifies a feature vector. *)
+val predict : t -> float array -> int
+
+(** [counts t] is the node's training histogram. *)
+val counts : t -> int array
+
+(** [label t] is the node's majority class. *)
+val label : t -> int
+
+(** [gini t] is the node's gini impurity. *)
+val gini : t -> float
+
+(** [n_nodes t] counts all nodes; [n_leaves t] just the leaves;
+    [depth t] is the maximum root-to-leaf path length (leaf-only tree = 0). *)
+val n_nodes : t -> int
+
+val n_leaves : t -> int
+val depth : t -> int
+
+(** [training_errors t] is the number of training samples a leaf-majority
+    vote misclassifies. *)
+val training_errors : t -> int
+
+(** [render ~feature_names ~label_names t] pretty-prints the tree in the
+    style of the paper's figures (gini, samples, value, class per node). *)
+val render : feature_names:string array -> label_names:string array -> t -> string
+
+(** [to_dot ~feature_names ~label_names t] renders the tree as a Graphviz
+    digraph in the layout of the paper's Figures 10/11 (true branch left). *)
+val to_dot : feature_names:string array -> label_names:string array -> t -> string

@@ -1,0 +1,1 @@
+lib/execsim/engine.ml: Format

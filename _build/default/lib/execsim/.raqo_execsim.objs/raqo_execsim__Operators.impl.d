@@ -1,0 +1,1 @@
+lib/execsim/operators.ml: Engine Float List Raqo_cluster Raqo_plan

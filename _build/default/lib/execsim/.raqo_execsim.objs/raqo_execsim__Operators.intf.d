@@ -1,0 +1,1 @@
+lib/execsim/operators.mli: Engine Raqo_cluster Raqo_plan

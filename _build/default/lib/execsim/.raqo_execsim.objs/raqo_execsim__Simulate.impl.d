@@ -1,0 +1,1 @@
+lib/execsim/simulate.ml: Engine Float Operators Printf Raqo_catalog Raqo_cluster Raqo_plan

@@ -1,0 +1,1 @@
+lib/execsim/simulate.mli: Engine Operators Raqo_catalog Raqo_cluster Raqo_plan

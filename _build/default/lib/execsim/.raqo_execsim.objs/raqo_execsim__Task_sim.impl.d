@@ -1,0 +1,1 @@
+lib/execsim/task_sim.ml: Array Engine Float Operators Raqo_cluster Raqo_plan Raqo_util

@@ -1,0 +1,1 @@
+lib/execsim/task_sim.mli: Engine Raqo_cluster Raqo_plan Raqo_util

@@ -1,0 +1,79 @@
+type t = {
+  name : string;
+  nodes : int;
+  startup_s : float;
+  task_overhead_s : float;
+  shuffle_s_per_gb : float;
+  merge_s_per_gb : float;
+  sort_spill_factor : float;
+  sort_mem_fraction : float;
+  bcast_s_per_gb : float;
+  bcast_node_weight : float;
+  bcast_container_weight : float;
+  build_s_per_gb : float;
+  probe_s_per_gb : float;
+  mem_pressure_s : float;
+  mem_pressure_cap : float;
+  oom_headroom : float;
+  reducer_split_gb : float;
+  reducer_overhead_s : float;
+  default_bhj_threshold_gb : float;
+  reuses_containers : bool;
+}
+
+(* Calibration anchors (Hive, orders ⋈ lineitem, 77 GB probe side, 10
+   containers): SMJ ~1100 s and flat in container size; BHJ out of memory
+   below 5 GB containers for a 5.1 GB build side; BHJ/SMJ switch at 7 GB
+   containers; switch at ~6.4 GB build size with 9 GB containers; BHJ wins
+   until the OOM cliff with 3 GB containers. *)
+let hive =
+  {
+    name = "hive";
+    nodes = 10;
+    startup_s = 30.0;
+    task_overhead_s = 0.5;
+    shuffle_s_per_gb = 95.0;
+    merge_s_per_gb = 26.0;
+    sort_spill_factor = 0.06;
+    sort_mem_fraction = 0.4;
+    bcast_s_per_gb = 1.2;
+    bcast_node_weight = 8.0;
+    bcast_container_weight = 0.3;
+    build_s_per_gb = 19.0;
+    probe_s_per_gb = 30.0;
+    mem_pressure_s = 666.0;
+    mem_pressure_cap = 0.25;
+    oom_headroom = 1.15;
+    reducer_split_gb = 0.25;
+    reducer_overhead_s = 0.02;
+    default_bhj_threshold_gb = 0.01;
+    reuses_containers = false;
+  }
+
+(* Spark: faster shuffle path, more usable executor memory, same 10 MB
+   default broadcast threshold. *)
+let spark =
+  {
+    name = "spark";
+    nodes = 10;
+    startup_s = 10.0;
+    task_overhead_s = 0.3;
+    shuffle_s_per_gb = 60.0;
+    merge_s_per_gb = 15.0;
+    sort_spill_factor = 0.08;
+    sort_mem_fraction = 0.6;
+    bcast_s_per_gb = 1.0;
+    bcast_node_weight = 6.0;
+    bcast_container_weight = 0.4;
+    build_s_per_gb = 14.0;
+    probe_s_per_gb = 20.0;
+    mem_pressure_s = 420.0;
+    mem_pressure_cap = 0.3;
+    oom_headroom = 1.4;
+    reducer_split_gb = 0.25;
+    reducer_overhead_s = 0.015;
+    default_bhj_threshold_gb = 0.01;
+    reuses_containers = true;
+  }
+
+let pp fmt t = Format.fprintf fmt "engine:%s(%d nodes)" t.name t.nodes

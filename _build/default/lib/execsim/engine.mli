@@ -1,0 +1,41 @@
+(** Execution-engine profiles for the analytical simulator.
+
+    Substitutes for the paper's physical testbed (Hive 2.0.1 on Tez / YARN
+    and SparkSQL 1.6.1 on a 10-VM cluster). Each profile is a set of
+    throughput and overhead constants; the [hive] profile is calibrated so
+    that the Section III switch points land where the paper reports them
+    (see DESIGN.md). All rates are seconds per GB unless noted. *)
+
+type t = {
+  name : string;
+  nodes : int;  (** physical machines; broadcast cost is partly per-node *)
+  startup_s : float;  (** fixed DAG/stage submission overhead *)
+  task_overhead_s : float;  (** per-container scheduling/launch overhead *)
+  shuffle_s_per_gb : float;  (** shuffle write + transfer + read, per GB per container *)
+  merge_s_per_gb : float;  (** merge-scan of sorted runs *)
+  sort_spill_factor : float;  (** extra shuffle cost per doubling of data over sort memory *)
+  sort_mem_fraction : float;  (** fraction of container memory usable for sort buffers *)
+  bcast_s_per_gb : float;  (** broadcast distribution cost unit *)
+  bcast_node_weight : float;  (** per-node component of broadcast fan-out *)
+  bcast_container_weight : float;  (** per-container component of broadcast fan-out *)
+  build_s_per_gb : float;  (** hash-table build *)
+  probe_s_per_gb : float;  (** scan + hash probe of the big side *)
+  mem_pressure_s : float;  (** GC/spill penalty coefficient near the OOM cliff *)
+  mem_pressure_cap : float;  (** cap of the per-GB pressure penalty *)
+  oom_headroom : float;  (** BHJ feasible iff small side <= headroom x container GB *)
+  reducer_split_gb : float;  (** target data per reducer when auto-deriving reducer counts *)
+  reducer_overhead_s : float;  (** per-reducer scheduling overhead *)
+  default_bhj_threshold_gb : float;  (** the engine's stock rule: BHJ iff small side below this *)
+  reuses_containers : bool;
+      (** Spark's executor model keeps containers across stages (the paper's
+          footnote 2), so multi-stage plans pay startup and container-launch
+          overheads once; Hive-on-Tez re-acquires per stage. *)
+}
+
+(** Hive-on-Tez profile (calibrated to the paper's Figures 3-5). *)
+val hive : t
+
+(** SparkSQL profile: faster in-memory engine, larger usable memory fraction. *)
+val spark : t
+
+val pp : Format.formatter -> t -> unit

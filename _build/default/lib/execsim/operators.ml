@@ -1,0 +1,95 @@
+module Resources = Raqo_cluster.Resources
+module Join_impl = Raqo_plan.Join_impl
+
+type reducers = Auto | Fixed of int
+
+let bhj_feasible (e : Engine.t) ~small_gb ~resources =
+  small_gb <= e.oom_headroom *. resources.Resources.container_gb
+
+(* Sorted-run spill multiplier: grows with each doubling of per-container
+   shuffle data over the sort-buffer memory. *)
+let spill_multiplier (e : Engine.t) ~data_gb ~(resources : Resources.t) =
+  let per_container = data_gb /. float_of_int resources.containers in
+  let sort_mem = e.sort_mem_fraction *. resources.container_gb in
+  let doublings = log (per_container /. sort_mem) /. log 2.0 in
+  1.0 +. (e.sort_spill_factor *. Float.max 0.0 doublings)
+
+let reducer_count (e : Engine.t) ~data_gb = function
+  | Auto -> max 1 (int_of_float (ceil (data_gb /. e.reducer_split_gb)))
+  | Fixed n ->
+      if n <= 0 then invalid_arg "Operators.reducer_count: nonpositive reducer count";
+      n
+
+(* Mis-sized reducer counts cost extra merge passes (too few: skewed, big
+   partitions) or task churn (too many); modelled as a mild log penalty. *)
+let reducer_multiplier (e : Engine.t) ~data_gb reducers =
+  let actual = float_of_int (reducer_count e ~data_gb reducers) in
+  let ideal = Float.max 1.0 (data_gb /. e.reducer_split_gb) in
+  1.0 +. (0.03 *. Float.abs (log (actual /. ideal) /. log 2.0))
+
+let smj_time (e : Engine.t) ~small_gb ~big_gb ~(resources : Resources.t) ~reducers =
+  let data = small_gb +. big_gb in
+  let nc = float_of_int resources.containers in
+  let shuffle =
+    data *. e.shuffle_s_per_gb *. spill_multiplier e ~data_gb:data ~resources /. nc
+  in
+  let merge = data *. e.merge_s_per_gb /. nc in
+  let reducer_overhead =
+    e.reducer_overhead_s *. float_of_int (reducer_count e ~data_gb:data reducers)
+  in
+  (e.startup_s +. (e.task_overhead_s *. nc) +. reducer_overhead
+  +. ((shuffle +. merge) *. reducer_multiplier e ~data_gb:data reducers))
+
+(* Broadcast hash join: distribute the small side (partly per-node, partly
+   per-container), build a hash table in every container, stream the big side
+   through. Near the memory ceiling, GC/spill pressure (capped) dominates —
+   that cliff is what creates the paper's switch points. *)
+let bhj_time (e : Engine.t) ~small_gb ~big_gb ~(resources : Resources.t) =
+  if not (bhj_feasible e ~small_gb ~resources) then None
+  else begin
+    let nc = float_of_int resources.containers in
+    let fanout = e.bcast_node_weight +. (e.bcast_container_weight *. nc) in
+    let broadcast = small_gb *. e.bcast_s_per_gb *. fanout in
+    let build = small_gb *. e.build_s_per_gb in
+    let probe = big_gb *. e.probe_s_per_gb /. nc in
+    let headroom = (e.oom_headroom *. resources.container_gb) -. small_gb in
+    let pressure_rate =
+      if headroom <= 0.0 then e.mem_pressure_cap
+      else Float.min e.mem_pressure_cap (headroom ** -1.5)
+    in
+    let pressure = e.mem_pressure_s *. small_gb *. pressure_rate in
+    Some
+      (e.startup_s +. (e.task_overhead_s *. nc) +. broadcast +. build +. probe +. pressure)
+  end
+
+let join_time ?(reducers = Auto) e impl ~small_gb ~big_gb ~resources =
+  if small_gb <= 0.0 || big_gb <= 0.0 then invalid_arg "Operators.join_time: nonpositive size";
+  let small_gb, big_gb =
+    if small_gb <= big_gb then (small_gb, big_gb) else (big_gb, small_gb)
+  in
+  match impl with
+  | Join_impl.Smj -> Some (smj_time e ~small_gb ~big_gb ~resources ~reducers)
+  | Join_impl.Bhj -> bhj_time e ~small_gb ~big_gb ~resources
+
+let scan_time (e : Engine.t) ~gb ~(resources : Resources.t) =
+  if gb <= 0.0 then invalid_arg "Operators.scan_time: nonpositive size";
+  e.startup_s
+  +. (e.task_overhead_s *. float_of_int resources.containers)
+  +. (gb *. e.probe_s_per_gb /. float_of_int resources.containers)
+
+let best_impl ?(reducers = Auto) e ~small_gb ~big_gb ~resources =
+  let candidates =
+    List.filter_map
+      (fun impl ->
+        match join_time ~reducers e impl ~small_gb ~big_gb ~resources with
+        | Some t -> Some (impl, t)
+        | None -> None)
+      Join_impl.all
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun (bi, bt) (i, t) -> if t < bt then (i, t) else (bi, bt)) first rest)
+
+let default_impl (e : Engine.t) ~small_gb =
+  if small_gb <= e.default_bhj_threshold_gb then Join_impl.Bhj else Join_impl.Smj

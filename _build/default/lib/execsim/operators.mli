@@ -1,0 +1,46 @@
+(** Analytical cost of executing one physical join (or scan) under a given
+    resource configuration — the simulator's ground truth that profile runs,
+    cost models and decision trees are derived from. *)
+
+type reducers =
+  | Auto  (** engine derives the reducer count from intermediate data size *)
+  | Fixed of int  (** user-pinned reducer count (Figure 9's sweep axis) *)
+
+(** [bhj_feasible engine ~small_gb ~resources] is false when the build side
+    cannot fit in one container's memory (the OOM condition). *)
+val bhj_feasible : Engine.t -> small_gb:float -> resources:Raqo_cluster.Resources.t -> bool
+
+(** [join_time engine impl ~small_gb ~big_gb ~resources] simulates the
+    execution time (seconds) of one join. [small_gb] is the build/broadcast
+    side, [big_gb] the probe side; callers must pass [small_gb <= big_gb]
+    sides in either order — the simulator re-orders internally so the smaller
+    side is built/broadcast, as both engines do.
+
+    Returns [None] when the operator cannot run (BHJ build side out of
+    memory). [reducers] only affects the shuffle-based SMJ path. *)
+val join_time :
+  ?reducers:reducers ->
+  Engine.t ->
+  Raqo_plan.Join_impl.t ->
+  small_gb:float ->
+  big_gb:float ->
+  resources:Raqo_cluster.Resources.t ->
+  float option
+
+(** [scan_time engine ~gb ~resources] is the time of a standalone full scan
+    (the one non-join operator the evaluation considers). *)
+val scan_time : Engine.t -> gb:float -> resources:Raqo_cluster.Resources.t -> float
+
+(** [best_impl engine ~small_gb ~big_gb ~resources] is the faster feasible
+    implementation with its time, or [None] when neither runs. *)
+val best_impl :
+  ?reducers:reducers ->
+  Engine.t ->
+  small_gb:float ->
+  big_gb:float ->
+  resources:Raqo_cluster.Resources.t ->
+  (Raqo_plan.Join_impl.t * float) option
+
+(** [default_impl engine ~small_gb] is the engine's stock rule-based choice:
+    BHJ iff the small side is under the (10 MB) threshold. *)
+val default_impl : Engine.t -> small_gb:float -> Raqo_plan.Join_impl.t

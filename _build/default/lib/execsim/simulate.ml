@@ -1,0 +1,68 @@
+module Schema = Raqo_catalog.Schema
+module Resources = Raqo_cluster.Resources
+module Join_tree = Raqo_plan.Join_tree
+
+type run = { seconds : float; gb_seconds : float }
+
+let tb_seconds run = run.gb_seconds /. 1024.0
+
+let money ?(pricing = Raqo_cluster.Pricing.default) run =
+  Raqo_cluster.Pricing.gb_seconds_cost pricing run.gb_seconds
+
+let join_inputs schema ~left ~right =
+  let l = Schema.join_size_gb schema left and r = Schema.join_size_gb schema right in
+  if l <= r then (l, r) else (r, l)
+
+exception Oom of string
+
+let simulate_tree (engine : Engine.t) schema ~resources_of ~reducers plan =
+  let stage_index = ref 0 in
+  let total =
+    Join_tree.fold_joins
+      (fun acc annot left right ->
+        let small_gb, big_gb = join_inputs schema ~left ~right in
+        let impl, resources = resources_of annot in
+        match Operators.join_time ?reducers engine impl ~small_gb ~big_gb ~resources with
+        | Some seconds ->
+            (* Executor-model engines (Spark) keep containers across stages:
+               startup and container-launch overheads are paid once per
+               plan, not per join (paper footnote 2). *)
+            let seconds =
+              if engine.reuses_containers && !stage_index > 0 then
+                Float.max 0.0
+                  (seconds -. engine.startup_s
+                  -. (engine.task_overhead_s
+                     *. float_of_int resources.Resources.containers))
+              else seconds
+            in
+            incr stage_index;
+            {
+              seconds = acc.seconds +. seconds;
+              gb_seconds = acc.gb_seconds +. Resources.gb_seconds resources seconds;
+            }
+        | None ->
+            raise
+              (Oom
+                 (Printf.sprintf "%s out of memory: %.2f GB build side in %.1f GB containers"
+                    (Raqo_plan.Join_impl.to_string impl)
+                    small_gb resources.Resources.container_gb)))
+      { seconds = 0.0; gb_seconds = 0.0 }
+      plan
+  in
+  total
+
+let guard_valid plan =
+  if not (Join_tree.valid plan) then invalid_arg "Simulate: plan references a relation twice"
+
+let run_joint engine schema plan =
+  guard_valid plan;
+  match simulate_tree engine schema ~resources_of:(fun a -> a) ~reducers:None plan with
+  | run -> Ok run
+  | exception Oom msg -> Error msg
+
+let run_plain ?reducers engine schema ~resources plan =
+  guard_valid plan;
+  let resources_of impl = (impl, resources) in
+  match simulate_tree engine schema ~resources_of ~reducers plan with
+  | run -> Ok run
+  | exception Oom msg -> Error msg

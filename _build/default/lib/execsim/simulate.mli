@@ -1,0 +1,36 @@
+(** Whole-plan execution simulation: joins execute at shuffle boundaries, one
+    after another (the paper's additive model: "the total cost of a query
+    plan is the sum of costs of all join operators"), each join under its own
+    resource configuration. *)
+
+type run = {
+  seconds : float;  (** simulated wall-clock execution time *)
+  gb_seconds : float;  (** resource usage: sum over joins of memory held x time *)
+}
+
+(** [tb_seconds run] is resource usage in the paper's TB·s unit. *)
+val tb_seconds : run -> float
+
+(** [money ?pricing run] prices the run under serverless billing. *)
+val money : ?pricing:Raqo_cluster.Pricing.t -> run -> float
+
+(** [run_joint engine schema plan] simulates a joint query/resource plan.
+    Intermediate-result sizes come from the schema's cardinality model.
+    [Error msg] reports an out-of-memory join. *)
+val run_joint :
+  Engine.t -> Raqo_catalog.Schema.t -> Raqo_plan.Join_tree.joint -> (run, string) result
+
+(** [run_plain engine schema ~resources plan] simulates a conventional plan
+    executing every join under one global resource configuration. *)
+val run_plain :
+  ?reducers:Operators.reducers ->
+  Engine.t ->
+  Raqo_catalog.Schema.t ->
+  resources:Raqo_cluster.Resources.t ->
+  Raqo_plan.Join_tree.plain ->
+  (run, string) result
+
+(** [join_inputs schema ~left ~right] is [(small_gb, big_gb)] for a join of
+    the two intermediate results given by relation sets. *)
+val join_inputs :
+  Raqo_catalog.Schema.t -> left:string list -> right:string list -> float * float

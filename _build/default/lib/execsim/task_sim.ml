@@ -1,0 +1,87 @@
+module Join_impl = Raqo_plan.Join_impl
+module Resources = Raqo_cluster.Resources
+module Rng = Raqo_util.Rng
+
+type report = {
+  seconds : float;
+  analytical_seconds : float;
+  tasks : int;
+  waves : int;
+  straggler_factor : float;
+}
+
+(* Split one operator's analytical cost into the part that parallelizes over
+   tasks and the fixed part (startup, scheduling, broadcast, build,
+   memory-pressure — all per-stage or per-container, not per-task). The
+   parallel part is exactly [analytical - fixed], so a noise-free, perfectly
+   balanced task schedule reproduces the analytical time. *)
+let decompose (e : Engine.t) impl ~small_gb ~big_gb ~(resources : Resources.t) =
+  match Operators.join_time e impl ~small_gb ~big_gb ~resources with
+  | None -> None
+  | Some analytical ->
+      let small_gb, big_gb =
+        if small_gb <= big_gb then (small_gb, big_gb) else (big_gb, small_gb)
+      in
+      let tasks =
+        match impl with
+        | Join_impl.Smj ->
+            max 1 (int_of_float (ceil ((small_gb +. big_gb) /. e.reducer_split_gb)))
+        | Join_impl.Bhj -> max 1 (int_of_float (ceil (big_gb /. e.reducer_split_gb)))
+      in
+      let parallel =
+        match impl with
+        | Join_impl.Smj ->
+            (* shuffle + merge are the per-task components. *)
+            let data = small_gb +. big_gb in
+            let nc = float_of_int resources.containers in
+            analytical -. e.startup_s -. (e.task_overhead_s *. nc)
+            -. (e.reducer_overhead_s *. float_of_int tasks)
+            |> Float.max 0.0
+            |> fun x -> Float.min x (data *. 1000.0) (* guard *)
+        | Join_impl.Bhj ->
+            big_gb *. e.probe_s_per_gb /. float_of_int resources.containers
+      in
+      let fixed = analytical -. parallel in
+      Some (analytical, fixed, parallel, tasks)
+
+(* List scheduling: each task goes to the earliest-free container. *)
+let makespan durations containers =
+  let free = Array.make containers 0.0 in
+  Array.iter
+    (fun d ->
+      let slot = ref 0 in
+      for i = 1 to containers - 1 do
+        if free.(i) < free.(!slot) then slot := i
+      done;
+      free.(!slot) <- free.(!slot) +. d)
+    durations;
+  Array.fold_left Float.max 0.0 free
+
+let simulate ?(noise_sigma = 0.15) rng e impl ~small_gb ~big_gb ~resources =
+  if noise_sigma < 0.0 then invalid_arg "Task_sim.simulate: negative noise";
+  match decompose e impl ~small_gb ~big_gb ~resources with
+  | None -> None
+  | Some (analytical, fixed, parallel, tasks) ->
+      let nc = resources.Resources.containers in
+      (* Aggregate parallel work across all containers, split evenly into
+         tasks, each perturbed by lognormal noise with unit mean. *)
+      let total_work = parallel *. float_of_int nc in
+      let per_task = total_work /. float_of_int tasks in
+      let mean_correction = exp (-0.5 *. noise_sigma *. noise_sigma) in
+      let durations =
+        Array.init tasks (fun _ ->
+            if noise_sigma = 0.0 then per_task
+            else per_task *. Rng.lognormal rng ~mu:0.0 ~sigma:noise_sigma *. mean_correction)
+      in
+      let span = makespan durations nc in
+      (* Balance baseline uses the *drawn* durations, so the straggler
+         factor (span / balanced) is >= 1 by construction. *)
+      let balanced = Array.fold_left ( +. ) 0.0 durations /. float_of_int nc in
+      Some
+        {
+          seconds = fixed +. span;
+          analytical_seconds = analytical;
+          tasks;
+          waves = (tasks + nc - 1) / nc;
+          straggler_factor = (if balanced > 0.0 then span /. balanced else 1.0);
+        }

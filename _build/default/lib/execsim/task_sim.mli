@@ -1,0 +1,34 @@
+(** Task-level stage simulation: the finer-grained model behind the
+    analytical operator costs. A DAG vertex (join stage) consists of tasks
+    scheduled in waves over the stage's containers (the paper's "each vertex
+    consists of a set of tasks that can be executed in parallel"); task
+    durations carry lognormal straggler noise.
+
+    Used to validate the analytical model: with zero noise and task counts
+    divisible by the container count the two coincide; with realistic noise
+    the task-level makespan exceeds the analytical time by the straggler
+    factor (see the [tasksim] bench). *)
+
+type report = {
+  seconds : float;  (** simulated stage time: fixed costs + task makespan *)
+  analytical_seconds : float;  (** the closed-form model's answer *)
+  tasks : int;
+  waves : int;  (** ceil(tasks / containers) *)
+  straggler_factor : float;
+      (** task makespan / perfectly-balanced makespan (>= 1) *)
+}
+
+(** [simulate ?noise_sigma rng engine impl ~small_gb ~big_gb ~resources]
+    runs one join stage at task granularity. [noise_sigma] is the lognormal
+    sigma of per-task duration noise (default 0.15; 0 = deterministic).
+    [None] when the operator is infeasible (BHJ OOM), as in the analytical
+    model. *)
+val simulate :
+  ?noise_sigma:float ->
+  Raqo_util.Rng.t ->
+  Engine.t ->
+  Raqo_plan.Join_impl.t ->
+  small_gb:float ->
+  big_gb:float ->
+  resources:Raqo_cluster.Resources.t ->
+  report option

@@ -1,0 +1,1 @@
+lib/plan/join_impl.mli: Format

@@ -1,0 +1,1 @@
+lib/plan/join_tree.ml: Buffer Format Join_impl List Printf Raqo_cluster String

@@ -1,0 +1,1 @@
+lib/plan/join_tree.mli: Format Join_impl Raqo_cluster

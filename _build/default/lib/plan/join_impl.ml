@@ -1,0 +1,10 @@
+type t = Smj | Bhj
+
+let all = [ Smj; Bhj ]
+
+let to_string = function
+  | Smj -> "SMJ"
+  | Bhj -> "BHJ"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b

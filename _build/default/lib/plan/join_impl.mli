@@ -1,0 +1,15 @@
+(** Physical join operator implementations. The paper's study (and Hive's
+    stable operator set) covers the shuffle sort-merge join and the broadcast
+    hash join; shuffle hash join is excluded as in the paper
+    ("not yet stable enough"). *)
+
+type t =
+  | Smj  (** shuffle sort-merge join: shuffle both sides, sort, merge *)
+  | Bhj  (** broadcast hash join: replicate the small side to every container *)
+
+(** Every implementation, in a fixed order (the planner's candidate set). *)
+val all : t list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,96 @@
+type 'a t = Scan of string | Join of 'a * 'a t * 'a t
+type plain = Join_impl.t t
+type joint = (Join_impl.t * Raqo_cluster.Resources.t) t
+
+let rec relations = function
+  | Scan name -> [ name ]
+  | Join (_, l, r) -> relations l @ relations r
+
+let rec n_joins = function
+  | Scan _ -> 0
+  | Join (_, l, r) -> 1 + n_joins l + n_joins r
+
+let valid t =
+  let names = relations t in
+  List.length (List.sort_uniq compare names) = List.length names
+
+let rec left_deep = function
+  | Scan _ -> true
+  | Join (_, l, Scan _) -> left_deep l
+  | Join (_, _, Join _) -> false
+
+let rec fold_joins f acc = function
+  | Scan _ -> acc
+  | Join (a, l, r) ->
+      let acc = fold_joins f acc l in
+      let acc = fold_joins f acc r in
+      f acc a (relations l) (relations r)
+
+let rec map_annot f = function
+  | Scan name -> Scan name
+  | Join (a, l, r) -> Join (f a, map_annot f l, map_annot f r)
+
+let rec map_joins f = function
+  | Scan name -> Scan name
+  | Join (a, l, r) ->
+      let l' = map_joins f l and r' = map_joins f r in
+      Join (f a (relations l) (relations r), l', r')
+
+let annotations t = List.rev (fold_joins (fun acc a _ _ -> a :: acc) [] t)
+let strip t = map_annot fst t
+
+let rec equal_shape eq a b =
+  match (a, b) with
+  | Scan x, Scan y -> x = y
+  | Join (ax, al, ar), Join (bx, bl, br) ->
+      eq ax bx && equal_shape eq al bl && equal_shape eq ar br
+  | Scan _, Join _ | Join _, Scan _ -> false
+
+let rec pp pp_annot fmt = function
+  | Scan name -> Format.pp_print_string fmt name
+  | Join (a, l, r) ->
+      Format.fprintf fmt "(%a %a %a)" (pp pp_annot) l pp_annot a (pp pp_annot) r
+
+let pp_plain fmt t = pp Join_impl.pp fmt t
+
+let pp_joint_annot fmt (impl, res) =
+  Format.fprintf fmt "%a%a" Join_impl.pp impl Raqo_cluster.Resources.pp res
+
+let pp_joint fmt t = pp pp_joint_annot fmt t
+
+let to_dot pp_annot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph plan {\n  rankdir=BT;\n";
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    Printf.sprintf "n%d" !next
+  in
+  let rec emit node =
+    let id = fresh () in
+    (match node with
+    | Scan name ->
+        Buffer.add_string buf (Printf.sprintf "  %s [shape=box, label=\"%s\"];\n" id name)
+    | Join (a, l, r) ->
+        let label = String.escaped (Format.asprintf "%a" pp_annot a) in
+        Buffer.add_string buf (Printf.sprintf "  %s [shape=ellipse, label=\"⋈ %s\"];\n" id label);
+        let lid = emit l and rid = emit r in
+        Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n  %s -> %s;\n" lid id rid id));
+    id
+  in
+  let _root = emit t in
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let render_indented pp_annot t =
+  let buf = Buffer.create 256 in
+  let rec go indent = function
+    | Scan name -> Buffer.add_string buf (Printf.sprintf "%sScan %s\n" indent name)
+    | Join (a, l, r) ->
+        Buffer.add_string buf
+          (Format.asprintf "%sJoin %a\n" indent pp_annot a);
+        go (indent ^ "  ") l;
+        go (indent ^ "  ") r
+  in
+  go "" t;
+  Buffer.contents buf

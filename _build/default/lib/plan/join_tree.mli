@@ -1,0 +1,65 @@
+(** Physical query plans as binary join trees over base relations.
+
+    The type is polymorphic in the per-join annotation ['a]: the query
+    planner works on plans annotated with just the operator implementation,
+    while RAQO's joint plans additionally carry the resource configuration
+    chosen for each join (the paper's "joint query and resource plan"). *)
+
+type 'a t =
+  | Scan of string  (** a base relation, by name *)
+  | Join of 'a * 'a t * 'a t  (** annotation, left (build/outer), right (probe/inner) *)
+
+(** A conventional query plan: implementation choice per join. *)
+type plain = Join_impl.t t
+
+(** A joint query/resource plan: implementation plus resources per join. *)
+type joint = (Join_impl.t * Raqo_cluster.Resources.t) t
+
+(** [relations t] lists leaf relation names, left to right. *)
+val relations : 'a t -> string list
+
+(** [n_joins t] counts join operators. *)
+val n_joins : 'a t -> int
+
+(** [valid t] is true when no relation appears twice. *)
+val valid : 'a t -> bool
+
+(** [left_deep t] is true when every right child is a leaf (Selinger's
+    search space). *)
+val left_deep : 'a t -> bool
+
+(** [fold_joins f init t] folds [f] over the join nodes bottom-up,
+    left before right; each call sees the node's annotation and the relation
+    sets of its two subtrees. *)
+val fold_joins : ('acc -> 'a -> string list -> string list -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** [map_annot f t] rewrites every join annotation. *)
+val map_annot : ('a -> 'b) -> 'a t -> 'b t
+
+(** [map_joins f t] rewrites each annotation with access to the relation sets
+    of the join's subtrees (bottom-up), e.g. to assign resources per join. *)
+val map_joins : ('a -> string list -> string list -> 'b) -> 'a t -> 'b t
+
+(** [annotations t] lists join annotations bottom-up, left before right. *)
+val annotations : 'a t -> 'a list
+
+(** [strip t] forgets resource annotations. *)
+val strip : joint -> plain
+
+(** [equal_shape eq a b] compares structure, leaves and annotations. *)
+val equal_shape : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+(** [pp pp_annot fmt t] prints the plan as a nested expression, e.g.
+    [((customer BHJ orders) SMJ lineitem)]. *)
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+
+val pp_plain : Format.formatter -> plain -> unit
+val pp_joint : Format.formatter -> joint -> unit
+
+(** [render_indented pp_annot t] is a multi-line, indented rendering for
+    explain output. *)
+val render_indented : (Format.formatter -> 'a -> unit) -> 'a t -> string
+
+(** [to_dot pp_annot t] renders the plan as a Graphviz digraph (scans as
+    boxes, joins as ellipses labelled by their annotation). *)
+val to_dot : (Format.formatter -> 'a -> unit) -> 'a t -> string

@@ -1,0 +1,1 @@
+lib/planner/coster.ml: Float Hashtbl List Raqo_catalog Raqo_cluster Raqo_cost Raqo_execsim Raqo_plan Raqo_resource String

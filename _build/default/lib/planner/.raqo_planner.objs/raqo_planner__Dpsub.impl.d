@@ -1,0 +1,1 @@
+lib/planner/dpsub.ml: Array Coster List Option Raqo_catalog Raqo_plan

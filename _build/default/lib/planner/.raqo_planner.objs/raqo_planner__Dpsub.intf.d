@@ -1,0 +1,1 @@
+lib/planner/dpsub.mli: Coster Raqo_catalog Raqo_plan

@@ -1,0 +1,1 @@
+lib/planner/exhaustive.ml: Array Coster Hashtbl List Raqo_catalog Raqo_plan

@@ -1,0 +1,1 @@
+lib/planner/exhaustive.mli: Coster Raqo_catalog Raqo_plan

@@ -1,0 +1,1 @@
+lib/planner/heuristics.ml: Float List Raqo_catalog Raqo_execsim Raqo_plan

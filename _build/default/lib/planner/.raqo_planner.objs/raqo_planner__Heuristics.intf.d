@@ -1,0 +1,1 @@
+lib/planner/heuristics.mli: Coster Raqo_catalog Raqo_execsim Raqo_plan

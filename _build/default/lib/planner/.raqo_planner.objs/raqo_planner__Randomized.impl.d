@@ -1,0 +1,1 @@
+lib/planner/randomized.ml: Array Coster List Map Raqo_catalog Raqo_plan Raqo_util String

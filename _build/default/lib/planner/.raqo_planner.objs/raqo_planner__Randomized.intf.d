@@ -1,0 +1,1 @@
+lib/planner/randomized.mli: Coster Raqo_catalog Raqo_plan Raqo_util

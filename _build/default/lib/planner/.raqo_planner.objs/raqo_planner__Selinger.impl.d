@@ -1,0 +1,1 @@
+lib/planner/selinger.ml: Array Coster Heuristics List Option Raqo_catalog Raqo_plan

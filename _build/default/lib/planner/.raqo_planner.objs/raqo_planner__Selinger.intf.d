@@ -1,0 +1,1 @@
+lib/planner/selinger.mli: Coster Raqo_catalog Raqo_plan

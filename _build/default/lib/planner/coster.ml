@@ -1,0 +1,119 @@
+module Join_impl = Raqo_plan.Join_impl
+module Join_tree = Raqo_plan.Join_tree
+module Schema = Raqo_catalog.Schema
+module Op_cost = Raqo_cost.Op_cost
+
+type choice = {
+  impl : Join_impl.t;
+  resources : Raqo_cluster.Resources.t;
+  cost : float;
+}
+
+type t = {
+  best_join : left:string list -> right:string list -> choice option;
+  name : string;
+}
+
+type shape = unit Join_tree.t
+
+let shape_of tree = Join_tree.map_annot (fun _ -> ()) tree
+
+let cost_tree t shape =
+  let exception Infeasible in
+  let total = ref 0.0 in
+  let annotate () left right =
+    match t.best_join ~left ~right with
+    | Some { impl; resources; cost } ->
+        total := !total +. cost;
+        (impl, resources)
+    | None -> raise Infeasible
+  in
+  match Join_tree.map_joins annotate shape with
+  | annotated -> Some (annotated, !total)
+  | exception Infeasible -> None
+
+let pick_cheaper a b =
+  match (a, b) with
+  | Some x, Some y -> if x.cost <= y.cost then Some x else Some y
+  | (Some _ as x), None | None, (Some _ as x) -> x
+  | None, None -> None
+
+let finite_choice impl resources cost =
+  if Float.is_finite cost then Some { impl; resources; cost } else None
+
+(* Randomized planners re-cost near-identical subtrees thousands of times;
+   memoize intermediate-result sizes per relation set (statistics caching,
+   as production optimizers do). *)
+let memoized_size schema =
+  let sizes = Hashtbl.create 512 in
+  fun names ->
+    let key = String.concat "\x00" (List.sort compare names) in
+    match Hashtbl.find_opt sizes key with
+    | Some s -> s
+    | None ->
+        let s = Schema.join_size_gb schema names in
+        Hashtbl.add sizes key s;
+        s
+
+let fixed model schema resources =
+  let size = memoized_size schema in
+  let best_join ~left ~right =
+    let small_gb = Float.min (size left) (size right) in
+    List.fold_left
+      (fun best impl ->
+        let cost = Op_cost.predict_exn model impl ~small_gb ~resources in
+        pick_cheaper best (finite_choice impl resources cost))
+      None Join_impl.all
+  in
+  { best_join; name = "qo-fixed-resources" }
+
+(* The smallest grid configuration where [impl] is feasible: BHJ must start
+   its hill climb above the OOM cliff, or the climb never leaves the
+   infinite-cost plateau. [None] when no configuration is feasible. *)
+let feasible_start model impl ~small_gb (conditions : Raqo_cluster.Conditions.t) =
+  match impl with
+  | Join_impl.Smj -> Some (Raqo_cluster.Conditions.min_config conditions)
+  | Join_impl.Bhj ->
+      let needed = small_gb /. model.Op_cost.oom_headroom in
+      if needed > conditions.max_gb then None
+      else begin
+        let steps =
+          Float.max 0.0 (ceil ((needed -. conditions.min_gb) /. conditions.gb_step))
+        in
+        let gb = conditions.min_gb +. (steps *. conditions.gb_step) in
+        Some
+          (Raqo_cluster.Resources.make ~containers:conditions.min_containers
+             ~container_gb:(Float.min conditions.max_gb gb))
+      end
+
+let raqo model schema planner =
+  let size = memoized_size schema in
+  let best_join ~left ~right =
+    let small_gb = Float.min (size left) (size right) in
+    let conditions = Raqo_resource.Resource_planner.conditions planner in
+    List.fold_left
+      (fun best impl ->
+        match feasible_start model impl ~small_gb conditions with
+        | None -> best
+        | Some start ->
+            let key = Join_impl.to_string impl ^ "/join" in
+            let cost_fn resources = Op_cost.predict_exn model impl ~small_gb ~resources in
+            let resources, cost =
+              Raqo_resource.Resource_planner.plan ~start planner ~key ~data_gb:small_gb
+                ~cost:cost_fn
+            in
+            pick_cheaper best (finite_choice impl resources cost))
+      None Join_impl.all
+  in
+  { best_join; name = "raqo" }
+
+let simulator engine schema resources =
+  let size = memoized_size schema in
+  let best_join ~left ~right =
+    let l = size left and r = size right in
+    let small_gb, big_gb = if l <= r then (l, r) else (r, l) in
+    match Raqo_execsim.Operators.best_impl engine ~small_gb ~big_gb ~resources with
+    | Some (impl, cost) -> Some { impl; resources; cost }
+    | None -> None
+  in
+  { best_join; name = "simulator-ground-truth" }

@@ -1,0 +1,58 @@
+(** The [get_plan_cost] seam between query planning and resource planning
+    (paper Section VI-C): query planners ask a coster for the best feasible
+    implementation (and its cost) of each candidate join. Cost-based RAQO is
+    "nicely integrated, and yet easily pluggable" by swapping in a coster
+    that runs resource planning inside this call. *)
+
+(** What a coster returns for one candidate join: the chosen implementation,
+    the resources it should run with, and its estimated cost. *)
+type choice = {
+  impl : Raqo_plan.Join_impl.t;
+  resources : Raqo_cluster.Resources.t;
+  cost : float;
+}
+
+type t = {
+  best_join :
+    left:string list -> right:string list -> choice option;
+      (** [None] when no implementation is feasible for this join *)
+  name : string;  (** for explain output *)
+}
+
+(** A plan shape: a join tree whose operator choices are not yet made. *)
+type shape = unit Raqo_plan.Join_tree.t
+
+(** [cost_tree t shape] costs a plan shape bottom-up, choosing operator
+    implementation and resources per join; [None] if any join is
+    infeasible. *)
+val cost_tree : t -> shape -> (Raqo_plan.Join_tree.joint * float) option
+
+(** [shape_of tree] forgets annotations. *)
+val shape_of : 'a Raqo_plan.Join_tree.t -> shape
+
+(** [fixed model schema resources] — conventional query optimization: cost
+    both implementations under one global, pre-chosen resource
+    configuration (the paper's "QO" baseline). *)
+val fixed :
+  Raqo_cost.Op_cost.t ->
+  Raqo_catalog.Schema.t ->
+  Raqo_cluster.Resources.t ->
+  t
+
+(** [raqo model schema planner] — cost-based RAQO: resource-plan each
+    implementation of each join (hill climbing / cache per [planner]), then
+    keep the cheapest feasible (implementation, resources) pair. *)
+val raqo :
+  Raqo_cost.Op_cost.t ->
+  Raqo_catalog.Schema.t ->
+  Raqo_resource.Resource_planner.t ->
+  t
+
+(** [simulator engine schema resources] — ground truth: cost joins with the
+    execution simulator at fixed resources (used by tests and the
+    Section III analysis, not by the optimizer). *)
+val simulator :
+  Raqo_execsim.Engine.t ->
+  Raqo_catalog.Schema.t ->
+  Raqo_cluster.Resources.t ->
+  t

@@ -1,0 +1,93 @@
+module Join_tree = Raqo_plan.Join_tree
+module Schema = Raqo_catalog.Schema
+
+let optimize (coster : Coster.t) schema relations =
+  let n = List.length relations in
+  if n = 0 then invalid_arg "Dpsub.optimize: empty relation set";
+  if n > 16 then invalid_arg "Dpsub.optimize: too many relations for bushy DP";
+  List.iter
+    (fun r -> if not (Schema.mem schema r) then invalid_arg ("Dpsub.optimize: unknown " ^ r))
+    relations;
+  let rels = Array.of_list relations in
+  let graph = Schema.graph schema in
+  (* Adjacency bitmasks: adj.(i) = peers of relation i within the query. *)
+  let adj =
+    Array.init n (fun i ->
+        let mask = ref 0 in
+        for j = 0 to n - 1 do
+          if
+            i <> j
+            && Option.is_some (Raqo_catalog.Join_graph.selectivity graph rels.(i) rels.(j))
+          then mask := !mask lor (1 lsl j)
+        done;
+        !mask)
+  in
+  let size = 1 lsl n in
+  (* Connectivity of a subset, by BFS over bitmasks. *)
+  let connected = Array.make size false in
+  for mask = 1 to size - 1 do
+    let seed = mask land -mask in
+    let reach = ref seed in
+    let frontier = ref seed in
+    while !frontier <> 0 do
+      let next = ref 0 in
+      for i = 0 to n - 1 do
+        if !frontier land (1 lsl i) <> 0 then next := !next lor (adj.(i) land mask)
+      done;
+      frontier := !next land lnot !reach;
+      reach := !reach lor !next
+    done;
+    connected.(mask) <- !reach = mask
+  done;
+  let names_of mask =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) (if mask land (1 lsl i) <> 0 then rels.(i) :: acc else acc)
+    in
+    go (n - 1) []
+  in
+  let crossing_edge a b =
+    let rec any i =
+      i < n
+      && ((a land (1 lsl i) <> 0 && adj.(i) land b <> 0) || any (i + 1))
+    in
+    any 0
+  in
+  let best : (Join_tree.joint * float) option array = Array.make size None in
+  for i = 0 to n - 1 do
+    best.(1 lsl i) <- Some (Join_tree.Scan rels.(i), 0.0)
+  done;
+  for mask = 1 to size - 1 do
+    if connected.(mask) && best.(mask) = None then begin
+      (* Enumerate proper submasks containing the lowest bit (each unordered
+         split once); the costers order build/probe sides by size, so
+         mirrored splits cost the same. *)
+      let low = mask land -mask in
+      let sub = ref ((mask - 1) land mask) in
+      while !sub <> 0 do
+        let rest = mask lxor !sub in
+        if
+          !sub land low <> 0 && rest <> 0 && connected.(!sub) && connected.(rest)
+          && crossing_edge !sub rest
+        then begin
+          match (best.(!sub), best.(rest)) with
+          | Some (lt, lc), Some (rt, rc) -> begin
+              match coster.Coster.best_join ~left:(names_of !sub) ~right:(names_of rest) with
+              | Some { impl; resources; cost } ->
+                  let total = lc +. rc +. cost in
+                  let better =
+                    match best.(mask) with
+                    | Some (_, c) -> total < c
+                    | None -> true
+                  in
+                  if better then
+                    best.(mask) <- Some (Join_tree.Join ((impl, resources), lt, rt), total)
+              | None -> ()
+            end
+          | None, _ | _, None -> ()
+        end;
+        sub := (!sub - 1) land mask
+      done
+    end
+  done;
+  best.(size - 1)

@@ -1,0 +1,19 @@
+(** Bushy join-order optimization by dynamic programming over connected
+    subgraphs (DPsub): for every connected relation subset, the best plan is
+    composed from the best plans of a connected complementary split. This
+    explores the full bushy space the paper's randomized planner samples —
+    the exact baseline for the "explore the query/resource search space"
+    agenda item (Section VIII).
+
+    O(3^n) over subsets; refuses more than 16 relations. *)
+
+(** [optimize coster schema relations] is the cheapest bushy,
+    cartesian-product-free joint plan, or [None] when every split hits an
+    infeasible join.
+    @raise Invalid_argument on empty input, unknown relations, or more than
+    16 relations. *)
+val optimize :
+  Coster.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option

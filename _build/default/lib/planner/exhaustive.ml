@@ -1,0 +1,68 @@
+module Join_tree = Raqo_plan.Join_tree
+module Schema = Raqo_catalog.Schema
+
+let all_shapes schema relations =
+  let n = List.length relations in
+  if n = 0 then invalid_arg "Exhaustive.all_shapes: empty relation set";
+  if n > 8 then invalid_arg "Exhaustive.all_shapes: too many relations";
+  let rels = Array.of_list relations in
+  let graph = Schema.graph schema in
+  let names_of mask =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) (if mask land (1 lsl i) <> 0 then rels.(i) :: acc else acc)
+    in
+    go (n - 1) []
+  in
+  let connected mask = Raqo_catalog.Join_graph.connected graph (names_of mask) in
+  let joinable a b =
+    Raqo_catalog.Join_graph.edges_between graph (names_of a) (names_of b) <> []
+  in
+  let memo = Hashtbl.create 256 in
+  let rec shapes mask : Coster.shape list =
+    match Hashtbl.find_opt memo mask with
+    | Some s -> s
+    | None ->
+        let result =
+          match names_of mask with
+          | [ r ] -> [ Join_tree.Scan r ]
+          | _ ->
+              (* Canonical splits: the lowest set bit stays on the left, so
+                 each unordered split is enumerated once. *)
+              let low = mask land -mask in
+              let rec submasks sub acc =
+                let acc =
+                  if
+                    sub land low <> 0 && sub <> mask && connected sub
+                    && connected (mask lxor sub)
+                    && joinable sub (mask lxor sub)
+                  then
+                    List.concat_map
+                      (fun l ->
+                        List.map
+                          (fun r -> Join_tree.Join ((), l, r))
+                          (shapes (mask lxor sub)))
+                      (shapes sub)
+                    @ acc
+                  else acc
+                in
+                if sub = 0 then acc else submasks ((sub - 1) land mask) acc
+              in
+              submasks ((mask - 1) land mask) []
+        in
+        Hashtbl.add memo mask result;
+        result
+  in
+  shapes ((1 lsl n) - 1)
+
+let optimize coster schema relations =
+  List.fold_left
+    (fun best shape ->
+      match Coster.cost_tree coster shape with
+      | None -> best
+      | Some ((_, c) as cand) -> begin
+          match best with
+          | Some (_, b) when b <= c -> best
+          | Some _ | None -> Some cand
+        end)
+    None (all_shapes schema relations)

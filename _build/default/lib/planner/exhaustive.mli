@@ -1,0 +1,17 @@
+(** Exhaustive enumeration of bushy join trees — the test oracle the other
+    planners are validated against. Exponential; refuses more than 8
+    relations. *)
+
+(** [all_shapes schema relations] enumerates every cartesian-product-free
+    bushy join tree over [relations], up to commutativity of each join (the
+    costers order build/probe sides by size, so mirrored trees cost the
+    same). *)
+val all_shapes : Raqo_catalog.Schema.t -> string list -> Coster.shape list
+
+(** [optimize coster schema relations] is the true optimum over
+    {!all_shapes}. *)
+val optimize :
+  Coster.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option

@@ -1,0 +1,62 @@
+module Join_tree = Raqo_plan.Join_tree
+module Schema = Raqo_catalog.Schema
+
+let greedy_left_deep schema relations =
+  match relations with
+  | [] -> invalid_arg "Heuristics.greedy_left_deep: empty relation set"
+  | _ ->
+      let size r = Raqo_catalog.Relation.size_gb (Schema.find schema r) in
+      let smallest rs =
+        List.fold_left
+          (fun best r ->
+            match best with
+            | Some b when size b <= size r -> best
+            | Some _ | None -> Some r)
+          None rs
+      in
+      let graph = Schema.graph schema in
+      let joinable current r =
+        Raqo_catalog.Join_graph.edges_between graph current [ r ] <> []
+      in
+      let start =
+        match smallest relations with
+        | Some r -> r
+        | None -> assert false
+      in
+      let rec extend tree joined remaining =
+        if remaining = [] then tree
+        else begin
+          let candidates = List.filter (joinable joined) remaining in
+          (* Expand by the smallest resulting intermediate (the classic
+             greedy heuristic) — expanding by smallest *table* can force
+             near-cross-products through shared dimension tables. *)
+          let best =
+            List.fold_left
+              (fun best r ->
+                let grown = Schema.join_size_gb schema (r :: joined) in
+                match best with
+                | Some (_, b) when b <= grown -> best
+                | Some _ | None -> Some (r, grown))
+              None candidates
+          in
+          match best with
+          | None -> invalid_arg "Heuristics.greedy_left_deep: relations not joinable"
+          | Some (next, _) ->
+              extend
+                (Join_tree.Join ((), tree, Join_tree.Scan next))
+                (next :: joined)
+                (List.filter (fun r -> r <> next) remaining)
+        end
+      in
+      extend (Join_tree.Scan start) [ start ]
+        (List.filter (fun r -> r <> start) relations)
+
+let default_plan engine schema relations =
+  let shape = greedy_left_deep schema relations in
+  Join_tree.map_joins
+    (fun () left right ->
+      let small_gb =
+        Float.min (Schema.join_size_gb schema left) (Schema.join_size_gb schema right)
+      in
+      Raqo_execsim.Operators.default_impl engine ~small_gb)
+    shape

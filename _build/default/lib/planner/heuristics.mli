@@ -1,0 +1,17 @@
+(** The "default optimizer" baseline of the paper's Section III and Figure 2:
+    a size-ordered greedy left-deep join order with the engines' stock
+    10 MB broadcast rule for operator selection — query planning that never
+    looks at resources. *)
+
+(** [greedy_left_deep schema relations] starts from the smallest relation
+    and repeatedly joins the smallest relation connected to the current set
+    (no cartesian products). *)
+val greedy_left_deep : Raqo_catalog.Schema.t -> string list -> Coster.shape
+
+(** [default_plan engine schema relations] is the stock engine plan: greedy
+    left-deep order, implementations by the engine's data-size-only rule. *)
+val default_plan :
+  Raqo_execsim.Engine.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  Raqo_plan.Join_tree.plain

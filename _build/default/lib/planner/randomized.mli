@@ -1,0 +1,48 @@
+(** Randomized query planning over bushy join trees, re-implementing the
+    planner the paper evaluates against: iterative improvement with the
+    associativity and exchange mutations of Steinbrunn et al., restarted a
+    fixed number of times (the paper runs a default of 10 iterations),
+    keeping the best plan found — and, for multi-objective use, the set of
+    per-restart local optima (approximating Trummer–Koch's Pareto search). *)
+
+type params = {
+  iterations : int;  (** independent restarts *)
+  max_no_improve : int;  (** consecutive rejected mutations before a restart ends *)
+}
+
+(** The paper's defaults: 10 restarts. *)
+val default_params : params
+
+(** [random_shape rng schema relations] builds a uniform-ish random bushy
+    join tree without cartesian products, by randomly merging joinable
+    fragments. *)
+val random_shape :
+  Raqo_util.Rng.t -> Raqo_catalog.Schema.t -> string list -> Coster.shape
+
+(** [mutate rng schema shape] applies one random mutation (commutativity,
+    associativity rotation, or subtree exchange); returns [None] when the
+    drawn mutation would create a cartesian product or does not apply. *)
+val mutate :
+  Raqo_util.Rng.t -> Raqo_catalog.Schema.t -> Coster.shape -> Coster.shape option
+
+(** [optimize ?params rng coster schema relations] runs the randomized
+    search and returns the cheapest joint plan found, or [None] when no
+    feasible plan was encountered. *)
+val optimize :
+  ?params:params ->
+  Raqo_util.Rng.t ->
+  Coster.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option
+
+(** [local_optima ?params rng coster schema relations] returns every
+    restart's local optimum (at most [iterations] plans) — the candidate set
+    a multi-objective planner filters to a Pareto front. *)
+val local_optima :
+  ?params:params ->
+  Raqo_util.Rng.t ->
+  Coster.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) list

@@ -1,0 +1,104 @@
+module Join_tree = Raqo_plan.Join_tree
+module Schema = Raqo_catalog.Schema
+
+(* The DP core, parameterized by an optional upper bound: partial plans
+   costing >= the bound are dropped (sound for nonnegative join costs).
+   Returns the best full plan and the number of coster invocations. *)
+let dp ?bound (coster : Coster.t) schema relations =
+  let n = List.length relations in
+  if n = 0 then invalid_arg "Selinger.optimize: empty relation set";
+  if n > 20 then invalid_arg "Selinger.optimize: too many relations for exhaustive DP";
+  List.iter
+    (fun r -> if not (Schema.mem schema r) then invalid_arg ("Selinger.optimize: unknown " ^ r))
+    relations;
+  let invocations = ref 0 in
+  let upper = ref bound in
+  let rels = Array.of_list relations in
+  let graph = Schema.graph schema in
+  let adjacent i j =
+    Option.is_some (Raqo_catalog.Join_graph.selectivity graph rels.(i) rels.(j))
+  in
+  let names_of mask =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) (if mask land (1 lsl i) <> 0 then rels.(i) :: acc else acc)
+    in
+    go (n - 1) []
+  in
+  let size = 1 lsl n in
+  (* best.(mask) = cheapest left-deep joint plan joining exactly [mask]. *)
+  let best : (Join_tree.joint * float) option array = Array.make size None in
+  for i = 0 to n - 1 do
+    best.(1 lsl i) <- Some (Join_tree.Scan rels.(i), 0.0)
+  done;
+  for mask = 1 to size - 1 do
+    if best.(mask) = None then begin
+      for r = 0 to n - 1 do
+        if mask land (1 lsl r) <> 0 then begin
+          let rest = mask lxor (1 lsl r) in
+          match best.(rest) with
+          | None -> ()
+          | Some (left_tree, left_cost) ->
+              (* No cartesian products: r must join something already in. *)
+              let connected =
+                let rec any j =
+                  j < n && ((rest land (1 lsl j) <> 0 && adjacent r j) || any (j + 1))
+                in
+                any 0
+              in
+              if connected then begin
+                let left = names_of rest and right = [ rels.(r) ] in
+                incr invocations;
+                match coster.Coster.best_join ~left ~right with
+                | None -> ()
+                | Some { impl; resources; cost } ->
+                    (* Negative costs break the bound argument: stop
+                       pruning for the rest of the search. *)
+                    if cost < 0.0 then upper := None;
+                    let total = left_cost +. cost in
+                    let pruned =
+                      match !upper with
+                      | Some u -> total >= u
+                      | None -> false
+                    in
+                    let better =
+                      (not pruned)
+                      &&
+                      match best.(mask) with
+                      | Some (_, c) -> total < c
+                      | None -> true
+                    in
+                    if better then
+                      best.(mask) <-
+                        Some
+                          ( Join_tree.Join
+                              ((impl, resources), left_tree, Join_tree.Scan rels.(r)),
+                            total )
+              end
+        end
+      done
+    end
+  done;
+  (best.(size - 1), !invocations)
+
+let optimize coster schema relations = fst (dp coster schema relations)
+
+let optimize_pruned coster schema relations =
+  (* Seed the bound with the greedy left-deep plan, when one is costable. *)
+  let seed =
+    match Heuristics.greedy_left_deep schema relations with
+    | shape -> Coster.cost_tree coster shape
+    | exception Invalid_argument _ -> None
+  in
+  match seed with
+  | None -> dp coster schema relations
+  | Some ((_, greedy_cost) as greedy) ->
+      let result, invocations = dp ~bound:greedy_cost coster schema relations in
+      (* The bound is strict, so the greedy plan itself may have been pruned;
+         fall back to it when the DP returns nothing cheaper. *)
+      let result =
+        match result with
+        | Some _ as r -> r
+        | None -> Some greedy
+      in
+      (result, invocations)

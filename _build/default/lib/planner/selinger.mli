@@ -1,0 +1,33 @@
+(** System R style bottom-up dynamic programming over left-deep join trees
+    (Selinger et al. 1979) — the traditional planner the paper integrates
+    cost-based RAQO with. Per-join costs come from the pluggable
+    {!Coster.t}, so the same DP serves plain QO and RAQO. *)
+
+(** [optimize coster schema relations] returns the cheapest left-deep joint
+    plan for joining [relations], or [None] when every ordering hits an
+    infeasible join. Avoids cartesian products (every extension must share a
+    join edge with the current set).
+
+    @raise Invalid_argument when [relations] is empty, contains unknown
+    names, or has more than 20 relations (the DP is exponential; the
+    paper's Selinger runs cover TPC-H's 8 tables — use {!Randomized} for
+    large schemas). *)
+val optimize :
+  Coster.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option
+
+(** [optimize_pruned coster schema relations] is {!optimize} with
+    branch-and-bound pruning (the paper's "prune infeasible or
+    non-interesting query/resource plans early on"): the greedy left-deep
+    plan seeds an upper bound, and any partial plan already costing at least
+    the bound is discarded. Sound when join costs are nonnegative (the
+    trained models' floor guarantees this); if a negative cost is observed,
+    pruning disables itself for the remainder of the search. Returns the
+    plan together with the number of costed joins (the pruning metric). *)
+val optimize_pruned :
+  Coster.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option * int

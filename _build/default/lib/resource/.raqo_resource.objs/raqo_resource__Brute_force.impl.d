@@ -1,0 +1,1 @@
+lib/resource/brute_force.ml: Counters List Raqo_cluster

@@ -1,0 +1,1 @@
+lib/resource/brute_force.mli: Counters Raqo_cluster

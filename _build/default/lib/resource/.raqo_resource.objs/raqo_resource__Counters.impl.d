@@ -1,0 +1,1 @@
+lib/resource/counters.ml: Format

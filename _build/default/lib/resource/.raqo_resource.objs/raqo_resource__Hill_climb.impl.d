@@ -1,0 +1,1 @@
+lib/resource/hill_climb.ml: Array Counters Float Raqo_cluster

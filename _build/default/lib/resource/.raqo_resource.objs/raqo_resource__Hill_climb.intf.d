@@ -1,0 +1,1 @@
+lib/resource/hill_climb.mli: Counters Raqo_cluster

@@ -1,0 +1,1 @@
+lib/resource/ordered_index.ml: Array List

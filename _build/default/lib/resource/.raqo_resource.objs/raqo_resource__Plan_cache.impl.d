@@ -1,0 +1,1 @@
+lib/resource/plan_cache.ml: Counters Float Hashtbl List Option Ordered_index Raqo_cluster

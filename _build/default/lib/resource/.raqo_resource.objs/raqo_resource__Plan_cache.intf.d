@@ -1,0 +1,1 @@
+lib/resource/plan_cache.mli: Counters Ordered_index Raqo_cluster

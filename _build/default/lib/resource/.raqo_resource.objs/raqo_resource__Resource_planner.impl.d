@@ -1,0 +1,1 @@
+lib/resource/resource_planner.ml: Brute_force Counters Hill_climb Plan_cache Raqo_cluster

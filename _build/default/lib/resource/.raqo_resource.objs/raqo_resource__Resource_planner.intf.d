@@ -1,0 +1,1 @@
+lib/resource/resource_planner.mli: Counters Plan_cache Raqo_cluster

@@ -1,0 +1,21 @@
+let search ?counters conditions cost =
+  let evals = ref 0 in
+  let best =
+    List.fold_left
+      (fun best r ->
+        incr evals;
+        let c = cost r in
+        match best with
+        | Some (_, bc) when bc <= c -> best
+        | Some _ | None -> Some (r, c))
+      None
+      (Raqo_cluster.Conditions.all_configs conditions)
+  in
+  (match counters with
+  | Some k ->
+      k.Counters.cost_evaluations <- k.Counters.cost_evaluations + !evals;
+      k.Counters.planner_invocations <- k.Counters.planner_invocations + 1
+  | None -> ());
+  match best with
+  | Some result -> result
+  | None -> invalid_arg "Brute_force.search: empty resource space"

@@ -1,0 +1,13 @@
+(** Exhaustive resource planning: evaluate the cost model on every discrete
+    resource configuration the cluster offers, keep the cheapest. The
+    baseline hill climbing is measured against (Figure 13). *)
+
+(** [search ?counters conditions cost] returns the cheapest configuration and
+    its cost. Ties break toward the earlier-enumerated (smaller) config.
+    @raise Invalid_argument if the space is empty (cannot happen for valid
+    conditions). *)
+val search :
+  ?counters:Counters.t ->
+  Raqo_cluster.Conditions.t ->
+  (Raqo_cluster.Resources.t -> float) ->
+  Raqo_cluster.Resources.t * float

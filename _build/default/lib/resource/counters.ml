@@ -1,0 +1,25 @@
+type t = {
+  mutable cost_evaluations : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable planner_invocations : int;
+}
+
+let create () =
+  { cost_evaluations = 0; cache_hits = 0; cache_misses = 0; planner_invocations = 0 }
+
+let reset t =
+  t.cost_evaluations <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.planner_invocations <- 0
+
+let add ~into t =
+  into.cost_evaluations <- into.cost_evaluations + t.cost_evaluations;
+  into.cache_hits <- into.cache_hits + t.cache_hits;
+  into.cache_misses <- into.cache_misses + t.cache_misses;
+  into.planner_invocations <- into.planner_invocations + t.planner_invocations
+
+let pp fmt t =
+  Format.fprintf fmt "evals=%d hits=%d misses=%d invocations=%d" t.cost_evaluations
+    t.cache_hits t.cache_misses t.planner_invocations

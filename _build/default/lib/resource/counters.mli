@@ -1,0 +1,18 @@
+(** Resource-planning instrumentation: the paper's evaluation reports the
+    number of resource configurations explored (cost-model evaluations) and
+    cache effectiveness, so every search threads one of these. *)
+
+type t = {
+  mutable cost_evaluations : int;  (** resource configurations whose cost was computed *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable planner_invocations : int;  (** resource-planning calls (one per costed sub-plan) *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** [add ~into t] accumulates [t] into [into]. *)
+val add : into:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

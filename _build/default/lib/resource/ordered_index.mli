@@ -1,0 +1,32 @@
+(** Ordered float-keyed indexes for the resource-plan cache.
+
+    The paper's prototype "keeps a sorted array of keys, with automatic
+    resizing ... and binary search for lookup", and notes the array "could
+    also [be laid] out as a CSB+-Tree for larger workloads". Both layouts
+    are provided behind one interface: the sorted array (default, best for
+    the paper's workload sizes) and a cache-conscious B+-tree with linked
+    leaves (better at hundreds of thousands of entries — see the [micro]
+    bench). Keys are unique; inserting an existing key overwrites. *)
+
+type 'a t
+
+type backend =
+  | Sorted_array  (** contiguous parallel arrays, binary search, shift on insert *)
+  | Btree  (** B+-tree of order 16, leaf-linked for range scans *)
+
+val create : backend -> 'a t
+val backend : 'a t -> backend
+val size : 'a t -> int
+
+(** [insert t key value] adds or overwrites. *)
+val insert : 'a t -> float -> 'a -> unit
+
+(** [find_exact t key] is the value at exactly [key]. *)
+val find_exact : 'a t -> float -> 'a option
+
+(** [within t ~center ~radius] returns every [(key, value)] with
+    [|key - center| <= radius], in ascending key order. *)
+val within : 'a t -> center:float -> radius:float -> (float * 'a) list
+
+(** [to_list t] is all entries in ascending key order (testing aid). *)
+val to_list : 'a t -> (float * 'a) list

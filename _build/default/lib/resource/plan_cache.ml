@@ -1,0 +1,76 @@
+module Resources = Raqo_cluster.Resources
+
+type lookup = Exact | Nearest_neighbor of float | Weighted_average of float
+
+type t = {
+  indexes : (string, Resources.t Ordered_index.t) Hashtbl.t;
+  backend : Ordered_index.backend;
+}
+
+let create ?(backend = Ordered_index.Sorted_array) () =
+  { indexes = Hashtbl.create 16; backend }
+
+let find_in_index idx ~data_gb lookup =
+  match lookup with
+  | Exact -> Ordered_index.find_exact idx data_gb
+  | Nearest_neighbor threshold ->
+      let close = Ordered_index.within idx ~center:data_gb ~radius:threshold in
+      List.fold_left
+        (fun best (k, plan) ->
+          let d = Float.abs (k -. data_gb) in
+          match best with
+          | Some (bd, _) when bd <= d -> best
+          | Some _ | None -> Some (d, plan))
+        None close
+      |> Option.map snd
+  | Weighted_average threshold -> begin
+      match Ordered_index.within idx ~center:data_gb ~radius:threshold with
+      | [] -> None
+      | close ->
+          (* Inverse-distance weights; an exact-distance entry wins outright. *)
+          let exact = List.find_opt (fun (k, _) -> k = data_gb) close in
+          (match exact with
+          | Some (_, plan) -> Some plan
+          | None ->
+              let wsum = ref 0.0 and c = ref 0.0 and gb = ref 0.0 in
+              List.iter
+                (fun (k, (plan : Resources.t)) ->
+                  let w = 1.0 /. Float.abs (k -. data_gb) in
+                  wsum := !wsum +. w;
+                  c := !c +. (w *. float_of_int plan.containers);
+                  gb := !gb +. (w *. plan.container_gb))
+                close;
+              Some
+                (Resources.make
+                   ~containers:(max 1 (int_of_float (Float.round (!c /. !wsum))))
+                   ~container_gb:(!gb /. !wsum)))
+    end
+
+let find ?counters t ~key ~data_gb lookup =
+  let result =
+    match Hashtbl.find_opt t.indexes key with
+    | None -> None
+    | Some idx -> find_in_index idx ~data_gb lookup
+  in
+  (match counters with
+  | Some k -> begin
+      match result with
+      | Some _ -> k.Counters.cache_hits <- k.Counters.cache_hits + 1
+      | None -> k.Counters.cache_misses <- k.Counters.cache_misses + 1
+    end
+  | None -> ());
+  result
+
+let insert t ~key ~data_gb resources =
+  let idx =
+    match Hashtbl.find_opt t.indexes key with
+    | Some idx -> idx
+    | None ->
+        let idx = Ordered_index.create t.backend in
+        Hashtbl.add t.indexes key idx;
+        idx
+  in
+  Ordered_index.insert idx data_gb resources
+
+let clear t = Hashtbl.reset t.indexes
+let size t = Hashtbl.fold (fun _ idx acc -> acc + Ordered_index.size idx) t.indexes 0

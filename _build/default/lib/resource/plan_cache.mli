@@ -1,0 +1,44 @@
+(** The resource-plan cache (paper Section VI-B3): for each cost model and
+    sub-plan kind, an in-memory sorted index from data characteristics (the
+    smaller input size) to the best resource configuration previously
+    computed for them. Backed by a sorted, auto-resizing array with binary
+    search by default (as in the paper's prototype), or by a B+-tree for
+    large workloads (the paper's CSB+-tree suggestion) — see
+    {!Ordered_index.backend}. *)
+
+type t
+
+(** Cache lookup policies, in the paper's terms. Thresholds are in the data
+    characteristic's unit (GB of smaller input). *)
+type lookup =
+  | Exact  (** hit only on an exactly matching data characteristic *)
+  | Nearest_neighbor of float
+      (** hit on the closest entry within the threshold (paper: HC+Caching_NN) *)
+  | Weighted_average of float
+      (** inverse-distance-weighted average of the entries within the
+          threshold (paper: HC+Caching_WA) *)
+
+(** [create ()] builds an empty cache. Default backend: the paper's sorted
+    array. *)
+val create : ?backend:Ordered_index.backend -> unit -> t
+
+(** [find t ~key ~data_gb lookup] queries the index for [key] (e.g.
+    ["SMJ/join"]). Updates hit/miss counters in [counters] when given. *)
+val find :
+  ?counters:Counters.t ->
+  t ->
+  key:string ->
+  data_gb:float ->
+  lookup ->
+  Raqo_cluster.Resources.t option
+
+(** [insert t ~key ~data_gb resources] records a freshly planned
+    configuration. Re-inserting an existing data characteristic overwrites. *)
+val insert : t -> key:string -> data_gb:float -> Raqo_cluster.Resources.t -> unit
+
+(** [clear t] empties the cache (the evaluation clears it between queries
+    unless measuring across-query caching). *)
+val clear : t -> unit
+
+(** [size t] is the total number of entries across keys. *)
+val size : t -> int

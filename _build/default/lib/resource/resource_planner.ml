@@ -1,0 +1,55 @@
+type strategy = Brute_force | Hill_climb
+
+type t = {
+  conditions : Raqo_cluster.Conditions.t;
+  strategy : strategy;
+  cache : Plan_cache.t option;
+  lookup : Plan_cache.lookup;
+  counters : Counters.t;
+}
+
+let create ?(strategy = Hill_climb) ?(cache = true) ?(lookup = Plan_cache.Exact) conditions =
+  {
+    conditions;
+    strategy;
+    cache = (if cache then Some (Plan_cache.create ()) else None);
+    lookup;
+    counters = Counters.create ();
+  }
+
+let conditions t = t.conditions
+let with_conditions t conditions = { t with conditions }
+
+let search ?start t cost =
+  match t.strategy with
+  | Brute_force -> Brute_force.search ~counters:t.counters t.conditions cost
+  | Hill_climb -> Hill_climb.plan ~counters:t.counters ?start t.conditions cost
+
+let plan ?start t ~key ~data_gb ~cost =
+  match t.cache with
+  | None -> search ?start t cost
+  | Some cache -> begin
+      match Plan_cache.find ~counters:t.counters cache ~key ~data_gb t.lookup with
+      | Some cached ->
+          let cached = Raqo_cluster.Conditions.clamp t.conditions cached in
+          t.counters.Counters.cost_evaluations <-
+            t.counters.Counters.cost_evaluations + 1;
+          (cached, cost cached)
+      | None ->
+          let resources, best = search ?start t cost in
+          Plan_cache.insert cache ~key ~data_gb resources;
+          (resources, best)
+    end
+
+let counters t = t.counters
+let reset_counters t = Counters.reset t.counters
+
+let clear_cache t =
+  match t.cache with
+  | Some cache -> Plan_cache.clear cache
+  | None -> ()
+
+let cache_size t =
+  match t.cache with
+  | Some cache -> Plan_cache.size cache
+  | None -> 0

@@ -1,0 +1,51 @@
+(** The resource planner cost-based RAQO invokes per costed sub-plan: a
+    search strategy (brute force or hill climbing) behind an optional
+    resource-plan cache, with instrumentation. *)
+
+type strategy = Brute_force | Hill_climb
+
+type t
+
+(** [create ?strategy ?cache ?lookup conditions] builds a planner.
+    Defaults: hill climbing, caching enabled, exact-match lookup. *)
+val create :
+  ?strategy:strategy ->
+  ?cache:bool ->
+  ?lookup:Plan_cache.lookup ->
+  Raqo_cluster.Conditions.t ->
+  t
+
+val conditions : t -> Raqo_cluster.Conditions.t
+
+(** [with_conditions t conditions] shares the cache and counters but plans
+    against new cluster conditions (adaptive re-optimization). *)
+val with_conditions : t -> Raqo_cluster.Conditions.t -> t
+
+(** [plan t ~key ~data_gb ~cost] returns the chosen configuration and its
+    cost. [key] identifies the (cost model, sub-plan kind) cache index, e.g.
+    ["hive/SMJ/join"]; [data_gb] is the data characteristic. On a cache hit
+    the cached configuration is returned with one cost evaluation; on a miss
+    the search runs and its result is inserted.
+
+    [start] seeds the hill climb (default: the cluster's minimum
+    configuration). Operators with feasibility cliffs — BHJ is infeasible
+    below a memory threshold — should pass their smallest feasible
+    configuration, or the climb never escapes the infinite-cost plateau. *)
+val plan :
+  ?start:Raqo_cluster.Resources.t ->
+  t ->
+  key:string ->
+  data_gb:float ->
+  cost:(Raqo_cluster.Resources.t -> float) ->
+  Raqo_cluster.Resources.t * float
+
+val counters : t -> Counters.t
+
+(** [reset_counters t] zeroes instrumentation (the cache is preserved). *)
+val reset_counters : t -> unit
+
+(** [clear_cache t] empties the resource-plan cache (between queries, as the
+    evaluation does unless measuring across-query caching). *)
+val clear_cache : t -> unit
+
+val cache_size : t -> int

@@ -1,0 +1,1 @@
+lib/scheduler/capacity.ml: List Raqo_cluster

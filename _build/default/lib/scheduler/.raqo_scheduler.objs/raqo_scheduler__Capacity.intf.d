@@ -1,0 +1,1 @@
+lib/scheduler/capacity.mli: Raqo_cluster

@@ -1,0 +1,1 @@
+lib/scheduler/executor.ml: Capacity Float List Option Printf Raqo_cluster Raqo_cost Raqo_execsim Raqo_plan Raqo_resource

@@ -1,0 +1,1 @@
+lib/scheduler/executor.mli: Capacity Raqo_catalog Raqo_cluster Raqo_cost Raqo_execsim Raqo_plan

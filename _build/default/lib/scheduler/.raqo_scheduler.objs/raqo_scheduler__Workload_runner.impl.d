@@ -1,0 +1,1 @@
+lib/scheduler/workload_runner.ml: Array Float List Option Raqo_catalog Raqo_execsim Raqo_plan Raqo_planner Raqo_resource Raqo_util

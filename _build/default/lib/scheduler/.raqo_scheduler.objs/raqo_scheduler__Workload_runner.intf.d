@@ -1,0 +1,1 @@
+lib/scheduler/workload_runner.mli: Raqo_catalog Raqo_cluster Raqo_cost Raqo_execsim Raqo_plan Raqo_util

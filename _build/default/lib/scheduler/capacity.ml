@@ -1,0 +1,37 @@
+module Conditions = Raqo_cluster.Conditions
+module Resources = Raqo_cluster.Resources
+
+type t = { initial : Conditions.t; changes : (float * Conditions.t) list }
+
+let constant conditions = { initial = conditions; changes = [] }
+
+let steps ~initial changes =
+  let rec validate prev = function
+    | [] -> ()
+    | (t, _) :: rest ->
+        if t <= prev then invalid_arg "Capacity.steps: change times must be increasing and positive";
+        validate t rest
+  in
+  validate 0.0 changes;
+  { initial; changes }
+
+let dip ~normal ~reduced ~from_t ~until_t =
+  if from_t < 0.0 || until_t <= from_t then invalid_arg "Capacity.dip: bad interval";
+  if from_t = 0.0 then steps ~initial:reduced [ (until_t, normal) ]
+  else steps ~initial:normal [ (from_t, reduced); (until_t, normal) ]
+
+let at t time =
+  List.fold_left
+    (fun current (change_t, c) -> if time >= change_t then c else current)
+    t.initial t.changes
+
+let next_change t ~after =
+  List.fold_left
+    (fun found (change_t, _) ->
+      match found with
+      | Some _ -> found
+      | None -> if change_t > after then Some change_t else None)
+    None t.changes
+
+let fits (c : Conditions.t) (r : Resources.t) =
+  r.containers <= c.max_containers && r.container_gb <= c.max_gb +. 1e-9

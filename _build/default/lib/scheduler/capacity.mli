@@ -1,0 +1,38 @@
+(** Time-varying cluster capacity: what the resource manager could actually
+    grant at each instant. A step function over cluster conditions — the
+    dynamic environment the paper's scheduler questions are about. *)
+
+type t
+
+(** [constant conditions] — capacity never changes. *)
+val constant : Raqo_cluster.Conditions.t -> t
+
+(** [steps ~initial changes] — conditions are [initial] from time 0, then
+    switch at each [(time, conditions)] change point. Change times must be
+    positive and strictly increasing.
+    @raise Invalid_argument otherwise. *)
+val steps :
+  initial:Raqo_cluster.Conditions.t ->
+  (float * Raqo_cluster.Conditions.t) list ->
+  t
+
+(** [dip ~normal ~reduced ~from_t ~until_t] — a load spike: capacity drops
+    to [reduced] during [\[from_t, until_t)]. *)
+val dip :
+  normal:Raqo_cluster.Conditions.t ->
+  reduced:Raqo_cluster.Conditions.t ->
+  from_t:float ->
+  until_t:float ->
+  t
+
+(** [at t time] — the conditions in force at [time]. *)
+val at : t -> float -> Raqo_cluster.Conditions.t
+
+(** [next_change t ~after] — the first change point strictly after [after],
+    if any. *)
+val next_change : t -> after:float -> float option
+
+(** [fits conditions resources] — can the resource manager grant [resources]
+    under [conditions]? (Bounds only; grid alignment is the optimizer's
+    concern.) *)
+val fits : Raqo_cluster.Conditions.t -> Raqo_cluster.Resources.t -> bool

@@ -1,0 +1,232 @@
+module Join_tree = Raqo_plan.Join_tree
+module Join_impl = Raqo_plan.Join_impl
+module Resources = Raqo_cluster.Resources
+module Conditions = Raqo_cluster.Conditions
+module Operators = Raqo_execsim.Operators
+module Simulate = Raqo_execsim.Simulate
+module Op_cost = Raqo_cost.Op_cost
+
+type policy = Wait of float option | Fail | Downscale | Reoptimize
+
+type stage_report = {
+  index : int;
+  impl : Join_impl.t;
+  resources : Resources.t;
+  start : float;
+  duration : float;
+  waited : float;
+  adapted : bool;
+}
+
+type outcome =
+  | Completed of {
+      finish : float;
+      total_wait : float;
+      gb_seconds : float;
+      stages : stage_report list;
+    }
+  | Failed of { at_time : float; stage : int; reason : string }
+
+type stage = {
+  planned_impl : Join_impl.t;
+  planned_resources : Resources.t;
+  small_gb : float;
+  big_gb : float;
+}
+
+let stages_of schema plan =
+  List.rev
+    (Join_tree.fold_joins
+       (fun acc (impl, resources) left right ->
+         let small_gb, big_gb = Simulate.join_inputs schema ~left ~right in
+         { planned_impl = impl; planned_resources = resources; small_gb; big_gb } :: acc)
+       [] plan)
+
+(* Re-pick one stage's operator and resources under current conditions:
+   per-operator adaptive RAQO (model-driven hill climb, then a simulator
+   feasibility check). *)
+let reoptimize_stage model conditions stage =
+  let candidates =
+    List.filter_map
+      (fun impl ->
+        let start =
+          match impl with
+          | Join_impl.Smj -> Some (Conditions.min_config conditions)
+          | Join_impl.Bhj ->
+              let needed = stage.small_gb /. model.Op_cost.oom_headroom in
+              if needed > conditions.Conditions.max_gb then None
+              else begin
+                let steps =
+                  Float.max 0.0
+                    (ceil
+                       ((needed -. conditions.Conditions.min_gb)
+                       /. conditions.Conditions.gb_step))
+                in
+                Some
+                  (Resources.make ~containers:conditions.Conditions.min_containers
+                     ~container_gb:
+                       (Float.min conditions.Conditions.max_gb
+                          (conditions.Conditions.min_gb
+                          +. (steps *. conditions.Conditions.gb_step))))
+              end
+        in
+        Option.map
+          (fun start ->
+            let cost r = Op_cost.predict_exn model impl ~small_gb:stage.small_gb ~resources:r in
+            let resources, c = Raqo_resource.Hill_climb.plan ~start conditions cost in
+            (impl, resources, c))
+          start)
+      Join_impl.all
+  in
+  List.fold_left
+    (fun best (impl, resources, c) ->
+      match best with
+      | Some (_, _, bc) when bc <= c -> best
+      | Some _ | None -> if Float.is_finite c then Some (impl, resources, c) else best)
+    None candidates
+
+let run ?(policy = Wait None) ?(submit = 0.0) engine ~model schema ~capacity plan =
+  if not (Join_tree.valid plan) then invalid_arg "Executor.run: invalid plan";
+  let stages = stages_of schema plan in
+  let duration impl ~resources stage =
+    Operators.join_time engine impl ~small_gb:stage.small_gb ~big_gb:stage.big_gb ~resources
+  in
+  let rec execute index now total_wait gb_seconds reports = function
+    | [] ->
+        Completed
+          { finish = now; total_wait; gb_seconds; stages = List.rev reports }
+    | stage :: rest ->
+        let conditions = Capacity.at capacity now in
+        let planned_runs =
+          Capacity.fits conditions stage.planned_resources
+          && duration stage.planned_impl ~resources:stage.planned_resources stage <> None
+        in
+        let launch ~impl ~resources ~waited ~adapted =
+          match duration impl ~resources stage with
+          | Some seconds ->
+              let report =
+                {
+                  index;
+                  impl;
+                  resources;
+                  start = now;
+                  duration = seconds;
+                  waited;
+                  adapted;
+                }
+              in
+              execute (index + 1) (now +. seconds) (total_wait +. waited)
+                (gb_seconds +. Resources.gb_seconds resources seconds)
+                (report :: reports) rest
+          | None ->
+              Failed
+                {
+                  at_time = now;
+                  stage = index;
+                  reason =
+                    Printf.sprintf "%s out of memory at %s"
+                      (Join_impl.to_string impl)
+                      (Resources.to_string resources);
+                }
+        in
+        if planned_runs then
+          launch ~impl:stage.planned_impl ~resources:stage.planned_resources ~waited:0.0
+            ~adapted:false
+        else begin
+          match policy with
+          | Fail ->
+              Failed
+                { at_time = now; stage = index; reason = "requested resources unavailable" }
+          | Wait timeout -> begin
+              (* Walk capacity change points until the request fits. *)
+              let deadline = Option.map (fun t -> now +. t) timeout in
+              let rec seek t =
+                match Capacity.next_change capacity ~after:t with
+                | None -> None
+                | Some t' ->
+                    if Capacity.fits (Capacity.at capacity t') stage.planned_resources then
+                      Some t'
+                    else seek t'
+              in
+              match seek now with
+              | Some t' when (match deadline with Some d -> t' <= d | None -> true) -> begin
+                  let waited = t' -. now in
+                  match duration stage.planned_impl ~resources:stage.planned_resources stage with
+                  | Some seconds ->
+                      let report =
+                        {
+                          index;
+                          impl = stage.planned_impl;
+                          resources = stage.planned_resources;
+                          start = t';
+                          duration = seconds;
+                          waited;
+                          adapted = false;
+                        }
+                      in
+                      execute (index + 1) (t' +. seconds) (total_wait +. waited)
+                        (gb_seconds +. Resources.gb_seconds stage.planned_resources seconds)
+                        (report :: reports) rest
+                  | None ->
+                      Failed
+                        {
+                          at_time = t';
+                          stage = index;
+                          reason = "operator infeasible at planned resources";
+                        }
+                end
+              | Some _ | None ->
+                  Failed
+                    {
+                      at_time = now;
+                      stage = index;
+                      reason =
+                        (match timeout with
+                        | Some t -> Printf.sprintf "capacity did not return within %.0f s" t
+                        | None -> "capacity never returns to the requested level");
+                    }
+            end
+          | Downscale ->
+              let clamped = Conditions.clamp conditions stage.planned_resources in
+              let impl =
+                if duration stage.planned_impl ~resources:clamped stage <> None then
+                  stage.planned_impl
+                else begin
+                  match
+                    Operators.best_impl engine ~small_gb:stage.small_gb ~big_gb:stage.big_gb
+                      ~resources:clamped
+                  with
+                  | Some (impl, _) -> impl
+                  | None -> stage.planned_impl (* unreachable: SMJ always runs *)
+                end
+              in
+              launch ~impl ~resources:clamped ~waited:0.0 ~adapted:true
+          | Reoptimize -> begin
+              match reoptimize_stage model conditions stage with
+              | Some (impl, resources, _) ->
+                  (* The model may still disagree with the simulator near the
+                     OOM cliff; fall back to the simulator's choice. *)
+                  let impl, resources =
+                    if duration impl ~resources stage <> None then (impl, resources)
+                    else begin
+                      match
+                        Operators.best_impl engine ~small_gb:stage.small_gb
+                          ~big_gb:stage.big_gb
+                          ~resources:(Conditions.clamp conditions resources)
+                      with
+                      | Some (i, _) -> (i, Conditions.clamp conditions resources)
+                      | None -> (impl, resources)
+                    end
+                  in
+                  launch ~impl ~resources ~waited:0.0 ~adapted:true
+              | None ->
+                  Failed
+                    {
+                      at_time = now;
+                      stage = index;
+                      reason = "no feasible operator under current conditions";
+                    }
+            end
+        end
+  in
+  execute 1 submit 0.0 0.0 [] stages

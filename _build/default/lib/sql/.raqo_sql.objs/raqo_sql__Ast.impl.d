@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Buffer Format List String

@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: List Printf String Token

@@ -1,0 +1,1 @@
+lib/sql/resolver.ml: Ast Float Format Hashtbl List Parser Printf Raqo_catalog Result Set String

@@ -1,0 +1,1 @@
+lib/sql/resolver.mli: Ast Raqo_catalog

@@ -1,0 +1,1 @@
+lib/sql/token.mli:

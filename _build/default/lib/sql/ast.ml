@@ -1,0 +1,66 @@
+type column_ref = { table : string option; column : string }
+type literal = Number of float | Str of string
+type operand = Col of column_ref | Lit of literal
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type predicate =
+  | Compare of comparison * operand * operand
+  | Between of column_ref * literal * literal
+
+type select = {
+  projections : column_ref list;
+  tables : (string * string option) list;
+  where : predicate list;
+}
+
+let pp_column_ref fmt { table; column } =
+  match table with
+  | Some t -> Format.fprintf fmt "%s.%s" t column
+  | None -> Format.pp_print_string fmt column
+
+let pp_literal fmt = function
+  | Number v -> Format.fprintf fmt "%g" v
+  | Str s -> Format.fprintf fmt "'%s'" s
+
+let pp_operand fmt = function
+  | Col c -> pp_column_ref fmt c
+  | Lit l -> pp_literal fmt l
+
+let comparison_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_predicate fmt = function
+  | Compare (op, a, b) ->
+      Format.fprintf fmt "%a %s %a" pp_operand a (comparison_string op) pp_operand b
+  | Between (c, lo, hi) ->
+      Format.fprintf fmt "%a BETWEEN %a AND %a" pp_column_ref c pp_literal lo pp_literal hi
+
+let to_sql s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  (match s.projections with
+  | [] -> Buffer.add_string buf "*"
+  | cols ->
+      Buffer.add_string buf
+        (String.concat ", " (List.map (Format.asprintf "%a" pp_column_ref) cols)));
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (name, alias) ->
+            match alias with
+            | Some a -> name ^ " AS " ^ a
+            | None -> name)
+          s.tables));
+  (match s.where with
+  | [] -> ()
+  | preds ->
+      Buffer.add_string buf " WHERE ";
+      Buffer.add_string buf
+        (String.concat " AND " (List.map (Format.asprintf "%a" pp_predicate) preds)));
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Abstract syntax for the supported SQL fragment:
+
+    {v SELECT * | col, ...
+       FROM table [AS alias], ...
+       [WHERE pred AND pred AND ...] [;] v}
+
+    where a predicate is [col = col] (a join), a comparison of a column
+    against a literal (a filter), or [col BETWEEN lit AND lit]. This covers
+    the paper's workload: the evaluation queries are selections of joined
+    TPC-H tables with optional range filters. *)
+
+type column_ref = { table : string option; column : string }
+
+type literal = Number of float | Str of string
+
+type operand = Col of column_ref | Lit of literal
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type predicate =
+  | Compare of comparison * operand * operand
+  | Between of column_ref * literal * literal
+
+type select = {
+  projections : column_ref list;  (** empty means [*] *)
+  tables : (string * string option) list;  (** (table, alias) *)
+  where : predicate list;  (** conjunctive *)
+}
+
+val pp_column_ref : Format.formatter -> column_ref -> unit
+val pp_predicate : Format.formatter -> predicate -> unit
+
+(** [to_sql select] prints the statement back as parseable SQL
+    (parse ∘ to_sql = id, up to keyword case). *)
+val to_sql : select -> string

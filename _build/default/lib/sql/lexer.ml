@@ -1,0 +1,73 @@
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword = function
+  | "select" -> Some Token.Select
+  | "from" -> Some Token.From
+  | "where" -> Some Token.Where
+  | "and" -> Some Token.And
+  | "between" -> Some Token.Between
+  | "as" -> Some Token.As
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then Ok (List.rev (Token.Eof :: acc))
+    else begin
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident input.[!j] do
+          incr j
+        done;
+        let word = String.lowercase_ascii (String.sub input i (!j - i)) in
+        let token =
+          match keyword word with
+          | Some k -> k
+          | None -> Token.Ident word
+        in
+        go !j (token :: acc)
+      end
+      else if is_digit c || (c = '.' && i + 1 < n && is_digit input.[i + 1]) then begin
+        let j = ref i in
+        while !j < n && (is_digit input.[!j] || input.[!j] = '.') do
+          incr j
+        done;
+        let text = String.sub input i (!j - i) in
+        match float_of_string_opt text with
+        | Some v -> go !j (Token.Number v :: acc)
+        | None -> Error (Printf.sprintf "malformed number %S at offset %d" text i)
+      end
+      else begin
+        match c with
+        | '\'' -> begin
+            match String.index_from_opt input (i + 1) '\'' with
+            | Some close ->
+                go (close + 1) (Token.Str (String.sub input (i + 1) (close - i - 1)) :: acc)
+            | None -> Error (Printf.sprintf "unterminated string literal at offset %d" i)
+          end
+        | '*' -> go (i + 1) (Token.Star :: acc)
+        | ',' -> go (i + 1) (Token.Comma :: acc)
+        | '.' -> go (i + 1) (Token.Dot :: acc)
+        | '(' -> go (i + 1) (Token.Lparen :: acc)
+        | ')' -> go (i + 1) (Token.Rparen :: acc)
+        | ';' -> go (i + 1) (Token.Semicolon :: acc)
+        | '=' -> go (i + 1) (Token.Eq :: acc)
+        | '<' ->
+            if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Token.Le :: acc)
+            else if i + 1 < n && input.[i + 1] = '>' then go (i + 2) (Token.Neq :: acc)
+            else go (i + 1) (Token.Lt :: acc)
+        | '>' ->
+            if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Token.Ge :: acc)
+            else go (i + 1) (Token.Gt :: acc)
+        | '!' ->
+            if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Token.Neq :: acc)
+            else Error (Printf.sprintf "unexpected character '!' at offset %d" i)
+        | _ -> Error (Printf.sprintf "unexpected character %C at offset %d" c i)
+      end
+    end
+  in
+  go 0 []

@@ -1,0 +1,6 @@
+(** Hand-written lexer for the SQL fragment. Case-insensitive keywords and
+    identifiers (lowercased); positions reported on error. *)
+
+(** [tokenize input] produces the token stream ending in [Eof].
+    [Error message] carries the offending character offset. *)
+val tokenize : string -> (Token.t list, string) result

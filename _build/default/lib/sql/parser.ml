@@ -1,0 +1,166 @@
+(* Recursive descent over the token list; a mutable cursor keeps the code
+   close to the grammar. *)
+
+exception Parse_error of string
+
+type state = { mutable tokens : Token.t list }
+
+let peek st =
+  match st.tokens with
+  | t :: _ -> t
+  | [] -> Token.Eof
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let expect st token =
+  if Token.equal (peek st) token then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (Token.to_string token)
+            (Token.to_string (peek st))))
+
+let ident st =
+  match peek st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | t -> raise (Parse_error (Printf.sprintf "expected an identifier, found %s" (Token.to_string t)))
+
+(* column_ref := ident [ '.' ident ] *)
+let column_ref st =
+  let first = ident st in
+  if Token.equal (peek st) Token.Dot then begin
+    advance st;
+    let column = ident st in
+    { Ast.table = Some first; column }
+  end
+  else { Ast.table = None; column = first }
+
+let literal st =
+  match peek st with
+  | Token.Number v ->
+      advance st;
+      Ast.Number v
+  | Token.Str s ->
+      advance st;
+      Ast.Str s
+  | t -> raise (Parse_error (Printf.sprintf "expected a literal, found %s" (Token.to_string t)))
+
+let operand st =
+  match peek st with
+  | Token.Number _ | Token.Str _ -> Ast.Lit (literal st)
+  | Token.Ident _ -> Ast.Col (column_ref st)
+  | t -> raise (Parse_error (Printf.sprintf "expected a column or literal, found %s" (Token.to_string t)))
+
+let comparison st =
+  let op =
+    match peek st with
+    | Token.Eq -> Ast.Eq
+    | Token.Neq -> Ast.Neq
+    | Token.Lt -> Ast.Lt
+    | Token.Le -> Ast.Le
+    | Token.Gt -> Ast.Gt
+    | Token.Ge -> Ast.Ge
+    | t -> raise (Parse_error (Printf.sprintf "expected a comparison, found %s" (Token.to_string t)))
+  in
+  advance st;
+  op
+
+(* predicate := column BETWEEN lit AND lit | operand cmp operand *)
+let predicate st =
+  let lhs = operand st in
+  match (peek st, lhs) with
+  | Token.Between, Ast.Col c ->
+      advance st;
+      let lo = literal st in
+      expect st Token.And;
+      let hi = literal st in
+      Ast.Between (c, lo, hi)
+  | Token.Between, Ast.Lit _ ->
+      raise (Parse_error "BETWEEN requires a column on its left")
+  | _ ->
+      let op = comparison st in
+      let rhs = operand st in
+      Ast.Compare (op, lhs, rhs)
+
+(* projections := '*' | column (',' column)* *)
+let projections st =
+  if Token.equal (peek st) Token.Star then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec more acc =
+      let acc = column_ref st :: acc in
+      if Token.equal (peek st) Token.Comma then begin
+        advance st;
+        more acc
+      end
+      else List.rev acc
+    in
+    more []
+  end
+
+(* tables := ident [AS? ident] (',' ...)* *)
+let tables st =
+  let one () =
+    let name = ident st in
+    match peek st with
+    | Token.As ->
+        advance st;
+        (name, Some (ident st))
+    | Token.Ident alias ->
+        advance st;
+        (name, Some alias)
+    | Token.Comma | Token.Where | Token.Semicolon | Token.Eof -> (name, None)
+    | t ->
+        raise
+          (Parse_error (Printf.sprintf "unexpected %s after table name" (Token.to_string t)))
+  in
+  let rec more acc =
+    let acc = one () :: acc in
+    if Token.equal (peek st) Token.Comma then begin
+      advance st;
+      more acc
+    end
+    else List.rev acc
+  in
+  more []
+
+let where st =
+  if Token.equal (peek st) Token.Where then begin
+    advance st;
+    let rec more acc =
+      let acc = predicate st :: acc in
+      if Token.equal (peek st) Token.And then begin
+        advance st;
+        more acc
+      end
+      else List.rev acc
+    in
+    more []
+  end
+  else []
+
+let select st =
+  expect st Token.Select;
+  let projections = projections st in
+  expect st Token.From;
+  let tables = tables st in
+  let where = where st in
+  if Token.equal (peek st) Token.Semicolon then advance st;
+  expect st Token.Eof;
+  { Ast.projections; tables; where }
+
+let parse sql =
+  match Lexer.tokenize sql with
+  | Error e -> Error e
+  | Ok tokens -> begin
+      match select { tokens } with
+      | ast -> Ok ast
+      | exception Parse_error msg -> Error msg
+    end

@@ -1,0 +1,4 @@
+(** Recursive-descent parser for the SQL fragment (see {!Ast}). *)
+
+(** [parse sql] lexes and parses one SELECT statement. *)
+val parse : string -> (Ast.select, string) result

@@ -1,0 +1,206 @@
+module Schema = Raqo_catalog.Schema
+module Column = Raqo_catalog.Column
+module Histogram = Raqo_catalog.Histogram
+
+type analyzed = {
+  statement : Ast.select;
+  relations : string list;
+  schema : Schema.t;
+  join_predicates : (string * string) list;
+  table_selectivity : (string * float) list;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = collect f rest in
+      Ok (y :: ys)
+
+(* FROM clause: validate tables, build the alias map. *)
+let resolve_tables schema tables =
+  let* resolved =
+    collect
+      (fun (name, alias) ->
+        if Schema.mem schema name then Ok (name, alias)
+        else Error (Printf.sprintf "unknown table %s" name))
+      tables
+  in
+  let names = List.map fst resolved in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    Error "a table appears twice in FROM (self-joins are not supported)"
+  else begin
+    let alias_map =
+      List.concat_map
+        (fun (name, alias) ->
+          (name, name) :: (match alias with Some a -> [ (a, name) ] | None -> []))
+        resolved
+    in
+    Ok (names, alias_map)
+  end
+
+(* A column reference to its (table, column stats). *)
+let resolve_column columns alias_map from_tables (c : Ast.column_ref) =
+  let* table =
+    match c.Ast.table with
+    | Some qualifier -> begin
+        match List.assoc_opt qualifier alias_map with
+        | Some table -> Ok (Some table)
+        | None -> Error (Printf.sprintf "unknown table or alias %s" qualifier)
+      end
+    | None -> Ok None
+  in
+  let* col = Column.find columns ?table c.Ast.column in
+  if List.mem col.Column.table from_tables then Ok col
+  else
+    Error
+      (Printf.sprintf "column %s belongs to %s, which is not in FROM" c.Ast.column
+         col.Column.table)
+
+let literal_value (col : Column.t) = function
+  | Ast.Number v -> Ok v
+  | Ast.Str s ->
+      (* Categorical string literals: position the value inside the
+         histogram range by hashing, so equality selects 1/distinct. *)
+      let h = float_of_int (Hashtbl.hash s mod 1000) /. 1000.0 in
+      let lo = Histogram.min_value col.Column.histogram in
+      let hi = Histogram.max_value col.Column.histogram in
+      Ok (lo +. (h *. (hi -. lo)))
+
+let filter_selectivity (col : Column.t) op value =
+  let h = col.Column.histogram in
+  match (op : Ast.comparison) with
+  | Ast.Lt -> Histogram.selectivity_lt h value
+  | Ast.Le -> Histogram.selectivity_le h value
+  | Ast.Gt -> Histogram.selectivity_gt h value
+  | Ast.Ge -> Histogram.selectivity_ge h value
+  | Ast.Eq -> Histogram.selectivity_eq h ~distinct:col.Column.distinct value
+  | Ast.Neq -> 1.0 -. Histogram.selectivity_eq h ~distinct:col.Column.distinct value
+
+let flip = function
+  | Ast.Lt -> Ast.Gt
+  | Ast.Le -> Ast.Ge
+  | Ast.Gt -> Ast.Lt
+  | Ast.Ge -> Ast.Le
+  | (Ast.Eq | Ast.Neq) as op -> op
+
+(* Each predicate contributes either a join pair or a per-table filter. *)
+type contribution = Join of string * string | Filter of string * float
+
+let resolve_predicate schema columns alias_map from_tables p =
+  let col = resolve_column columns alias_map from_tables in
+  match (p : Ast.predicate) with
+  | Ast.Compare (Ast.Eq, Ast.Col a, Ast.Col b) ->
+      let* ca = col a in
+      let* cb = col b in
+      if ca.Column.table = cb.Column.table then
+        Error
+          (Format.asprintf "predicate %a compares columns of the same table" Ast.pp_predicate p)
+      else begin
+        match
+          Raqo_catalog.Join_graph.selectivity (Schema.graph schema) ca.Column.table
+            cb.Column.table
+        with
+        | Some _ -> Ok (Join (ca.Column.table, cb.Column.table))
+        | None ->
+            Error
+              (Printf.sprintf "%s and %s have no join edge in the schema" ca.Column.table
+                 cb.Column.table)
+      end
+  | Ast.Compare (op, Ast.Col a, Ast.Col b) ->
+      let* _ = col a in
+      let* _ = col b in
+      ignore op;
+      Error
+        (Format.asprintf "only equality joins are supported, got %a" Ast.pp_predicate p)
+  | Ast.Compare (op, Ast.Col a, Ast.Lit l) ->
+      let* ca = col a in
+      let* v = literal_value ca l in
+      Ok (Filter (ca.Column.table, filter_selectivity ca op v))
+  | Ast.Compare (op, Ast.Lit l, Ast.Col a) ->
+      let* ca = col a in
+      let* v = literal_value ca l in
+      Ok (Filter (ca.Column.table, filter_selectivity ca (flip op) v))
+  | Ast.Compare (_, Ast.Lit _, Ast.Lit _) ->
+      Error "predicates between two literals are not supported"
+  | Ast.Between (a, lo, hi) ->
+      let* ca = col a in
+      let* vlo = literal_value ca lo in
+      let* vhi = literal_value ca hi in
+      Ok
+        (Filter
+           (ca.Column.table, Histogram.selectivity_between ca.Column.histogram ~lo:vlo ~hi:vhi))
+
+let analyze schema columns sql =
+  let* statement = Parser.parse sql in
+  let* from_tables, alias_map = resolve_tables schema statement.Ast.tables in
+  (* Projections must resolve (we only use them for validation). *)
+  let* _ =
+    collect (resolve_column columns alias_map from_tables) statement.Ast.projections
+  in
+  let* contributions =
+    collect (resolve_predicate schema columns alias_map from_tables) statement.Ast.where
+  in
+  let join_predicates =
+    List.filter_map (function Join (a, b) -> Some (a, b) | Filter _ -> None) contributions
+  in
+  let table_selectivity =
+    List.map
+      (fun table ->
+        let s =
+          List.fold_left
+            (fun acc c ->
+              match c with
+              | Filter (t, sel) when t = table -> acc *. sel
+              | Filter _ | Join _ -> acc)
+            1.0 contributions
+        in
+        (table, s))
+      from_tables
+  in
+  (* Scale filtered base relations; keep at least one row. *)
+  let scaled_schema =
+    List.fold_left
+      (fun s (table, sel) ->
+        if sel >= 1.0 then s
+        else begin
+          let r = Schema.find s table in
+          let factor = Float.max (1.0 /. r.Raqo_catalog.Relation.rows) sel in
+          Schema.with_relation s (Raqo_catalog.Relation.scale r factor)
+        end)
+      schema table_selectivity
+  in
+  (* The FROM tables must be connected by the *declared* join predicates —
+     tables that merely could join in the schema but lack a predicate in
+     WHERE are a cartesian product. *)
+  let connected_by_predicates () =
+    match from_tables with
+    | [] | [ _ ] -> true
+    | first :: _ ->
+        let module S = Set.Make (String) in
+        let rec grow seen =
+          let next =
+            List.fold_left
+              (fun acc (a, b) ->
+                if S.mem a acc && not (S.mem b acc) then S.add b acc
+                else if S.mem b acc && not (S.mem a acc) then S.add a acc
+                else acc)
+              seen join_predicates
+          in
+          if S.equal next seen then seen else grow next
+        in
+        S.cardinal (grow (S.singleton first)) = List.length from_tables
+  in
+  if not (connected_by_predicates ()) then
+    Error "FROM tables are not all connected by join predicates (cartesian product)"
+  else
+    Ok
+      {
+        statement;
+        relations = from_tables;
+        schema = scaled_schema;
+        join_predicates;
+        table_selectivity;
+      }

@@ -1,0 +1,25 @@
+(** Semantic analysis: from a parsed SELECT to what the optimizer consumes —
+    the set of relations to join and a schema whose base-relation
+    cardinalities have been scaled by the WHERE clause's filter
+    selectivities (estimated from column histograms). This is exactly how
+    the paper's "sampled orders" experiments arise from declarative input:
+    a range predicate on orders shrinks the optimizer's view of the table. *)
+
+type analyzed = {
+  statement : Ast.select;
+  relations : string list;  (** tables to join, FROM order *)
+  schema : Raqo_catalog.Schema.t;  (** filter-scaled cardinalities *)
+  join_predicates : (string * string) list;  (** resolved equi-join pairs *)
+  table_selectivity : (string * float) list;
+      (** per-table product of filter selectivities (1.0 when unfiltered) *)
+}
+
+(** [analyze schema columns sql] parses and resolves [sql]. Errors cover:
+    unknown tables/columns, ambiguous bare columns, join predicates without
+    a join-graph edge, filters on tables absent from FROM, cartesian
+    products, and unsupported predicate forms. *)
+val analyze :
+  Raqo_catalog.Schema.t ->
+  Raqo_catalog.Column.catalog ->
+  string ->
+  (analyzed, string) result

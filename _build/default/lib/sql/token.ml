@@ -1,0 +1,49 @@
+type t =
+  | Select
+  | From
+  | Where
+  | And
+  | Between
+  | As
+  | Star
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Ident of string
+  | Number of float
+  | Str of string
+  | Semicolon
+  | Eof
+
+let to_string = function
+  | Select -> "SELECT"
+  | From -> "FROM"
+  | Where -> "WHERE"
+  | And -> "AND"
+  | Between -> "BETWEEN"
+  | As -> "AS"
+  | Star -> "*"
+  | Comma -> ","
+  | Dot -> "."
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Ident s -> s
+  | Number n -> string_of_float n
+  | Str s -> Printf.sprintf "'%s'" s
+  | Semicolon -> ";"
+  | Eof -> "<eof>"
+
+let equal a b = a = b

@@ -1,0 +1,28 @@
+(** Tokens of the supported SQL fragment. *)
+
+type t =
+  | Select
+  | From
+  | Where
+  | And
+  | Between
+  | As
+  | Star
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Ident of string  (** lowercased *)
+  | Number of float
+  | Str of string  (** single-quoted literal, quotes stripped *)
+  | Semicolon
+  | Eof
+
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/util/linalg.ml: Array Float

@@ -1,0 +1,1 @@
+lib/util/table_fmt.ml: Array Float List Printf String

@@ -1,0 +1,75 @@
+let dot x y =
+  if Array.length x <> Array.length y then invalid_arg "Linalg.dot: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let mat_vec a x = Array.map (fun row -> dot row x) a
+
+let transpose a =
+  let rows = Array.length a in
+  if rows = 0 then [||]
+  else begin
+    let cols = Array.length a.(0) in
+    Array.init cols (fun j -> Array.init rows (fun i -> a.(i).(j)))
+  end
+
+let mat_mul a b =
+  let bt = transpose b in
+  Array.map (fun row -> Array.map (fun col -> dot row col) bt) a
+
+let solve a b =
+  let n = Array.length a in
+  if n = 0 || Array.length b <> n then invalid_arg "Linalg.solve: bad dimensions";
+  (* Work on copies: elimination is destructive. *)
+  let m = Array.map Array.copy a in
+  let y = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining entry to the diagonal. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-12 then failwith "Linalg.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tmp = y.(col) in
+      y.(col) <- y.(!pivot);
+      y.(!pivot) <- tmp
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      if factor <> 0.0 then begin
+        for k = col to n - 1 do
+          m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+        done;
+        y.(row) <- y.(row) -. (factor *. y.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let acc = ref y.(row) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. m.(row).(row)
+  done;
+  x
+
+let least_squares ?(ridge = 1e-9) xs ys =
+  let rows = Array.length xs in
+  if rows = 0 then invalid_arg "Linalg.least_squares: no samples";
+  if Array.length ys <> rows then invalid_arg "Linalg.least_squares: X/y mismatch";
+  let xt = transpose xs in
+  let xtx = mat_mul xt xs in
+  let dims = Array.length xtx in
+  for i = 0 to dims - 1 do
+    xtx.(i).(i) <- xtx.(i).(i) +. ridge
+  done;
+  let xty = mat_vec xt ys in
+  solve xtx xty

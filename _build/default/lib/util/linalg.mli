@@ -1,0 +1,28 @@
+(** Small dense linear algebra: just enough for ordinary least squares.
+
+    Matrices are row-major [float array array]; all rows must have equal
+    length. Sizes here are tiny (the cost-model feature space is 8-wide), so
+    clarity wins over blocking/vectorization. *)
+
+(** [mat_vec a x] is the matrix-vector product [a * x]. *)
+val mat_vec : float array array -> float array -> float array
+
+(** [transpose a] is the matrix transpose. *)
+val transpose : float array array -> float array array
+
+(** [mat_mul a b] is the matrix product [a * b]. *)
+val mat_mul : float array array -> float array array -> float array array
+
+(** [solve a b] solves [a * x = b] by Gaussian elimination with partial
+    pivoting. [a] is not modified.
+    @raise Failure if [a] is (numerically) singular. *)
+val solve : float array array -> float array -> float array
+
+(** [least_squares xs ys] returns the OLS coefficients [beta] minimizing
+    [|X beta - y|^2] via the normal equations, with a tiny ridge term for
+    numerical robustness on collinear profile data.
+    @param ridge regularization strength (default [1e-9]). *)
+val least_squares : ?ridge:float -> float array array -> float array -> float array
+
+(** [dot x y] is the inner product. *)
+val dot : float array -> float array -> float

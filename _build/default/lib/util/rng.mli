@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomized component in the library (schema generation, randomized
+    planning, queue traces) threads one of these explicitly, so that every
+    experiment is reproducible from a seed. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a new generator with a decorrelated
+    stream, for handing to sub-components. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [float_in_range t ~lo ~hi] is uniform in [\[lo, hi)]. *)
+val float_in_range : t -> lo:float -> hi:float -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [exponential t ~mean] samples an exponential distribution. *)
+val exponential : t -> mean:float -> float
+
+(** [pareto t ~shape ~scale] samples a Pareto distribution (heavy tail);
+    used for synthetic job-size traces. *)
+val pareto : t -> shape:float -> scale:float -> float
+
+(** [gaussian t ~mean ~sigma] samples a normal distribution (Box-Muller). *)
+val gaussian : t -> mean:float -> sigma:float -> float
+
+(** [lognormal t ~mu ~sigma] samples exp(N(mu, sigma)) — task-duration
+    noise in the task-level simulator. *)
+val lognormal : t -> mu:float -> sigma:float -> float
+
+(** [pick t arr] is a uniformly random element of [arr].
+    @raise Invalid_argument on an empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

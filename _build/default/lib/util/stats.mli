@@ -1,0 +1,31 @@
+(** Descriptive statistics over float samples. *)
+
+(** [mean xs] is the arithmetic mean. @raise Invalid_argument on empty input. *)
+val mean : float array -> float
+
+(** [variance xs] is the population variance. *)
+val variance : float array -> float
+
+(** [stddev xs] is the population standard deviation. *)
+val stddev : float array -> float
+
+(** [min_max xs] is [(min, max)]. @raise Invalid_argument on empty input. *)
+val min_max : float array -> float * float
+
+(** [percentile xs p] for [p] in [\[0, 100\]], by linear interpolation between
+    order statistics. Does not mutate [xs]. *)
+val percentile : float array -> float -> float
+
+(** [median xs] is [percentile xs 50.]. *)
+val median : float array -> float
+
+(** [geometric_mean xs] requires all samples positive. *)
+val geometric_mean : float array -> float
+
+(** [cdf xs ~points] returns [(value, fraction <= value)] pairs at [points]
+    evenly spaced quantile levels, suitable for plotting a CDF. Sorted by
+    value; fractions are nondecreasing in [\[0, 1\]]. *)
+val cdf : float array -> points:int -> (float * float) list
+
+(** [fraction_at_least xs threshold] is the fraction of samples [>= threshold]. *)
+val fraction_at_least : float array -> float -> float

@@ -1,0 +1,36 @@
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let render ~headers rows =
+  let ncols = List.length headers in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let render_row row =
+    String.concat "  " (List.mapi (fun i cell -> pad widths.(i) cell) row)
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (render_row headers :: sep :: List.map render_row rows)
+
+let print ~title ~headers rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~headers rows)
+
+let fseries v =
+  let a = Float.abs v in
+  if v = 0.0 then "0"
+  else if a >= 1e6 || a < 1e-3 then Printf.sprintf "%.3g" v
+  else if a >= 100.0 then Printf.sprintf "%.0f" v
+  else if a >= 1.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v

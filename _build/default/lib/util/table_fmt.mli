@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the benchmark harness: every figure in the
+    paper is regenerated as an aligned ASCII table of its series. *)
+
+(** [render ~headers rows] lays out [rows] under [headers] with right-padded,
+    aligned columns. Rows shorter than [headers] are padded with blanks. *)
+val render : headers:string list -> string list list -> string
+
+(** [print ~title ~headers rows] renders with a title banner to stdout. *)
+val print : title:string -> headers:string list -> string list list -> unit
+
+(** [fseries v] formats a float series value compactly ("12.3", "0.004",
+    "1.2e+06") for table cells. *)
+val fseries : float -> string

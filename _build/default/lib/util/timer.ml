@@ -1,0 +1,21 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_ms f =
+  let result, s = time f in
+  (result, s *. 1000.0)
+
+let avg_ms ~runs f =
+  if runs <= 0 then invalid_arg "Timer.avg_ms: runs must be positive";
+  let total = ref 0.0 in
+  let result = ref None in
+  for _ = 1 to runs do
+    let r, ms = time_ms f in
+    result := Some r;
+    total := !total +. ms
+  done;
+  match !result with
+  | Some r -> (r, !total /. float_of_int runs)
+  | None -> assert false

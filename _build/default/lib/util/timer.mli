@@ -1,0 +1,12 @@
+(** Wall-clock timing for planner-overhead experiments (Figures 12-15). *)
+
+(** [time f] runs [f ()] and returns its result with the elapsed wall-clock
+    seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_ms f] is [time f] with milliseconds, the unit the paper reports. *)
+val time_ms : (unit -> 'a) -> 'a * float
+
+(** [avg_ms ~runs f] runs [f] [runs] times and returns the last result and
+    the mean elapsed milliseconds (the paper averages 3 runs). *)
+val avg_ms : runs:int -> (unit -> 'a) -> 'a * float

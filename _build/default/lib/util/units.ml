@@ -1,0 +1,13 @@
+let gb_of_mb mb = mb /. 1024.0
+let mb_of_gb gb = gb *. 1024.0
+let gb_of_bytes b = b /. (1024.0 *. 1024.0 *. 1024.0)
+let bytes_of_gb gb = gb *. 1024.0 *. 1024.0 *. 1024.0
+
+let pp_gb fmt gb =
+  if Float.abs gb >= 1.0 then Format.fprintf fmt "%.2f GB" gb
+  else Format.fprintf fmt "%.0f MB" (mb_of_gb gb)
+
+let pp_duration fmt seconds =
+  if Float.abs seconds < 1.0 then Format.fprintf fmt "%.0f ms" (seconds *. 1000.0)
+  else if Float.abs seconds < 120.0 then Format.fprintf fmt "%.1f s" seconds
+  else Format.fprintf fmt "%.1f min" (seconds /. 60.0)

@@ -1,0 +1,20 @@
+(** Byte-size units. The whole library standardizes on gigabytes (float) for
+    data and memory sizes, matching the paper's axes. *)
+
+(** [gb_of_mb mb] converts megabytes to gigabytes. *)
+val gb_of_mb : float -> float
+
+(** [mb_of_gb gb] converts gigabytes to megabytes. *)
+val mb_of_gb : float -> float
+
+(** [gb_of_bytes b] converts bytes to gigabytes. *)
+val gb_of_bytes : float -> float
+
+(** [bytes_of_gb gb] converts gigabytes to bytes. *)
+val bytes_of_gb : float -> float
+
+(** [pp_gb fmt gb] prints a human-friendly size ("3.4 GB", "850 MB"). *)
+val pp_gb : Format.formatter -> float -> unit
+
+(** [pp_duration fmt seconds] prints "842 s" / "14.1 min" style durations. *)
+val pp_duration : Format.formatter -> float -> unit

@@ -1,0 +1,1 @@
+lib/workload/profile_runs.ml: Array List Option Raqo_cluster Raqo_cost Raqo_dtree Raqo_execsim Raqo_plan Raqo_util

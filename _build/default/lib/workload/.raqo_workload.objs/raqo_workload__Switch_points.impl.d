@@ -1,0 +1,1 @@
+lib/workload/switch_points.ml: List Raqo_cluster Raqo_execsim Raqo_plan

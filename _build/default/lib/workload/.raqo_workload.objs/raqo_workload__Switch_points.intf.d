@@ -1,0 +1,1 @@
+lib/workload/switch_points.mli: Raqo_cluster Raqo_execsim

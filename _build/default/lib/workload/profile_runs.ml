@@ -1,0 +1,119 @@
+module Join_impl = Raqo_plan.Join_impl
+module Operators = Raqo_execsim.Operators
+module Resources = Raqo_cluster.Resources
+module Feature = Raqo_cost.Feature
+
+type sample = {
+  impl : Join_impl.t;
+  small_gb : float;
+  big_gb : float;
+  resources : Resources.t;
+  seconds : float;
+}
+
+let profile engine impl ~small_gb ~big_gb ~resources =
+  Operators.join_time engine impl ~small_gb ~big_gb ~resources
+  |> Option.map (fun seconds -> { impl; small_gb; big_gb; resources; seconds })
+
+let sweep engine ~big_gb ~small_sizes ~configs =
+  List.concat_map
+    (fun small_gb ->
+      List.concat_map
+        (fun resources ->
+          List.filter_map
+            (fun impl -> profile engine impl ~small_gb ~big_gb ~resources)
+            Join_impl.all)
+        configs)
+    small_sizes
+
+let random_sweep rng engine conditions ~big_gb ~n =
+  let open Raqo_cluster.Conditions in
+  List.concat
+    (List.init n (fun _ ->
+         let small_gb = Raqo_util.Rng.float_in_range rng ~lo:0.2 ~hi:12.0 in
+         let containers =
+           Raqo_util.Rng.int_in_range rng ~lo:conditions.min_containers
+             ~hi:conditions.max_containers
+         in
+         let container_gb =
+           Raqo_util.Rng.float_in_range rng ~lo:conditions.min_gb ~hi:conditions.max_gb
+         in
+         let resources = Resources.make ~containers ~container_gb in
+         List.filter_map
+           (fun impl -> profile engine impl ~small_gb ~big_gb ~resources)
+           Join_impl.all))
+
+let regression_rows ~space samples impl =
+  let rows =
+    List.filter_map
+      (fun s ->
+        if Join_impl.equal s.impl impl then
+          Some
+            ( Feature.vector_of space ~small_gb:s.small_gb ~resources:s.resources,
+              s.seconds )
+        else None)
+      samples
+  in
+  ( Array.of_list (List.map fst rows),
+    Array.of_list (List.map snd rows) )
+
+let train_cost_model ?(space = Feature.Extended) ?(oom_headroom = 1.15) samples =
+  let fit impl =
+    let features, targets = regression_rows ~space samples impl in
+    if Array.length features = 0 then
+      invalid_arg
+        ("Profile_runs.train_cost_model: no samples for " ^ Join_impl.to_string impl);
+    Raqo_cost.Linreg.train ~features ~targets ()
+  in
+  (* Scan: a plain per-GB throughput term, expressed in the same space so
+     prediction dimensions line up. *)
+  let scan_coefficients = Array.make (Feature.dims space) 0.0 in
+  scan_coefficients.(0) <- 30.0;
+  {
+    Raqo_cost.Op_cost.space;
+    smj = fit Join_impl.Smj;
+    bhj = fit Join_impl.Bhj;
+    scan = Raqo_cost.Linreg.of_coefficients scan_coefficients;
+    oom_headroom;
+    floor = 0.01;
+  }
+
+let model_fit samples (model : Raqo_cost.Op_cost.t) =
+  let r2 impl linreg =
+    let features, targets = regression_rows ~space:model.space samples impl in
+    Raqo_cost.Linreg.r_squared linreg ~features ~targets
+  in
+  (r2 Join_impl.Smj model.smj, r2 Join_impl.Bhj model.bhj)
+
+let dtree_feature_names = [| "data_gb"; "container_gb"; "containers"; "total_tasks" |]
+let dtree_labels = [| "BHJ"; "SMJ" |]
+
+let dtree_features ~small_gb ~(resources : Resources.t) =
+  let total_tasks = ceil (small_gb /. 0.25) in
+  [|
+    small_gb;
+    resources.container_gb;
+    float_of_int resources.containers;
+    total_tasks;
+  |]
+
+let classification_dataset engine ~big_gb ~small_sizes ~configs =
+  let samples =
+    List.concat_map
+      (fun small_gb ->
+        List.filter_map
+          (fun resources ->
+            match Operators.best_impl engine ~small_gb ~big_gb ~resources with
+            | Some (impl, _) ->
+                let label =
+                  match impl with
+                  | Join_impl.Bhj -> 0
+                  | Join_impl.Smj -> 1
+                in
+                Some (dtree_features ~small_gb ~resources, label)
+            | None -> None)
+          configs)
+      small_sizes
+  in
+  Raqo_dtree.Dataset.make ~feature_names:dtree_feature_names ~label_names:dtree_labels
+    (Array.of_list samples)

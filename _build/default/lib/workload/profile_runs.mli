@@ -1,0 +1,65 @@
+(** Profile runs: executing (here: simulating) joins across the data-resource
+    grid to produce the training data behind the paper's learned cost models
+    (Section VI-A) and RAQO decision trees (Section V-B). *)
+
+type sample = {
+  impl : Raqo_plan.Join_impl.t;
+  small_gb : float;  (** smaller input size *)
+  big_gb : float;  (** probe-side size *)
+  resources : Raqo_cluster.Resources.t;
+  seconds : float;  (** simulated execution time *)
+}
+
+(** [sweep engine ~big_gb ~small_sizes ~configs] profiles every feasible
+    (implementation, size, configuration) combination. Infeasible runs (BHJ
+    OOM) are skipped, as a real profiling campaign would record failures. *)
+val sweep :
+  Raqo_execsim.Engine.t ->
+  big_gb:float ->
+  small_sizes:float list ->
+  configs:Raqo_cluster.Resources.t list ->
+  sample list
+
+(** [random_sweep rng engine conditions ~big_gb ~n] draws [n] random points
+    from the data-resource space (small size in [0.2, 12] GB). *)
+val random_sweep :
+  Raqo_util.Rng.t ->
+  Raqo_execsim.Engine.t ->
+  Raqo_cluster.Conditions.t ->
+  big_gb:float ->
+  n:int ->
+  sample list
+
+(** [train_cost_model ?space ?oom_headroom samples] fits one regression per
+    implementation (with intercept) and returns the operator cost model.
+    Default feature space is {!Raqo_cost.Feature.Extended} — the tuned space
+    that keeps predictions physical; pass [Paper] to stay in the published
+    7-feature space. Needs samples of both implementations.
+    @raise Invalid_argument otherwise. *)
+val train_cost_model :
+  ?space:Raqo_cost.Feature.space -> ?oom_headroom:float -> sample list -> Raqo_cost.Op_cost.t
+
+(** [model_fit samples model] is per-implementation R² of [model] on
+    [samples], as [(smj_r2, bhj_r2)]. *)
+val model_fit : sample list -> Raqo_cost.Op_cost.t -> float * float
+
+(** Decision-tree feature space for rule-based RAQO: data size (GB of the
+    smaller relation), container size (GB), concurrent containers, and total
+    task count. *)
+val dtree_feature_names : string array
+
+val dtree_labels : string array
+
+(** [dtree_features ~small_gb ~resources] builds one feature vector. *)
+val dtree_features :
+  small_gb:float -> resources:Raqo_cluster.Resources.t -> float array
+
+(** [classification_dataset engine ~big_gb ~small_sizes ~configs] labels each
+    grid point with the simulator-fastest feasible implementation —
+    the training set for the Figure 11 RAQO trees. *)
+val classification_dataset :
+  Raqo_execsim.Engine.t ->
+  big_gb:float ->
+  small_sizes:float list ->
+  configs:Raqo_cluster.Resources.t list ->
+  Raqo_dtree.Dataset.t

@@ -1,0 +1,51 @@
+module Operators = Raqo_execsim.Operators
+module Join_impl = Raqo_plan.Join_impl
+module Resources = Raqo_cluster.Resources
+
+type metric = Exec_time | Monetary
+
+(* true when BHJ is the better choice at size [s]. *)
+let bhj_wins ?reducers engine ~metric ~big_gb ~resources s =
+  let weight seconds =
+    match metric with
+    | Exec_time -> seconds
+    | Monetary -> Resources.gb_seconds resources seconds
+  in
+  let time impl = Operators.join_time ?reducers engine impl ~small_gb:s ~big_gb ~resources in
+  match (time Join_impl.Bhj, time Join_impl.Smj) with
+  | Some b, Some m -> weight b < weight m
+  | Some _, None -> true
+  | None, (Some _ | None) -> false
+
+let find ?(metric = Exec_time) ?reducers engine ~big_gb ~resources ~lo ~hi () =
+  if lo <= 0.0 || hi <= lo then invalid_arg "Switch_points.find: bad range";
+  let wins = bhj_wins ?reducers engine ~metric ~big_gb ~resources in
+  if not (wins lo) then None (* SMJ dominates even the smallest build side *)
+  else if wins hi then None (* BHJ dominates the whole range *)
+  else begin
+    (* Grid scan for the first flip, then bisect it down to ~1 MB. *)
+    let steps = 200 in
+    let step = (hi -. lo) /. float_of_int steps in
+    let rec first_flip i =
+      if i > steps then hi
+      else begin
+        let s = lo +. (float_of_int i *. step) in
+        if not (wins s) then s else first_flip (i + 1)
+      end
+    in
+    let flip = first_flip 1 in
+    let rec bisect lo hi =
+      if hi -. lo < 0.001 then (lo +. hi) /. 2.0
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        if wins mid then bisect mid hi else bisect lo mid
+      end
+    in
+    Some (bisect (flip -. step) flip)
+  end
+
+let frontier ?metric ?reducers engine ~big_gb ~configs ~lo ~hi () =
+  List.map
+    (fun resources ->
+      (resources, find ?metric ?reducers engine ~big_gb ~resources ~lo ~hi ()))
+    configs

@@ -1,0 +1,39 @@
+(** Switch-point analysis (paper Figures 4, 7, 9): for a fixed probe side and
+    resource configuration, the build-side size at which the best join
+    implementation flips from BHJ to SMJ. BHJ wins for small build sides;
+    the flip happens either where the cost curves cross or at the BHJ
+    out-of-memory cliff, whichever comes first. *)
+
+(** How a comparison metric is derived from a simulated execution time. *)
+type metric =
+  | Exec_time  (** raw seconds *)
+  | Monetary  (** seconds x memory held (serverless dollars) *)
+
+(** [find ?metric ?reducers engine ~big_gb ~resources ~lo ~hi] returns the
+    switch point in GB within [\[lo, hi\]], or [None] when one
+    implementation dominates across the whole range. Located by grid scan
+    plus bisection to ~1 MB precision. *)
+val find :
+  ?metric:metric ->
+  ?reducers:Raqo_execsim.Operators.reducers ->
+  Raqo_execsim.Engine.t ->
+  big_gb:float ->
+  resources:Raqo_cluster.Resources.t ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float option
+
+(** [frontier ?metric ?reducers engine ~big_gb ~configs ~lo ~hi] computes the
+    Figure 9 curves: the switch point for every configuration, [(config,
+    switch)] in input order. *)
+val frontier :
+  ?metric:metric ->
+  ?reducers:Raqo_execsim.Operators.reducers ->
+  Raqo_execsim.Engine.t ->
+  big_gb:float ->
+  configs:Raqo_cluster.Resources.t list ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  (Raqo_cluster.Resources.t * float option) list

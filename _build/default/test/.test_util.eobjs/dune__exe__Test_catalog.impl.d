@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Float List QCheck QCheck_alcotest Raqo_catalog Raqo_util

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Float List Printf QCheck QCheck_alcotest Raqo_cluster Raqo_util

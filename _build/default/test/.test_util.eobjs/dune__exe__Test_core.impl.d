@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Lazy List Printf Raqo Raqo_catalog Raqo_cluster Raqo_cost Raqo_dtree Raqo_execsim Raqo_plan Raqo_planner Raqo_resource Raqo_workload String

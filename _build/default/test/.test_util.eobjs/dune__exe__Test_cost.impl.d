@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Raqo_catalog Raqo_cluster Raqo_cost Raqo_plan Raqo_util

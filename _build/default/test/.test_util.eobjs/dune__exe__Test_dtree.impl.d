@@ -1,0 +1,1 @@
+test/test_dtree.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Raqo_dtree String

@@ -1,0 +1,1 @@
+test/test_execsim.ml: Alcotest Float List Printf QCheck QCheck_alcotest Raqo_catalog Raqo_cluster Raqo_execsim Raqo_plan Raqo_util Raqo_workload String

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Format List Printf QCheck QCheck_alcotest Raqo_cluster Raqo_dtree Raqo_plan String

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Float List Printf QCheck QCheck_alcotest Raqo_catalog Raqo_cluster Raqo_cost Raqo_execsim Raqo_plan Raqo_planner Raqo_resource Raqo_util

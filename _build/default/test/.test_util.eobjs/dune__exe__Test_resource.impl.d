@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Raqo_cluster Raqo_resource Raqo_util

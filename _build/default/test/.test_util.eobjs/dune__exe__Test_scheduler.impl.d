@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest List Printf QCheck QCheck_alcotest Raqo Raqo_catalog Raqo_cluster Raqo_execsim Raqo_plan Raqo_scheduler Raqo_util String

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Raqo Raqo_catalog Raqo_plan Raqo_sql String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Format Gen List QCheck QCheck_alcotest Raqo_util String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Printf QCheck QCheck_alcotest Raqo_cluster Raqo_cost Raqo_dtree Raqo_execsim Raqo_plan Raqo_util Raqo_workload

@@ -1,0 +1,301 @@
+(* Tests for Raqo_dtree: datasets, gini, CART training, prediction, pruning,
+   rendering. *)
+
+module Dataset = Raqo_dtree.Dataset
+module Tree = Raqo_dtree.Tree
+module Cart = Raqo_dtree.Cart
+module Prune = Raqo_dtree.Prune
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let mk samples =
+  Dataset.make ~feature_names:[| "x"; "y" |] ~label_names:[| "A"; "B" |]
+    (Array.of_list samples)
+
+(* -------------------------------------------------------------- Dataset *)
+
+let test_dataset_basics () =
+  let d = mk [ ([| 1.0; 2.0 |], 0); ([| 3.0; 4.0 |], 1) ] in
+  Alcotest.(check int) "length" 2 (Dataset.length d);
+  Alcotest.(check int) "features" 2 (Dataset.n_features d);
+  Alcotest.(check int) "labels" 2 (Dataset.n_labels d);
+  let x, l = Dataset.sample d 1 in
+  check_float "x" 3.0 x.(0);
+  Alcotest.(check int) "label" 1 l
+
+let test_dataset_rejects_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Dataset.make: ragged sample") (fun () ->
+      ignore (mk [ ([| 1.0 |], 0) ]))
+
+let test_dataset_rejects_bad_label () =
+  Alcotest.check_raises "label" (Invalid_argument "Dataset.make: label out of range")
+    (fun () -> ignore (mk [ ([| 1.0; 1.0 |], 2) ]))
+
+let test_dataset_label_counts () =
+  let d = mk [ ([| 1.; 1. |], 0); ([| 2.; 2. |], 1); ([| 3.; 3. |], 1) ] in
+  Alcotest.(check (array int)) "counts" [| 1; 2 |]
+    (Dataset.label_counts d (Dataset.all_indices d))
+
+let test_majority_ties_to_lower () =
+  Alcotest.(check int) "tie" 0 (Dataset.majority_label [| 3; 3 |]);
+  Alcotest.(check int) "clear" 1 (Dataset.majority_label [| 1; 5 |])
+
+(* ----------------------------------------------------------------- Gini *)
+
+let test_gini_pure () = check_float "pure" 0.0 (Cart.gini [| 10; 0 |])
+let test_gini_balanced () = check_float "50/50" 0.5 (Cart.gini [| 5; 5 |])
+let test_gini_empty () = check_float "empty" 0.0 (Cart.gini [| 0; 0 |])
+
+let test_gini_three_way () =
+  check_float "uniform over 3" (1.0 -. (3.0 /. 9.0)) (Cart.gini [| 2; 2; 2 |])
+
+let prop_gini_bounds =
+  QCheck.Test.make ~name:"gini in [0, 1)" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 6) (int_range 0 50))
+    (fun counts ->
+      let g = Cart.gini (Array.of_list counts) in
+      g >= 0.0 && g < 1.0)
+
+(* ------------------------------------------------------------ Best split *)
+
+let test_best_split_separable () =
+  let d = mk [ ([| 1.0; 0.0 |], 0); ([| 2.0; 0.0 |], 0); ([| 8.0; 0.0 |], 1); ([| 9.0; 0.0 |], 1) ] in
+  match Cart.best_split d (Dataset.all_indices d) with
+  | Some (feature, threshold, impurity) ->
+      Alcotest.(check int) "splits on x" 0 feature;
+      Alcotest.(check bool) "threshold between clusters" true
+        (threshold > 2.0 && threshold < 8.0);
+      check_float "perfect split" 0.0 impurity
+  | None -> Alcotest.fail "split exists"
+
+let test_best_split_none_when_constant () =
+  let d = mk [ ([| 1.0; 1.0 |], 0); ([| 1.0; 1.0 |], 1) ] in
+  Alcotest.(check bool) "no split on constant features" true
+    (Cart.best_split d (Dataset.all_indices d) = None)
+
+let test_best_split_picks_better_feature () =
+  (* y separates perfectly, x does not. *)
+  let d =
+    mk
+      [
+        ([| 1.0; 0.0 |], 0); ([| 2.0; 0.0 |], 0);
+        ([| 1.5; 10.0 |], 1); ([| 2.5; 10.0 |], 1);
+      ]
+  in
+  match Cart.best_split d (Dataset.all_indices d) with
+  | Some (feature, _, impurity) ->
+      Alcotest.(check int) "splits on y" 1 feature;
+      check_float "perfect" 0.0 impurity
+  | None -> Alcotest.fail "split exists"
+
+(* ----------------------------------------------------------------- CART *)
+
+let test_cart_pure_input_is_leaf () =
+  let d = mk [ ([| 1.0; 1.0 |], 0); ([| 2.0; 2.0 |], 0) ] in
+  match Cart.train d with
+  | Tree.Leaf _ -> ()
+  | Tree.Node _ -> Alcotest.fail "expected leaf"
+
+let test_cart_separable_is_perfect () =
+  let d =
+    mk
+      [
+        ([| 1.0; 5.0 |], 0); ([| 2.0; 6.0 |], 0); ([| 1.5; 5.5 |], 0);
+        ([| 8.0; 1.0 |], 1); ([| 9.0; 2.0 |], 1); ([| 8.5; 1.5 |], 1);
+      ]
+  in
+  let t = Cart.train d in
+  check_float "accuracy 1" 1.0 (Cart.accuracy t d);
+  Alcotest.(check int) "no training errors" 0 (Tree.training_errors t)
+
+let test_cart_max_depth_limits () =
+  (* XOR labels need depth 2; capping at 1 leaves errors. *)
+  let d =
+    mk
+      [
+        ([| 0.0; 0.0 |], 0); ([| 1.0; 1.0 |], 0);
+        ([| 0.0; 1.0 |], 1); ([| 1.0; 0.0 |], 1);
+      ]
+  in
+  let deep = Cart.train d in
+  check_float "deep solves xor" 1.0 (Cart.accuracy deep d);
+  let shallow = Cart.train ~params:{ Cart.default_params with Cart.max_depth = 1 } d in
+  Alcotest.(check bool) "depth capped" true (Tree.depth shallow <= 1)
+
+let test_cart_min_samples_leaf () =
+  let d =
+    mk [ ([| 1.0; 0.0 |], 0); ([| 2.0; 0.0 |], 0); ([| 3.0; 0.0 |], 1) ]
+  in
+  let t = Cart.train ~params:{ Cart.default_params with Cart.min_samples_leaf = 2 } d in
+  (* Any split would leave a 1-sample side; must be a leaf. *)
+  match t with
+  | Tree.Leaf _ -> ()
+  | Tree.Node _ -> Alcotest.fail "expected leaf under min_samples_leaf=2"
+
+let test_cart_rejects_empty () =
+  let d = mk [] in
+  Alcotest.check_raises "empty" (Invalid_argument "Cart.train: empty dataset") (fun () ->
+      ignore (Cart.train d))
+
+let test_predict_follows_thresholds () =
+  let t =
+    Tree.Node
+      {
+        feature = 0;
+        threshold = 5.0;
+        counts = [| 2; 2 |];
+        left = Tree.Leaf { counts = [| 2; 0 |] };
+        right = Tree.Leaf { counts = [| 0; 2 |] };
+      }
+  in
+  Alcotest.(check int) "left on <=" 0 (Tree.predict t [| 5.0; 0.0 |]);
+  Alcotest.(check int) "right on >" 1 (Tree.predict t [| 5.1; 0.0 |])
+
+let test_tree_metrics () =
+  let t =
+    Tree.Node
+      {
+        feature = 0;
+        threshold = 1.0;
+        counts = [| 3; 1 |];
+        left = Tree.Leaf { counts = [| 3; 0 |] };
+        right = Tree.Leaf { counts = [| 0; 1 |] };
+      }
+  in
+  Alcotest.(check int) "nodes" 3 (Tree.n_nodes t);
+  Alcotest.(check int) "leaves" 2 (Tree.n_leaves t);
+  Alcotest.(check int) "depth" 1 (Tree.depth t);
+  Alcotest.(check int) "label" 0 (Tree.label t);
+  check_float "gini" 0.375 (Tree.gini t)
+
+let test_render_contains_paper_fields () =
+  let t =
+    Tree.Node
+      {
+        feature = 0;
+        threshold = 0.01;
+        counts = [| 1; 1 |];
+        left = Tree.Leaf { counts = [| 1; 0 |] };
+        right = Tree.Leaf { counts = [| 0; 1 |] };
+      }
+  in
+  let s = Tree.render ~feature_names:[| "data_gb"; "y" |] ~label_names:[| "BHJ"; "SMJ" |] t in
+  List.iter
+    (fun needle ->
+      let contains =
+        let n = String.length needle and h = String.length s in
+        let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("contains " ^ needle) true contains)
+    [ "data_gb"; "gini="; "samples="; "value="; "class=BHJ"; "class=SMJ" ]
+
+(* ---------------------------------------------------------------- Prune *)
+
+let test_prune_collapses_redundant () =
+  (* Both children predict the same class: pruning merges them. *)
+  let t =
+    Tree.Node
+      {
+        feature = 0;
+        threshold = 1.0;
+        counts = [| 5; 1 |];
+        left = Tree.Leaf { counts = [| 3; 1 |] };
+        right = Tree.Leaf { counts = [| 2; 0 |] };
+      }
+  in
+  match Prune.prune t with
+  | Tree.Leaf { counts } -> Alcotest.(check (array int)) "kept counts" [| 5; 1 |] counts
+  | Tree.Node _ -> Alcotest.fail "expected collapse"
+
+let test_prune_keeps_useful_split () =
+  let t =
+    Tree.Node
+      {
+        feature = 0;
+        threshold = 1.0;
+        counts = [| 5; 5 |];
+        left = Tree.Leaf { counts = [| 5; 0 |] };
+        right = Tree.Leaf { counts = [| 0; 5 |] };
+      }
+  in
+  match Prune.prune t with
+  | Tree.Node _ -> ()
+  | Tree.Leaf _ -> Alcotest.fail "useful split must survive"
+
+let prop_prune_never_grows =
+  QCheck.Test.make ~name:"pruning never increases node count" ~count:50
+    QCheck.(list_of_size Gen.(int_range 4 40) (pair (pair (float_range 0. 10.) (float_range 0. 10.)) bool))
+    (fun samples ->
+      let data = List.map (fun ((x, y), b) -> ([| x; y |], if b then 1 else 0)) samples in
+      let d = mk data in
+      let t = Cart.train d in
+      Tree.n_nodes (Prune.prune t) <= Tree.n_nodes t)
+
+let prop_cart_accuracy_on_separable =
+  QCheck.Test.make ~name:"CART is perfect on linearly separated labels" ~count:50
+    QCheck.(list_of_size Gen.(int_range 4 40) (float_range 0.0 10.0))
+    (fun xs ->
+      let data = List.map (fun x -> ([| x; 0.0 |], if x > 5.0 then 1 else 0)) xs in
+      let d = mk data in
+      Cart.accuracy (Cart.train d) d = 1.0)
+
+let prop_cart_depth_bounded =
+  QCheck.Test.make ~name:"CART respects max_depth" ~count:50
+    QCheck.(list_of_size Gen.(int_range 4 60) (pair (float_range 0. 10.) bool))
+    (fun samples ->
+      let data = List.map (fun (x, b) -> ([| x; x *. 0.5 |], if b then 1 else 0)) samples in
+      let d = mk data in
+      let t = Cart.train ~params:{ Cart.default_params with Cart.max_depth = 3 } d in
+      Tree.depth t <= 3)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "raqo_dtree"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "basics" `Quick test_dataset_basics;
+          Alcotest.test_case "rejects ragged" `Quick test_dataset_rejects_ragged;
+          Alcotest.test_case "rejects bad labels" `Quick test_dataset_rejects_bad_label;
+          Alcotest.test_case "label counts" `Quick test_dataset_label_counts;
+          Alcotest.test_case "majority ties to lower index" `Quick test_majority_ties_to_lower;
+        ] );
+      ( "gini",
+        [
+          Alcotest.test_case "pure node" `Quick test_gini_pure;
+          Alcotest.test_case "balanced node" `Quick test_gini_balanced;
+          Alcotest.test_case "empty node" `Quick test_gini_empty;
+          Alcotest.test_case "three-way uniform" `Quick test_gini_three_way;
+        ]
+        @ qsuite [ prop_gini_bounds ] );
+      ( "split",
+        [
+          Alcotest.test_case "separable data splits perfectly" `Quick test_best_split_separable;
+          Alcotest.test_case "constant features: no split" `Quick
+            test_best_split_none_when_constant;
+          Alcotest.test_case "picks the better feature" `Quick test_best_split_picks_better_feature;
+        ] );
+      ( "cart",
+        [
+          Alcotest.test_case "pure input is a leaf" `Quick test_cart_pure_input_is_leaf;
+          Alcotest.test_case "perfect on separable" `Quick test_cart_separable_is_perfect;
+          Alcotest.test_case "max_depth limits (xor)" `Quick test_cart_max_depth_limits;
+          Alcotest.test_case "min_samples_leaf" `Quick test_cart_min_samples_leaf;
+          Alcotest.test_case "rejects empty" `Quick test_cart_rejects_empty;
+          Alcotest.test_case "predict follows thresholds" `Quick test_predict_follows_thresholds;
+          Alcotest.test_case "tree metrics" `Quick test_tree_metrics;
+          Alcotest.test_case "render has the paper's fields" `Quick
+            test_render_contains_paper_fields;
+        ]
+        @ qsuite [ prop_cart_accuracy_on_separable; prop_cart_depth_bounded ] );
+      ( "prune",
+        [
+          Alcotest.test_case "collapses redundant splits" `Quick test_prune_collapses_redundant;
+          Alcotest.test_case "keeps useful splits" `Quick test_prune_keeps_useful_split;
+        ]
+        @ qsuite [ prop_prune_never_grows ] );
+    ]

@@ -1,0 +1,521 @@
+(* Tests for Raqo_execsim: operator cost shapes (the Section III phenomena),
+   OOM behavior, whole-plan simulation. The switch-point assertions encode
+   the paper's reported numbers; see EXPERIMENTS.md. *)
+
+module Engine = Raqo_execsim.Engine
+module Operators = Raqo_execsim.Operators
+module Simulate = Raqo_execsim.Simulate
+module Resources = Raqo_cluster.Resources
+module Join_impl = Raqo_plan.Join_impl
+module Join_tree = Raqo_plan.Join_tree
+module Tpch = Raqo_catalog.Tpch
+
+let hive = Engine.hive
+let res nc gb = Resources.make ~containers:nc ~container_gb:gb
+
+let time impl ~s ~b r =
+  Operators.join_time hive impl ~small_gb:s ~big_gb:b ~resources:r
+
+let smj ~s ~b r =
+  match time Join_impl.Smj ~s ~b r with
+  | Some t -> t
+  | None -> Alcotest.fail "SMJ unexpectedly infeasible"
+
+let bhj ~s ~b r = time Join_impl.Bhj ~s ~b r
+
+(* -------------------------------------------------------- OOM behavior *)
+
+let test_bhj_oom_below_5gb_for_paper_join () =
+  (* Paper Fig 3(a): with a 5.1 GB build side, "below 5 GB containers, BHJ is
+     not an option as it runs out of memory". *)
+  Alcotest.(check bool) "OOM at 4 GB" true (bhj ~s:5.1 ~b:77.0 (res 10 4.0) = None);
+  Alcotest.(check bool) "feasible at 5 GB" true (bhj ~s:5.1 ~b:77.0 (res 10 5.0) <> None)
+
+let test_bhj_feasible_34_in_3gb () =
+  (* Paper Fig 4(a): 3.4 GB build side still fits a 3 GB container. *)
+  Alcotest.(check bool) "3.4 GB in 3 GB feasible" true (bhj ~s:3.4 ~b:77.0 (res 10 3.0) <> None);
+  Alcotest.(check bool) "3.5 GB in 3 GB OOM" true (bhj ~s:3.5 ~b:77.0 (res 10 3.0) = None)
+
+let test_bhj_feasible_predicate_matches_join_time () =
+  List.iter
+    (fun (s, gb) ->
+      let r = res 10 gb in
+      Alcotest.(check bool)
+        (Printf.sprintf "consistency s=%.1f gb=%.1f" s gb)
+        (Operators.bhj_feasible hive ~small_gb:s ~resources:r)
+        (bhj ~s ~b:77.0 r <> None))
+    [ (1.0, 1.0); (1.2, 1.0); (5.1, 4.0); (5.1, 5.0); (12.0, 10.0); (11.0, 10.0) ]
+
+let test_smj_never_ooms () =
+  List.iter
+    (fun (s, nc, gb) ->
+      match time Join_impl.Smj ~s ~b:77.0 (res nc gb) with
+      | Some _ -> ()
+      | None -> Alcotest.failf "SMJ infeasible at s=%.1f nc=%d gb=%.1f" s nc gb)
+    [ (0.5, 1, 1.0); (12.0, 5, 1.0); (50.0, 100, 10.0) ]
+
+(* --------------------------------------- Section III switch-point shape *)
+
+let test_fig3a_switch_at_7gb () =
+  (* SMJ wins up to 7 GB containers, BHJ above (5.1 GB orders, 10 cont). *)
+  let r6 = res 10 6.0 and r7 = res 10 7.0 and r8 = res 10 8.0 in
+  (match bhj ~s:5.1 ~b:77.0 r6 with
+  | Some b -> Alcotest.(check bool) "SMJ wins at 6 GB" true (smj ~s:5.1 ~b:77.0 r6 < b)
+  | None -> Alcotest.fail "BHJ should be feasible at 6 GB");
+  (match bhj ~s:5.1 ~b:77.0 r7 with
+  | Some b -> Alcotest.(check bool) "BHJ wins at 7 GB" true (b < smj ~s:5.1 ~b:77.0 r7)
+  | None -> Alcotest.fail "BHJ should be feasible at 7 GB");
+  match bhj ~s:5.1 ~b:77.0 r8 with
+  | Some b -> Alcotest.(check bool) "BHJ wins at 8 GB" true (b < smj ~s:5.1 ~b:77.0 r8)
+  | None -> Alcotest.fail "BHJ should be feasible at 8 GB"
+
+let test_fig3a_smj_stable_in_container_size () =
+  (* "the performance of SMJ remains relatively stable" across 2..10 GB. *)
+  let times = List.map (fun gb -> smj ~s:5.1 ~b:77.0 (res 10 gb)) [ 2.;4.;6.;8.;10. ] in
+  let lo = List.fold_left Float.min (List.hd times) times in
+  let hi = List.fold_left Float.max (List.hd times) times in
+  Alcotest.(check bool) "within 15%" true (hi /. lo < 1.15)
+
+let test_fig3b_crossover_in_containers () =
+  (* 3.4 GB orders, 3 GB containers: BHJ wins at low parallelism, SMJ wins
+     at 40 containers by at least 2x (paper: "twice faster"). *)
+  let at nc = (smj ~s:3.4 ~b:77.0 (res nc 3.0), bhj ~s:3.4 ~b:77.0 (res nc 3.0)) in
+  (match at 5 with
+  | s, Some b -> Alcotest.(check bool) "BHJ wins at 5" true (b < s)
+  | _, None -> Alcotest.fail "BHJ feasible at 5");
+  match at 40 with
+  | s, Some b -> Alcotest.(check bool) "SMJ 2x faster at 40" true (s *. 2.0 < b)
+  | _, None -> Alcotest.fail "BHJ feasible at 40"
+
+let test_smj_improves_with_parallelism () =
+  let t10 = smj ~s:5.0 ~b:77.0 (res 10 3.0) in
+  let t40 = smj ~s:5.0 ~b:77.0 (res 40 3.0) in
+  Alcotest.(check bool) "more containers help SMJ" true (t40 < t10)
+
+let test_bhj_improves_with_memory () =
+  match (bhj ~s:5.1 ~b:77.0 (res 10 6.0), bhj ~s:5.1 ~b:77.0 (res 10 10.0)) with
+  | Some t6, Some t10 -> Alcotest.(check bool) "bigger containers help BHJ" true (t10 < t6)
+  | _ -> Alcotest.fail "BHJ should be feasible at both"
+
+let test_fig4a_switch_moves_with_container_size () =
+  (* Paper: switch at the 3.45 GB OOM cliff with 3 GB containers, and at
+     ~6.4 GB (cost crossover) with 9 GB containers. *)
+  let sw gb =
+    Raqo_workload.Switch_points.find hive ~big_gb:77.0 ~resources:(res 10 gb) ~lo:0.5
+      ~hi:12.0 ()
+  in
+  (match sw 3.0 with
+  | Some s -> Alcotest.(check bool) (Printf.sprintf "3 GB switch ~3.45 (got %.2f)" s) true
+                (s > 3.2 && s < 3.7)
+  | None -> Alcotest.fail "switch exists at 3 GB");
+  match sw 9.0 with
+  | Some s ->
+      Alcotest.(check bool) (Printf.sprintf "9 GB switch ~6.4 (got %.2f)" s) true
+        (s > 5.8 && s < 7.2)
+  | None -> Alcotest.fail "switch exists at 9 GB"
+
+let test_default_impl_rule () =
+  (* The stock 10 MB rule: BHJ only for tiny build sides. *)
+  Alcotest.(check bool) "9 MB -> BHJ" true
+    (Join_impl.equal (Operators.default_impl hive ~small_gb:0.009) Join_impl.Bhj);
+  Alcotest.(check bool) "100 MB -> SMJ" true
+    (Join_impl.equal (Operators.default_impl hive ~small_gb:0.1) Join_impl.Smj)
+
+let test_best_impl_picks_minimum () =
+  let r = res 10 10.0 in
+  match Operators.best_impl hive ~small_gb:5.1 ~big_gb:77.0 ~resources:r with
+  | Some (impl, t) ->
+      Alcotest.(check bool) "BHJ best at 10 GB" true (Join_impl.equal impl Join_impl.Bhj);
+      (match bhj ~s:5.1 ~b:77.0 r with
+      | Some b -> Alcotest.(check (float 1e-9)) "time matches" b t
+      | None -> Alcotest.fail "feasible")
+  | None -> Alcotest.fail "some impl feasible"
+
+let test_best_impl_none_when_impossible () =
+  (* Both infeasible cannot happen (SMJ always runs), so best_impl is
+     always Some. *)
+  match Operators.best_impl hive ~small_gb:50.0 ~big_gb:77.0 ~resources:(res 1 1.0) with
+  | Some (impl, _) -> Alcotest.(check bool) "falls back to SMJ" true (Join_impl.equal impl Join_impl.Smj)
+  | None -> Alcotest.fail "SMJ always feasible"
+
+let test_join_time_symmetric_in_sides () =
+  (* Engines build on the smaller side regardless of argument order. *)
+  let r = res 10 8.0 in
+  let a = time Join_impl.Bhj ~s:5.0 ~b:77.0 r in
+  let b = time Join_impl.Bhj ~s:77.0 ~b:5.0 r in
+  Alcotest.(check bool) "order irrelevant" true (a = b)
+
+let test_join_time_rejects_nonpositive () =
+  Alcotest.check_raises "size" (Invalid_argument "Operators.join_time: nonpositive size")
+    (fun () -> ignore (time Join_impl.Smj ~s:0.0 ~b:1.0 (res 1 1.0)))
+
+let test_reducers_default_near_optimal () =
+  (* Fixing the reducer count at the auto-derived value matches Auto. *)
+  let r = res 10 3.0 in
+  let auto = smj ~s:3.4 ~b:77.0 r in
+  let ideal = int_of_float (ceil ((3.4 +. 77.0) /. 0.25)) in
+  match
+    Operators.join_time ~reducers:(Operators.Fixed ideal) hive Join_impl.Smj ~small_gb:3.4
+      ~big_gb:77.0 ~resources:r
+  with
+  | Some fixed -> Alcotest.(check bool) "close to auto" true (Float.abs (fixed -. auto) /. auto < 0.02)
+  | None -> Alcotest.fail "feasible"
+
+let test_reducers_missized_costs_more () =
+  let r = res 10 3.0 in
+  let auto = smj ~s:3.4 ~b:77.0 r in
+  match
+    Operators.join_time ~reducers:(Operators.Fixed 2) hive Join_impl.Smj ~small_gb:3.4
+      ~big_gb:77.0 ~resources:r
+  with
+  | Some few -> Alcotest.(check bool) "too few reducers hurt" true (few > auto)
+  | None -> Alcotest.fail "feasible"
+
+let test_spark_profile_differs () =
+  let spark = Engine.spark in
+  let r = res 10 3.0 in
+  let h = smj ~s:3.4 ~b:77.0 r in
+  match Operators.join_time spark Join_impl.Smj ~small_gb:3.4 ~big_gb:77.0 ~resources:r with
+  | Some s -> Alcotest.(check bool) "spark faster shuffle" true (s < h)
+  | None -> Alcotest.fail "feasible"
+
+let test_spark_larger_memory_headroom () =
+  (* Spark's usable fraction admits bigger broadcasts per GB. *)
+  let r = res 10 3.0 in
+  Alcotest.(check bool) "4 GB in 3 GB executor feasible on spark" true
+    (Operators.join_time Engine.spark Join_impl.Bhj ~small_gb:4.0 ~big_gb:77.0 ~resources:r
+    <> None);
+  Alcotest.(check bool) "4 GB in 3 GB container OOM on hive" true
+    (Operators.join_time Engine.hive Join_impl.Bhj ~small_gb:4.0 ~big_gb:77.0 ~resources:r
+    = None)
+
+let test_scan_time_scales () =
+  let t10 = Operators.scan_time hive ~gb:10.0 ~resources:(res 10 2.0) in
+  let t20 = Operators.scan_time hive ~gb:20.0 ~resources:(res 10 2.0) in
+  Alcotest.(check bool) "more data, more time" true (t20 > t10)
+
+(* ------------------------------------------------------------- Simulate *)
+
+let schema () = Tpch.schema ()
+
+let joint_plan impl r =
+  Join_tree.Join ((impl, r), Join_tree.Scan "orders", Join_tree.Scan "lineitem")
+
+let test_simulate_single_join () =
+  let s = schema () in
+  let r = res 10 10.0 in
+  match Simulate.run_joint hive s (joint_plan Join_impl.Smj r) with
+  | Ok run ->
+      Alcotest.(check bool) "positive time" true (run.Simulate.seconds > 0.0);
+      let expected_gbs = Resources.gb_seconds r run.Simulate.seconds in
+      Alcotest.(check (float 1e-6)) "usage = mem x time" expected_gbs run.Simulate.gb_seconds
+  | Error e -> Alcotest.fail e
+
+let test_simulate_oom_error () =
+  let s = schema () in
+  (* orders at SF100 is ~16.5 GB: broadcasting it into 2 GB containers OOMs. *)
+  match Simulate.run_joint hive s (joint_plan Join_impl.Bhj (res 10 2.0)) with
+  | Ok _ -> Alcotest.fail "expected OOM"
+  | Error msg -> Alcotest.(check bool) "mentions OOM" true
+                   (String.length msg > 0 && String.sub msg 0 3 = "BHJ")
+
+let test_simulate_plain_equals_joint_at_same_resources () =
+  let s = schema () in
+  let r = res 20 4.0 in
+  let plain = Join_tree.Join (Join_impl.Smj, Join_tree.Scan "orders", Join_tree.Scan "lineitem") in
+  match (Simulate.run_plain hive s ~resources:r plain, Simulate.run_joint hive s (joint_plan Join_impl.Smj r)) with
+  | Ok a, Ok b ->
+      Alcotest.(check (float 1e-9)) "same seconds" a.Simulate.seconds b.Simulate.seconds
+  | _ -> Alcotest.fail "both should run"
+
+let test_simulate_multi_join_additive () =
+  let s = schema () in
+  let r = res 20 6.0 in
+  let two =
+    Join_tree.Join
+      ( (Join_impl.Smj, r),
+        Join_tree.Join ((Join_impl.Smj, r), Join_tree.Scan "orders", Join_tree.Scan "lineitem"),
+        Join_tree.Scan "customer" )
+  in
+  match (Simulate.run_joint hive s two, Simulate.run_joint hive s (joint_plan Join_impl.Smj r)) with
+  | Ok both, Ok single ->
+      Alcotest.(check bool) "two joins cost more than one" true
+        (both.Simulate.seconds > single.Simulate.seconds)
+  | _ -> Alcotest.fail "both should run"
+
+let test_simulate_rejects_invalid_plan () =
+  let s = schema () in
+  let bad =
+    Join_tree.Join
+      ((Join_impl.Smj, res 1 1.0), Join_tree.Scan "orders", Join_tree.Scan "orders")
+  in
+  Alcotest.check_raises "duplicate relation"
+    (Invalid_argument "Simulate: plan references a relation twice") (fun () ->
+      ignore (Simulate.run_joint hive s bad))
+
+let test_simulate_money_positive () =
+  let s = schema () in
+  match Simulate.run_joint hive s (joint_plan Join_impl.Smj (res 10 5.0)) with
+  | Ok run ->
+      Alcotest.(check bool) "money > 0" true (Simulate.money run > 0.0);
+      Alcotest.(check (float 1e-9)) "tb_seconds" (run.Simulate.gb_seconds /. 1024.0)
+        (Simulate.tb_seconds run)
+  | Error e -> Alcotest.fail e
+
+let test_spark_container_reuse () =
+  (* Spark pays stage startup once per plan; Hive per stage. The two-join
+     plan therefore saves exactly one startup + launch overhead on Spark
+     relative to the sum of its stages. *)
+  let s = schema () in
+  let r = res 20 6.0 in
+  let single rels = Join_tree.Join ((Join_impl.Smj, r), Join_tree.Scan (fst rels), Join_tree.Scan (snd rels)) in
+  let two =
+    Join_tree.Join ((Join_impl.Smj, r), single ("orders", "lineitem"), Join_tree.Scan "customer")
+  in
+  let spark = Engine.spark in
+  match
+    ( Simulate.run_joint spark s two,
+      Simulate.run_joint spark s (single ("orders", "lineitem")) )
+  with
+  | Ok both, Ok first ->
+      let second_join_standalone =
+        match
+          Operators.join_time spark Join_impl.Smj
+            ~small_gb:(Raqo_catalog.Schema.join_size_gb s [ "customer" ])
+            ~big_gb:(Raqo_catalog.Schema.join_size_gb s [ "orders"; "lineitem" ])
+            ~resources:r
+        with
+        | Some t -> t
+        | None -> Alcotest.fail "feasible"
+      in
+      let saved =
+        first.Simulate.seconds +. second_join_standalone -. both.Simulate.seconds
+      in
+      let expected = spark.Engine.startup_s +. (spark.Engine.task_overhead_s *. 20.0) in
+      Alcotest.(check (float 1e-6)) "one startup saved" expected saved
+  | _ -> Alcotest.fail "both should run"
+
+let test_hive_no_container_reuse () =
+  (* Hive-on-Tez pays per stage: the plan time is exactly the stage sum. *)
+  let s = schema () in
+  let r = res 20 6.0 in
+  let two =
+    Join_tree.Join
+      ( (Join_impl.Smj, r),
+        Join_tree.Join ((Join_impl.Smj, r), Join_tree.Scan "orders", Join_tree.Scan "lineitem"),
+        Join_tree.Scan "customer" )
+  in
+  match Simulate.run_joint hive s two with
+  | Ok both ->
+      let stage small big =
+        match Operators.join_time hive Join_impl.Smj ~small_gb:small ~big_gb:big ~resources:r with
+        | Some t -> t
+        | None -> Alcotest.fail "feasible"
+      in
+      let j1 =
+        stage
+          (Raqo_catalog.Schema.join_size_gb s [ "orders" ])
+          (Raqo_catalog.Schema.join_size_gb s [ "lineitem" ])
+      in
+      let j2 =
+        stage
+          (Raqo_catalog.Schema.join_size_gb s [ "customer" ])
+          (Raqo_catalog.Schema.join_size_gb s [ "orders"; "lineitem" ])
+      in
+      Alcotest.(check (float 1e-6)) "sum of stages" (j1 +. j2) both.Simulate.seconds
+  | Error e -> Alcotest.fail e
+
+let test_join_inputs_ordered () =
+  let s = schema () in
+  let small, big = Simulate.join_inputs s ~left:[ "lineitem" ] ~right:[ "orders" ] in
+  Alcotest.(check bool) "small <= big" true (small <= big);
+  let small2, big2 = Simulate.join_inputs s ~left:[ "orders" ] ~right:[ "lineitem" ] in
+  Alcotest.(check (float 1e-9)) "symmetric small" small small2;
+  Alcotest.(check (float 1e-9)) "symmetric big" big big2
+
+(* Property: SMJ monotone non-increasing in container count (fixed data,
+   fixed memory) — more parallelism never hurts the shuffle path in the
+   relevant range (task overhead stays second-order below ~100). *)
+let prop_smj_monotone_in_containers =
+  QCheck.Test.make ~name:"SMJ improves (weakly) with containers" ~count:100
+    QCheck.(pair (float_range 0.5 12.0) (int_range 2 60))
+    (fun (s, nc) ->
+      let a = smj ~s ~b:77.0 (res nc 3.0) in
+      let b = smj ~s ~b:77.0 (res (nc + 5) 3.0) in
+      b <= a +. 1e-6)
+
+let prop_bhj_monotone_in_memory =
+  QCheck.Test.make ~name:"BHJ improves with container memory until the cliff" ~count:100
+    QCheck.(pair (float_range 0.5 6.0) (int_range 2 9))
+    (fun (s, gb_int) ->
+      let gb = float_of_int gb_int in
+      match (bhj ~s ~b:77.0 (res 10 gb), bhj ~s ~b:77.0 (res 10 (gb +. 1.0))) with
+      | Some a, Some b -> b <= a +. 1e-6
+      | None, (Some _ | None) -> true (* OOM at smaller memory: nothing to compare *)
+      | Some _, None -> false (* more memory can never newly OOM *))
+
+let prop_costs_positive =
+  QCheck.Test.make ~name:"simulated times are positive and finite" ~count:200
+    QCheck.(triple (float_range 0.2 12.0) (int_range 1 100) (float_range 1.0 10.0))
+    (fun (s, nc, gb) ->
+      List.for_all
+        (fun impl ->
+          match time impl ~s ~b:77.0 (res nc gb) with
+          | Some t -> Float.is_finite t && t > 0.0
+          | None -> true)
+        Join_impl.all)
+
+(* ------------------------------------------------------------- Task_sim *)
+
+module Task_sim = Raqo_execsim.Task_sim
+module Rng = Raqo_util.Rng
+
+let test_task_sim_noise_free_matches_analytical () =
+  (* Zero noise and task count divisible by containers: the wave schedule is
+     perfectly balanced, so the task-level time equals the closed form. *)
+  let rng = Rng.create 1 in
+  let r = res 10 3.0 in
+  (* (3.4 + 77) / 0.25 = 321.6 -> 322 tasks; pick sizes that divide: use
+     data = 80 GB -> 320 tasks over 10 containers = 32 waves exactly. *)
+  match Task_sim.simulate ~noise_sigma:0.0 rng hive Join_impl.Smj ~small_gb:3.0 ~big_gb:77.0 ~resources:r with
+  | Some report ->
+      Alcotest.(check (float 1e-6)) "matches analytical" report.Task_sim.analytical_seconds
+        report.Task_sim.seconds;
+      Alcotest.(check int) "waves" 32 report.Task_sim.waves;
+      Alcotest.(check (float 1e-9)) "no stragglers" 1.0 report.Task_sim.straggler_factor
+  | None -> Alcotest.fail "feasible"
+
+let test_task_sim_noise_adds_stragglers () =
+  let rng = Rng.create 2 in
+  let r = res 10 3.0 in
+  match Task_sim.simulate ~noise_sigma:0.3 rng hive Join_impl.Smj ~small_gb:3.0 ~big_gb:77.0 ~resources:r with
+  | Some report ->
+      Alcotest.(check bool) "stragglers slow the stage" true
+        (report.Task_sim.seconds > report.Task_sim.analytical_seconds);
+      Alcotest.(check bool) "factor > 1" true (report.Task_sim.straggler_factor > 1.0)
+  | None -> Alcotest.fail "feasible"
+
+let test_task_sim_noise_penalty_is_bounded () =
+  (* Hundreds of tasks over tens of containers: list scheduling amortizes
+     the noise; the straggler penalty stays modest at sigma = 0.15. *)
+  let rng = Rng.create 3 in
+  let r = res 20 3.0 in
+  match Task_sim.simulate rng hive Join_impl.Smj ~small_gb:3.0 ~big_gb:77.0 ~resources:r with
+  | Some report ->
+      Alcotest.(check bool)
+        (Printf.sprintf "penalty %.3f < 1.15" report.Task_sim.straggler_factor)
+        true
+        (report.Task_sim.straggler_factor < 1.15)
+  | None -> Alcotest.fail "feasible"
+
+let test_task_sim_respects_oom () =
+  let rng = Rng.create 4 in
+  Alcotest.(check bool) "BHJ OOM propagates" true
+    (Task_sim.simulate rng hive Join_impl.Bhj ~small_gb:5.1 ~big_gb:77.0 ~resources:(res 10 3.0)
+    = None)
+
+let test_task_sim_deterministic_per_seed () =
+  let run () =
+    match
+      Task_sim.simulate (Rng.create 9) hive Join_impl.Bhj ~small_gb:3.0 ~big_gb:77.0
+        ~resources:(res 10 9.0)
+    with
+    | Some report -> report.Task_sim.seconds
+    | None -> Alcotest.fail "feasible"
+  in
+  Alcotest.(check (float 1e-12)) "same seed, same time" (run ()) (run ())
+
+let test_task_sim_rejects_negative_noise () =
+  Alcotest.check_raises "noise" (Invalid_argument "Task_sim.simulate: negative noise")
+    (fun () ->
+      ignore
+        (Task_sim.simulate ~noise_sigma:(-0.1) (Rng.create 1) hive Join_impl.Smj ~small_gb:1.0
+           ~big_gb:77.0 ~resources:(res 10 3.0)))
+
+let prop_task_sim_never_beats_balanced =
+  (* List scheduling can never beat a perfectly balanced split of the drawn
+     task durations. *)
+  QCheck.Test.make ~name:"straggler factor >= 1" ~count:50
+    QCheck.(triple (int_range 1 1000) (int_range 2 40) (int_range 2 10))
+    (fun (seed, nc, gb) ->
+      let rng = Rng.create seed in
+      match
+        Task_sim.simulate rng hive Join_impl.Smj ~small_gb:2.0 ~big_gb:77.0
+          ~resources:(res nc (float_of_int gb))
+      with
+      | Some report -> report.Task_sim.straggler_factor >= 1.0 -. 1e-9
+      | None -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "raqo_execsim"
+    [
+      ( "oom",
+        [
+          Alcotest.test_case "BHJ OOM below 5 GB for 5.1 GB build" `Quick
+            test_bhj_oom_below_5gb_for_paper_join;
+          Alcotest.test_case "3.4 GB fits 3 GB container" `Quick test_bhj_feasible_34_in_3gb;
+          Alcotest.test_case "feasibility predicate consistent" `Quick
+            test_bhj_feasible_predicate_matches_join_time;
+          Alcotest.test_case "SMJ never OOMs" `Quick test_smj_never_ooms;
+        ] );
+      ( "switch_points",
+        [
+          Alcotest.test_case "Fig 3a: switch at 7 GB containers" `Quick test_fig3a_switch_at_7gb;
+          Alcotest.test_case "Fig 3a: SMJ stable in container size" `Quick
+            test_fig3a_smj_stable_in_container_size;
+          Alcotest.test_case "Fig 3b: crossover in container count" `Quick
+            test_fig3b_crossover_in_containers;
+          Alcotest.test_case "SMJ improves with parallelism" `Quick
+            test_smj_improves_with_parallelism;
+          Alcotest.test_case "BHJ improves with memory" `Quick test_bhj_improves_with_memory;
+          Alcotest.test_case "Fig 4a: switch moves with container size" `Quick
+            test_fig4a_switch_moves_with_container_size;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "stock 10 MB rule" `Quick test_default_impl_rule;
+          Alcotest.test_case "best_impl picks minimum" `Quick test_best_impl_picks_minimum;
+          Alcotest.test_case "best_impl falls back to SMJ" `Quick
+            test_best_impl_none_when_impossible;
+          Alcotest.test_case "side order irrelevant" `Quick test_join_time_symmetric_in_sides;
+          Alcotest.test_case "rejects nonpositive sizes" `Quick test_join_time_rejects_nonpositive;
+          Alcotest.test_case "auto reducers near optimal" `Quick
+            test_reducers_default_near_optimal;
+          Alcotest.test_case "mis-sized reducers cost more" `Quick
+            test_reducers_missized_costs_more;
+          Alcotest.test_case "spark profile is faster" `Quick test_spark_profile_differs;
+          Alcotest.test_case "spark has more memory headroom" `Quick
+            test_spark_larger_memory_headroom;
+          Alcotest.test_case "scan scales with data" `Quick test_scan_time_scales;
+        ]
+        @ qsuite [ prop_smj_monotone_in_containers; prop_bhj_monotone_in_memory; prop_costs_positive ]
+      );
+      ( "task_sim",
+        [
+          Alcotest.test_case "noise-free = analytical" `Quick
+            test_task_sim_noise_free_matches_analytical;
+          Alcotest.test_case "noise adds stragglers" `Quick test_task_sim_noise_adds_stragglers;
+          Alcotest.test_case "penalty bounded at default noise" `Quick
+            test_task_sim_noise_penalty_is_bounded;
+          Alcotest.test_case "OOM propagates" `Quick test_task_sim_respects_oom;
+          Alcotest.test_case "deterministic per seed" `Quick test_task_sim_deterministic_per_seed;
+          Alcotest.test_case "rejects negative noise" `Quick test_task_sim_rejects_negative_noise;
+        ]
+        @ qsuite [ prop_task_sim_never_beats_balanced ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "single join runs" `Quick test_simulate_single_join;
+          Alcotest.test_case "OOM surfaces as Error" `Quick test_simulate_oom_error;
+          Alcotest.test_case "plain = joint at same resources" `Quick
+            test_simulate_plain_equals_joint_at_same_resources;
+          Alcotest.test_case "multi-join is additive" `Quick test_simulate_multi_join_additive;
+          Alcotest.test_case "rejects invalid plans" `Quick test_simulate_rejects_invalid_plan;
+          Alcotest.test_case "money and TB·s" `Quick test_simulate_money_positive;
+          Alcotest.test_case "spark reuses containers across stages" `Quick
+            test_spark_container_reuse;
+          Alcotest.test_case "hive pays per stage" `Quick test_hive_no_container_reuse;
+          Alcotest.test_case "join_inputs ordering" `Quick test_join_inputs_ordered;
+        ] );
+    ]

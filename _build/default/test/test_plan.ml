@@ -1,0 +1,195 @@
+(* Tests for Raqo_plan: join-tree structure, traversals, annotations,
+   rendering and DOT export. *)
+
+module Join_tree = Raqo_plan.Join_tree
+module Join_impl = Raqo_plan.Join_impl
+module Resources = Raqo_cluster.Resources
+
+let res nc gb = Resources.make ~containers:nc ~container_gb:gb
+
+(* ((a SMJ b) BHJ (c SMJ d)) — a bushy tree exercising every traversal. *)
+let bushy =
+  Join_tree.Join
+    ( Join_impl.Bhj,
+      Join_tree.Join (Join_impl.Smj, Join_tree.Scan "a", Join_tree.Scan "b"),
+      Join_tree.Join (Join_impl.Smj, Join_tree.Scan "c", Join_tree.Scan "d") )
+
+let left_deep =
+  Join_tree.Join
+    ( Join_impl.Smj,
+      Join_tree.Join (Join_impl.Bhj, Join_tree.Scan "a", Join_tree.Scan "b"),
+      Join_tree.Scan "c" )
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------ structure *)
+
+let test_relations_left_to_right () =
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c"; "d" ] (Join_tree.relations bushy)
+
+let test_n_joins () =
+  Alcotest.(check int) "bushy" 3 (Join_tree.n_joins bushy);
+  Alcotest.(check int) "scan" 0 (Join_tree.n_joins (Join_tree.Scan "x"))
+
+let test_valid () =
+  Alcotest.(check bool) "bushy valid" true (Join_tree.valid bushy);
+  let dup = Join_tree.Join (Join_impl.Smj, Join_tree.Scan "a", Join_tree.Scan "a") in
+  Alcotest.(check bool) "duplicate invalid" false (Join_tree.valid dup)
+
+let test_left_deep () =
+  Alcotest.(check bool) "left-deep" true (Join_tree.left_deep left_deep);
+  Alcotest.(check bool) "bushy is not" false (Join_tree.left_deep bushy);
+  Alcotest.(check bool) "scan is" true (Join_tree.left_deep (Join_tree.Scan "x"))
+
+let test_fold_joins_bottom_up () =
+  (* Bottom-up, left before right: children's annotations appear before the
+     parent's, and each call sees the correct subtree relation sets. *)
+  let visits =
+    List.rev
+      (Join_tree.fold_joins (fun acc impl left right -> (impl, left, right) :: acc) [] bushy)
+  in
+  match visits with
+  | [ (i1, l1, r1); (i2, l2, r2); (i3, l3, r3) ] ->
+      Alcotest.(check bool) "first is left child" true (Join_impl.equal i1 Join_impl.Smj);
+      Alcotest.(check (list string)) "l1" [ "a" ] l1;
+      Alcotest.(check (list string)) "r1" [ "b" ] r1;
+      Alcotest.(check bool) "second is right child" true (Join_impl.equal i2 Join_impl.Smj);
+      Alcotest.(check (list string)) "l2" [ "c" ] l2;
+      Alcotest.(check (list string)) "r2" [ "d" ] r2;
+      Alcotest.(check bool) "root last" true (Join_impl.equal i3 Join_impl.Bhj);
+      Alcotest.(check (list string)) "l3" [ "a"; "b" ] l3;
+      Alcotest.(check (list string)) "r3" [ "c"; "d" ] r3
+  | _ -> Alcotest.fail "three joins"
+
+let test_map_annot_and_annotations () =
+  let flipped =
+    Join_tree.map_annot
+      (function Join_impl.Smj -> Join_impl.Bhj | Join_impl.Bhj -> Join_impl.Smj)
+      bushy
+  in
+  Alcotest.(check (list string)) "annotations flipped" [ "BHJ"; "BHJ"; "SMJ" ]
+    (List.map Join_impl.to_string (Join_tree.annotations flipped))
+
+let test_map_joins_sees_subtrees () =
+  let sized =
+    Join_tree.map_joins (fun _ left right -> List.length left + List.length right) bushy
+  in
+  Alcotest.(check (list int)) "sizes bottom-up" [ 2; 2; 4 ] (Join_tree.annotations sized)
+
+let test_strip () =
+  let joint = Join_tree.map_annot (fun impl -> (impl, res 2 2.0)) bushy in
+  Alcotest.(check bool) "strip recovers plain" true
+    (Join_tree.equal_shape Join_impl.equal (Join_tree.strip joint) bushy)
+
+let test_equal_shape () =
+  Alcotest.(check bool) "same" true (Join_tree.equal_shape Join_impl.equal bushy bushy);
+  Alcotest.(check bool) "differs from left-deep" false
+    (Join_tree.equal_shape Join_impl.equal bushy left_deep);
+  let other_impl = Join_tree.map_annot (fun _ -> Join_impl.Smj) bushy in
+  Alcotest.(check bool) "annotation differences count" false
+    (Join_tree.equal_shape Join_impl.equal bushy other_impl)
+
+(* ------------------------------------------------------------ rendering *)
+
+let test_pp_plain () =
+  Alcotest.(check string) "expression form" "((a BHJ b) SMJ c)"
+    (Format.asprintf "%a" Join_tree.pp_plain left_deep)
+
+let test_pp_joint () =
+  let joint = Join_tree.Join ((Join_impl.Smj, res 10 3.0), Join_tree.Scan "a", Join_tree.Scan "b") in
+  Alcotest.(check string) "joint form" "(a SMJ<10 x 3.0GB> b)"
+    (Format.asprintf "%a" Join_tree.pp_joint joint)
+
+let test_render_indented () =
+  let s = Join_tree.render_indented Join_impl.pp left_deep in
+  Alcotest.(check bool) "has joins" true (contains "Join SMJ" s && contains "Join BHJ" s);
+  Alcotest.(check bool) "has scans" true (contains "Scan a" s && contains "Scan c" s)
+
+let test_to_dot_structure () =
+  let s = Join_tree.to_dot Join_impl.pp bushy in
+  Alcotest.(check bool) "digraph" true (contains "digraph plan" s);
+  (* 4 scans + 3 joins = 7 nodes; 6 edges. *)
+  let count needle =
+    let rec go i acc =
+      if i + String.length needle > String.length s then acc
+      else if String.sub s i (String.length needle) = needle then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "scan boxes" 4 (count "shape=box");
+  Alcotest.(check int) "join nodes" 3 (count "shape=ellipse");
+  Alcotest.(check int) "edges" 6 (count "->")
+
+let test_dtree_to_dot () =
+  let t =
+    Raqo_dtree.Tree.Node
+      {
+        feature = 0;
+        threshold = 0.01;
+        counts = [| 1; 1 |];
+        left = Raqo_dtree.Tree.Leaf { counts = [| 1; 0 |] };
+        right = Raqo_dtree.Tree.Leaf { counts = [| 0; 1 |] };
+      }
+  in
+  let s = Raqo_dtree.Tree.to_dot ~feature_names:[| "data_gb" |] ~label_names:[| "BHJ"; "SMJ" |] t in
+  Alcotest.(check bool) "digraph" true (contains "digraph dtree" s);
+  Alcotest.(check bool) "true branch" true (contains "label=\"True\"" s);
+  Alcotest.(check bool) "false branch" true (contains "label=\"False\"" s);
+  Alcotest.(check bool) "feature" true (contains "data_gb" s)
+
+(* ------------------------------------------------------------ join_impl *)
+
+let test_join_impl_all () =
+  Alcotest.(check int) "two implementations" 2 (List.length Join_impl.all);
+  Alcotest.(check (list string)) "names" [ "SMJ"; "BHJ" ]
+    (List.map Join_impl.to_string Join_impl.all)
+
+let prop_map_annot_preserves_structure =
+  QCheck.Test.make ~name:"map_annot preserves relations and join count" ~count:50
+    QCheck.(int_range 1 8)
+    (fun n ->
+      (* A left-deep chain over n relations. *)
+      let rec build i acc =
+        if i > n then acc
+        else
+          build (i + 1)
+            (Join_tree.Join (Join_impl.Smj, acc, Join_tree.Scan (Printf.sprintf "t%d" i)))
+      in
+      let t = build 1 (Join_tree.Scan "t0") in
+      let mapped = Join_tree.map_annot (fun _ -> Join_impl.Bhj) t in
+      Join_tree.relations mapped = Join_tree.relations t
+      && Join_tree.n_joins mapped = Join_tree.n_joins t)
+
+let () =
+  Alcotest.run "raqo_plan"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "relations left to right" `Quick test_relations_left_to_right;
+          Alcotest.test_case "join count" `Quick test_n_joins;
+          Alcotest.test_case "validity" `Quick test_valid;
+          Alcotest.test_case "left-deep recognition" `Quick test_left_deep;
+          Alcotest.test_case "fold_joins order and subtree sets" `Quick
+            test_fold_joins_bottom_up;
+          Alcotest.test_case "map_annot / annotations" `Quick test_map_annot_and_annotations;
+          Alcotest.test_case "map_joins sees subtrees" `Quick test_map_joins_sees_subtrees;
+          Alcotest.test_case "strip" `Quick test_strip;
+          Alcotest.test_case "equal_shape" `Quick test_equal_shape;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_map_annot_preserves_structure ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "pp plain" `Quick test_pp_plain;
+          Alcotest.test_case "pp joint" `Quick test_pp_joint;
+          Alcotest.test_case "indented render" `Quick test_render_indented;
+          Alcotest.test_case "plan DOT export" `Quick test_to_dot_structure;
+          Alcotest.test_case "decision-tree DOT export" `Quick test_dtree_to_dot;
+        ] );
+      ( "join_impl",
+        [ Alcotest.test_case "implementation set" `Quick test_join_impl_all ] );
+    ]

@@ -1,0 +1,505 @@
+(* Tests for Raqo_planner: costers, Selinger DP, randomized search,
+   exhaustive oracle, heuristics. Correctness is anchored on the oracle:
+   Selinger must match it on left-deep-optimal instances, and the randomized
+   planner must land within a small factor. *)
+
+module Coster = Raqo_planner.Coster
+module Selinger = Raqo_planner.Selinger
+module Randomized = Raqo_planner.Randomized
+module Exhaustive = Raqo_planner.Exhaustive
+module Heuristics = Raqo_planner.Heuristics
+module Join_tree = Raqo_plan.Join_tree
+module Join_impl = Raqo_plan.Join_impl
+module Resources = Raqo_cluster.Resources
+module Conditions = Raqo_cluster.Conditions
+module Schema = Raqo_catalog.Schema
+module Tpch = Raqo_catalog.Tpch
+module Rng = Raqo_util.Rng
+
+let schema = Tpch.schema ()
+let res nc gb = Resources.make ~containers:nc ~container_gb:gb
+let fixed_res = res 10 5.0
+let model = Raqo_cost.Op_cost.with_floor 0.01 Raqo_cost.Op_cost.paper
+let fixed_coster () = Coster.fixed model schema fixed_res
+
+let raqo_coster () =
+  let planner = Raqo_resource.Resource_planner.create Conditions.default in
+  Coster.raqo model schema planner
+
+let sim_coster () = Coster.simulator Raqo_execsim.Engine.hive schema fixed_res
+
+(* ---------------------------------------------------------------- Coster *)
+
+let test_fixed_coster_picks_cheaper_impl () =
+  let c = fixed_coster () in
+  match c.Coster.best_join ~left:[ "orders" ] ~right:[ "lineitem" ] with
+  | Some choice ->
+      let by_hand impl =
+        Raqo_cost.Op_cost.predict_exn model impl
+          ~small_gb:(Raqo_cost.Plan_cost.join_small_gb schema ~left:[ "orders" ] ~right:[ "lineitem" ])
+          ~resources:fixed_res
+      in
+      let expected = Float.min (by_hand Join_impl.Smj) (by_hand Join_impl.Bhj) in
+      Alcotest.(check (float 1e-9)) "min of impls" expected choice.Coster.cost
+  | None -> Alcotest.fail "feasible"
+
+let test_fixed_coster_resources_are_fixed () =
+  let c = fixed_coster () in
+  match c.Coster.best_join ~left:[ "orders" ] ~right:[ "lineitem" ] with
+  | Some choice -> Alcotest.(check bool) "fixed" true (Resources.equal choice.Coster.resources fixed_res)
+  | None -> Alcotest.fail "feasible"
+
+let test_raqo_coster_never_worse_than_fixed () =
+  (* Resource planning searches a superset including the fixed config's
+     whole grid; with hill climbing it can stop at a local optimum, but on
+     the orders⋈lineitem surface it must at least beat the 1-container
+     minimum and produce a finite cost. *)
+  let c = raqo_coster () in
+  match c.Coster.best_join ~left:[ "orders" ] ~right:[ "lineitem" ] with
+  | Some choice -> Alcotest.(check bool) "finite" true (Float.is_finite choice.Coster.cost)
+  | None -> Alcotest.fail "feasible"
+
+let test_cost_tree_sums_joins () =
+  let c = fixed_coster () in
+  let shape =
+    Join_tree.Join
+      ( (),
+        Join_tree.Join ((), Join_tree.Scan "orders", Join_tree.Scan "lineitem"),
+        Join_tree.Scan "customer" )
+  in
+  match Coster.cost_tree c shape with
+  | Some (annotated, total) ->
+      Alcotest.(check int) "2 joins annotated" 2 (Join_tree.n_joins annotated);
+      let parts =
+        [
+          c.Coster.best_join ~left:[ "orders" ] ~right:[ "lineitem" ];
+          c.Coster.best_join ~left:[ "orders"; "lineitem" ] ~right:[ "customer" ];
+        ]
+      in
+      let expected =
+        List.fold_left
+          (fun acc p ->
+            match p with
+            | Some ch -> acc +. ch.Coster.cost
+            | None -> Alcotest.fail "feasible")
+          0.0 parts
+      in
+      Alcotest.(check (float 1e-9)) "sum" expected total
+  | None -> Alcotest.fail "feasible"
+
+let test_cost_tree_infeasible_none () =
+  (* At 1 GB fixed containers the simulator still runs SMJ, so use a coster
+     that rejects everything. *)
+  let never = { Coster.best_join = (fun ~left:_ ~right:_ -> None); name = "never" } in
+  let shape = Join_tree.Join ((), Join_tree.Scan "orders", Join_tree.Scan "lineitem") in
+  Alcotest.(check bool) "None" true (Coster.cost_tree never shape = None)
+
+let test_shape_of_strips () =
+  let joint =
+    Join_tree.Join ((Join_impl.Smj, fixed_res), Join_tree.Scan "a", Join_tree.Scan "b")
+  in
+  match Coster.shape_of joint with
+  | Join_tree.Join ((), Join_tree.Scan "a", Join_tree.Scan "b") -> ()
+  | _ -> Alcotest.fail "bad shape"
+
+(* -------------------------------------------------------------- Selinger *)
+
+let test_selinger_single_relation () =
+  match Selinger.optimize (fixed_coster ()) schema [ "orders" ] with
+  | Some (Join_tree.Scan "orders", cost) -> Alcotest.(check (float 1e-9)) "no joins" 0.0 cost
+  | _ -> Alcotest.fail "expected bare scan"
+
+let test_selinger_produces_valid_left_deep () =
+  List.iter
+    (fun (name, rels) ->
+      match Selinger.optimize (fixed_coster ()) schema rels with
+      | Some (plan, cost) ->
+          Alcotest.(check bool) (name ^ " valid") true (Join_tree.valid plan);
+          Alcotest.(check bool) (name ^ " left deep") true (Join_tree.left_deep plan);
+          Alcotest.(check int) (name ^ " joins all") (List.length rels)
+            (List.length (Join_tree.relations plan));
+          Alcotest.(check bool) (name ^ " finite") true (Float.is_finite cost)
+      | None -> Alcotest.failf "%s: no plan" name)
+    Tpch.evaluation_queries
+
+let test_selinger_matches_exhaustive_left_deep_oracle () =
+  (* With 3 relations every bushy tree is left-deep up to mirroring, and
+     costers order build/probe sides by size, so the DP must match the full
+     exhaustive oracle on Q3. *)
+  let coster = fixed_coster () in
+  match
+    (Selinger.optimize coster schema Tpch.q3, Exhaustive.optimize coster schema Tpch.q3)
+  with
+  | Some (_, dp), Some (_, oc) -> Alcotest.(check (float 1e-6)) "DP = oracle" oc dp
+  | _ -> Alcotest.fail "both should find plans"
+
+let test_selinger_avoids_cartesian () =
+  match Selinger.optimize (fixed_coster ()) schema Tpch.all with
+  | Some (plan, _) ->
+      let ok =
+        Join_tree.fold_joins
+          (fun acc _ left right ->
+            acc
+            && Raqo_catalog.Join_graph.edges_between (Schema.graph schema) left right <> [])
+          true plan
+      in
+      Alcotest.(check bool) "every join has an edge" true ok
+  | None -> Alcotest.fail "plan expected"
+
+let test_selinger_rejects_empty_and_unknown () =
+  Alcotest.check_raises "empty" (Invalid_argument "Selinger.optimize: empty relation set")
+    (fun () -> ignore (Selinger.optimize (fixed_coster ()) schema []));
+  Alcotest.check_raises "unknown" (Invalid_argument "Selinger.optimize: unknown zz")
+    (fun () -> ignore (Selinger.optimize (fixed_coster ()) schema [ "zz" ]))
+
+let test_selinger_none_when_all_infeasible () =
+  let never = { Coster.best_join = (fun ~left:_ ~right:_ -> None); name = "never" } in
+  Alcotest.(check bool) "None" true (Selinger.optimize never schema Tpch.q12 = None)
+
+let test_selinger_with_simulator_coster () =
+  (* Ground-truth coster: DP must still produce a valid plan whose cost
+     equals re-simulating it. *)
+  let coster = sim_coster () in
+  match Selinger.optimize coster schema Tpch.q3 with
+  | Some (plan, cost) -> begin
+      match Raqo_execsim.Simulate.run_joint Raqo_execsim.Engine.hive schema plan with
+      | Ok run -> Alcotest.(check (float 1e-6)) "cost = simulated" run.Raqo_execsim.Simulate.seconds cost
+      | Error e -> Alcotest.fail e
+    end
+  | None -> Alcotest.fail "plan expected"
+
+(* ------------------------------------------------------------ Randomized *)
+
+let test_random_shape_valid () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 50 do
+    let shape = Randomized.random_shape rng schema Tpch.all in
+    Alcotest.(check bool) "valid" true (Join_tree.valid shape);
+    Alcotest.(check int) "all relations" 8 (List.length (Join_tree.relations shape))
+  done
+
+let test_random_shape_no_cartesian () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 50 do
+    let shape = Randomized.random_shape rng schema Tpch.all in
+    let ok =
+      Join_tree.fold_joins
+        (fun acc _ left right ->
+          acc && Raqo_catalog.Join_graph.edges_between (Schema.graph schema) left right <> [])
+        true shape
+    in
+    Alcotest.(check bool) "no cartesian" true ok
+  done
+
+let test_mutate_preserves_validity () =
+  let rng = Rng.create 3 in
+  let shape = ref (Randomized.random_shape rng schema Tpch.all) in
+  let mutated = ref 0 in
+  for _ = 1 to 300 do
+    match Randomized.mutate rng schema !shape with
+    | Some s ->
+        incr mutated;
+        Alcotest.(check bool) "valid" true (Join_tree.valid s);
+        Alcotest.(check (list string)) "same relations"
+          (List.sort compare (Join_tree.relations !shape))
+          (List.sort compare (Join_tree.relations s));
+        shape := s
+    | None -> ()
+  done;
+  Alcotest.(check bool) "some mutations applied" true (!mutated > 30)
+
+let test_randomized_close_to_selinger () =
+  let coster = fixed_coster () in
+  let rng = Rng.create 4 in
+  match
+    ( Randomized.optimize ~params:{ Randomized.iterations = 10; max_no_improve = 50 } rng
+        coster schema Tpch.q3,
+      Selinger.optimize coster schema Tpch.q3 )
+  with
+  | Some (_, rc), Some (_, sc) ->
+      (* Bushy space includes left-deep: randomized should be close (it can
+         even win, since Selinger is restricted to left-deep trees). *)
+      Alcotest.(check bool)
+        (Printf.sprintf "within 2x (randomized %.1f vs selinger %.1f)" rc sc)
+        true (rc <= 2.0 *. sc +. 1e-6)
+  | _ -> Alcotest.fail "both should find plans"
+
+let test_randomized_deterministic_for_seed () =
+  let coster = fixed_coster () in
+  let run seed =
+    match Randomized.optimize (Rng.create seed) coster schema Tpch.q2 with
+    | Some (_, c) -> c
+    | None -> Alcotest.fail "plan expected"
+  in
+  Alcotest.(check (float 1e-12)) "same seed, same cost" (run 9) (run 9)
+
+let test_local_optima_count () =
+  let coster = fixed_coster () in
+  let rng = Rng.create 5 in
+  let optima =
+    Randomized.local_optima ~params:{ Randomized.iterations = 7; max_no_improve = 10 } rng
+      coster schema Tpch.q3
+  in
+  Alcotest.(check int) "one per restart" 7 (List.length optima)
+
+let test_randomized_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Randomized.local_optima: empty relation set")
+    (fun () -> ignore (Randomized.optimize (Rng.create 1) (fixed_coster ()) schema []))
+
+(* ------------------------------------------------------------ Exhaustive *)
+
+let test_exhaustive_counts_q3 () =
+  (* 3 relations in a chain a-b-c: bushy cartesian-free shapes up to
+     commutativity: ((a b) c), ((b c) a) — joining (a c) first is cartesian. *)
+  Alcotest.(check int) "2 shapes for a chain of 3" 2
+    (List.length (Exhaustive.all_shapes schema Tpch.q3))
+
+let test_exhaustive_optimize_not_above_selinger () =
+  let coster = fixed_coster () in
+  match (Exhaustive.optimize coster schema Tpch.q2, Selinger.optimize coster schema Tpch.q2) with
+  | Some (_, eo), Some (_, so) ->
+      Alcotest.(check bool) "oracle <= left-deep DP" true (eo <= so +. 1e-9)
+  | _ -> Alcotest.fail "plans expected"
+
+let test_exhaustive_rejects_oversize () =
+  let rng = Rng.create 6 in
+  let big = Raqo_catalog.Random_schema.generate rng ~tables:9 in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Exhaustive.all_shapes: too many relations") (fun () ->
+      ignore (Exhaustive.all_shapes big (Schema.relation_names big)))
+
+(* --------------------------------------------------------------- Pruning *)
+
+let test_pruned_matches_unpruned_cost () =
+  (* Floored model: nonnegative costs, so pruning is sound and exact. *)
+  let coster = fixed_coster () in
+  List.iter
+    (fun (name, rels) ->
+      let plain = Selinger.optimize coster schema rels in
+      let pruned, _ = Selinger.optimize_pruned coster schema rels in
+      match (plain, pruned) with
+      | Some (_, a), Some (_, b) -> Alcotest.(check (float 1e-9)) (name ^ " same cost") a b
+      | _ -> Alcotest.failf "%s: both should plan" name)
+    Tpch.evaluation_queries
+
+let test_pruned_saves_invocations () =
+  let coster = fixed_coster () in
+  let _, unpruned =
+    (* Count baseline invocations via a wrapping coster. *)
+    let count = ref 0 in
+    let counting =
+      {
+        Coster.best_join =
+          (fun ~left ~right ->
+            incr count;
+            coster.Coster.best_join ~left ~right);
+        name = "counting";
+      }
+    in
+    let _ = Selinger.optimize counting schema Tpch.all in
+    ((), !count)
+  in
+  let _, pruned = Selinger.optimize_pruned coster schema Tpch.all in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned %d <= unpruned %d" pruned unpruned)
+    true (pruned <= unpruned)
+
+let test_pruned_with_raqo_coster () =
+  let planner = Raqo_resource.Resource_planner.create Conditions.default in
+  let coster = Coster.raqo model schema planner in
+  let result, _ = Selinger.optimize_pruned coster schema Tpch.q3 in
+  match (result, Selinger.optimize coster schema Tpch.q3) with
+  | Some (_, a), Some (_, b) -> Alcotest.(check (float 1e-9)) "same optimum" b a
+  | _ -> Alcotest.fail "plans expected"
+
+(* ----------------------------------------------------------------- DPsub *)
+
+let test_dpsub_matches_exhaustive () =
+  (* The bushy DP must equal the exhaustive bushy oracle. *)
+  let coster = fixed_coster () in
+  List.iter
+    (fun (name, rels) ->
+      match
+        (Raqo_planner.Dpsub.optimize coster schema rels, Exhaustive.optimize coster schema rels)
+      with
+      | Some (_, dp), Some (_, oracle) ->
+          Alcotest.(check (float 1e-6)) (name ^ ": DPsub = oracle") oracle dp
+      | _ -> Alcotest.failf "%s: both should find plans" name)
+    [ ("Q12", Tpch.q12); ("Q3", Tpch.q3); ("Q2", Tpch.q2); ("All", Tpch.all) ]
+
+let test_dpsub_not_worse_than_selinger () =
+  (* Bushy space contains the left-deep space. *)
+  let coster = fixed_coster () in
+  match
+    (Raqo_planner.Dpsub.optimize coster schema Tpch.all, Selinger.optimize coster schema Tpch.all)
+  with
+  | Some (_, bushy), Some (_, left_deep) ->
+      Alcotest.(check bool) "bushy <= left-deep" true (bushy <= left_deep +. 1e-9)
+  | _ -> Alcotest.fail "plans expected"
+
+let test_dpsub_valid_plans () =
+  let coster = raqo_coster () in
+  match Raqo_planner.Dpsub.optimize coster schema Tpch.all with
+  | Some (plan, _) ->
+      Alcotest.(check bool) "valid" true (Join_tree.valid plan);
+      Alcotest.(check int) "all 8 relations" 8 (List.length (Join_tree.relations plan));
+      let cartesian_free =
+        Join_tree.fold_joins
+          (fun acc _ left right ->
+            acc && Raqo_catalog.Join_graph.edges_between (Schema.graph schema) left right <> [])
+          true plan
+      in
+      Alcotest.(check bool) "cartesian-free" true cartesian_free
+  | None -> Alcotest.fail "plan expected"
+
+let test_dpsub_single_relation () =
+  match Raqo_planner.Dpsub.optimize (fixed_coster ()) schema [ "orders" ] with
+  | Some (Join_tree.Scan "orders", cost) -> Alcotest.(check (float 1e-9)) "free" 0.0 cost
+  | _ -> Alcotest.fail "bare scan expected"
+
+let test_dpsub_rejects_oversize () =
+  let rng = Rng.create 77 in
+  let big = Raqo_catalog.Random_schema.generate rng ~tables:17 in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Dpsub.optimize: too many relations for bushy DP") (fun () ->
+      ignore
+        (Raqo_planner.Dpsub.optimize (fixed_coster ()) big (Schema.relation_names big)))
+
+let prop_dpsub_below_randomized =
+  (* Exact bushy DP lower-bounds the randomized bushy search. *)
+  QCheck.Test.make ~name:"DPsub <= randomized on random schemas" ~count:15
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let s = Raqo_catalog.Random_schema.generate rng ~tables:7 in
+      let rels = Schema.relation_names s in
+      let coster = Coster.fixed model s fixed_res in
+      match
+        (Raqo_planner.Dpsub.optimize coster s rels, Randomized.optimize rng coster s rels)
+      with
+      | Some (_, dp), Some (_, rand) -> dp <= rand +. 1e-6
+      | Some _, None -> true
+      | None, _ -> false)
+
+(* ------------------------------------------------------------ Heuristics *)
+
+let test_greedy_left_deep_valid () =
+  let shape = Heuristics.greedy_left_deep schema Tpch.all in
+  Alcotest.(check bool) "valid" true (Join_tree.valid shape);
+  Alcotest.(check bool) "left deep" true (Join_tree.left_deep shape);
+  Alcotest.(check int) "all 8" 8 (List.length (Join_tree.relations shape))
+
+let test_greedy_starts_smallest () =
+  match Heuristics.greedy_left_deep schema Tpch.q3 with
+  | Join_tree.Join (_, Join_tree.Join (_, Join_tree.Scan first, _), _) ->
+      (* customer (2.5 GB) < orders (16.5) < lineitem (77). *)
+      Alcotest.(check string) "starts at customer" "customer" first
+  | _ -> Alcotest.fail "expected two-join left-deep tree"
+
+let test_default_plan_uses_stock_rule () =
+  let plan = Heuristics.default_plan Raqo_execsim.Engine.hive schema Tpch.q12 in
+  (* orders is far above 10 MB: the stock rule picks SMJ. *)
+  match Join_tree.annotations plan with
+  | [ impl ] -> Alcotest.(check bool) "SMJ" true (Join_impl.equal impl Join_impl.Smj)
+  | _ -> Alcotest.fail "one join expected"
+
+let prop_selinger_never_worse_than_greedy =
+  (* The DP explores every left-deep order, so it can't lose to the greedy
+     left-deep heuristic under the same coster. *)
+  QCheck.Test.make ~name:"Selinger <= greedy left-deep" ~count:20
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let s = Raqo_catalog.Random_schema.generate rng ~tables:6 in
+      let rels = Schema.relation_names s in
+      let coster = Coster.fixed model s fixed_res in
+      match (Selinger.optimize coster s rels, Coster.cost_tree coster (Heuristics.greedy_left_deep s rels)) with
+      | Some (_, dp), Some (_, greedy) -> dp <= greedy +. 1e-6
+      | Some _, None -> true
+      | None, _ -> false)
+
+let prop_randomized_plans_valid =
+  QCheck.Test.make ~name:"randomized plans are valid joint plans" ~count:20
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let coster = fixed_coster () in
+      match Randomized.optimize rng coster schema Tpch.q2 with
+      | Some (plan, _) ->
+          Join_tree.valid plan
+          && List.sort compare (Join_tree.relations plan) = List.sort compare Tpch.q2
+      | None -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "raqo_planner"
+    [
+      ( "coster",
+        [
+          Alcotest.test_case "fixed picks cheaper impl" `Quick test_fixed_coster_picks_cheaper_impl;
+          Alcotest.test_case "fixed keeps resources fixed" `Quick
+            test_fixed_coster_resources_are_fixed;
+          Alcotest.test_case "raqo coster feasible" `Quick test_raqo_coster_never_worse_than_fixed;
+          Alcotest.test_case "cost_tree sums joins" `Quick test_cost_tree_sums_joins;
+          Alcotest.test_case "cost_tree None on infeasible" `Quick test_cost_tree_infeasible_none;
+          Alcotest.test_case "shape_of strips annotations" `Quick test_shape_of_strips;
+        ] );
+      ( "selinger",
+        [
+          Alcotest.test_case "single relation" `Quick test_selinger_single_relation;
+          Alcotest.test_case "valid left-deep plans on TPC-H" `Quick
+            test_selinger_produces_valid_left_deep;
+          Alcotest.test_case "matches the left-deep oracle" `Quick
+            test_selinger_matches_exhaustive_left_deep_oracle;
+          Alcotest.test_case "avoids cartesian products" `Quick test_selinger_avoids_cartesian;
+          Alcotest.test_case "input validation" `Quick test_selinger_rejects_empty_and_unknown;
+          Alcotest.test_case "None when coster rejects all" `Quick
+            test_selinger_none_when_all_infeasible;
+          Alcotest.test_case "simulator-coster consistency" `Quick
+            test_selinger_with_simulator_coster;
+        ]
+        @ [
+            Alcotest.test_case "pruned DP keeps the optimum" `Quick
+              test_pruned_matches_unpruned_cost;
+            Alcotest.test_case "pruning never costs more joins" `Quick
+              test_pruned_saves_invocations;
+            Alcotest.test_case "pruned DP with the RAQO coster" `Quick
+              test_pruned_with_raqo_coster;
+          ]
+        @ qsuite [ prop_selinger_never_worse_than_greedy ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "random shapes valid" `Quick test_random_shape_valid;
+          Alcotest.test_case "random shapes cartesian-free" `Quick test_random_shape_no_cartesian;
+          Alcotest.test_case "mutations preserve validity" `Quick test_mutate_preserves_validity;
+          Alcotest.test_case "close to Selinger on Q3" `Quick test_randomized_close_to_selinger;
+          Alcotest.test_case "deterministic per seed" `Quick test_randomized_deterministic_for_seed;
+          Alcotest.test_case "one local optimum per restart" `Quick test_local_optima_count;
+          Alcotest.test_case "rejects empty input" `Quick test_randomized_rejects_empty;
+        ]
+        @ qsuite [ prop_randomized_plans_valid ] );
+      ( "dpsub",
+        [
+          Alcotest.test_case "equals the exhaustive oracle" `Quick test_dpsub_matches_exhaustive;
+          Alcotest.test_case "never worse than Selinger" `Quick test_dpsub_not_worse_than_selinger;
+          Alcotest.test_case "valid joint plans" `Quick test_dpsub_valid_plans;
+          Alcotest.test_case "single relation" `Quick test_dpsub_single_relation;
+          Alcotest.test_case "rejects oversize inputs" `Quick test_dpsub_rejects_oversize;
+        ]
+        @ qsuite [ prop_dpsub_below_randomized ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "shape count on a 3-chain" `Quick test_exhaustive_counts_q3;
+          Alcotest.test_case "oracle <= Selinger" `Quick test_exhaustive_optimize_not_above_selinger;
+          Alcotest.test_case "rejects oversize inputs" `Quick test_exhaustive_rejects_oversize;
+        ] );
+      ( "heuristics",
+        [
+          Alcotest.test_case "greedy left-deep is valid" `Quick test_greedy_left_deep_valid;
+          Alcotest.test_case "greedy starts at the smallest table" `Quick
+            test_greedy_starts_smallest;
+          Alcotest.test_case "default plan uses the stock rule" `Quick
+            test_default_plan_uses_stock_rule;
+        ] );
+    ]

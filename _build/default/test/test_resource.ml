@@ -1,0 +1,507 @@
+(* Tests for Raqo_resource: brute force, hill climbing (Algorithm 1), the
+   resource-plan cache, and the orchestrating resource planner. *)
+
+module Resources = Raqo_cluster.Resources
+module Conditions = Raqo_cluster.Conditions
+module Counters = Raqo_resource.Counters
+module Brute_force = Raqo_resource.Brute_force
+module Hill_climb = Raqo_resource.Hill_climb
+module Plan_cache = Raqo_resource.Plan_cache
+module Resource_planner = Raqo_resource.Resource_planner
+
+let res nc gb = Resources.make ~containers:nc ~container_gb:gb
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* A smooth convex bowl with minimum at (nc_opt, gb_opt): hill climbing must
+   find the exact brute-force optimum on it. *)
+let bowl ~nc_opt ~gb_opt (r : Resources.t) =
+  let dn = float_of_int (r.containers - nc_opt) in
+  let dg = r.container_gb -. gb_opt in
+  (dn *. dn) +. (10.0 *. dg *. dg)
+
+(* ----------------------------------------------------------- Brute force *)
+
+let test_brute_force_finds_minimum () =
+  let c = Conditions.default in
+  let best, cost = Brute_force.search c (bowl ~nc_opt:37 ~gb_opt:6.0) in
+  Alcotest.(check int) "containers" 37 best.Resources.containers;
+  check_float "memory" 6.0 best.Resources.container_gb;
+  check_float "cost" 0.0 cost
+
+let test_brute_force_counts_every_config () =
+  let c = Conditions.default in
+  let k = Counters.create () in
+  let _ = Brute_force.search ~counters:k c (bowl ~nc_opt:1 ~gb_opt:1.0) in
+  Alcotest.(check int) "explored all 1000" 1000 k.Counters.cost_evaluations;
+  Alcotest.(check int) "one invocation" 1 k.Counters.planner_invocations
+
+let test_brute_force_tie_break_stable () =
+  (* Constant surface: returns the first enumerated config. *)
+  let c = Conditions.default in
+  let best, _ = Brute_force.search c (fun _ -> 1.0) in
+  Alcotest.(check int) "min containers" 1 best.Resources.containers;
+  check_float "min memory" 1.0 best.Resources.container_gb
+
+(* ---------------------------------------------------------- Hill climbing *)
+
+let test_hill_climb_convex_exact () =
+  let c = Conditions.default in
+  let best, cost = Hill_climb.plan c (bowl ~nc_opt:37 ~gb_opt:6.0) in
+  Alcotest.(check int) "containers" 37 best.Resources.containers;
+  check_float "memory" 6.0 best.Resources.container_gb;
+  check_float "cost" 0.0 cost
+
+let test_hill_climb_explores_fewer_than_brute_force () =
+  let c = Conditions.default in
+  let kb = Counters.create () and kh = Counters.create () in
+  let _ = Brute_force.search ~counters:kb c (bowl ~nc_opt:80 ~gb_opt:9.0) in
+  let _ = Hill_climb.plan ~counters:kh c (bowl ~nc_opt:80 ~gb_opt:9.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "HC %d < BF %d" kh.Counters.cost_evaluations kb.Counters.cost_evaluations)
+    true
+    (kh.Counters.cost_evaluations < kb.Counters.cost_evaluations)
+
+let test_hill_climb_starts_at_minimum_config () =
+  (* A monotone increasing surface keeps the climb at the start point. *)
+  let c = Conditions.default in
+  let best, _ = Hill_climb.plan c (fun r -> Resources.total_gb r) in
+  Alcotest.(check int) "stays at min containers" 1 best.Resources.containers;
+  check_float "stays at min memory" 1.0 best.Resources.container_gb
+
+let test_hill_climb_custom_start () =
+  let c = Conditions.default in
+  let best, _ =
+    Hill_climb.plan ~start:(res 50 5.0) c (fun r -> Resources.total_gb r)
+  in
+  (* Decreasing from (50,5): walks all the way down. *)
+  Alcotest.(check int) "walks down containers" 1 best.Resources.containers;
+  check_float "walks down memory" 1.0 best.Resources.container_gb
+
+let test_hill_climb_start_clamped () =
+  let c = Conditions.make ~max_containers:10 ~max_gb:4.0 () in
+  let best, _ = Hill_climb.plan ~start:(res 5000 50.0) c (fun r -> Resources.total_gb r) in
+  Alcotest.(check bool) "within bounds" true (Conditions.contains c best)
+
+let test_hill_climb_respects_bounds () =
+  (* Minimum outside the box: the climb saturates at the boundary. *)
+  let c = Conditions.make ~max_containers:10 ~max_gb:4.0 () in
+  let best, _ = Hill_climb.plan c (bowl ~nc_opt:50 ~gb_opt:9.0) in
+  Alcotest.(check int) "saturates containers" 10 best.Resources.containers;
+  check_float "saturates memory" 4.0 best.Resources.container_gb
+
+let test_hill_climb_local_optimum_on_infinite_plateau () =
+  (* Infeasible (infinite) surface everywhere: terminates at the start. *)
+  let c = Conditions.default in
+  let best, cost = Hill_climb.plan c (fun _ -> Float.infinity) in
+  Alcotest.(check int) "start point" 1 best.Resources.containers;
+  Alcotest.(check bool) "infinite cost reported" true (cost = Float.infinity)
+
+let prop_hill_climb_result_within_conditions =
+  QCheck.Test.make ~name:"hill climb stays within cluster conditions" ~count:100
+    QCheck.(triple (int_range 1 80) (int_range 1 10) (int_range 0 1000))
+    (fun (nc_opt, gb_opt, seed) ->
+      ignore seed;
+      let c = Conditions.default in
+      let best, _ = Hill_climb.plan c (bowl ~nc_opt ~gb_opt:(float_of_int gb_opt)) in
+      Conditions.contains c best)
+
+let prop_hill_climb_is_local_optimum =
+  QCheck.Test.make ~name:"hill climb result is a 1-step local optimum" ~count:100
+    QCheck.(pair (int_range 1 100) (int_range 1 10))
+    (fun (nc_opt, gb_opt) ->
+      let c = Conditions.default in
+      let f = bowl ~nc_opt ~gb_opt:(float_of_int gb_opt) in
+      let best, cost = Hill_climb.plan c f in
+      let neighbors =
+        List.filter_map
+          (fun (dn, dg) ->
+            let nc = best.Resources.containers + dn in
+            let gb = best.Resources.container_gb +. dg in
+            if nc >= 1 && nc <= 100 && gb >= 1.0 && gb <= 10.0 then
+              Some (res nc gb)
+            else None)
+          [ (1, 0.0); (-1, 0.0); (0, 1.0); (0, -1.0) ]
+      in
+      List.for_all (fun n -> f n >= cost -. 1e-9) neighbors)
+
+let prop_hill_climb_never_beats_brute_force =
+  QCheck.Test.make ~name:"brute force <= hill climb on arbitrary surfaces" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      (* A deterministic pseudo-random (non-convex) surface. *)
+      let f (r : Resources.t) =
+        let h =
+          (r.containers * 2654435761) + (int_of_float r.container_gb * 40503) + seed
+        in
+        float_of_int (h land 0xFFFF)
+      in
+      let c = Conditions.make ~max_containers:20 ~max_gb:5.0 () in
+      let _, bf = Brute_force.search c f in
+      let _, hc = Hill_climb.plan c f in
+      bf <= hc +. 1e-9)
+
+(* ------------------------------------------------------------ Plan cache *)
+
+let test_cache_exact_hit_miss () =
+  let cache = Plan_cache.create () in
+  Plan_cache.insert cache ~key:"smj" ~data_gb:3.0 (res 10 2.0);
+  (match Plan_cache.find cache ~key:"smj" ~data_gb:3.0 Plan_cache.Exact with
+  | Some r -> Alcotest.(check int) "hit" 10 r.Resources.containers
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "miss on other size" true
+    (Plan_cache.find cache ~key:"smj" ~data_gb:3.1 Plan_cache.Exact = None);
+  Alcotest.(check bool) "miss on other key" true
+    (Plan_cache.find cache ~key:"bhj" ~data_gb:3.0 Plan_cache.Exact = None)
+
+let test_cache_overwrite () =
+  let cache = Plan_cache.create () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 1 1.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 9 9.0);
+  (match Plan_cache.find cache ~key:"k" ~data_gb:1.0 Plan_cache.Exact with
+  | Some r -> Alcotest.(check int) "overwritten" 9 r.Resources.containers
+  | None -> Alcotest.fail "hit expected");
+  Alcotest.(check int) "still one entry" 1 (Plan_cache.size cache)
+
+let test_cache_nearest_neighbor () =
+  let cache = Plan_cache.create () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 10 1.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:2.0 (res 20 2.0);
+  (match Plan_cache.find cache ~key:"k" ~data_gb:1.9 (Plan_cache.Nearest_neighbor 0.5) with
+  | Some r -> Alcotest.(check int) "closest is 2.0" 20 r.Resources.containers
+  | None -> Alcotest.fail "hit expected");
+  Alcotest.(check bool) "outside threshold misses" true
+    (Plan_cache.find cache ~key:"k" ~data_gb:3.0 (Plan_cache.Nearest_neighbor 0.5) = None)
+
+let test_cache_weighted_average () =
+  let cache = Plan_cache.create () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 10 2.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:3.0 (res 30 4.0);
+  match Plan_cache.find cache ~key:"k" ~data_gb:2.0 (Plan_cache.Weighted_average 1.5) with
+  | Some r ->
+      (* Equidistant: plain average. *)
+      Alcotest.(check int) "containers averaged" 20 r.Resources.containers;
+      check_float "memory averaged" 3.0 r.Resources.container_gb
+  | None -> Alcotest.fail "hit expected"
+
+let test_cache_weighted_average_prefers_exact () =
+  let cache = Plan_cache.create () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:2.0 (res 7 7.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:2.5 (res 9 9.0);
+  match Plan_cache.find cache ~key:"k" ~data_gb:2.0 (Plan_cache.Weighted_average 1.0) with
+  | Some r -> Alcotest.(check int) "exact wins" 7 r.Resources.containers
+  | None -> Alcotest.fail "hit expected"
+
+let test_cache_resizes_past_initial_capacity () =
+  let cache = Plan_cache.create () in
+  for i = 1 to 100 do
+    Plan_cache.insert cache ~key:"k" ~data_gb:(float_of_int i) (res i 1.0)
+  done;
+  Alcotest.(check int) "100 entries" 100 (Plan_cache.size cache);
+  (* Every entry still findable after the resizes and shifting. *)
+  for i = 1 to 100 do
+    match Plan_cache.find cache ~key:"k" ~data_gb:(float_of_int i) Plan_cache.Exact with
+    | Some r -> Alcotest.(check int) "right plan" i r.Resources.containers
+    | None -> Alcotest.failf "entry %d lost" i
+  done
+
+let test_cache_insert_random_order_stays_sorted () =
+  let cache = Plan_cache.create () in
+  let rng = Raqo_util.Rng.create 5 in
+  let sizes = Array.init 50 (fun i -> float_of_int (i + 1)) in
+  Raqo_util.Rng.shuffle rng sizes;
+  Array.iter (fun s -> Plan_cache.insert cache ~key:"k" ~data_gb:s (res 1 1.0)) sizes;
+  (* Nearest-neighbor across the whole range works iff ordering is intact. *)
+  match Plan_cache.find cache ~key:"k" ~data_gb:25.4 (Plan_cache.Nearest_neighbor 1.0) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected neighbor"
+
+let test_cache_clear () =
+  let cache = Plan_cache.create () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 1 1.0);
+  Plan_cache.clear cache;
+  Alcotest.(check int) "empty" 0 (Plan_cache.size cache)
+
+let test_cache_counters () =
+  let cache = Plan_cache.create () in
+  let k = Counters.create () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 1 1.0);
+  ignore (Plan_cache.find ~counters:k cache ~key:"k" ~data_gb:1.0 Plan_cache.Exact);
+  ignore (Plan_cache.find ~counters:k cache ~key:"k" ~data_gb:9.0 Plan_cache.Exact);
+  Alcotest.(check int) "one hit" 1 k.Counters.cache_hits;
+  Alcotest.(check int) "one miss" 1 k.Counters.cache_misses
+
+let prop_cache_wa_within_neighbor_hull =
+  (* Weighted averages stay inside the bounding box of the neighbors they
+     average. *)
+  QCheck.Test.make ~name:"WA results lie within the neighbor hull" ~count:100
+    QCheck.(pair (list_of_size Gen.(int_range 2 20) (int_range 1 100)) (int_range 1 100))
+    (fun (entries, probe) ->
+      let cache = Plan_cache.create () in
+      List.iter
+        (fun c -> Plan_cache.insert cache ~key:"k" ~data_gb:(float_of_int c) (res c (float_of_int (1 + (c mod 10)))))
+        entries;
+      let threshold = 10.0 in
+      match
+        Plan_cache.find cache ~key:"k" ~data_gb:(float_of_int probe)
+          (Plan_cache.Weighted_average threshold)
+      with
+      | None -> true
+      | Some r ->
+          let close =
+            List.filter (fun c -> Float.abs (float_of_int (c - probe)) <= threshold) entries
+          in
+          let lo = List.fold_left min max_int close and hi = List.fold_left max 0 close in
+          r.Resources.containers >= lo - 1 && r.Resources.containers <= hi + 1)
+
+let prop_cache_nn_within_threshold =
+  QCheck.Test.make ~name:"NN hits are within the threshold" ~count:100
+    QCheck.(pair (list_of_size Gen.(int_range 1 30) (float_range 0.0 50.0)) (float_range 0.0 50.0))
+    (fun (inserts, probe) ->
+      let cache = Plan_cache.create () in
+      List.iteri
+        (fun i s -> Plan_cache.insert cache ~key:"k" ~data_gb:s (res (i + 1) 1.0))
+        inserts;
+      let threshold = 2.0 in
+      match Plan_cache.find cache ~key:"k" ~data_gb:probe (Plan_cache.Nearest_neighbor threshold) with
+      | Some _ -> List.exists (fun s -> Float.abs (s -. probe) <= threshold) inserts
+      | None -> not (List.exists (fun s -> Float.abs (s -. probe) <= threshold) inserts))
+
+(* --------------------------------------------------------- Ordered_index *)
+
+module Ordered_index = Raqo_resource.Ordered_index
+
+let both_backends f =
+  List.iter (fun b -> f b) [ Ordered_index.Sorted_array; Ordered_index.Btree ]
+
+let test_index_insert_find () =
+  both_backends (fun backend ->
+      let idx = Ordered_index.create backend in
+      Ordered_index.insert idx 3.0 "c";
+      Ordered_index.insert idx 1.0 "a";
+      Ordered_index.insert idx 2.0 "b";
+      Alcotest.(check (option string)) "find 2" (Some "b") (Ordered_index.find_exact idx 2.0);
+      Alcotest.(check (option string)) "miss" None (Ordered_index.find_exact idx 2.5);
+      Alcotest.(check int) "size" 3 (Ordered_index.size idx))
+
+let test_index_overwrite () =
+  both_backends (fun backend ->
+      let idx = Ordered_index.create backend in
+      Ordered_index.insert idx 1.0 "old";
+      Ordered_index.insert idx 1.0 "new";
+      Alcotest.(check (option string)) "overwritten" (Some "new")
+        (Ordered_index.find_exact idx 1.0);
+      Alcotest.(check int) "size 1" 1 (Ordered_index.size idx))
+
+let test_index_within () =
+  both_backends (fun backend ->
+      let idx = Ordered_index.create backend in
+      List.iter (fun k -> Ordered_index.insert idx k (string_of_float k)) [ 1.;2.;3.;4.;5. ];
+      let hits = Ordered_index.within idx ~center:3.0 ~radius:1.0 in
+      Alcotest.(check (list (float 1e-9))) "keys 2..4" [ 2.0; 3.0; 4.0 ] (List.map fst hits))
+
+let test_index_ordered_iteration () =
+  both_backends (fun backend ->
+      let idx = Ordered_index.create backend in
+      let rng = Raqo_util.Rng.create 3 in
+      let keys = Array.init 500 (fun i -> float_of_int i) in
+      Raqo_util.Rng.shuffle rng keys;
+      Array.iter (fun k -> Ordered_index.insert idx k ()) keys;
+      Alcotest.(check int) "all present" 500 (Ordered_index.size idx);
+      let listed = List.map fst (Ordered_index.to_list idx) in
+      Alcotest.(check (list (float 1e-9))) "sorted"
+        (List.init 500 float_of_int) listed)
+
+let test_btree_large_scale () =
+  (* Enough entries to force several levels of splits. *)
+  let idx = Ordered_index.create Ordered_index.Btree in
+  for i = 1 to 20_000 do
+    Ordered_index.insert idx (float_of_int ((i * 7919) mod 100_003)) i
+  done;
+  (* 7919 and 100003 are coprime: all keys distinct. *)
+  Alcotest.(check int) "20k entries" 20_000 (Ordered_index.size idx);
+  (* Every inserted key is findable. *)
+  for i = 1 to 100 do
+    let k = float_of_int ((i * 7919) mod 100_003) in
+    match Ordered_index.find_exact idx k with
+    | Some _ -> ()
+    | None -> Alcotest.failf "lost key %f" k
+  done
+
+let prop_backends_agree =
+  (* Random (insert | lookup | range) traces produce identical results on
+     both backends. *)
+  QCheck.Test.make ~name:"sorted array and B+-tree agree" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 200) (pair (int_range 0 100) (int_range 0 2)))
+    (fun ops ->
+      let a = Ordered_index.create Ordered_index.Sorted_array in
+      let b = Ordered_index.create Ordered_index.Btree in
+      List.for_all
+        (fun (k, op) ->
+          let key = float_of_int k in
+          match op with
+          | 0 ->
+              Ordered_index.insert a key k;
+              Ordered_index.insert b key k;
+              true
+          | 1 -> Ordered_index.find_exact a key = Ordered_index.find_exact b key
+          | _ ->
+              Ordered_index.within a ~center:key ~radius:5.0
+              = Ordered_index.within b ~center:key ~radius:5.0)
+        ops
+      && Ordered_index.to_list a = Ordered_index.to_list b)
+
+let test_cache_btree_backend () =
+  let cache = Plan_cache.create ~backend:Ordered_index.Btree () in
+  for i = 1 to 300 do
+    Plan_cache.insert cache ~key:"k" ~data_gb:(float_of_int i) (res i 1.0)
+  done;
+  Alcotest.(check int) "300 entries" 300 (Plan_cache.size cache);
+  match Plan_cache.find cache ~key:"k" ~data_gb:150.2 (Plan_cache.Nearest_neighbor 0.5) with
+  | Some r -> Alcotest.(check int) "nearest" 150 r.Resources.containers
+  | None -> Alcotest.fail "hit expected"
+
+(* ------------------------------------------------------ Resource_planner *)
+
+let test_planner_cache_flow () =
+  let planner = Resource_planner.create Conditions.default in
+  let f = bowl ~nc_opt:20 ~gb_opt:5.0 in
+  let r1, c1 = Resource_planner.plan planner ~key:"smj/join" ~data_gb:3.0 ~cost:f in
+  let evals_after_first = (Resource_planner.counters planner).Counters.cost_evaluations in
+  let r2, c2 = Resource_planner.plan planner ~key:"smj/join" ~data_gb:3.0 ~cost:f in
+  let evals_after_second = (Resource_planner.counters planner).Counters.cost_evaluations in
+  Alcotest.(check bool) "same result" true (Resources.equal r1 r2);
+  check_float "same cost" c1 c2;
+  Alcotest.(check int) "hit costs exactly one eval" (evals_after_first + 1) evals_after_second;
+  Alcotest.(check int) "one hit" 1 (Resource_planner.counters planner).Counters.cache_hits
+
+let test_planner_no_cache_recomputes () =
+  let planner = Resource_planner.create ~cache:false Conditions.default in
+  let f = bowl ~nc_opt:20 ~gb_opt:5.0 in
+  let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.0 ~cost:f in
+  let e1 = (Resource_planner.counters planner).Counters.cost_evaluations in
+  let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.0 ~cost:f in
+  let e2 = (Resource_planner.counters planner).Counters.cost_evaluations in
+  Alcotest.(check bool) "full recompute" true (e2 - e1 > 1)
+
+let test_planner_nn_lookup_reuses_neighbor () =
+  let planner =
+    Resource_planner.create ~lookup:(Plan_cache.Nearest_neighbor 0.5) Conditions.default
+  in
+  let f = bowl ~nc_opt:20 ~gb_opt:5.0 in
+  let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.0 ~cost:f in
+  let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.2 ~cost:f in
+  Alcotest.(check int) "neighbor hit" 1 (Resource_planner.counters planner).Counters.cache_hits
+
+let test_planner_brute_force_strategy () =
+  let planner =
+    Resource_planner.create ~strategy:Resource_planner.Brute_force ~cache:false
+      Conditions.default
+  in
+  let _ = Resource_planner.plan planner ~key:"k" ~data_gb:1.0 ~cost:(bowl ~nc_opt:3 ~gb_opt:2.0) in
+  Alcotest.(check int) "explored all" 1000
+    (Resource_planner.counters planner).Counters.cost_evaluations
+
+let test_planner_with_conditions_shares_cache () =
+  let planner = Resource_planner.create Conditions.default in
+  let f = bowl ~nc_opt:20 ~gb_opt:5.0 in
+  let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.0 ~cost:f in
+  let small = Conditions.make ~max_containers:10 ~max_gb:3.0 () in
+  let planner2 = Resource_planner.with_conditions planner small in
+  (* The stale cached plan (20 containers) must be clamped into the new
+     conditions on reuse. *)
+  let r, _ = Resource_planner.plan planner2 ~key:"k" ~data_gb:3.0 ~cost:f in
+  Alcotest.(check bool) "clamped into new bounds" true (Conditions.contains small r)
+
+let test_planner_reset () =
+  let planner = Resource_planner.create Conditions.default in
+  let f = bowl ~nc_opt:20 ~gb_opt:5.0 in
+  let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.0 ~cost:f in
+  Resource_planner.reset_counters planner;
+  Resource_planner.clear_cache planner;
+  Alcotest.(check int) "counters zeroed" 0
+    (Resource_planner.counters planner).Counters.cost_evaluations;
+  Alcotest.(check int) "cache emptied" 0 (Resource_planner.cache_size planner)
+
+let test_counters_add () =
+  let a = Counters.create () and b = Counters.create () in
+  a.Counters.cost_evaluations <- 3;
+  b.Counters.cost_evaluations <- 4;
+  b.Counters.cache_hits <- 1;
+  Counters.add ~into:a b;
+  Alcotest.(check int) "evals" 7 a.Counters.cost_evaluations;
+  Alcotest.(check int) "hits" 1 a.Counters.cache_hits
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "raqo_resource"
+    [
+      ( "brute_force",
+        [
+          Alcotest.test_case "finds the minimum" `Quick test_brute_force_finds_minimum;
+          Alcotest.test_case "counts every configuration" `Quick
+            test_brute_force_counts_every_config;
+          Alcotest.test_case "stable tie-break" `Quick test_brute_force_tie_break_stable;
+        ] );
+      ( "hill_climb",
+        [
+          Alcotest.test_case "exact on convex surfaces" `Quick test_hill_climb_convex_exact;
+          Alcotest.test_case "cheaper than brute force" `Quick
+            test_hill_climb_explores_fewer_than_brute_force;
+          Alcotest.test_case "starts from the minimum config" `Quick
+            test_hill_climb_starts_at_minimum_config;
+          Alcotest.test_case "custom start point" `Quick test_hill_climb_custom_start;
+          Alcotest.test_case "start is clamped" `Quick test_hill_climb_start_clamped;
+          Alcotest.test_case "saturates at bounds" `Quick test_hill_climb_respects_bounds;
+          Alcotest.test_case "terminates on infinite plateau" `Quick
+            test_hill_climb_local_optimum_on_infinite_plateau;
+        ]
+        @ qsuite
+            [
+              prop_hill_climb_result_within_conditions;
+              prop_hill_climb_is_local_optimum;
+              prop_hill_climb_never_beats_brute_force;
+            ] );
+      ( "plan_cache",
+        [
+          Alcotest.test_case "exact hit/miss" `Quick test_cache_exact_hit_miss;
+          Alcotest.test_case "overwrite on same key" `Quick test_cache_overwrite;
+          Alcotest.test_case "nearest neighbor" `Quick test_cache_nearest_neighbor;
+          Alcotest.test_case "weighted average" `Quick test_cache_weighted_average;
+          Alcotest.test_case "weighted average prefers exact" `Quick
+            test_cache_weighted_average_prefers_exact;
+          Alcotest.test_case "auto-resizing keeps entries" `Quick
+            test_cache_resizes_past_initial_capacity;
+          Alcotest.test_case "random insert order stays sorted" `Quick
+            test_cache_insert_random_order_stays_sorted;
+          Alcotest.test_case "clear" `Quick test_cache_clear;
+          Alcotest.test_case "hit/miss counters" `Quick test_cache_counters;
+        ]
+        @ qsuite [ prop_cache_nn_within_threshold; prop_cache_wa_within_neighbor_hull ] );
+      ( "ordered_index",
+        [
+          Alcotest.test_case "insert/find on both backends" `Quick test_index_insert_find;
+          Alcotest.test_case "overwrite on both backends" `Quick test_index_overwrite;
+          Alcotest.test_case "range queries" `Quick test_index_within;
+          Alcotest.test_case "ordered iteration after shuffled inserts" `Quick
+            test_index_ordered_iteration;
+          Alcotest.test_case "B+-tree at 20k entries" `Quick test_btree_large_scale;
+          Alcotest.test_case "plan cache on the B+-tree backend" `Quick test_cache_btree_backend;
+        ]
+        @ qsuite [ prop_backends_agree ] );
+      ( "resource_planner",
+        [
+          Alcotest.test_case "cache hit short-circuits search" `Quick test_planner_cache_flow;
+          Alcotest.test_case "no cache recomputes" `Quick test_planner_no_cache_recomputes;
+          Alcotest.test_case "NN lookup reuses neighbors" `Quick
+            test_planner_nn_lookup_reuses_neighbor;
+          Alcotest.test_case "brute-force strategy" `Quick test_planner_brute_force_strategy;
+          Alcotest.test_case "condition change clamps cached plans" `Quick
+            test_planner_with_conditions_shares_cache;
+          Alcotest.test_case "reset" `Quick test_planner_reset;
+          Alcotest.test_case "counter accumulation" `Quick test_counters_add;
+        ] );
+    ]

@@ -1,0 +1,383 @@
+(* Unit and property tests for Raqo_util: RNG, statistics, linear algebra,
+   units, table rendering, timers. *)
+
+module Rng = Raqo_util.Rng
+module Stats = Raqo_util.Stats
+module Linalg = Raqo_util.Linalg
+module Units = Raqo_util.Units
+module Table_fmt = Raqo_util.Table_fmt
+module Timer = Raqo_util.Timer
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs a +. Float.abs b)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.copy a in
+  let x = Rng.int a 1000 in
+  let y = Rng.int b 1000 in
+  Alcotest.(check int) "copy continues from same state" x y
+
+let test_rng_split_decorrelates () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "split stream differs" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 13 in
+    Alcotest.(check bool) "in [0,13)" true (x >= 0 && x < 13)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_range_inclusive () =
+  let rng = Rng.create 11 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 2000 do
+    let x = Rng.int_in_range rng ~lo:3 ~hi:5 in
+    Alcotest.(check bool) "in [3,5]" true (x >= 3 && x <= 5);
+    if x = 3 then seen_lo := true;
+    if x = 5 then seen_hi := true
+  done;
+  Alcotest.(check bool) "lo reachable" true !seen_lo;
+  Alcotest.(check bool) "hi reachable" true !seen_hi
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 20_000 (fun _ -> Rng.exponential rng ~mean:4.0) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 4" true (Float.abs (m -. 4.0) < 0.2)
+
+let test_rng_pareto_min () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 1000 do
+    let x = Rng.pareto rng ~shape:1.5 ~scale:10.0 in
+    Alcotest.(check bool) "pareto >= scale" true (x >= 10.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 23 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_pick_member () =
+  let rng = Rng.create 29 in
+  let arr = [| 2; 4; 8 |] in
+  for _ = 1 to 100 do
+    let x = Rng.pick rng arr in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) x) arr)
+  done
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_mean_simple () = check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty input") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_variance_constant () = check_float "variance" 0.0 (Stats.variance [| 5.0; 5.0; 5.0 |])
+let test_variance_known () =
+  check_float "variance of {1,3,5}" (8.0 /. 3.0) (Stats.variance [| 1.0; 3.0; 5.0 |])
+
+let test_stddev_known () =
+  check_float "stddev of {2,4,4,4,5,5,7,9}" 2.0 (Stats.stddev [| 2.;4.;4.;4.;5.;5.;7.;9. |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi
+
+let test_percentile_endpoints () =
+  let xs = [| 10.0; 20.0; 30.0 |] in
+  check_float "p0" 10.0 (Stats.percentile xs 0.0);
+  check_float "p100" 30.0 (Stats.percentile xs 100.0);
+  check_float "p50" 20.0 (Stats.percentile xs 50.0)
+
+let test_percentile_interpolates () =
+  check_float "p25 of 0..3" 0.75 (Stats.percentile [| 0.0; 1.0; 2.0; 3.0 |] 25.0)
+
+let test_percentile_unsorted_input () =
+  check_float "median unsorted" 20.0 (Stats.median [| 30.0; 10.0; 20.0 |])
+
+let test_geometric_mean () = check_float "gmean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |])
+
+let test_geometric_mean_rejects_nonpositive () =
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Stats.geometric_mean: nonpositive sample") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; 0.0 |]))
+
+let test_cdf_shape () =
+  let pts = Stats.cdf [| 5.0; 1.0; 3.0; 2.0; 4.0 |] ~points:5 in
+  Alcotest.(check int) "5 points" 5 (List.length pts);
+  let fracs = List.map snd pts in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "fractions nondecreasing" true (nondecreasing fracs);
+  check_float "last fraction is 1" 1.0 (List.nth fracs 4)
+
+let test_fraction_at_least () =
+  check_float "half >= 3" 0.5 (Stats.fraction_at_least [| 1.0; 2.0; 3.0; 4.0 |] 3.0)
+
+let prop_percentile_within_range =
+  QCheck.Test.make ~name:"percentile stays within [min,max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 40) (float_range (-100.) 100.)) (float_range 0. 100.))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Stats.percentile arr p in
+      let lo, hi = Stats.min_max arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let m = Stats.mean arr in
+      let lo, hi = Stats.min_max arr in
+      m >= lo -. 1e-6 && m <= hi +. 1e-6)
+
+(* --------------------------------------------------------------- Linalg *)
+
+let test_dot () = check_float "dot" 32.0 (Linalg.dot [| 1.;2.;3. |] [| 4.;5.;6. |])
+
+let test_dot_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Linalg.dot: length mismatch")
+    (fun () -> ignore (Linalg.dot [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_mat_vec () =
+  let a = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let y = Linalg.mat_vec a [| 1.; 1. |] in
+  check_float "row0" 3.0 y.(0);
+  check_float "row1" 7.0 y.(1)
+
+let test_transpose () =
+  let t = Linalg.transpose [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  Alcotest.(check int) "rows" 3 (Array.length t);
+  check_float "t(0,1)" 4.0 t.(0).(1);
+  check_float "t(2,0)" 3.0 t.(2).(0)
+
+let test_mat_mul_identity () =
+  let a = [| [| 2.; 1. |]; [| 0.; 3. |] |] in
+  let id = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let p = Linalg.mat_mul a id in
+  check_float "p(0,0)" 2.0 p.(0).(0);
+  check_float "p(1,1)" 3.0 p.(1).(1)
+
+let test_solve_2x2 () =
+  let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Linalg.solve a [| 5.; 10. |] in
+  check_float ~eps:1e-9 "x0" 1.0 x.(0);
+  check_float ~eps:1e-9 "x1" 3.0 x.(1)
+
+let test_solve_needs_pivoting () =
+  (* Zero on the initial diagonal forces a row swap. *)
+  let a = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = Linalg.solve a [| 2.; 3. |] in
+  check_float "x0" 3.0 x.(0);
+  check_float "x1" 2.0 x.(1)
+
+let test_solve_singular () =
+  let a = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" (Failure "Linalg.solve: singular matrix") (fun () ->
+      ignore (Linalg.solve a [| 1.; 2. |]))
+
+let test_least_squares_exact () =
+  (* Planted linear relation is recovered exactly on noiseless data. *)
+  let xs = [| [| 1.; 2. |]; [| 2.; 1. |]; [| 3.; 3. |]; [| 0.; 1. |] |] in
+  let beta_true = [| 2.5; -1.5 |] in
+  let ys = Array.map (fun row -> Linalg.dot row beta_true) xs in
+  let beta = Linalg.least_squares xs ys in
+  check_float ~eps:1e-6 "b0" beta_true.(0) beta.(0);
+  check_float ~eps:1e-6 "b1" beta_true.(1) beta.(1)
+
+let prop_solve_roundtrip =
+  (* solve(A, A x) = x for random diagonally dominant A. *)
+  QCheck.Test.make ~name:"solve . mat_vec = id (diag dominant)" ~count:100
+    QCheck.(list_of_size (Gen.return 9) (float_range (-1.0) 1.0))
+    (fun cells ->
+      let c = Array.of_list cells in
+      let a =
+        Array.init 3 (fun i ->
+            Array.init 3 (fun j ->
+                if i = j then 10.0 +. c.((3 * i) + j) else c.((3 * i) + j)))
+      in
+      let x = [| 1.0; -2.0; 0.5 |] in
+      let b = Linalg.mat_vec a x in
+      let x' = Linalg.solve a b in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) x x')
+
+let prop_least_squares_recovers =
+  QCheck.Test.make ~name:"least squares recovers planted coefficients" ~count:50
+    QCheck.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (b0, b1) ->
+      let xs =
+        Array.init 20 (fun i ->
+            [| float_of_int (i mod 5); float_of_int (i / 5) +. 0.5 |])
+      in
+      let ys = Array.map (fun row -> (b0 *. row.(0)) +. (b1 *. row.(1))) xs in
+      let beta = Linalg.least_squares xs ys in
+      Float.abs (beta.(0) -. b0) < 1e-4 && Float.abs (beta.(1) -. b1) < 1e-4)
+
+(* ---------------------------------------------------------------- Units *)
+
+let test_units_roundtrip () =
+  check_float "mb->gb->mb" 850.0 (Units.mb_of_gb (Units.gb_of_mb 850.0));
+  check_float "gb->bytes->gb" 3.4 (Units.gb_of_bytes (Units.bytes_of_gb 3.4))
+
+let test_pp_gb () =
+  Alcotest.(check string) "gb" "3.40 GB" (Format.asprintf "%a" Units.pp_gb 3.4);
+  Alcotest.(check string) "mb" "512 MB" (Format.asprintf "%a" Units.pp_gb 0.5)
+
+let test_pp_duration () =
+  Alcotest.(check string) "ms" "500 ms" (Format.asprintf "%a" Units.pp_duration 0.5);
+  Alcotest.(check string) "s" "42.0 s" (Format.asprintf "%a" Units.pp_duration 42.0);
+  Alcotest.(check string) "min" "2.5 min" (Format.asprintf "%a" Units.pp_duration 150.0)
+
+(* ------------------------------------------------------------ Table_fmt *)
+
+let test_table_alignment () =
+  let s = Table_fmt.render ~headers:[ "a"; "bb" ] [ [ "xxx"; "y" ]; [ "z"; "wwww" ] ] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  (* All lines equal width after right-padding. *)
+  match lines with
+  | header :: _ ->
+      List.iter
+        (fun l -> Alcotest.(check int) "width" (String.length header) (String.length l))
+        lines
+  | [] -> Alcotest.fail "no lines"
+
+let test_table_pads_short_rows () =
+  let s = Table_fmt.render ~headers:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_fseries () =
+  Alcotest.(check string) "zero" "0" (Table_fmt.fseries 0.0);
+  Alcotest.(check string) "small" "0.0001" (Table_fmt.fseries 1e-4);
+  Alcotest.(check string) "mid" "12.35" (Table_fmt.fseries 12.349);
+  Alcotest.(check string) "big" "1.23e+06" (Table_fmt.fseries 1_234_000.0)
+
+(* ---------------------------------------------------------------- Timer *)
+
+let test_timer_returns_result () =
+  let r, ms = Timer.time_ms (fun () -> 41 + 1) in
+  Alcotest.(check int) "result" 42 r;
+  Alcotest.(check bool) "nonnegative" true (ms >= 0.0)
+
+let test_timer_avg_runs () =
+  let count = ref 0 in
+  let r, _ = Timer.avg_ms ~runs:5 (fun () -> incr count; !count) in
+  Alcotest.(check int) "ran 5 times" 5 !count;
+  Alcotest.(check int) "last result" 5 r
+
+let test_timer_rejects_zero_runs () =
+  Alcotest.check_raises "zero runs" (Invalid_argument "Timer.avg_ms: runs must be positive")
+    (fun () -> ignore (Timer.avg_ms ~runs:0 (fun () -> ())))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "raqo_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic from seed" `Quick test_rng_deterministic;
+          Alcotest.test_case "different seeds differ" `Quick test_rng_different_seeds;
+          Alcotest.test_case "copy is independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split decorrelates" `Quick test_rng_split_decorrelates;
+          Alcotest.test_case "int stays in bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects bound 0" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "range inclusive both ends" `Quick test_rng_range_inclusive;
+          Alcotest.test_case "float stays in bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential has right mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "pareto respects scale" `Quick test_rng_pareto_min;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick returns members" `Quick test_rng_pick_member;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean_simple;
+          Alcotest.test_case "mean rejects empty" `Quick test_mean_empty;
+          Alcotest.test_case "variance of constants is 0" `Quick test_variance_constant;
+          Alcotest.test_case "variance known value" `Quick test_variance_known;
+          Alcotest.test_case "stddev known value" `Quick test_stddev_known;
+          Alcotest.test_case "min_max" `Quick test_min_max;
+          Alcotest.test_case "percentile endpoints" `Quick test_percentile_endpoints;
+          Alcotest.test_case "percentile interpolates" `Quick test_percentile_interpolates;
+          Alcotest.test_case "median of unsorted input" `Quick test_percentile_unsorted_input;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "geometric mean rejects <= 0" `Quick
+            test_geometric_mean_rejects_nonpositive;
+          Alcotest.test_case "cdf shape" `Quick test_cdf_shape;
+          Alcotest.test_case "fraction_at_least" `Quick test_fraction_at_least;
+        ]
+        @ qsuite [ prop_percentile_within_range; prop_mean_between_min_max ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "dot product" `Quick test_dot;
+          Alcotest.test_case "dot rejects mismatch" `Quick test_dot_mismatch;
+          Alcotest.test_case "mat_vec" `Quick test_mat_vec;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "mat_mul by identity" `Quick test_mat_mul_identity;
+          Alcotest.test_case "solve 2x2" `Quick test_solve_2x2;
+          Alcotest.test_case "solve needs pivoting" `Quick test_solve_needs_pivoting;
+          Alcotest.test_case "solve rejects singular" `Quick test_solve_singular;
+          Alcotest.test_case "least squares exact recovery" `Quick test_least_squares_exact;
+        ]
+        @ qsuite [ prop_solve_roundtrip; prop_least_squares_recovers ] );
+      ( "units",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_units_roundtrip;
+          Alcotest.test_case "pp_gb" `Quick test_pp_gb;
+          Alcotest.test_case "pp_duration" `Quick test_pp_duration;
+        ] );
+      ( "table_fmt",
+        [
+          Alcotest.test_case "column alignment" `Quick test_table_alignment;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "fseries formatting" `Quick test_fseries;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "returns result" `Quick test_timer_returns_result;
+          Alcotest.test_case "avg runs n times" `Quick test_timer_avg_runs;
+          Alcotest.test_case "rejects zero runs" `Quick test_timer_rejects_zero_runs;
+        ] );
+    ]

@@ -1,0 +1,263 @@
+(* Tests for Raqo_workload: profile runs, trained cost models, decision-tree
+   datasets, switch-point analysis. *)
+
+module Profile_runs = Raqo_workload.Profile_runs
+module Switch_points = Raqo_workload.Switch_points
+module Engine = Raqo_execsim.Engine
+module Operators = Raqo_execsim.Operators
+module Resources = Raqo_cluster.Resources
+module Conditions = Raqo_cluster.Conditions
+module Join_impl = Raqo_plan.Join_impl
+module Op_cost = Raqo_cost.Op_cost
+module Rng = Raqo_util.Rng
+
+let hive = Engine.hive
+let res nc gb = Resources.make ~containers:nc ~container_gb:gb
+
+(* ----------------------------------------------------------- Profile runs *)
+
+let small_sweep () =
+  Profile_runs.sweep hive ~big_gb:77.0
+    ~small_sizes:[ 1.0; 3.0; 5.0; 8.0 ]
+    ~configs:[ res 10 3.0; res 10 9.0; res 40 3.0; res 40 9.0 ]
+
+let test_sweep_covers_feasible_grid () =
+  let samples = small_sweep () in
+  (* 4 sizes x 4 configs x SMJ always = 16 SMJ samples; BHJ only where
+     feasible. *)
+  let smj = List.filter (fun s -> Join_impl.equal s.Profile_runs.impl Join_impl.Smj) samples in
+  Alcotest.(check int) "SMJ everywhere" 16 (List.length smj);
+  let bhj = List.filter (fun s -> Join_impl.equal s.Profile_runs.impl Join_impl.Bhj) samples in
+  Alcotest.(check bool) "BHJ skips OOM cells" true (List.length bhj < 16);
+  Alcotest.(check bool) "some BHJ cells" true (List.length bhj > 0)
+
+let test_sweep_times_match_simulator () =
+  List.iter
+    (fun (s : Profile_runs.sample) ->
+      match
+        Operators.join_time hive s.impl ~small_gb:s.small_gb ~big_gb:s.big_gb
+          ~resources:s.resources
+      with
+      | Some t -> Alcotest.(check (float 1e-9)) "same time" t s.Profile_runs.seconds
+      | None -> Alcotest.fail "sample recorded for infeasible run")
+    (small_sweep ())
+
+let test_random_sweep_within_conditions () =
+  let rng = Rng.create 11 in
+  let samples = Profile_runs.random_sweep rng hive Conditions.default ~big_gb:77.0 ~n:50 in
+  Alcotest.(check bool) "nonempty" true (samples <> []);
+  List.iter
+    (fun (s : Profile_runs.sample) ->
+      Alcotest.(check bool) "containers in bounds" true
+        (s.resources.Resources.containers >= 1 && s.resources.Resources.containers <= 100);
+      Alcotest.(check bool) "size in sweep range" true
+        (s.small_gb >= 0.2 && s.small_gb <= 12.0))
+    samples
+
+(* ------------------------------------------------------ Cost-model training *)
+
+let trained () =
+  let sizes = List.init 12 (fun i -> 0.5 +. float_of_int i) in
+  let configs =
+    List.concat_map (fun nc -> List.map (fun gb -> res nc (float_of_int gb)) [ 2; 4; 6; 8; 10 ])
+      [ 5; 10; 20; 40 ]
+  in
+  let samples = Profile_runs.sweep hive ~big_gb:77.0 ~small_sizes:sizes ~configs in
+  (samples, Profile_runs.train_cost_model samples)
+
+let test_trained_model_fits_well () =
+  let samples, model = trained () in
+  let r2_smj, r2_bhj = Profile_runs.model_fit samples model in
+  Alcotest.(check bool) (Printf.sprintf "SMJ R2 %.3f > 0.9" r2_smj) true (r2_smj > 0.9);
+  Alcotest.(check bool) (Printf.sprintf "BHJ R2 %.3f > 0.9" r2_bhj) true (r2_bhj > 0.9)
+
+let test_trained_model_orders_impls_correctly () =
+  (* The trained model must reproduce the Section III switch direction:
+     BHJ cheaper at (10 cont, 10 GB), SMJ cheaper at (40 cont, 3 GB) for a
+     5.1 GB build side. *)
+  let _, model = trained () in
+  let best r =
+    match Op_cost.best_impl model ~small_gb:5.1 ~resources:r with
+    | Some (impl, _) -> impl
+    | None -> Alcotest.fail "feasible"
+  in
+  Alcotest.(check bool) "BHJ at big containers" true
+    (Join_impl.equal (best (res 10 10.0)) Join_impl.Bhj);
+  Alcotest.(check bool) "SMJ at high parallelism" true
+    (Join_impl.equal (best (res 40 3.0)) Join_impl.Smj)
+
+let test_trained_model_has_floor () =
+  let _, model = trained () in
+  Alcotest.(check (float 1e-12)) "floor" 0.01 model.Op_cost.floor
+
+let test_train_requires_both_impls () =
+  let only_smj =
+    List.filter
+      (fun s -> Join_impl.equal s.Profile_runs.impl Join_impl.Smj)
+      (small_sweep ())
+  in
+  Alcotest.check_raises "missing BHJ"
+    (Invalid_argument "Profile_runs.train_cost_model: no samples for BHJ") (fun () ->
+      ignore (Profile_runs.train_cost_model only_smj))
+
+let test_paper_space_training_works () =
+  let samples, _ = trained () in
+  let model = Profile_runs.train_cost_model ~space:Raqo_cost.Feature.Paper samples in
+  let r2_smj, _ = Profile_runs.model_fit samples model in
+  (* The paper's 7-feature quadratic space fits worse than Extended but
+     still learns the broad shape. *)
+  Alcotest.(check bool) (Printf.sprintf "paper-space R2 %.3f > 0.5" r2_smj) true (r2_smj > 0.5)
+
+(* --------------------------------------------------- Classification data *)
+
+let test_classification_dataset_labels_match_simulator () =
+  let d =
+    Profile_runs.classification_dataset hive ~big_gb:77.0 ~small_sizes:[ 1.0; 5.0; 9.0 ]
+      ~configs:[ res 10 3.0; res 10 9.0; res 40 3.0 ]
+  in
+  Alcotest.(check int) "9 cells" 9 (Raqo_dtree.Dataset.length d);
+  for i = 0 to Raqo_dtree.Dataset.length d - 1 do
+    let x, label = Raqo_dtree.Dataset.sample d i in
+    let resources = res (int_of_float x.(2)) x.(1) in
+    match Operators.best_impl hive ~small_gb:x.(0) ~big_gb:77.0 ~resources with
+    | Some (impl, _) ->
+        let expected = match impl with Join_impl.Bhj -> 0 | Join_impl.Smj -> 1 in
+        Alcotest.(check int) "label matches simulator" expected label
+    | None -> Alcotest.fail "feasible"
+  done
+
+let test_dtree_features_layout () =
+  let x = Profile_runs.dtree_features ~small_gb:2.0 ~resources:(res 10 3.0) in
+  Alcotest.(check int) "4 features" 4 (Array.length x);
+  Alcotest.(check (float 1e-9)) "data" 2.0 x.(0);
+  Alcotest.(check (float 1e-9)) "container gb" 3.0 x.(1);
+  Alcotest.(check (float 1e-9)) "containers" 10.0 x.(2);
+  Alcotest.(check (float 1e-9)) "tasks" 8.0 x.(3)
+
+(* ----------------------------------------------------------- Switch points *)
+
+let test_switch_point_fig3a () =
+  (* At 10 containers varying container size for a 5.1 GB build side the
+     switch is in container size; here we fix resources and vary data, so
+     check the Fig 4(a) anchors instead: ~3.45 GB at 3 GB containers
+     (OOM-bound), ~6.4 GB at 9 GB containers (cost crossover). *)
+  (match Switch_points.find hive ~big_gb:77.0 ~resources:(res 10 3.0) ~lo:0.5 ~hi:12.0 () with
+  | Some s -> Alcotest.(check bool) (Printf.sprintf "3 GB: %.2f in [3.2,3.7]" s) true (s >= 3.2 && s <= 3.7)
+  | None -> Alcotest.fail "switch expected");
+  match Switch_points.find hive ~big_gb:77.0 ~resources:(res 10 9.0) ~lo:0.5 ~hi:12.0 () with
+  | Some s -> Alcotest.(check bool) (Printf.sprintf "9 GB: %.2f in [5.8,7.2]" s) true (s >= 5.8 && s <= 7.2)
+  | None -> Alcotest.fail "switch expected"
+
+let test_switch_point_none_when_smj_dominates () =
+  (* Tiny containers and high parallelism: SMJ wins everywhere above lo. *)
+  match Switch_points.find hive ~big_gb:77.0 ~resources:(res 100 1.0) ~lo:1.0 ~hi:12.0 () with
+  | None -> ()
+  | Some s -> Alcotest.failf "unexpected switch at %.2f" s
+
+let test_switch_point_monetary_equals_time_at_fixed_resources () =
+  (* Money = time x memory: at fixed resources both metrics flip at the same
+     size (the paper's Fig 7 observation). *)
+  let r = res 10 9.0 in
+  let t = Switch_points.find hive ~big_gb:77.0 ~resources:r ~lo:0.5 ~hi:12.0 () in
+  let m =
+    Switch_points.find ~metric:Switch_points.Monetary hive ~big_gb:77.0 ~resources:r ~lo:0.5
+      ~hi:12.0 ()
+  in
+  match (t, m) with
+  | Some a, Some b -> Alcotest.(check (float 0.01)) "same switch" a b
+  | _ -> Alcotest.fail "both metrics have a switch"
+
+let test_switch_point_bisection_precision () =
+  match Switch_points.find hive ~big_gb:77.0 ~resources:(res 10 3.0) ~lo:0.5 ~hi:12.0 () with
+  | Some s ->
+      (* Around the reported point the winner must actually flip. *)
+      let wins x =
+        match
+          ( Operators.join_time hive Join_impl.Bhj ~small_gb:x ~big_gb:77.0
+              ~resources:(res 10 3.0),
+            Operators.join_time hive Join_impl.Smj ~small_gb:x ~big_gb:77.0
+              ~resources:(res 10 3.0) )
+        with
+        | Some b, Some m -> b < m
+        | None, _ -> false
+        | Some _, None -> true
+      in
+      Alcotest.(check bool) "BHJ just below" true (wins (s -. 0.05));
+      Alcotest.(check bool) "SMJ just above" true (not (wins (s +. 0.05)))
+  | None -> Alcotest.fail "switch expected"
+
+let test_switch_point_rejects_bad_range () =
+  Alcotest.check_raises "range" (Invalid_argument "Switch_points.find: bad range")
+    (fun () ->
+      ignore (Switch_points.find hive ~big_gb:77.0 ~resources:(res 1 1.0) ~lo:5.0 ~hi:2.0 ()))
+
+let test_frontier_shape () =
+  let configs = [ res 10 3.0; res 10 6.0; res 10 9.0 ] in
+  let front = Switch_points.frontier hive ~big_gb:77.0 ~configs ~lo:0.5 ~hi:12.0 () in
+  Alcotest.(check int) "one row per config" 3 (List.length front);
+  (* Bigger containers admit bigger broadcasts: the switch frontier is
+     nondecreasing in container size (Fig 9's headline shape). *)
+  let values = List.filter_map snd front in
+  Alcotest.(check int) "all have switches" 3 (List.length values);
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 0.01 && nondecreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "nondecreasing in container size" true (nondecreasing values)
+
+let prop_switch_point_within_range =
+  QCheck.Test.make ~name:"switch points stay within the probed range" ~count:50
+    QCheck.(pair (int_range 5 45) (int_range 2 10))
+    (fun (nc, gb) ->
+      match
+        Switch_points.find hive ~big_gb:77.0 ~resources:(res nc (float_of_int gb)) ~lo:0.5
+          ~hi:12.0 ()
+      with
+      | Some s -> s >= 0.5 && s <= 12.0
+      | None -> true)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "raqo_workload"
+    [
+      ( "profile_runs",
+        [
+          Alcotest.test_case "sweep covers the feasible grid" `Quick
+            test_sweep_covers_feasible_grid;
+          Alcotest.test_case "recorded times match the simulator" `Quick
+            test_sweep_times_match_simulator;
+          Alcotest.test_case "random sweep respects conditions" `Quick
+            test_random_sweep_within_conditions;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "trained model fits (R2 > 0.9)" `Quick test_trained_model_fits_well;
+          Alcotest.test_case "trained model orders implementations" `Quick
+            test_trained_model_orders_impls_correctly;
+          Alcotest.test_case "trained model carries a floor" `Quick test_trained_model_has_floor;
+          Alcotest.test_case "training needs both implementations" `Quick
+            test_train_requires_both_impls;
+          Alcotest.test_case "paper feature space trains too" `Quick
+            test_paper_space_training_works;
+        ] );
+      ( "classification",
+        [
+          Alcotest.test_case "labels match the simulator" `Quick
+            test_classification_dataset_labels_match_simulator;
+          Alcotest.test_case "feature layout" `Quick test_dtree_features_layout;
+        ] );
+      ( "switch_points",
+        [
+          Alcotest.test_case "Fig 4a anchors" `Quick test_switch_point_fig3a;
+          Alcotest.test_case "None when SMJ dominates" `Quick
+            test_switch_point_none_when_smj_dominates;
+          Alcotest.test_case "monetary switch = time switch at fixed resources" `Quick
+            test_switch_point_monetary_equals_time_at_fixed_resources;
+          Alcotest.test_case "bisection brackets the flip" `Quick
+            test_switch_point_bisection_precision;
+          Alcotest.test_case "rejects bad ranges" `Quick test_switch_point_rejects_bad_range;
+          Alcotest.test_case "Fig 9 frontier shape" `Quick test_frontier_shape;
+        ]
+        @ qsuite [ prop_switch_point_within_range ] );
+    ]
