@@ -384,7 +384,7 @@ let time_planner ?(runs = 3) opt query =
     Raqo.Cost_based.reset opt;
     let _, ms = Timer.time_ms (fun () -> Raqo.Cost_based.optimize opt query) in
     ms_total := !ms_total +. ms;
-    evals := (Raqo.Cost_based.counters opt).Counters.cost_evaluations
+    evals := Counters.cost_evaluations (Raqo.Cost_based.counters opt)
   done;
   (!ms_total /. float_of_int runs, !evals)
 
@@ -993,6 +993,135 @@ let ablation_workload () =
     "joint optimization pays planner milliseconds to save cluster hours; queue effects \
      compound the per-query gains"
 
+(* -------------------------------------------------------------------- par *)
+
+(* Timings recorded for --json output: figure wall times plus the par
+   section's labeled samples. *)
+let json_samples : (string * float) list ref = ref []
+let sample name seconds = json_samples := (name, seconds) :: !json_samples
+
+let write_json path =
+  let oc = open_out path in
+  let entries =
+    List.rev_map
+      (fun (name, seconds) ->
+        Printf.sprintf "    {\"name\": %S, \"seconds\": %.6f}" name seconds)
+      !json_samples
+  in
+  Printf.fprintf oc "{\n  \"figures\": [\n%s\n  ]\n}\n" (String.concat ",\n" entries);
+  close_out oc;
+  Printf.printf "wrote %d timing samples to %s\n" (List.length entries) path
+
+(* Sequential vs pooled planning. On a single-CPU host the pooled runs show
+   domain overhead rather than speedup; the point of the table is the
+   identical plan costs (determinism) and the trend as cores appear. *)
+let par_bench () =
+  let m = Lazy.force model in
+  let rng = Rng.create 7 in
+  let schema = Raqo_catalog.Random_schema.generate rng ~tables:24 in
+  let rels = Raqo_catalog.Random_schema.query rng schema ~joins:11 in
+  let params = { Raqo_planner.Randomized.iterations = 16; max_no_improve = 30 } in
+  let mk () =
+    Raqo.Cost_based.create ~kind:Raqo.Cost_based.Fast_randomized ~randomized_params:params
+      ~cache:false ~model:m ~conditions:Conditions.default schema
+  in
+  let cost_of = function Some (_, c) -> f c | None -> "-" in
+  let seq_result = ref None in
+  let _, seq_ms =
+    Timer.avg_ms ~runs:3 (fun () -> seq_result := Raqo.Cost_based.optimize (mk ()) rels)
+  in
+  sample "par:randomized:seq" (seq_ms /. 1000.0);
+  let rand_rows =
+    [ "randomized"; "seq"; f seq_ms; "1.00"; cost_of !seq_result ]
+    :: List.map
+         (fun jobs ->
+           Raqo_par.Pool.with_pool ~jobs (fun pool ->
+               let result = ref None in
+               let _, ms =
+                 Timer.avg_ms ~runs:3 (fun () ->
+                     result := Raqo.Cost_based.optimize_par (mk ()) pool rels)
+               in
+               sample (Printf.sprintf "par:randomized:jobs=%d" jobs) (ms /. 1000.0);
+               [
+                 "randomized";
+                 Printf.sprintf "%d domains" jobs;
+                 f ms;
+                 f (seq_ms /. ms);
+                 cost_of !result;
+               ]))
+         [ 1; 2; 4 ]
+  in
+  (* Brute-force grid search over a deliberately large configuration space. *)
+  let grid =
+    Conditions.make ~max_containers:400 ~max_gb:16.0 ~gb_step:0.5 ()
+  in
+  let grid_cost (r : Resources.t) =
+    Raqo_cost.Op_cost.predict_exn m Join_impl.Smj ~small_gb:3.4 ~resources:r
+  in
+  let bf_seq = ref (res 1 1.0, 0.0) in
+  let _, bf_seq_ms =
+    Timer.avg_ms ~runs:3 (fun () -> bf_seq := Raqo_resource.Brute_force.search grid grid_cost)
+  in
+  sample "par:brute-force:seq" (bf_seq_ms /. 1000.0);
+  let bf_rows =
+    [ "brute force"; "seq"; f bf_seq_ms; "1.00"; f (snd !bf_seq) ]
+    :: List.map
+         (fun jobs ->
+           Raqo_par.Pool.with_pool ~jobs (fun pool ->
+               let result = ref (res 1 1.0, 0.0) in
+               let _, ms =
+                 Timer.avg_ms ~runs:3 (fun () ->
+                     result := Raqo_resource.Brute_force.search_par pool grid grid_cost)
+               in
+               sample (Printf.sprintf "par:brute-force:jobs=%d" jobs) (ms /. 1000.0);
+               [
+                 "brute force";
+                 Printf.sprintf "%d domains" jobs;
+                 f ms;
+                 f (bf_seq_ms /. ms);
+                 f (snd !result);
+               ]))
+         [ 1; 2; 4 ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Parallel planning: randomized restarts (12-relation query, 16 restarts) and \
+          brute-force grid search (%d configs) across domain pools (host has %d cores)"
+         (List.length (Conditions.all_configs grid))
+         (Domain.recommended_domain_count ()))
+    ~headers:[ "task"; "pool"; "ms"; "speedup"; "best cost" ]
+    (rand_rows @ bf_rows);
+  (* The memoizing coster: same plans, fewer best-join evaluations. *)
+  let memo_rows =
+    List.map
+      (fun (qname, rels) ->
+        let evals memoize =
+          let opt =
+            Raqo.Cost_based.create ~memoize ~cache:false ~model:m
+              ~conditions:Conditions.default tpch
+          in
+          match Raqo.Cost_based.optimize opt rels with
+          | Some (_, c) -> (Counters.cost_evaluations (Raqo.Cost_based.counters opt), c)
+          | None -> (0, Float.nan)
+        in
+        let plain_evals, plain_cost = evals false in
+        let memo_evals, memo_cost = evals true in
+        [
+          qname;
+          string_of_int plain_evals;
+          string_of_int memo_evals;
+          f (float_of_int plain_evals /. float_of_int (max 1 memo_evals));
+          (if Float.equal plain_cost memo_cost then "yes" else "NO");
+        ])
+      Tpch.evaluation_queries
+  in
+  Table.print
+    ~title:"Memoizing coster: resource configs explored, Selinger on TPC-H (hill climbing)"
+    ~headers:[ "query"; "plain evals"; "memoized evals"; "saving"; "same plan cost" ]
+    memo_rows;
+  note "restart fan-out and grid partitioning return bit-identical plans at any pool size"
+
 (* ------------------------------------------------------------------ micro *)
 
 let micro () =
@@ -1083,10 +1212,24 @@ let figures =
     ("workload", "workload-scale RAQO vs the two-step default", ablation_workload);
     ("tasksim", "ablation: task-level vs analytical stage model", ablation_tasksim);
     ("pruning", "ablation: branch-and-bound pruning in the DP", ablation_pruning);
+    ("par", "parallel planning: domain pools and the memoizing coster", par_bench);
   ]
 
+(* Pull "--json FILE" out of the argument list, leaving figure names. *)
+let rec split_json_arg = function
+  | [] -> (None, [])
+  | "--json" :: path :: rest ->
+      let _, names = split_json_arg rest in
+      (Some path, names)
+  | [ "--json" ] ->
+      prerr_endline "bench: --json needs a file argument";
+      exit 2
+  | arg :: rest ->
+      let json, names = split_json_arg rest in
+      (json, arg :: names)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let json_path, args = split_json_arg (List.tl (Array.to_list Sys.argv)) in
   let run_all = args = [] || List.mem "all" args in
   let ran = ref 0 in
   List.iter
@@ -1094,20 +1237,25 @@ let () =
       if run_all || List.mem name args then begin
         incr ran;
         let _, s = Timer.time run in
+        sample name s;
         Printf.printf "  [%s completed in %.1f s]\n%!" name s
       end)
     figures;
   if List.mem "fig15b-full" args then begin
     incr ran;
-    fig15b ~full:true ()
+    let _, s = Timer.time (fig15b ~full:true) in
+    sample "fig15b-full" s
   end;
   if List.mem "micro" args then begin
     incr ran;
-    micro ()
+    let _, s = Timer.time micro in
+    sample "micro" s
   end;
   if !ran = 0 then begin
     print_endline "unknown figure; available:";
     List.iter (fun (n, d, _) -> Printf.printf "  %-8s %s\n" n d) figures;
     print_endline "  micro    Bechamel micro-benchmarks";
-    print_endline "  fig15b-full  Figure 15(b) with 1-container allocation steps (slow)"
+    print_endline "  fig15b-full  Figure 15(b) with 1-container allocation steps (slow)";
+    print_endline "  --json FILE  write per-figure wall times (and par samples) as JSON"
   end
+  else Option.iter write_json json_path

@@ -30,6 +30,12 @@ let memory_arg =
 let conditions max_containers max_gb =
   Raqo_cluster.Conditions.make ~max_containers ~max_gb ()
 
+let jobs_opt_arg =
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+         ~doc:"Planning domains. With the randomized planner, restarts run on a pool of \
+               $(docv) domains (results are identical to --jobs 1 for a fixed seed); with \
+               workload batches, queries are planned concurrently.")
+
 (* ------------------------------------------------------------------ plan *)
 
 let plan_cmd =
@@ -61,7 +67,7 @@ let plan_cmd =
                  e.g. \"select * from orders, lineitem where o_orderkey = l_orderkey and \
                  o_totalprice < 172000\".")
   in
-  let run relations planner mode max_containers max_gb nc gb sql =
+  let run relations planner mode max_containers max_gb nc gb sql jobs =
     let schema = Raqo_catalog.Tpch.schema () in
     let model = Raqo.Models.hive () in
     let kind =
@@ -99,6 +105,9 @@ let plan_cmd =
             let opt = Raqo.Cost_based.create ~kind ~model ~conditions schema in
             let result =
               match mode with
+              | `Raqo when jobs > 1 ->
+                  Raqo_par.Pool.with_pool ~jobs (fun pool ->
+                      Raqo.Cost_based.optimize_par opt pool relations)
               | `Raqo -> Raqo.Cost_based.optimize opt relations
               | `Qo ->
                   Raqo.Cost_based.optimize_qo opt
@@ -110,8 +119,8 @@ let plan_cmd =
                 print_string (Raqo.Explain.joint model schema plan);
                 let k = Raqo.Cost_based.counters opt in
                 Printf.printf "resource configurations explored: %d (cache hits %d)\n"
-                  k.Raqo_resource.Counters.cost_evaluations
-                  k.Raqo_resource.Counters.cache_hits
+                  (Raqo_resource.Counters.cost_evaluations k)
+                  (Raqo_resource.Counters.cache_hits k)
             | None ->
                 print_endline "no feasible plan";
                 exit 2)
@@ -119,7 +128,7 @@ let plan_cmd =
   in
   let term =
     Term.(const run $ relations_arg $ planner_arg $ mode_arg $ containers_arg $ memory_arg
-          $ fixed_containers $ fixed_gb $ sql_arg)
+          $ fixed_containers $ fixed_gb $ sql_arg $ jobs_opt_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Jointly optimize a TPC-H query's plan and resources") term
 
@@ -266,7 +275,7 @@ let queue_cmd =
 let workload_cmd =
   let n_arg = Arg.(value & opt int 100 & info [ "queries" ] ~docv:"N" ~doc:"Queries to simulate.") in
   let seed_arg = Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
-  let run n seed max_containers max_gb =
+  let run n seed max_containers max_gb jobs =
     let schema = Raqo_catalog.Tpch.schema () in
     let engine = Raqo_execsim.Engine.hive in
     let model = Raqo.Models.hive () in
@@ -275,8 +284,7 @@ let workload_cmd =
       Raqo_scheduler.Workload_runner.generate rng ~n ~arrival_rate:0.002 schema
     in
     let conditions = conditions max_containers max_gb in
-    let show name planner =
-      let s, _ = Raqo_scheduler.Workload_runner.run engine schema submissions ~planner in
+    let print_summary name (s : Raqo_scheduler.Workload_runner.summary) =
       Printf.printf
         "%-32s done %3d  makespan %7.1f h  mean lat %8.0f s  p95 %8.0f s  %8.0f TB·s  planning %6.1f ms\n"
         name s.Raqo_scheduler.Workload_runner.completed
@@ -286,17 +294,28 @@ let workload_cmd =
         s.Raqo_scheduler.Workload_runner.total_tb_seconds
         s.Raqo_scheduler.Workload_runner.total_plan_ms
     in
+    let show name planner =
+      let s, _ = Raqo_scheduler.Workload_runner.run engine schema submissions ~planner in
+      print_summary name s
+    in
     Printf.printf "%d queries, FIFO on a shared cluster (%s)\n\n" n
       (Format.asprintf "%a" Raqo_cluster.Conditions.pp conditions);
     show "default two-step (10 x 3 GB)"
       (Raqo_scheduler.Workload_runner.default_planner engine
          ~resources:(Raqo_cluster.Resources.make ~containers:10 ~container_gb:3.0));
     show "RAQO"
-      (Raqo_scheduler.Workload_runner.raqo_planner ~model ~conditions ())
+      (Raqo_scheduler.Workload_runner.raqo_planner ~model ~conditions ());
+    if jobs > 1 then
+      Raqo_par.Pool.with_pool ~jobs (fun pool ->
+          let s, _ =
+            Raqo_scheduler.Workload_runner.run_batch ~pool engine ~model ~conditions schema
+              submissions
+          in
+          print_summary (Printf.sprintf "RAQO (batch, %d domains)" jobs) s)
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Compare RAQO vs the two-step default on a query workload")
-    Term.(const run $ n_arg $ seed_arg $ containers_arg $ memory_arg)
+    Term.(const run $ n_arg $ seed_arg $ containers_arg $ memory_arg $ jobs_opt_arg)
 
 let () =
   let info =

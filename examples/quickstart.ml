@@ -39,7 +39,8 @@ let () =
       | Error e -> Printf.printf "Simulation failed: %s\n" e);
       let k = Raqo.Cost_based.counters opt in
       Printf.printf "Planner explored %d resource configurations (%d cache hits)\n"
-        k.Raqo_resource.Counters.cost_evaluations k.Raqo_resource.Counters.cache_hits;
+        (Raqo_resource.Counters.cost_evaluations k)
+          (Raqo_resource.Counters.cache_hits k);
 
       (* 6. Or start from SQL: the WHERE clause scales the statistics the
          optimizer plans with (here: the paper's 5.1 GB orders sample). *)

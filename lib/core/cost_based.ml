@@ -10,12 +10,16 @@ type t = {
   resource_planner : Resource_planner.t;
   rng : Raqo_util.Rng.t;
   randomized_params : Raqo_planner.Randomized.params;
+  resource_strategy : Resource_planner.strategy;
+  cache_enabled : bool;
+  lookup : Raqo_resource.Plan_cache.lookup;
+  memoize : bool;
 }
 
 let create ?(kind = Selinger) ?(seed = 42)
     ?(randomized_params = Raqo_planner.Randomized.default_params)
     ?(resource_strategy = Resource_planner.Hill_climb) ?(cache = true)
-    ?(lookup = Raqo_resource.Plan_cache.Exact) ~model ~conditions schema =
+    ?(lookup = Raqo_resource.Plan_cache.Exact) ?(memoize = false) ~model ~conditions schema =
   {
     kind;
     schema;
@@ -23,6 +27,10 @@ let create ?(kind = Selinger) ?(seed = 42)
     resource_planner = Resource_planner.create ~strategy:resource_strategy ~cache ~lookup conditions;
     rng = Raqo_util.Rng.create seed;
     randomized_params;
+    resource_strategy;
+    cache_enabled = cache;
+    lookup;
+    memoize;
   }
 
 let schema t = t.schema
@@ -41,16 +49,39 @@ let run_planner t coster relations =
       Raqo_planner.Randomized.optimize ~params:t.randomized_params t.rng coster t.schema
         relations
 
+let wrap t coster = if t.memoize then Coster.memoize coster else coster
+
 let optimize t relations =
-  let coster = Coster.raqo t.model t.schema t.resource_planner in
+  let coster = wrap t (Coster.raqo t.model t.schema t.resource_planner) in
   run_planner t coster relations
 
+(* A fresh coster per restart: the raqo coster's memo tables (statistics and,
+   when enabled, join memoization) are plain hashtables, and the private
+   resource planner keeps the per-restart cache single-domain. The shared
+   atomic counters keep aggregate instrumentation meaningful. *)
+let restart_coster t =
+  let counters = Resource_planner.counters t.resource_planner in
+  fun () ->
+    let rp =
+      Resource_planner.create ~strategy:t.resource_strategy ~cache:t.cache_enabled
+        ~lookup:t.lookup ~counters
+        (Resource_planner.conditions t.resource_planner)
+    in
+    wrap t (Coster.raqo t.model t.schema rp)
+
+let optimize_par t pool relations =
+  match t.kind with
+  | Selinger | Bushy_dp -> optimize t relations
+  | Fast_randomized ->
+      Raqo_planner.Randomized.optimize_par ~params:t.randomized_params pool t.rng
+        ~coster:(restart_coster t) t.schema relations
+
 let optimize_qo t ~resources relations =
-  let coster = Coster.fixed t.model t.schema resources in
+  let coster = wrap t (Coster.fixed t.model t.schema resources) in
   run_planner t coster relations
 
 let candidates t relations =
-  let coster = Coster.raqo t.model t.schema t.resource_planner in
+  let coster = wrap t (Coster.raqo t.model t.schema t.resource_planner) in
   match t.kind with
   | Selinger -> Option.to_list (Raqo_planner.Selinger.optimize coster t.schema relations)
   | Bushy_dp -> Option.to_list (Raqo_planner.Dpsub.optimize coster t.schema relations)

@@ -13,7 +13,13 @@ type t
 
 (** [create ?kind ?seed ?randomized_params ~model ~conditions schema] builds
     an optimizer. Defaults: Selinger, hill-climbing resource planning with
-    an exact-match cache, seed 42. *)
+    an exact-match cache, seed 42, no join memoization.
+
+    [memoize] wraps every coster in {!Raqo_planner.Coster.memoize}, caching
+    best-join choices per query on unordered relation-set pairs — it cuts
+    cost evaluations (Selinger's DP re-costs mirrored pairs) without
+    changing any chosen plan. Off by default so instrumentation baselines
+    stay comparable. *)
 val create :
   ?kind:planner_kind ->
   ?seed:int ->
@@ -21,6 +27,7 @@ val create :
   ?resource_strategy:Raqo_resource.Resource_planner.strategy ->
   ?cache:bool ->
   ?lookup:Raqo_resource.Plan_cache.lookup ->
+  ?memoize:bool ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->
   Raqo_catalog.Schema.t ->
@@ -39,6 +46,16 @@ val with_conditions : t -> Raqo_cluster.Conditions.t -> t
     estimated cost — RAQO proper. [None] when no feasible plan exists. *)
 val optimize :
   t -> string list -> (Raqo_plan.Join_tree.joint * float) option
+
+(** [optimize_par t pool relations] is {!optimize} with the randomized
+    planner's restarts fanned out across [pool]'s domains. Each restart gets
+    a fresh coster and a private resource planner sharing [t]'s atomic
+    counters; with the default exact-match cache lookup the result is
+    bit-identical to {!optimize} on an equal-seed optimizer, for any pool
+    size. For the DP kinds ([Selinger], [Bushy_dp]) — single-pass searches
+    with nothing to fan out — this simply calls {!optimize}. *)
+val optimize_par :
+  t -> Raqo_par.Pool.t -> string list -> (Raqo_plan.Join_tree.joint * float) option
 
 (** [optimize_qo t ~resources relations] is the conventional two-step
     baseline: query planning only, every join costed at the given fixed

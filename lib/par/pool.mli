@@ -1,0 +1,74 @@
+(** A fixed-size pool of worker domains behind a mutex/condition work queue —
+    the substrate for every embarrassingly parallel hot path in the planner
+    (randomized restarts, brute-force resource grids, workload batches).
+
+    Design notes, load-bearing for callers:
+
+    - {b Determinism.} Results of {!run_list} / {!parallel_map} are returned
+      in submission order, whatever order the tasks actually executed in. A
+      caller that gives each task its own pre-split PRNG therefore observes
+      output bit-identical to a sequential run.
+    - {b Helping submitter.} [create ~jobs] spawns [jobs - 1] worker domains;
+      the domain that submits a batch executes tasks itself while it waits.
+      Total parallelism is [jobs], and [jobs = 1] degenerates to a plain
+      sequential map with no domain spawned and no synchronization beyond
+      the queue discipline.
+    - {b Nested use.} A task may itself submit a batch to the same pool: the
+      inner submitter helps drain the queue instead of blocking on a worker
+      slot, so nesting cannot deadlock even on a 1-job pool.
+    - {b Exceptions.} If tasks raise, the whole batch still runs to
+      completion, then the exception of the lowest-indexed failed task is
+      re-raised in the submitter (deterministic regardless of scheduling).
+
+    Tasks must not share unsynchronized mutable state; every parallel entry
+    point in this library hands each task its own coster/planner/RNG and
+    reduces the results in the submitter. *)
+
+type t
+
+(** [create ~jobs ()] builds a pool with total parallelism [jobs] ([jobs - 1]
+    worker domains plus the helping submitter).
+    @raise Invalid_argument when [jobs < 1]. *)
+val create : jobs:int -> unit -> t
+
+(** [default_jobs ()] is the runtime's recommended domain count (capped at 8
+    — beyond that the planner's task grain is too fine to win). *)
+val default_jobs : unit -> int
+
+(** [size t] is the pool's total parallelism (the [jobs] it was created
+    with). *)
+val size : t -> int
+
+(** [shutdown t] signals the workers to exit once the queue drains and joins
+    them. Idempotent. Submitting to a shut-down pool raises. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
+    down. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** [run_list t thunks] executes the thunks on the pool and returns their
+    results in input order. See the determinism / exception contract above.
+    @raise Invalid_argument if the pool was shut down. *)
+val run_list : t -> (unit -> 'a) list -> 'a list
+
+(** [parallel_map t f xs] is [List.map f xs] with the applications spread
+    over the pool, results in input order. *)
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_mapi t f xs] is {!parallel_map} with the element index. *)
+val parallel_mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_reduce t ~map ~combine ~init xs] maps over [xs] on the pool,
+    then folds the mapped results {e sequentially, in input order} in the
+    submitter: [combine (... (combine init y0) ...) yn]. The fold order is
+    fixed so non-commutative combines (first-wins tie-breaks) match their
+    sequential counterparts exactly. *)
+val parallel_reduce :
+  t -> map:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc -> 'a list -> 'acc
+
+(** [chunks n xs] splits [xs] into at most [n] contiguous slices of
+    near-equal length, preserving order ([List.concat (chunks n xs) = xs]);
+    fewer slices when [xs] is short. The partitioning helper for grid
+    searches. @raise Invalid_argument when [n < 1]. *)
+val chunks : int -> 'a list -> 'a list list

@@ -107,6 +107,26 @@ let raqo model schema planner =
   in
   { best_join; name = "raqo" }
 
+(* All shipped costers are symmetric in (left, right): they reduce the pair
+   to min/max of the two sides' sizes before consulting the cost model. The
+   memo key is therefore the unordered pair of relation sets, which collapses
+   the mirrored lookups dynamic programming produces (Selinger costs both
+   ({a},{b}) and ({b},{a}) for every connected 2-subset). *)
+let memoize inner =
+  let memo = Hashtbl.create 512 in
+  let side names = String.concat "\x00" (List.sort compare names) in
+  let best_join ~left ~right =
+    let a = side left and b = side right in
+    let key = if a <= b then a ^ "\x01" ^ b else b ^ "\x01" ^ a in
+    match Hashtbl.find_opt memo key with
+    | Some choice -> choice
+    | None ->
+        let choice = inner.best_join ~left ~right in
+        Hashtbl.add memo key choice;
+        choice
+  in
+  { best_join; name = inner.name ^ "+memo" }
+
 let simulator engine schema resources =
   let size = memoized_size schema in
   let best_join ~left ~right =

@@ -48,6 +48,15 @@ val raqo :
   Raqo_resource.Resource_planner.t ->
   t
 
+(** [memoize t] caches [best_join] results (including [None]) per query,
+    keyed on the unordered pair of relation sets. Sound for symmetric
+    costers — every shipped coster keys its cost on the smaller side's size,
+    so [best_join ~left ~right = best_join ~left:right ~right:left] — and it
+    collapses the mirrored pairs Selinger's DP enumerates. The memo table is
+    a plain [Hashtbl]: use a memoized coster from one domain only (parallel
+    restarts each wrap their own instance). *)
+val memoize : t -> t
+
 (** [simulator engine schema resources] — ground truth: cost joins with the
     execution simulator at fixed resources (used by tests and the
     Section III analysis, not by the optimizer). *)

@@ -181,19 +181,39 @@ let improve ~params rng coster schema shape0 =
   done;
   !best
 
+(* Each restart gets its own generator split off the caller's, all splits
+   drawn upfront in restart order. The restarts are then independent: running
+   them on one domain or many yields bit-identical streams, which is what
+   makes [local_optima_par] equal to [local_optima] for a fixed seed. *)
+let restart_rngs rng n = List.init n (fun _ -> Rng.split rng)
+
+let run_restart ~params rng coster schema relations =
+  let shape = random_shape rng schema relations in
+  improve ~params rng coster schema shape
+
 let local_optima ?(params = default_params) rng coster schema relations =
   if relations = [] then invalid_arg "Randomized.local_optima: empty relation set";
   List.filter_map
-    (fun _ ->
-      let shape = random_shape rng schema relations in
-      improve ~params rng coster schema shape)
-    (List.init params.iterations (fun i -> i))
+    (fun restart_rng -> run_restart ~params restart_rng coster schema relations)
+    (restart_rngs rng params.iterations)
 
-let optimize ?(params = default_params) rng coster schema relations =
+let local_optima_par ?(params = default_params) pool rng ~coster schema relations =
+  if relations = [] then invalid_arg "Randomized.local_optima_par: empty relation set";
+  Raqo_par.Pool.parallel_map pool
+    (fun restart_rng -> run_restart ~params restart_rng (coster ()) schema relations)
+    (restart_rngs rng params.iterations)
+  |> List.filter_map Fun.id
+
+let pick_best optima =
   List.fold_left
     (fun best ((_, c) as cand) ->
       match best with
       | Some (_, b) when b <= c -> best
       | Some _ | None -> Some cand)
-    None
-    (local_optima ~params rng coster schema relations)
+    None optima
+
+let optimize ?(params = default_params) rng coster schema relations =
+  pick_best (local_optima ~params rng coster schema relations)
+
+let optimize_par ?(params = default_params) pool rng ~coster schema relations =
+  pick_best (local_optima_par ~params pool rng ~coster schema relations)

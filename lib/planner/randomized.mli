@@ -38,7 +38,8 @@ val optimize :
 
 (** [local_optima ?params rng coster schema relations] returns every
     restart's local optimum (at most [iterations] plans) — the candidate set
-    a multi-objective planner filters to a Pareto front. *)
+    a multi-objective planner filters to a Pareto front. Each restart runs on
+    its own generator split off [rng] upfront, so restarts are independent. *)
 val local_optima :
   ?params:params ->
   Raqo_util.Rng.t ->
@@ -46,3 +47,32 @@ val local_optima :
   Raqo_catalog.Schema.t ->
   string list ->
   (Raqo_plan.Join_tree.joint * float) list
+
+(** [local_optima_par ?params pool rng ~coster schema relations] is
+    {!local_optima} with the restarts distributed across [pool]'s domains.
+    [coster] is a factory invoked once per restart: the shipped costers hold
+    non-thread-safe memo tables, so each restart needs its own instance. As
+    long as the factory's costers compute the same values (true of every
+    pure coster, memoized or not), the result — order included — is
+    bit-identical to [local_optima rng (coster ())] for any pool size. *)
+val local_optima_par :
+  ?params:params ->
+  Raqo_par.Pool.t ->
+  Raqo_util.Rng.t ->
+  coster:(unit -> Coster.t) ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) list
+
+(** [optimize_par ?params pool rng ~coster schema relations] is {!optimize}
+    over {!local_optima_par}: same ties-toward-earlier-restart fold, so the
+    chosen plan and cost match the sequential [optimize] for a fixed seed
+    at any pool size. *)
+val optimize_par :
+  ?params:params ->
+  Raqo_par.Pool.t ->
+  Raqo_util.Rng.t ->
+  coster:(unit -> Coster.t) ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option

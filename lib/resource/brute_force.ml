@@ -1,21 +1,53 @@
-let search ?counters conditions cost =
-  let evals = ref 0 in
-  let best =
-    List.fold_left
-      (fun best r ->
-        incr evals;
-        let c = cost r in
+module Pool = Raqo_par.Pool
+
+(* Shared fold: cheapest config in [configs], ties toward the earlier one,
+   plus the evaluation count. Pure in [cost], so chunks of the grid can run
+   on different domains and be merged in enumeration order. *)
+let fold_best cost configs =
+  List.fold_left
+    (fun (best, evals) r ->
+      let c = cost r in
+      let best =
         match best with
         | Some (_, bc) when bc <= c -> best
-        | Some _ | None -> Some (r, c))
-      None
-      (Raqo_cluster.Conditions.all_configs conditions)
-  in
+        | Some _ | None -> Some (r, c)
+      in
+      (best, evals + 1))
+    (None, 0) configs
+
+let merge earlier later =
+  match (earlier, later) with
+  | Some (_, bc), Some (_, c) when bc <= c -> earlier
+  | Some _, Some _ -> later
+  | (Some _ as x), None | None, (Some _ as x) -> x
+  | None, None -> None
+
+let finish ?counters ~evals best =
   (match counters with
   | Some k ->
-      k.Counters.cost_evaluations <- k.Counters.cost_evaluations + !evals;
-      k.Counters.planner_invocations <- k.Counters.planner_invocations + 1
+      Counters.record_evaluations k evals;
+      Counters.record_invocation k
   | None -> ());
   match best with
   | Some result -> result
   | None -> invalid_arg "Brute_force.search: empty resource space"
+
+let search ?counters conditions cost =
+  let best, evals = fold_best cost (Raqo_cluster.Conditions.all_configs conditions) in
+  finish ?counters ~evals best
+
+let search_par ?counters pool conditions cost =
+  let configs = Raqo_cluster.Conditions.all_configs conditions in
+  match Pool.chunks (Pool.size pool) configs with
+  | [] -> finish ?counters ~evals:0 None
+  | [ only ] ->
+      let best, evals = fold_best cost only in
+      finish ?counters ~evals best
+  | chunks ->
+      let best, evals =
+        Pool.parallel_reduce pool
+          ~map:(fold_best cost)
+          ~combine:(fun (best, evals) (b, e) -> (merge best b, evals + e))
+          ~init:(None, 0) chunks
+      in
+      finish ?counters ~evals best

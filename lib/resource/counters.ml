@@ -1,25 +1,44 @@
+(* Atomic so that parallel searches (pooled brute force, concurrent
+   randomized restarts, batched workload planning) can share one instrument
+   without losing increments; see Raqo_par.Pool. *)
 type t = {
-  mutable cost_evaluations : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable planner_invocations : int;
+  cost_evaluations : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  planner_invocations : int Atomic.t;
 }
 
 let create () =
-  { cost_evaluations = 0; cache_hits = 0; cache_misses = 0; planner_invocations = 0 }
+  {
+    cost_evaluations = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    planner_invocations = Atomic.make 0;
+  }
 
 let reset t =
-  t.cost_evaluations <- 0;
-  t.cache_hits <- 0;
-  t.cache_misses <- 0;
-  t.planner_invocations <- 0
+  Atomic.set t.cost_evaluations 0;
+  Atomic.set t.cache_hits 0;
+  Atomic.set t.cache_misses 0;
+  Atomic.set t.planner_invocations 0
+
+let cost_evaluations t = Atomic.get t.cost_evaluations
+let cache_hits t = Atomic.get t.cache_hits
+let cache_misses t = Atomic.get t.cache_misses
+let planner_invocations t = Atomic.get t.planner_invocations
+
+let record_evaluations t n = ignore (Atomic.fetch_and_add t.cost_evaluations n)
+let record_evaluation t = record_evaluations t 1
+let record_hit t = ignore (Atomic.fetch_and_add t.cache_hits 1)
+let record_miss t = ignore (Atomic.fetch_and_add t.cache_misses 1)
+let record_invocation t = ignore (Atomic.fetch_and_add t.planner_invocations 1)
 
 let add ~into t =
-  into.cost_evaluations <- into.cost_evaluations + t.cost_evaluations;
-  into.cache_hits <- into.cache_hits + t.cache_hits;
-  into.cache_misses <- into.cache_misses + t.cache_misses;
-  into.planner_invocations <- into.planner_invocations + t.planner_invocations
+  record_evaluations into (cost_evaluations t);
+  ignore (Atomic.fetch_and_add into.cache_hits (cache_hits t));
+  ignore (Atomic.fetch_and_add into.cache_misses (cache_misses t));
+  ignore (Atomic.fetch_and_add into.planner_invocations (planner_invocations t))
 
 let pp fmt t =
-  Format.fprintf fmt "evals=%d hits=%d misses=%d invocations=%d" t.cost_evaluations
-    t.cache_hits t.cache_misses t.planner_invocations
+  Format.fprintf fmt "evals=%d hits=%d misses=%d invocations=%d" (cost_evaluations t)
+    (cache_hits t) (cache_misses t) (planner_invocations t)

@@ -1,16 +1,36 @@
 (** Resource-planning instrumentation: the paper's evaluation reports the
     number of resource configurations explored (cost-model evaluations) and
-    cache effectiveness, so every search threads one of these. *)
+    cache effectiveness, so every search threads one of these.
 
-type t = {
-  mutable cost_evaluations : int;  (** resource configurations whose cost was computed *)
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable planner_invocations : int;  (** resource-planning calls (one per costed sub-plan) *)
-}
+    All counters are atomic ([Atomic.t] underneath): one instrument can be
+    shared by tasks running on different domains (pooled brute force,
+    parallel randomized restarts) without losing increments. Reads
+    ({!cost_evaluations} etc.) are single-counter snapshots — exact once the
+    parallel section has joined, approximate while it is in flight. *)
+
+type t
 
 val create : unit -> t
 val reset : t -> unit
+
+(** {2 Reading} *)
+
+val cost_evaluations : t -> int
+    (** resource configurations whose cost was computed *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+val planner_invocations : t -> int
+    (** resource-planning calls (one per costed sub-plan) *)
+
+(** {2 Recording} *)
+
+val record_evaluation : t -> unit
+val record_evaluations : t -> int -> unit
+val record_hit : t -> unit
+val record_miss : t -> unit
+val record_invocation : t -> unit
 
 (** [add ~into t] accumulates [t] into [into]. *)
 val add : into:t -> t -> unit

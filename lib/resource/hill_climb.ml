@@ -11,12 +11,12 @@ let of_vec v =
 let plan ?counters ?start (conditions : Conditions.t) cost =
   let eval r =
     (match counters with
-    | Some k -> k.Counters.cost_evaluations <- k.Counters.cost_evaluations + 1
+    | Some k -> Counters.record_evaluation k
     | None -> ());
     cost r
   in
   (match counters with
-  | Some k -> k.Counters.planner_invocations <- k.Counters.planner_invocations + 1
+  | Some k -> Counters.record_invocation k
   | None -> ());
   let step_size =
     [| float_of_int conditions.container_step; conditions.gb_step |]

@@ -55,8 +55,8 @@ let find ?counters t ~key ~data_gb lookup =
   (match counters with
   | Some k -> begin
       match result with
-      | Some _ -> k.Counters.cache_hits <- k.Counters.cache_hits + 1
-      | None -> k.Counters.cache_misses <- k.Counters.cache_misses + 1
+      | Some _ -> Counters.record_hit k
+      | None -> Counters.record_miss k
     end
   | None -> ());
   result

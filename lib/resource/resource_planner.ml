@@ -6,24 +6,28 @@ type t = {
   cache : Plan_cache.t option;
   lookup : Plan_cache.lookup;
   counters : Counters.t;
+  pool : Raqo_par.Pool.t option;
 }
 
-let create ?(strategy = Hill_climb) ?(cache = true) ?(lookup = Plan_cache.Exact) conditions =
+let create ?(strategy = Hill_climb) ?(cache = true) ?(lookup = Plan_cache.Exact) ?counters
+    ?pool conditions =
   {
     conditions;
     strategy;
     cache = (if cache then Some (Plan_cache.create ()) else None);
     lookup;
-    counters = Counters.create ();
+    counters = (match counters with Some k -> k | None -> Counters.create ());
+    pool;
   }
 
 let conditions t = t.conditions
 let with_conditions t conditions = { t with conditions }
 
 let search ?start t cost =
-  match t.strategy with
-  | Brute_force -> Brute_force.search ~counters:t.counters t.conditions cost
-  | Hill_climb -> Hill_climb.plan ~counters:t.counters ?start t.conditions cost
+  match (t.strategy, t.pool) with
+  | Brute_force, Some pool -> Brute_force.search_par ~counters:t.counters pool t.conditions cost
+  | Brute_force, None -> Brute_force.search ~counters:t.counters t.conditions cost
+  | Hill_climb, _ -> Hill_climb.plan ~counters:t.counters ?start t.conditions cost
 
 let plan ?start t ~key ~data_gb ~cost =
   match t.cache with
@@ -32,8 +36,7 @@ let plan ?start t ~key ~data_gb ~cost =
       match Plan_cache.find ~counters:t.counters cache ~key ~data_gb t.lookup with
       | Some cached ->
           let cached = Raqo_cluster.Conditions.clamp t.conditions cached in
-          t.counters.Counters.cost_evaluations <-
-            t.counters.Counters.cost_evaluations + 1;
+          Counters.record_evaluation t.counters;
           (cached, cost cached)
       | None ->
           let resources, best = search ?start t cost in

@@ -6,12 +6,23 @@ type strategy = Brute_force | Hill_climb
 
 type t
 
-(** [create ?strategy ?cache ?lookup conditions] builds a planner.
-    Defaults: hill climbing, caching enabled, exact-match lookup. *)
+(** [create ?strategy ?cache ?lookup ?counters ?pool conditions] builds a
+    planner. Defaults: hill climbing, caching enabled, exact-match lookup,
+    private counters, no pool.
+
+    [counters] shares an existing (atomic) instrument — parallel randomized
+    restarts give each restart its own planner but one shared counter set so
+    the aggregate figures survive. [pool] parallelizes the brute-force grid
+    search across its domains (hill climbing is inherently sequential and
+    ignores it). The cache, when enabled, is private to this planner and
+    must only be touched from one domain at a time — cache sharing across
+    concurrent queries stays opt-in and single-domain. *)
 val create :
   ?strategy:strategy ->
   ?cache:bool ->
   ?lookup:Plan_cache.lookup ->
+  ?counters:Counters.t ->
+  ?pool:Raqo_par.Pool.t ->
   Raqo_cluster.Conditions.t ->
   t
 

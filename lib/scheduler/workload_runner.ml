@@ -59,15 +59,25 @@ let scaled_schema schema submission =
       Schema.with_relation schema (Relation.scale r submission.data_scale)
   | Some _ | None -> schema
 
-let run engine schema submissions ~planner =
+type planned = {
+  planned_submission : submission;
+  plan : Join_tree.joint option;
+  planning_ms : float;
+}
+
+let plan_one ~planner schema submission =
+  let qschema = scaled_schema schema submission in
+  let plan, planning_ms =
+    Raqo_util.Timer.time_ms (fun () -> planner qschema submission.relations)
+  in
+  { planned_submission = submission; plan; planning_ms }
+
+let execute engine schema planned =
   let free_at = ref 0.0 in
   let outcomes =
     List.map
-      (fun submission ->
+      (fun { planned_submission = submission; plan; planning_ms = plan_ms } ->
         let qschema = scaled_schema schema submission in
-        let plan, plan_ms =
-          Raqo_util.Timer.time_ms (fun () -> planner qschema submission.relations)
-        in
         match plan with
         | None ->
             {
@@ -102,7 +112,7 @@ let run engine schema submissions ~planner =
                   failed = false;
                 }
           end)
-      submissions
+      planned
   in
   let done_ = List.filter (fun (o : query_outcome) -> not o.failed) outcomes in
   let latencies =
@@ -129,6 +139,9 @@ let run engine schema submissions ~planner =
   in
   (summary, outcomes)
 
+let run engine schema submissions ~planner =
+  execute engine schema (List.map (plan_one ~planner schema) submissions)
+
 let raqo_planner ?(cache_across_queries = true) ~model ~conditions () =
   let opt = ref None in
   fun schema relations ->
@@ -149,3 +162,28 @@ let default_planner engine ~resources =
   fun schema relations ->
     let plain = Raqo_planner.Heuristics.default_plan engine schema relations in
     Some (Join_tree.map_annot (fun impl -> (impl, resources)) plain)
+
+(* Batch planning: queries are independent once each gets a private
+   resource planner (cache sharing stays opt-in and single-domain via
+   [raqo_planner ~cache_across_queries]), so the planning phase fans out
+   across the pool while the FIFO execution phase stays sequential. *)
+let optimize_batch ?pool ?memoize ~model ~conditions schema submissions =
+  let plan_query submission =
+    let planner schema relations =
+      let rp = Raqo_resource.Resource_planner.create conditions in
+      let coster = Raqo_planner.Coster.raqo model schema rp in
+      let coster =
+        match memoize with
+        | Some true -> Raqo_planner.Coster.memoize coster
+        | Some false | None -> coster
+      in
+      Option.map fst (Raqo_planner.Selinger.optimize coster schema relations)
+    in
+    plan_one ~planner schema submission
+  in
+  match pool with
+  | None -> List.map plan_query submissions
+  | Some pool -> Raqo_par.Pool.parallel_map pool plan_query submissions
+
+let run_batch ?pool ?memoize engine ~model ~conditions schema submissions =
+  execute engine schema (optimize_batch ?pool ?memoize ~model ~conditions schema submissions)

@@ -205,8 +205,8 @@ let test_hill_climb_fewer_evals_than_brute_force () =
   let hc = make_opt ~cache:false () in
   ignore (Cost_based.optimize bf Tpch.all);
   ignore (Cost_based.optimize hc Tpch.all);
-  let eb = (Cost_based.counters bf).Counters.cost_evaluations in
-  let eh = (Cost_based.counters hc).Counters.cost_evaluations in
+  let eb = Counters.cost_evaluations (Cost_based.counters bf) in
+  let eh = Counters.cost_evaluations (Cost_based.counters hc) in
   Alcotest.(check bool)
     (Printf.sprintf "HC %d at least 2x below BF %d" eh eb)
     true
@@ -217,11 +217,11 @@ let test_cache_reduces_evals_further () =
   let cached = make_opt ~cache:true () in
   ignore (Cost_based.optimize nocache Tpch.all);
   ignore (Cost_based.optimize cached Tpch.all);
-  let e1 = (Cost_based.counters nocache).Counters.cost_evaluations in
-  let e2 = (Cost_based.counters cached).Counters.cost_evaluations in
+  let e1 = Counters.cost_evaluations (Cost_based.counters nocache) in
+  let e2 = Counters.cost_evaluations (Cost_based.counters cached) in
   Alcotest.(check bool) (Printf.sprintf "cached %d < uncached %d" e2 e1) true (e2 < e1);
   Alcotest.(check bool) "hits recorded" true
-    ((Cost_based.counters cached).Counters.cache_hits > 0)
+    (Counters.cache_hits (Cost_based.counters cached) > 0)
 
 let test_hill_climb_matches_brute_force_on_trained_model () =
   (* The trained model's per-join cost surfaces are benign enough that hill

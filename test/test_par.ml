@@ -1,0 +1,381 @@
+(* The multicore planning layer: pool semantics (ordering, exceptions,
+   nesting), atomic counters under contention, and the oracle tests pinning
+   every parallel path to its sequential result. *)
+
+module Pool = Raqo_par.Pool
+module Counters = Raqo_resource.Counters
+module Conditions = Raqo_cluster.Conditions
+module Resources = Raqo_cluster.Resources
+module Schema = Raqo_catalog.Schema
+module Tpch = Raqo_catalog.Tpch
+module Rng = Raqo_util.Rng
+
+let pool_sizes = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ pool *)
+
+let test_map_order () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let xs = List.init 100 (fun i -> i) in
+          Alcotest.(check (list int))
+            (Printf.sprintf "squares in order at %d jobs" jobs)
+            (List.map (fun x -> x * x) xs)
+            (Pool.parallel_map pool (fun x -> x * x) xs)))
+    pool_sizes
+
+let test_mapi () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int))
+        "indices flow through" [ 10; 21; 32; 43 ]
+        (Pool.parallel_mapi pool (fun i x -> (10 * x) + i) [ 1; 2; 3; 4 ]))
+
+let test_reduce () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n =
+        Pool.parallel_reduce pool
+          ~map:(fun x -> x * x)
+          ~combine:( + ) ~init:0
+          (List.init 50 (fun i -> i))
+      in
+      Alcotest.(check int) "sum of squares" 40425 n)
+
+let test_empty_and_single () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check (list int)) "empty batch" [] (Pool.parallel_map pool succ []);
+      Alcotest.(check (list int)) "one task" [ 8 ] (Pool.parallel_map pool succ [ 7 ]))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  (* Every task runs to completion; the lowest-indexed failure is re-raised,
+     independent of which domain hit its exception first. *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let ran = Atomic.make 0 in
+      let work i =
+        Atomic.incr ran;
+        if i = 2 || i = 5 then raise (Boom i) else i
+      in
+      (match Pool.parallel_map pool work (List.init 8 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "lowest-indexed failure wins" 2 i);
+      Alcotest.(check int) "the whole batch still ran" 8 (Atomic.get ran))
+
+let test_nested_use () =
+  (* A task submitting its own batch to the same pool must not deadlock: the
+     submitter helps drain the queue while it waits. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let outer =
+            Pool.parallel_map pool
+              (fun i ->
+                List.fold_left ( + ) 0
+                  (Pool.parallel_map pool (fun j -> (10 * i) + j) [ 1; 2; 3 ]))
+              [ 1; 2; 3; 4 ]
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "nested batches at %d jobs" jobs)
+            [ 36; 66; 96; 126 ] outer))
+    pool_sizes
+
+let test_use_after_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.run_list: pool is shut down") (fun () ->
+      ignore (Pool.parallel_map pool succ [ 1; 2 ]))
+
+let test_chunks () =
+  let xs = List.init 23 (fun i -> i) in
+  List.iter
+    (fun n ->
+      let cs = Pool.chunks n xs in
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunks %d concat back in order" n)
+        xs (List.concat cs);
+      Alcotest.(check bool)
+        (Printf.sprintf "at most %d chunks" n)
+        true
+        (List.length cs <= n);
+      let sizes = List.map List.length cs in
+      let mn = List.fold_left min max_int sizes and mx = List.fold_left max 0 sizes in
+      Alcotest.(check bool) "balanced within one element" true (mx - mn <= 1))
+    [ 1; 2; 3; 7; 23; 100 ];
+  Alcotest.(check (list (list int))) "empty input" [] (Pool.chunks 4 []);
+  Alcotest.check_raises "n must be positive" (Invalid_argument "Pool.chunks: n must be >= 1")
+    (fun () -> ignore (Pool.chunks 0 [ 1 ]))
+
+(* -------------------------------------------------------------- counters *)
+
+let test_counters_concurrent () =
+  (* Many domains hammering one shared Counters.t must lose no increments. *)
+  let k = Counters.create () in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      ignore
+        (Pool.parallel_map pool
+           (fun _ ->
+             for _ = 1 to 100 do
+               Counters.record_evaluation k
+             done;
+             Counters.record_hit k;
+             Counters.record_miss k;
+             Counters.record_invocation k)
+           (List.init 64 (fun i -> i))));
+  Alcotest.(check int) "no lost evaluation increments" 6400 (Counters.cost_evaluations k);
+  Alcotest.(check int) "hits" 64 (Counters.cache_hits k);
+  Alcotest.(check int) "misses" 64 (Counters.cache_misses k);
+  Alcotest.(check int) "invocations" 64 (Counters.planner_invocations k)
+
+(* --------------------------------------------------------- oracle: grid *)
+
+let bowl ~nc_opt ~gb_opt (r : Resources.t) =
+  let dn = float_of_int (r.containers - nc_opt) and dg = r.container_gb -. gb_opt in
+  (dn *. dn) +. (10.0 *. dg *. dg)
+
+let test_brute_force_par_oracle () =
+  let cases =
+    [
+      ("bowl", bowl ~nc_opt:42 ~gb_opt:6.0);
+      (* All-ties: the earliest-enumerated config must win at any pool size. *)
+      ("constant", fun (_ : Resources.t) -> 1.0);
+    ]
+  in
+  List.iter
+    (fun (cname, cost) ->
+      let ks = Counters.create () in
+      let seq = Raqo_resource.Brute_force.search ~counters:ks Conditions.default cost in
+      List.iter
+        (fun jobs ->
+          Pool.with_pool ~jobs (fun pool ->
+              let kp = Counters.create () in
+              let par =
+                Raqo_resource.Brute_force.search_par ~counters:kp pool Conditions.default cost
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: same config and cost at %d jobs" cname jobs)
+                true
+                (Resources.equal (fst seq) (fst par) && snd seq = snd par);
+              Alcotest.(check int)
+                (Printf.sprintf "%s: same evaluation count at %d jobs" cname jobs)
+                (Counters.cost_evaluations ks)
+                (Counters.cost_evaluations kp)))
+        pool_sizes)
+    cases
+
+(* --------------------------------------------------- oracle: randomized *)
+
+let model = Raqo.Models.hive ()
+let tpch = Tpch.schema ()
+
+let joint_opt =
+  Alcotest.testable
+    (fun fmt -> function
+      | Some (plan, cost) ->
+          Format.fprintf fmt "%a @ %g" Raqo_plan.Join_tree.pp_joint plan cost
+      | None -> Format.fprintf fmt "none")
+    (fun a b ->
+      match (a, b) with
+      | Some (p1, c1), Some (p2, c2) ->
+          c1 = c2
+          && Raqo_plan.Join_tree.equal_shape (fun _ _ -> true) (Raqo_planner.Coster.shape_of p1)
+               (Raqo_planner.Coster.shape_of p2)
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let test_randomized_par_matches_seq () =
+  (* Same seed, any pool size: bit-identical result. The coster factory hands
+     each restart a fresh (pure) instance. *)
+  let resources = Resources.make ~containers:10 ~container_gb:5.0 in
+  let coster () = Raqo_planner.Coster.fixed model tpch resources in
+  let seq = Raqo_planner.Randomized.optimize (Rng.create 42) (coster ()) tpch Tpch.all in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let par =
+            Raqo_planner.Randomized.optimize_par pool (Rng.create 42) ~coster tpch Tpch.all
+          in
+          Alcotest.check joint_opt
+            (Printf.sprintf "optimize_par == optimize at %d jobs" jobs)
+            seq par))
+    pool_sizes
+
+let test_cost_based_par_matches_seq () =
+  (* The full cost-based stack: parallel restarts plan resources against
+     private exact-lookup caches, which return exactly what a fresh search
+     would — so equal-seed optimizers agree at any --jobs. *)
+  let mk () =
+    Raqo.Cost_based.create ~kind:Raqo.Cost_based.Fast_randomized ~seed:7 ~model
+      ~conditions:Conditions.default tpch
+  in
+  let seq = Raqo.Cost_based.optimize (mk ()) Tpch.q3 in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.check joint_opt
+            (Printf.sprintf "Cost_based.optimize_par at %d jobs" jobs)
+            seq
+            (Raqo.Cost_based.optimize_par (mk ()) pool Tpch.q3)))
+    pool_sizes
+
+let test_randomized_vs_exhaustive () =
+  (* On a query small enough for the exact bushy DP, no randomized variant —
+     sequential, pooled, memoized — may beat the exhaustive optimum, and all
+     must agree with each other. *)
+  let resources = Resources.make ~containers:10 ~container_gb:5.0 in
+  let coster () = Raqo_planner.Coster.fixed model tpch resources in
+  let rels = Tpch.all in
+  Alcotest.(check bool) "query small enough for DPsub" true (List.length rels <= 8);
+  let exact =
+    match Raqo_planner.Dpsub.optimize (coster ()) tpch rels with
+    | Some (_, c) -> c
+    | None -> Alcotest.fail "exhaustive DP found no plan"
+  in
+  let seq = Raqo_planner.Randomized.optimize (Rng.create 3) (coster ()) tpch rels in
+  (match seq with
+  | Some (_, c) ->
+      Alcotest.(check bool) "randomized >= exhaustive optimum" true (c >= exact -. 1e-9)
+  | None -> Alcotest.fail "randomized found no plan");
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check joint_opt "pooled matches sequential" seq
+        (Raqo_planner.Randomized.optimize_par pool (Rng.create 3) ~coster tpch rels);
+      Alcotest.check joint_opt "pooled memoized matches sequential" seq
+        (Raqo_planner.Randomized.optimize_par pool (Rng.create 3)
+           ~coster:(fun () -> Raqo_planner.Coster.memoize (coster ()))
+           tpch rels))
+
+(* ----------------------------------------------------- oracle: memoize *)
+
+let test_memoize_same_plans () =
+  let resources = Resources.make ~containers:10 ~container_gb:5.0 in
+  List.iter
+    (fun (qname, rels) ->
+      let plain =
+        Raqo_planner.Selinger.optimize (Raqo_planner.Coster.fixed model tpch resources) tpch
+          rels
+      in
+      let memo =
+        Raqo_planner.Selinger.optimize
+          (Raqo_planner.Coster.memoize (Raqo_planner.Coster.fixed model tpch resources))
+          tpch rels
+      in
+      Alcotest.check joint_opt (qname ^ ": memoized Selinger unchanged") plain memo)
+    Tpch.evaluation_queries
+
+let test_memoize_caches_infeasible () =
+  (* A None best_join (no feasible implementation) is cached too. *)
+  let calls = ref 0 in
+  let never =
+    Raqo_planner.Coster.
+      {
+        best_join =
+          (fun ~left:_ ~right:_ ->
+            incr calls;
+            None);
+        name = "never";
+      }
+  in
+  let memo = Raqo_planner.Coster.memoize never in
+  Alcotest.(check bool) "miss" true
+    (memo.Raqo_planner.Coster.best_join ~left:[ "a" ] ~right:[ "b" ] = None);
+  Alcotest.(check bool) "hit" true
+    (memo.Raqo_planner.Coster.best_join ~left:[ "a" ] ~right:[ "b" ] = None);
+  Alcotest.(check bool) "mirrored hit" true
+    (memo.Raqo_planner.Coster.best_join ~left:[ "b" ] ~right:[ "a" ] = None);
+  Alcotest.(check int) "inner called once" 1 !calls;
+  Alcotest.(check string) "name tagged" "never+memo" memo.Raqo_planner.Coster.name
+
+let test_memoize_reduces_selinger_evals () =
+  (* The counter-verified saving: Selinger's DP costs mirrored relation-set
+     pairs, which the unordered memo key collapses — fewer resource-planner
+     cost evaluations for the same chosen plan. *)
+  List.iter
+    (fun (qname, rels) ->
+      let run memoize =
+        let opt =
+          Raqo.Cost_based.create ~memoize ~cache:false ~model ~conditions:Conditions.default
+            tpch
+        in
+        let result = Raqo.Cost_based.optimize opt rels in
+        (Counters.cost_evaluations (Raqo.Cost_based.counters opt), result)
+      in
+      let plain_evals, plain = run false in
+      let memo_evals, memo = run true in
+      Alcotest.check joint_opt (qname ^ ": same plan") plain memo;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: fewer evaluations (%d < %d)" qname memo_evals plain_evals)
+        true (memo_evals < plain_evals))
+    Tpch.evaluation_queries
+
+(* --------------------------------------------------- oracle: workloads *)
+
+let test_batch_matches_fifo () =
+  (* optimize_batch at any pool size must reproduce the sequential per-query
+     planner: same plans, same simulated workload summary. *)
+  let rng = Rng.create 11 in
+  let submissions =
+    Raqo_scheduler.Workload_runner.generate rng ~n:12 ~arrival_rate:0.002 tpch
+  in
+  let engine = Raqo_execsim.Engine.hive in
+  let seq_summary, seq_outcomes =
+    Raqo_scheduler.Workload_runner.run engine tpch submissions
+      ~planner:
+        (Raqo_scheduler.Workload_runner.raqo_planner ~cache_across_queries:false ~model
+           ~conditions:Conditions.default ())
+  in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let summary, outcomes =
+            Raqo_scheduler.Workload_runner.run_batch ~pool engine ~model
+              ~conditions:Conditions.default tpch submissions
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "completed at %d jobs" jobs)
+            seq_summary.Raqo_scheduler.Workload_runner.completed
+            summary.Raqo_scheduler.Workload_runner.completed;
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "makespan at %d jobs" jobs)
+            seq_summary.Raqo_scheduler.Workload_runner.makespan
+            summary.Raqo_scheduler.Workload_runner.makespan;
+          List.iter2
+            (fun (a : Raqo_scheduler.Workload_runner.query_outcome)
+                 (b : Raqo_scheduler.Workload_runner.query_outcome) ->
+              Alcotest.(check bool) "same per-query outcome" true
+                (a.finished = b.finished && a.gb_seconds = b.gb_seconds
+               && a.failed = b.failed))
+            seq_outcomes outcomes))
+    pool_sizes
+
+let () =
+  Alcotest.run "raqo_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_order;
+          Alcotest.test_case "mapi" `Quick test_mapi;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "empty and single batches" `Quick test_empty_and_single;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "nested use" `Quick test_nested_use;
+          Alcotest.test_case "use after shutdown" `Quick test_use_after_shutdown;
+          Alcotest.test_case "chunks" `Quick test_chunks;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "atomic under contention" `Quick test_counters_concurrent ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "brute force par == seq" `Quick test_brute_force_par_oracle;
+          Alcotest.test_case "randomized par == seq" `Quick test_randomized_par_matches_seq;
+          Alcotest.test_case "cost-based par == seq" `Quick test_cost_based_par_matches_seq;
+          Alcotest.test_case "randomized vs exhaustive" `Quick test_randomized_vs_exhaustive;
+          Alcotest.test_case "memoize: same plans" `Quick test_memoize_same_plans;
+          Alcotest.test_case "memoize: caches infeasible" `Quick test_memoize_caches_infeasible;
+          Alcotest.test_case "memoize: fewer Selinger evals" `Quick
+            test_memoize_reduces_selinger_evals;
+          Alcotest.test_case "workload batch == FIFO" `Quick test_batch_matches_fifo;
+        ] );
+    ]

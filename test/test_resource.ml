@@ -35,8 +35,8 @@ let test_brute_force_counts_every_config () =
   let c = Conditions.default in
   let k = Counters.create () in
   let _ = Brute_force.search ~counters:k c (bowl ~nc_opt:1 ~gb_opt:1.0) in
-  Alcotest.(check int) "explored all 1000" 1000 k.Counters.cost_evaluations;
-  Alcotest.(check int) "one invocation" 1 k.Counters.planner_invocations
+  Alcotest.(check int) "explored all 1000" 1000 (Counters.cost_evaluations k);
+  Alcotest.(check int) "one invocation" 1 (Counters.planner_invocations k)
 
 let test_brute_force_tie_break_stable () =
   (* Constant surface: returns the first enumerated config. *)
@@ -60,9 +60,10 @@ let test_hill_climb_explores_fewer_than_brute_force () =
   let _ = Brute_force.search ~counters:kb c (bowl ~nc_opt:80 ~gb_opt:9.0) in
   let _ = Hill_climb.plan ~counters:kh c (bowl ~nc_opt:80 ~gb_opt:9.0) in
   Alcotest.(check bool)
-    (Printf.sprintf "HC %d < BF %d" kh.Counters.cost_evaluations kb.Counters.cost_evaluations)
+    (Printf.sprintf "HC %d < BF %d" (Counters.cost_evaluations kh)
+       (Counters.cost_evaluations kb))
     true
-    (kh.Counters.cost_evaluations < kb.Counters.cost_evaluations)
+    (Counters.cost_evaluations kh < Counters.cost_evaluations kb)
 
 let test_hill_climb_starts_at_minimum_config () =
   (* A monotone increasing surface keeps the climb at the start point. *)
@@ -230,8 +231,8 @@ let test_cache_counters () =
   Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 1 1.0);
   ignore (Plan_cache.find ~counters:k cache ~key:"k" ~data_gb:1.0 Plan_cache.Exact);
   ignore (Plan_cache.find ~counters:k cache ~key:"k" ~data_gb:9.0 Plan_cache.Exact);
-  Alcotest.(check int) "one hit" 1 k.Counters.cache_hits;
-  Alcotest.(check int) "one miss" 1 k.Counters.cache_misses
+  Alcotest.(check int) "one hit" 1 (Counters.cache_hits k);
+  Alcotest.(check int) "one miss" 1 (Counters.cache_misses k)
 
 let prop_cache_wa_within_neighbor_hull =
   (* Weighted averages stay inside the bounding box of the neighbors they
@@ -369,21 +370,21 @@ let test_planner_cache_flow () =
   let planner = Resource_planner.create Conditions.default in
   let f = bowl ~nc_opt:20 ~gb_opt:5.0 in
   let r1, c1 = Resource_planner.plan planner ~key:"smj/join" ~data_gb:3.0 ~cost:f in
-  let evals_after_first = (Resource_planner.counters planner).Counters.cost_evaluations in
+  let evals_after_first = Counters.cost_evaluations (Resource_planner.counters planner) in
   let r2, c2 = Resource_planner.plan planner ~key:"smj/join" ~data_gb:3.0 ~cost:f in
-  let evals_after_second = (Resource_planner.counters planner).Counters.cost_evaluations in
+  let evals_after_second = Counters.cost_evaluations (Resource_planner.counters planner) in
   Alcotest.(check bool) "same result" true (Resources.equal r1 r2);
   check_float "same cost" c1 c2;
   Alcotest.(check int) "hit costs exactly one eval" (evals_after_first + 1) evals_after_second;
-  Alcotest.(check int) "one hit" 1 (Resource_planner.counters planner).Counters.cache_hits
+  Alcotest.(check int) "one hit" 1 (Counters.cache_hits (Resource_planner.counters planner))
 
 let test_planner_no_cache_recomputes () =
   let planner = Resource_planner.create ~cache:false Conditions.default in
   let f = bowl ~nc_opt:20 ~gb_opt:5.0 in
   let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.0 ~cost:f in
-  let e1 = (Resource_planner.counters planner).Counters.cost_evaluations in
+  let e1 = Counters.cost_evaluations (Resource_planner.counters planner) in
   let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.0 ~cost:f in
-  let e2 = (Resource_planner.counters planner).Counters.cost_evaluations in
+  let e2 = Counters.cost_evaluations (Resource_planner.counters planner) in
   Alcotest.(check bool) "full recompute" true (e2 - e1 > 1)
 
 let test_planner_nn_lookup_reuses_neighbor () =
@@ -393,7 +394,7 @@ let test_planner_nn_lookup_reuses_neighbor () =
   let f = bowl ~nc_opt:20 ~gb_opt:5.0 in
   let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.0 ~cost:f in
   let _ = Resource_planner.plan planner ~key:"k" ~data_gb:3.2 ~cost:f in
-  Alcotest.(check int) "neighbor hit" 1 (Resource_planner.counters planner).Counters.cache_hits
+  Alcotest.(check int) "neighbor hit" 1 (Counters.cache_hits (Resource_planner.counters planner))
 
 let test_planner_brute_force_strategy () =
   let planner =
@@ -402,7 +403,7 @@ let test_planner_brute_force_strategy () =
   in
   let _ = Resource_planner.plan planner ~key:"k" ~data_gb:1.0 ~cost:(bowl ~nc_opt:3 ~gb_opt:2.0) in
   Alcotest.(check int) "explored all" 1000
-    (Resource_planner.counters planner).Counters.cost_evaluations
+    (Counters.cost_evaluations (Resource_planner.counters planner))
 
 let test_planner_with_conditions_shares_cache () =
   let planner = Resource_planner.create Conditions.default in
@@ -422,17 +423,17 @@ let test_planner_reset () =
   Resource_planner.reset_counters planner;
   Resource_planner.clear_cache planner;
   Alcotest.(check int) "counters zeroed" 0
-    (Resource_planner.counters planner).Counters.cost_evaluations;
+    (Counters.cost_evaluations (Resource_planner.counters planner));
   Alcotest.(check int) "cache emptied" 0 (Resource_planner.cache_size planner)
 
 let test_counters_add () =
   let a = Counters.create () and b = Counters.create () in
-  a.Counters.cost_evaluations <- 3;
-  b.Counters.cost_evaluations <- 4;
-  b.Counters.cache_hits <- 1;
+  Counters.record_evaluations a 3;
+  Counters.record_evaluations b 4;
+  Counters.record_hit b;
   Counters.add ~into:a b;
-  Alcotest.(check int) "evals" 7 a.Counters.cost_evaluations;
-  Alcotest.(check int) "hits" 1 a.Counters.cache_hits
+  Alcotest.(check int) "evals" 7 (Counters.cost_evaluations a);
+  Alcotest.(check int) "hits" 1 (Counters.cache_hits a)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
