@@ -4,7 +4,8 @@
      plan    — optimize a TPC-H-schema query jointly over plans and resources
      switch  — locate the BHJ/SMJ switch point for a resource configuration
      tree    — print the default or trained join-implementation decision tree
-     queue   — simulate a contended cluster queue and print wait statistics *)
+     queue   — simulate a contended cluster queue and print wait statistics
+     fuzz    — differential fuzzing of the planners against each other *)
 
 open Cmdliner
 
@@ -270,6 +271,41 @@ let queue_cmd =
     (Cmd.info "queue" ~doc:"Simulate a contended cluster queue (paper Fig 1)")
     Term.(const run $ capacity_arg $ jobs_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ fuzz *)
+
+let fuzz_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to fuzz.")
+  in
+  let start_arg =
+    Arg.(value & opt int 1 & info [ "start" ] ~docv:"SEED"
+           ~doc:"First seed (seeds $(docv) .. $(docv)+N-1 are checked).")
+  in
+  let tables_arg =
+    Arg.(value & opt int Raqo_verify.Oracle.default_tables & info [ "tables" ] ~docv:"N"
+           ~doc:"Tables in each random schema.")
+  in
+  let joins_arg =
+    Arg.(value & opt int Raqo_verify.Oracle.default_joins & info [ "joins" ] ~docv:"N"
+           ~doc:"Joins per random query (the query has at most $(docv)+1 relations).")
+  in
+  let fuzz_jobs_arg =
+    Arg.(value & opt int 4 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Maximum pool size for the parallel-vs-sequential oracle arms; pool sizes \
+                 in {2, 4, $(docv)} up to $(docv) are exercised (1 disables them).")
+  in
+  let run seeds start tables joins max_jobs =
+    let jobs =
+      List.sort_uniq compare (List.filter (fun j -> j >= 2 && j <= max_jobs) [ 2; 4; max_jobs ])
+    in
+    exit (Raqo_verify.Fuzz.main ~tables ~joins ~jobs ~start ~seeds ())
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz the planners against the invariant checker and cross-planner oracle, \
+             shrinking any failure to a minimal printed repro")
+    Term.(const run $ seeds_arg $ start_arg $ tables_arg $ joins_arg $ fuzz_jobs_arg)
+
 (* -------------------------------------------------------------- workload *)
 
 let workload_cmd =
@@ -325,4 +361,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ plan_cmd; switch_cmd; tree_cmd; queue_cmd; pareto_cmd; robust_cmd; workload_cmd ]))
+          [
+            plan_cmd;
+            switch_cmd;
+            tree_cmd;
+            queue_cmd;
+            pareto_cmd;
+            robust_cmd;
+            workload_cmd;
+            fuzz_cmd;
+          ]))

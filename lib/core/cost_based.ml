@@ -51,9 +51,12 @@ let run_planner t coster relations =
 
 let wrap t coster = if t.memoize then Coster.memoize coster else coster
 
-let optimize t relations =
-  let coster = wrap t (Coster.raqo t.model t.schema t.resource_planner) in
-  run_planner t coster relations
+(* The production costers, exposed so the verification layer can drive (and
+   re-cost against) the exact coster [optimize] / [optimize_qo] use. *)
+let coster t = wrap t (Coster.raqo t.model t.schema t.resource_planner)
+let coster_qo t ~resources = wrap t (Coster.fixed t.model t.schema resources)
+
+let optimize t relations = run_planner t (coster t) relations
 
 (* A fresh coster per restart: the raqo coster's memo tables (statistics and,
    when enabled, join memoization) are plain hashtables, and the private
@@ -76,12 +79,10 @@ let optimize_par t pool relations =
       Raqo_planner.Randomized.optimize_par ~params:t.randomized_params pool t.rng
         ~coster:(restart_coster t) t.schema relations
 
-let optimize_qo t ~resources relations =
-  let coster = wrap t (Coster.fixed t.model t.schema resources) in
-  run_planner t coster relations
+let optimize_qo t ~resources relations = run_planner t (coster_qo t ~resources) relations
 
 let candidates t relations =
-  let coster = wrap t (Coster.raqo t.model t.schema t.resource_planner) in
+  let coster = coster t in
   match t.kind with
   | Selinger -> Option.to_list (Raqo_planner.Selinger.optimize coster t.schema relations)
   | Bushy_dp -> Option.to_list (Raqo_planner.Dpsub.optimize coster t.schema relations)

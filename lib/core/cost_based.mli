@@ -71,6 +71,16 @@ val optimize_qo :
     kind this is the single DP optimum. *)
 val candidates : t -> string list -> (Raqo_plan.Join_tree.joint * float) list
 
+(** [coster t] is the joint (resource-planning) coster [optimize] runs the
+    query planner against, with [t]'s memoization setting applied — the hook
+    the verification layer uses to re-cost an emitted plan's shape and check
+    it reproduces the reported cost. *)
+val coster : t -> Raqo_planner.Coster.t
+
+(** [coster_qo t ~resources] is the fixed-resource coster behind
+    {!optimize_qo}. *)
+val coster_qo : t -> resources:Raqo_cluster.Resources.t -> Raqo_planner.Coster.t
+
 (** [counters t] exposes resource-planning instrumentation (configurations
     explored, cache hits) accumulated across optimizations. *)
 val counters : t -> Raqo_resource.Counters.t

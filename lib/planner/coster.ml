@@ -127,6 +127,14 @@ let memoize inner =
   in
   { best_join; name = inner.name ^ "+memo" }
 
+let counting inner =
+  let count = ref 0 in
+  let best_join ~left ~right =
+    incr count;
+    inner.best_join ~left ~right
+  in
+  ({ best_join; name = inner.name }, fun () -> !count)
+
 let simulator engine schema resources =
   let size = memoized_size schema in
   let best_join ~left ~right =

@@ -57,6 +57,12 @@ val raqo :
     restarts each wrap their own instance). *)
 val memoize : t -> t
 
+(** [counting t] wraps [t] with an invocation counter (a plain [ref]: use from
+    one domain only). Instrumentation seam for tests and the differential
+    oracle — e.g. proving {!memoize} never issues more underlying lookups
+    than the plain coster. *)
+val counting : t -> t * (unit -> int)
+
 (** [simulator engine schema resources] — ground truth: cost joins with the
     execution simulator at fixed resources (used by tests and the
     Section III analysis, not by the optimizer). *)

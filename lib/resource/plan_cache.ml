@@ -10,6 +10,11 @@ type t = {
 let create ?(backend = Ordered_index.Sorted_array) () =
   { indexes = Hashtbl.create 16; backend }
 
+(* Two data characteristics closer than this are the same measurement: the
+   sizes flowing in here are products of float cardinality estimates, so keys
+   that should be equal often differ in the last few ulps. *)
+let exact_epsilon ~data_gb = 1e-9 *. Float.max 1.0 (Float.abs data_gb)
+
 let find_in_index idx ~data_gb lookup =
   match lookup with
   | Exact -> Ordered_index.find_exact idx data_gb
@@ -27,15 +32,20 @@ let find_in_index idx ~data_gb lookup =
       match Ordered_index.within idx ~center:data_gb ~radius:threshold with
       | [] -> None
       | close ->
-          (* Inverse-distance weights; an exact-distance entry wins outright. *)
-          let exact = List.find_opt (fun (k, _) -> k = data_gb) close in
+          (* Inverse-distance weights; a (near-)exact entry wins outright.
+             The epsilon guard matters: a key float-unequal to [data_gb] by a
+             few ulps would otherwise get weight 1/d with d near 0, swamping
+             every other entry (and overflowing to inf/nan on denormal
+             distances, which poisons the whole average). *)
+          let eps = exact_epsilon ~data_gb in
+          let exact = List.find_opt (fun (k, _) -> Float.abs (k -. data_gb) <= eps) close in
           (match exact with
           | Some (_, plan) -> Some plan
           | None ->
               let wsum = ref 0.0 and c = ref 0.0 and gb = ref 0.0 in
               List.iter
                 (fun (k, (plan : Resources.t)) ->
-                  let w = 1.0 /. Float.abs (k -. data_gb) in
+                  let w = 1.0 /. Float.max eps (Float.abs (k -. data_gb)) in
                   wsum := !wsum +. w;
                   c := !c +. (w *. float_of_int plan.containers);
                   gb := !gb +. (w *. plan.container_gb))
@@ -74,3 +84,9 @@ let insert t ~key ~data_gb resources =
 
 let clear t = Hashtbl.reset t.indexes
 let size t = Hashtbl.fold (fun _ idx acc -> acc + Ordered_index.size idx) t.indexes 0
+let keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.indexes [])
+
+let entries t ~key =
+  match Hashtbl.find_opt t.indexes key with
+  | None -> []
+  | Some idx -> Ordered_index.to_list idx

@@ -42,3 +42,16 @@ val clear : t -> unit
 
 (** [size t] is the total number of entries across keys. *)
 val size : t -> int
+
+(** [keys t] lists the distinct cache keys, sorted (verification hook). *)
+val keys : t -> string list
+
+(** [entries t ~key] is [key]'s index content in ascending data-characteristic
+    order — the ground truth the verification layer checks lookups against. *)
+val entries : t -> key:string -> (float * Raqo_cluster.Resources.t) list
+
+(** [exact_epsilon ~data_gb] is the tolerance under which two data
+    characteristics are treated as the same measurement (the weighted-average
+    lookup returns such an entry outright instead of letting its near-zero
+    distance swamp the inverse-distance weights). *)
+val exact_epsilon : data_gb:float -> float

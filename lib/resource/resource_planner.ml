@@ -46,6 +46,8 @@ let plan ?start t ~key ~data_gb ~cost =
 
 let counters t = t.counters
 let reset_counters t = Counters.reset t.counters
+let cache t = t.cache
+let lookup t = t.lookup
 
 let clear_cache t =
   match t.cache with

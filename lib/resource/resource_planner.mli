@@ -60,3 +60,11 @@ val reset_counters : t -> unit
 val clear_cache : t -> unit
 
 val cache_size : t -> int
+
+(** [cache t] exposes the underlying resource-plan cache ([None] when caching
+    is disabled) so the verification layer can audit lookup answers against
+    the stored entries. Read-only use only. *)
+val cache : t -> Plan_cache.t option
+
+(** [lookup t] is the lookup policy this planner queries its cache with. *)
+val lookup : t -> Plan_cache.lookup

@@ -1,0 +1,9 @@
+type t = { invariant : string; detail : string }
+
+let v ~invariant fmt = Format.kasprintf (fun detail -> { invariant; detail }) fmt
+let tag prefix d = { d with detail = prefix ^ ": " ^ d.detail }
+let to_string d = Printf.sprintf "[%s] %s" d.invariant d.detail
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let render ds =
+  String.concat "" (List.map (fun d -> "  " ^ to_string d ^ "\n") ds)

@@ -1,0 +1,23 @@
+(** Structured verification diagnostics. Every checker in this library
+    reports violations as a list of these — never a bare [bool] — so a
+    failing fuzz seed can print exactly which invariant broke and how. *)
+
+type t = {
+  invariant : string;
+      (** stable slash-separated identifier, e.g. ["tree/duplicate-leaf"],
+          ["oracle/memo-vs-plain"] — grep-able across runs *)
+  detail : string;  (** human-readable specifics: values, names, deltas *)
+}
+
+(** [v ~invariant fmt ...] builds a diagnostic with a formatted detail. *)
+val v : invariant:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** [tag prefix d] prefixes [d]'s detail with a context label (e.g. the
+    oracle arm that produced the offending plan). *)
+val tag : string -> t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [render ds] is one line per diagnostic, each indented by two spaces. *)
+val render : t list -> string

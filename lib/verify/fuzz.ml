@@ -1,0 +1,80 @@
+module Schema = Raqo_catalog.Schema
+module D = Diagnostic
+
+type report = {
+  instance : Oracle.instance;
+  minimized : string list;
+  diagnostics : D.t list;
+}
+
+(* Greedy delta-debugging over the query's relation set: repeatedly try to
+   drop one relation; keep a drop when the smaller query is still connected
+   (otherwise no planner accepts it) and still fails the oracle. Terminates:
+   every accepted drop shrinks the set. *)
+let shrink ?jobs ?fault (t : Oracle.instance) =
+  let still_fails rels =
+    rels <> []
+    && Schema.joinable t.Oracle.schema rels
+    && Oracle.check ?jobs ?fault (Oracle.with_relations t rels) <> []
+  in
+  let rec pass rels =
+    let rec try_drop kept = function
+      | [] -> None
+      | r :: rest ->
+          let candidate = List.rev_append kept rest in
+          if still_fails candidate then Some candidate else try_drop (r :: kept) rest
+    in
+    match try_drop [] rels with
+    | Some smaller -> pass smaller
+    | None -> rels
+  in
+  let minimized = pass t.Oracle.relations in
+  (minimized, Oracle.check ?jobs ?fault (Oracle.with_relations t minimized))
+
+let report ?jobs ?fault (t : Oracle.instance) =
+  let minimized, diagnostics = shrink ?jobs ?fault t in
+  { instance = t; minimized; diagnostics }
+
+let render r =
+  let t = r.instance in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "FAIL seed=%d (tables=%d, joins=%d)\n" t.Oracle.seed t.Oracle.tables
+       t.Oracle.joins);
+  Buffer.add_string buf
+    (Printf.sprintf "  query:     %s\n" (String.concat " " t.Oracle.relations));
+  Buffer.add_string buf
+    (Printf.sprintf "  minimized: %s\n" (String.concat " " r.minimized));
+  Buffer.add_string buf "  violated:\n";
+  List.iter
+    (fun d -> Buffer.add_string buf (Printf.sprintf "    %s\n" (D.to_string d)))
+    r.diagnostics;
+  Buffer.add_string buf
+    (Printf.sprintf "  repro: raqo fuzz --seeds 1 --start %d --tables %d --joins %d\n"
+       t.Oracle.seed t.Oracle.tables t.Oracle.joins);
+  Buffer.contents buf
+
+let run ?tables ?joins ?jobs ?fault ?(progress = fun ~seed:_ ~failed:_ -> ()) ?(start = 1)
+    ~seeds () =
+  let failures = ref [] in
+  for seed = start to start + seeds - 1 do
+    let t = Oracle.instance ?tables ?joins seed in
+    match Oracle.check ?jobs ?fault t with
+    | [] -> progress ~seed ~failed:false
+    | _ :: _ ->
+        progress ~seed ~failed:true;
+        failures := report ?jobs ?fault t :: !failures
+  done;
+  List.rev !failures
+
+let main ?tables ?joins ?jobs ?(start = 1) ~seeds () =
+  let progress ~seed ~failed =
+    if failed then Printf.printf "seed %d: FAIL\n%!" seed
+    else if seed mod 50 = 0 || seed = start + seeds - 1 then
+      Printf.printf "seed %d: ok\n%!" seed
+  in
+  let failures = run ?tables ?joins ?jobs ~progress ~start ~seeds () in
+  List.iter (fun r -> print_string (render r)) failures;
+  Printf.printf "fuzz: %d seeds, %d failure%s\n" seeds (List.length failures)
+    (if List.length failures = 1 then "" else "s");
+  if failures = [] then 0 else 1

@@ -1,0 +1,42 @@
+(** Seeded fuzz harness over the differential oracle: generate random
+    instances, check them, and greedily shrink any failure to a minimal
+    failing query with a self-contained printed repro. *)
+
+type report = {
+  instance : Oracle.instance;  (** the original failing instance *)
+  minimized : string list;  (** smallest still-failing relation subset *)
+  diagnostics : Diagnostic.t list;  (** violations on the minimized query *)
+}
+
+(** [shrink t] greedily drops relations from [t]'s query while the oracle
+    still fails and the query stays connected; returns the minimized
+    relation set and its diagnostics. Call only on failing instances (a
+    passing instance shrinks to itself with []). *)
+val shrink :
+  ?jobs:int list -> ?fault:Oracle.fault -> Oracle.instance -> string list * Diagnostic.t list
+
+(** [report t] is {!shrink} packaged with the originating instance. *)
+val report : ?jobs:int list -> ?fault:Oracle.fault -> Oracle.instance -> report
+
+(** [render r] formats a failure as a self-contained repro block: seed,
+    generation parameters, original and minimized query, violated
+    invariants, and the CLI command that replays it. *)
+val render : report -> string
+
+(** [run ?tables ?joins ?jobs ?fault ?progress ?start ~seeds ()] checks
+    seeds [start .. start + seeds - 1] and returns a shrunk report per
+    failing seed. [progress] is invoked once per seed. *)
+val run :
+  ?tables:int ->
+  ?joins:int ->
+  ?jobs:int list ->
+  ?fault:Oracle.fault ->
+  ?progress:(seed:int -> failed:bool -> unit) ->
+  ?start:int ->
+  seeds:int ->
+  unit ->
+  report list
+
+(** [main] is the CLI entry point: prints progress, every rendered failure,
+    and a summary; returns the process exit code (0 clean, 1 failures). *)
+val main : ?tables:int -> ?joins:int -> ?jobs:int list -> ?start:int -> seeds:int -> unit -> int

@@ -1,0 +1,225 @@
+module Schema = Raqo_catalog.Schema
+module Random_schema = Raqo_catalog.Random_schema
+module Conditions = Raqo_cluster.Conditions
+module Resources = Raqo_cluster.Resources
+module Rng = Raqo_util.Rng
+module Op_cost = Raqo_cost.Op_cost
+module Coster = Raqo_planner.Coster
+module Selinger = Raqo_planner.Selinger
+module Dpsub = Raqo_planner.Dpsub
+module Exhaustive = Raqo_planner.Exhaustive
+module Randomized = Raqo_planner.Randomized
+module Heuristics = Raqo_planner.Heuristics
+module Resource_planner = Raqo_resource.Resource_planner
+module Plan_cache = Raqo_resource.Plan_cache
+module Pool = Raqo_par.Pool
+module D = Diagnostic
+
+type instance = {
+  seed : int;
+  tables : int;
+  joins : int;
+  schema : Schema.t;
+  relations : string list;
+}
+
+let default_tables = 6
+let default_joins = 4
+
+let instance ?(tables = default_tables) ?(joins = default_joins) seed =
+  let rng = Rng.create seed in
+  let schema = Random_schema.generate rng ~tables in
+  let relations = Random_schema.query rng schema ~joins:(min joins (tables - 1)) in
+  { seed; tables; joins; schema; relations }
+
+let with_relations t relations = { t with relations }
+
+let pp_instance fmt t =
+  Format.fprintf fmt "seed=%d tables=%d joins=%d query=[%s]" t.seed t.tables t.joins
+    (String.concat " " t.relations)
+
+type fault = arm:string -> Coster.t -> Coster.t
+
+let no_fault ~arm:_ coster = coster
+
+(* A deliberately compact condition grid (8 x 6 = 48 configurations) keeps
+   the brute-force resource arms cheap enough to fuzz by the hundreds while
+   still giving hill climbing room to get stuck somewhere interesting. *)
+let conditions =
+  Conditions.make ~min_containers:1 ~max_containers:8 ~container_step:1 ~min_gb:1.0
+    ~max_gb:6.0 ~gb_step:1.0 ()
+
+(* In-grid fixed configuration for the two-step ("QO") baseline arms. *)
+let fixed_resources = Resources.make ~containers:4 ~container_gb:3.0
+
+(* Floored model: non-negative join costs make bound-pruning sound and give
+   the cost-ordering relations below their meaning. *)
+let model = Op_cost.with_floor 0.01 Op_cost.paper
+
+(* Relative tolerance for cross-arm cost comparisons: the same join set can
+   be summed in different orders by different planners. *)
+let tol a b = 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+let approx_eq a b = Float.abs (a -. b) <= tol a b
+let leq a b = a <= b +. tol a b
+
+let check ?(jobs = [ 2; 4 ]) ?(fault = no_fault) t =
+  let diags = ref [] in
+  let add ds = diags := !diags @ ds in
+  let schema = t.schema and rels = t.relations in
+  let n = List.length rels in
+  let fixed arm = fault ~arm (Coster.fixed model schema fixed_resources) in
+  (* Every arm's plan must satisfy the structural invariants before any
+     cross-arm relation is worth stating. *)
+  let validate arm = function
+    | None ->
+        add [ D.v ~invariant:"oracle/no-plan" "%s found no feasible plan" arm ];
+        None
+    | Some ((tree, cost) as plan) ->
+        add
+          (List.map (D.tag arm)
+             (Invariant.check_joint ~model ~conditions ~schema ~expected:rels (tree, cost)));
+        Some plan
+  in
+  let cost = Option.map snd in
+  (* A relation between two arms only fires when both produced a plan; a
+     one-sided [None] is already reported by [validate]. *)
+  let relate invariant describe ok a b =
+    match (a, b) with
+    | Some a, Some b ->
+        if not (ok a b) then add [ D.v ~invariant "%s (%.6f vs %.6f)" describe a b ]
+    | Some _, None | None, Some _ | None, None -> ()
+  in
+
+  (* ------------------------------------------- fixed-resource planner arms *)
+  let sel_coster, sel_invocations = Coster.counting (fixed "selinger") in
+  let sel = validate "selinger" (Selinger.optimize sel_coster schema rels) in
+  let sel_pruned =
+    validate "selinger-pruned" (fst (Selinger.optimize_pruned (fixed "selinger-pruned") schema rels))
+  in
+  let memo_inner, memo_invocations = Coster.counting (fixed "selinger-memo") in
+  let sel_memo = validate "selinger+memo" (Selinger.optimize (Coster.memoize memo_inner) schema rels) in
+  let dpsub = if n <= 14 then validate "dpsub" (Dpsub.optimize (fixed "dpsub") schema rels) else None in
+  let exhaustive =
+    if n <= 7 then validate "exhaustive" (Exhaustive.optimize (fixed "exhaustive") schema rels)
+    else None
+  in
+  let rand_seed = (t.seed * 1_000_003) + 7 in
+  let rand_seq =
+    validate "randomized"
+      (Randomized.optimize (Rng.create rand_seed) (fixed "randomized") schema rels)
+  in
+  let greedy =
+    match Heuristics.greedy_left_deep schema rels with
+    | shape -> Option.map snd (Coster.cost_tree (fixed "greedy") shape)
+    | exception Invalid_argument _ -> None
+  in
+
+  (* Exact planners agree; every planner lower-bounds the heuristics. *)
+  relate "oracle/dpsub-vs-exhaustive" "bushy DP must equal the exhaustive oracle" approx_eq
+    (cost dpsub) (cost exhaustive);
+  relate "oracle/exhaustive-above-selinger" "exhaustive (bushy) must be <= Selinger (left-deep)"
+    leq (cost exhaustive) (cost sel);
+  relate "oracle/dpsub-above-selinger" "bushy DP must be <= Selinger (left-deep)" leq
+    (cost dpsub) (cost sel);
+  relate "oracle/dpsub-above-randomized" "exact bushy DP must be <= randomized search" leq
+    (cost dpsub) (cost rand_seq);
+  relate "oracle/selinger-above-greedy" "Selinger DP must be <= greedy left-deep" leq (cost sel)
+    greedy;
+  relate "oracle/pruned-vs-plain" "bound-pruned Selinger must keep the optimum" approx_eq
+    (cost sel_pruned) (cost sel);
+  relate "oracle/memo-vs-plain" "memoized coster must not change the Selinger optimum" approx_eq
+    (cost sel_memo) (cost sel);
+  if n <= 3 then
+    (* With <= 3 relations every cartesian-free bushy tree is left-deep up to
+       mirroring, which symmetric costers cannot distinguish. *)
+    relate "oracle/selinger-vs-dpsub-small" "left-deep and bushy DP coincide for n <= 3"
+      approx_eq (cost sel) (cost dpsub);
+  if sel_memo <> None && memo_invocations () > sel_invocations () then
+    add
+      [ D.v ~invariant:"oracle/memo-extra-lookups"
+          "memoized coster issued %d underlying lookups, plain Selinger %d" (memo_invocations ())
+          (sel_invocations ()) ];
+
+  (* Parallel randomized restarts must be bit-identical to sequential for a
+     fixed seed (pre-split restart RNGs, order-preserving pool). *)
+  List.iter
+    (fun j ->
+      if j > 1 then begin
+        let par =
+          Pool.with_pool ~jobs:j (fun pool ->
+              Randomized.optimize_par pool (Rng.create rand_seed)
+                ~coster:(fun () -> fixed "randomized-par")
+                schema rels)
+        in
+        relate "oracle/randomized-par-vs-seq"
+          (Printf.sprintf "parallel randomized (%d jobs) must equal sequential, same seed" j)
+          (fun a b -> a = b)
+          (cost par) (cost rand_seq)
+      end)
+    jobs;
+
+  (* ------------------------------------------ resource-planning mode arms *)
+  let raqo_arm arm ~strategy ~cache ?pool () =
+    let rp = Resource_planner.create ~strategy ~cache ?pool conditions in
+    (rp, fault ~arm (Coster.raqo model schema rp))
+  in
+  let rp_bf, bf_coster = raqo_arm "raqo-bf" ~strategy:Resource_planner.Brute_force ~cache:true () in
+  let raqo_bf = validate "raqo-bf" (Selinger.optimize bf_coster schema rels) in
+  let _, bf_nocache_coster =
+    raqo_arm "raqo-bf-nocache" ~strategy:Resource_planner.Brute_force ~cache:false ()
+  in
+  let raqo_bf_nocache =
+    validate "raqo-bf-nocache" (Selinger.optimize bf_nocache_coster schema rels)
+  in
+  let _, hc_coster = raqo_arm "raqo-hc" ~strategy:Resource_planner.Hill_climb ~cache:true () in
+  let raqo_hc = validate "raqo-hc" (Selinger.optimize hc_coster schema rels) in
+
+  relate "oracle/raqo-cache-vs-nocache"
+    "exact-lookup cache must not change the brute-force joint optimum" approx_eq (cost raqo_bf)
+    (cost raqo_bf_nocache);
+  relate "oracle/raqo-bf-above-hc"
+    "global grid search must be <= hill climbing per join, hence overall" leq (cost raqo_bf)
+    (cost raqo_hc);
+  relate "oracle/raqo-above-fixed"
+    "joint optimization must be <= the two-step baseline at an in-grid config" leq
+    (cost raqo_bf) (cost sel);
+
+  (* Parallel brute-force grid partitioning must agree with the sequential
+     scan (first-wins ties, merged in enumeration order). *)
+  List.iter
+    (fun j ->
+      if j > 1 then
+        Pool.with_pool ~jobs:j (fun pool ->
+            let _, coster =
+              raqo_arm "raqo-bf-par" ~strategy:Resource_planner.Brute_force ~cache:true ~pool ()
+            in
+            let par = validate "raqo-bf-par" (Selinger.optimize coster schema rels) in
+            relate "oracle/raqo-par-vs-seq"
+              (Printf.sprintf "partitioned grid search (%d jobs) must equal sequential" j)
+              (fun a b -> a = b)
+              (cost par) (cost raqo_bf)))
+    jobs;
+
+  (* Resource-plan cache answers must stay within their lookup radius and
+     reproduce the stored entries (exercises every lookup policy against the
+     entries the joint arms populated). *)
+  (match Resource_planner.cache rp_bf with
+  | None -> ()
+  | Some cache ->
+      List.iter
+        (fun key ->
+          let entry_keys = List.map fst (Plan_cache.entries cache ~key) in
+          let probes =
+            List.sort_uniq compare
+              (List.concat_map (fun k -> [ k; k +. 0.05; k *. (1.0 +. 1e-12) ]) entry_keys
+              @ [ 0.0; 0.25; 1.0; 3.7 ])
+          in
+          List.iter
+            (fun data_gb ->
+              List.iter
+                (fun lookup -> add (Invariant.check_cache_lookup cache ~key ~data_gb lookup))
+                [ Plan_cache.Exact; Plan_cache.Nearest_neighbor 0.5; Plan_cache.Weighted_average 0.5 ])
+            probes)
+        (Plan_cache.keys cache));
+
+  !diags

@@ -1,0 +1,68 @@
+(** Cross-planner differential oracle. One random instance (schema + query)
+    is driven through every planner (Selinger, pruned Selinger, memoized
+    Selinger, DPsub, exhaustive, randomized Trummer–Koch), every
+    resource-planning mode (fixed two-step baseline, joint brute force with
+    and without the resource-plan cache, joint hill climbing), and both
+    sequential and parallel execution ([jobs]); the relations that must hold
+    between their answers are asserted and every violation reported as a
+    {!Diagnostic.t}.
+
+    Enforced relations (see DESIGN.md, "Verification layer"):
+    - every emitted plan passes {!Invariant.check_joint};
+    - DPsub = exhaustive bushy oracle (both exact over the same space);
+    - exhaustive <= Selinger and DPsub <= Selinger (bushy space contains
+      left-deep), with equality for queries of <= 3 relations;
+    - DPsub <= randomized search; Selinger <= greedy left-deep;
+    - bound-pruned Selinger = plain Selinger (non-negative floored costs);
+    - memoized coster = plain coster, and never more underlying lookups;
+    - parallel randomized restarts and partitioned brute-force grids are
+      bit-identical to their sequential counterparts for a fixed seed;
+    - joint brute force <= joint hill climbing <= nothing (local optima),
+      and joint brute force <= the fixed baseline at an in-grid config;
+    - exact-lookup caching does not change the brute-force joint optimum;
+    - every cache lookup policy answers within its radius
+      ({!Invariant.check_cache_lookup}). *)
+
+type instance = {
+  seed : int;
+  tables : int;  (** tables in the generated schema *)
+  joins : int;  (** requested joins (query has at most [joins + 1] relations) *)
+  schema : Raqo_catalog.Schema.t;
+  relations : string list;  (** the query: a connected relation subset *)
+}
+
+val default_tables : int
+val default_joins : int
+
+(** [instance ?tables ?joins seed] deterministically generates a random
+    schema and a connected random query from [seed]. *)
+val instance : ?tables:int -> ?joins:int -> int -> instance
+
+(** [with_relations t rels] re-targets the query (used by shrinking). *)
+val with_relations : instance -> string list -> instance
+
+val pp_instance : Format.formatter -> instance -> unit
+
+(** A fault injects a wrapper around the coster of the named oracle arm —
+    the hook tests use to prove the oracle catches broken costers (arms:
+    ["selinger"], ["selinger-pruned"], ["selinger-memo"], ["dpsub"],
+    ["exhaustive"], ["randomized"], ["randomized-par"], ["greedy"],
+    ["raqo-bf"], ["raqo-bf-nocache"], ["raqo-bf-par"], ["raqo-hc"]). *)
+type fault = arm:string -> Raqo_planner.Coster.t -> Raqo_planner.Coster.t
+
+val no_fault : fault
+
+(** The compact cluster conditions the oracle plans against (brute-force
+    tractable), and the in-grid fixed configuration of its two-step arms. *)
+val conditions : Raqo_cluster.Conditions.t
+
+val fixed_resources : Raqo_cluster.Resources.t
+
+(** The floored (non-negative) paper cost model the oracle costs with. *)
+val model : Raqo_cost.Op_cost.t
+
+(** [check ?jobs ?fault t] runs every arm and returns the violated
+    invariants ([] = the instance is consistent). [jobs] lists the pool
+    sizes for the parallel arms (default [[2; 4]]; values [<= 1] are
+    skipped). *)
+val check : ?jobs:int list -> ?fault:fault -> instance -> Diagnostic.t list

@@ -195,6 +195,34 @@ let test_cache_weighted_average_prefers_exact () =
   | Some r -> Alcotest.(check int) "exact wins" 7 r.Resources.containers
   | None -> Alcotest.fail "hit expected"
 
+let test_cache_weighted_average_epsilon_exact_guard () =
+  (* Regression: a key within radius but only float-[=]-unequal to [data_gb]
+     used to get inverse-distance weight 1/d with d a few ulps, swamping all
+     other entries through a lossy blend. The epsilon guard must treat it as
+     an exact hit and return it verbatim. *)
+  let cache = Plan_cache.create () in
+  let near_exact = Float.succ 2.0 in
+  Plan_cache.insert cache ~key:"k" ~data_gb:near_exact (res 8 4.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:2.5 (res 2 1.0);
+  match Plan_cache.find cache ~key:"k" ~data_gb:2.0 (Plan_cache.Weighted_average 1.0) with
+  | Some r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "near-exact entry returned verbatim (got %s)" (Resources.to_string r))
+        true
+        (Resources.equal r (res 8 4.0))
+  | None -> Alcotest.fail "hit expected"
+
+let test_cache_weighted_average_denormal_distance () =
+  (* Regression: with an unguarded 1/d, a denormal distance overflows the
+     weight to infinity and the average to nan, which [Resources.make]
+     rejects — the lookup used to raise instead of answering. *)
+  let cache = Plan_cache.create () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:1e-310 (res 8 4.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:0.3 (res 2 1.0);
+  match Plan_cache.find cache ~key:"k" ~data_gb:0.0 (Plan_cache.Weighted_average 0.5) with
+  | Some r -> Alcotest.(check bool) "near-exact entry wins" true (Resources.equal r (res 8 4.0))
+  | None -> Alcotest.fail "hit expected"
+
 let test_cache_resizes_past_initial_capacity () =
   let cache = Plan_cache.create () in
   for i = 1 to 100 do
@@ -474,6 +502,10 @@ let () =
           Alcotest.test_case "weighted average" `Quick test_cache_weighted_average;
           Alcotest.test_case "weighted average prefers exact" `Quick
             test_cache_weighted_average_prefers_exact;
+          Alcotest.test_case "weighted average epsilon exact guard" `Quick
+            test_cache_weighted_average_epsilon_exact_guard;
+          Alcotest.test_case "weighted average denormal distance" `Quick
+            test_cache_weighted_average_denormal_distance;
           Alcotest.test_case "auto-resizing keeps entries" `Quick
             test_cache_resizes_past_initial_capacity;
           Alcotest.test_case "random insert order stays sorted" `Quick
