@@ -1,0 +1,82 @@
+(* Dense relation ids for one query, fixed at admission: id = position in the
+   relation list, so every mask-based planner enumerates subsets in exactly
+   the order the string-based planners enumerate name lists. The structure is
+   immutable after [make]; per-coster memo tables live in the costers, which
+   keeps one context shareable across domains. *)
+
+type t = {
+  schema : Schema.t;
+  rels : string array;  (* id -> name, in caller list order *)
+  index : (string, int) Hashtbl.t;
+  n : int;
+  adj : int array;  (* adj.(i) = mask of peers of relation i within the query *)
+}
+
+let max_relations = 62 (* masks must fit a native OCaml int *)
+
+let make schema relations =
+  let rels = Array.of_list relations in
+  let n = Array.length rels in
+  if n = 0 then invalid_arg "Interned.make: empty relation set";
+  if n > max_relations then invalid_arg "Interned.make: more than 62 relations";
+  Array.iter
+    (fun r -> if not (Schema.mem schema r) then invalid_arg ("Interned.make: unknown " ^ r))
+    rels;
+  let index = Hashtbl.create (2 * n) in
+  (* Duplicate names are tolerated (the string planners never rejected them):
+     each occurrence keeps its own id, lookups resolve to one of them. *)
+  Array.iteri (fun i r -> if not (Hashtbl.mem index r) then Hashtbl.add index r i) rels;
+  let graph = Schema.graph schema in
+  let adj =
+    Array.init n (fun i ->
+        let mask = ref 0 in
+        for j = 0 to n - 1 do
+          if i <> j && Option.is_some (Join_graph.selectivity graph rels.(i) rels.(j)) then
+            mask := !mask lor (1 lsl j)
+        done;
+        !mask)
+  in
+  { schema; rels; index; n; adj }
+
+let schema t = t.schema
+let n t = t.n
+let name t i = t.rels.(i)
+let relations t = Array.to_list t.rels
+let adj t = t.adj
+let full_mask t = (1 lsl t.n) - 1
+
+let id_of_name t r =
+  match Hashtbl.find_opt t.index r with
+  | Some i -> i
+  | None -> invalid_arg ("Interned.id_of_name: unknown " ^ r)
+
+let mask_of_name t r = 1 lsl id_of_name t r
+
+let mask_of_names t names =
+  List.fold_left (fun mask r -> mask lor mask_of_name t r) 0 names
+
+(* Ascending id order — the same order the string planners' [names_of]
+   produced, so shimmed costers see byte-identical argument lists. *)
+let names_of_mask t mask =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if mask land (1 lsl i) <> 0 then t.rels.(i) :: acc else acc)
+  in
+  go (t.n - 1) []
+
+let connected t mask =
+  if mask = 0 then false
+  else begin
+    let seed = mask land -mask in
+    let reach = ref seed in
+    let frontier = ref seed in
+    while !frontier <> 0 do
+      let next = ref 0 in
+      for i = 0 to t.n - 1 do
+        if !frontier land (1 lsl i) <> 0 then next := !next lor (t.adj.(i) land mask)
+      done;
+      frontier := !next land lnot !reach;
+      reach := !reach lor !next
+    done;
+    !reach = mask
+  end

@@ -1,0 +1,53 @@
+(** Dense relation ids and adjacency bitmasks for one query, fixed at
+    admission. The mask-based planning core ({!Raqo_planner}) keys every DP
+    table and memo on integer subsets of these ids instead of string lists;
+    ids are assigned by position in the admitted relation list, so subset
+    enumeration order matches the historical string-based planners exactly.
+
+    A context is immutable after {!make} and safe to share across domains;
+    costers keep their own memo tables. *)
+
+type t
+
+(** Masks must fit a native [int]: at most 62 relations per query. Larger
+    queries stay on the string-based planner paths. *)
+val max_relations : int
+
+(** [make schema relations] interns [relations] (ids in list order) and
+    precomputes per-relation adjacency masks from the schema's join graph.
+    @raise Invalid_argument on an empty list, more than {!max_relations}
+    relations, or a name missing from [schema]. *)
+val make : Schema.t -> string list -> t
+
+val schema : t -> Schema.t
+
+(** [n t] is the number of interned relations. *)
+val n : t -> int
+
+(** [name t i] is the relation name of id [i]. *)
+val name : t -> int -> string
+
+(** [relations t] is the admitted relation list, original order. *)
+val relations : t -> string list
+
+(** [adj t] is the adjacency table: [(adj t).(i)] is the mask of relations
+    sharing a join edge with relation [i], restricted to the query. Treat as
+    read-only. *)
+val adj : t -> int array
+
+(** [full_mask t] is the mask containing every interned relation. *)
+val full_mask : t -> int
+
+(** [mask_of_name t r] is the singleton mask of [r].
+    @raise Invalid_argument when [r] was not interned. *)
+val mask_of_name : t -> string -> int
+
+val mask_of_names : t -> string list -> int
+
+(** [names_of_mask t mask] lists the members of [mask] in ascending id
+    order — the order the string planners historically produced. *)
+val names_of_mask : t -> int -> string list
+
+(** [connected t mask] is true when the join sub-graph induced by [mask] is
+    connected (BFS over the adjacency masks). *)
+val connected : t -> int -> bool

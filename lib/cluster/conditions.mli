@@ -27,7 +27,14 @@ val make :
 (** The paper's default evaluation cluster (100 containers x 10 GB). *)
 val default : t
 
-(** [n_configs t] is the size of the discrete resource space. *)
+(** [steps_containers t] is the number of grid points on the container axis. *)
+val steps_containers : t -> int
+
+(** [steps_gb t] is the number of grid points on the memory axis. *)
+val steps_gb : t -> int
+
+(** [n_configs t] is the size of the discrete resource space
+    ([steps_containers * steps_gb]). *)
 val n_configs : t -> int
 
 (** [contains t r] is true when [r] lies on the grid within bounds. *)

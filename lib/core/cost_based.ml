@@ -1,5 +1,6 @@
 module Coster = Raqo_planner.Coster
 module Resource_planner = Raqo_resource.Resource_planner
+module Interned = Raqo_catalog.Interned
 
 type planner_kind = Selinger | Fast_randomized | Bushy_dp
 
@@ -11,6 +12,7 @@ type t = {
   rng : Raqo_util.Rng.t;
   randomized_params : Raqo_planner.Randomized.params;
   resource_strategy : Resource_planner.strategy;
+  pruned : bool;
   cache_enabled : bool;
   lookup : Raqo_resource.Plan_cache.lookup;
   memoize : bool;
@@ -18,16 +20,18 @@ type t = {
 
 let create ?(kind = Selinger) ?(seed = 42)
     ?(randomized_params = Raqo_planner.Randomized.default_params)
-    ?(resource_strategy = Resource_planner.Hill_climb) ?(cache = true)
+    ?(resource_strategy = Resource_planner.Hill_climb) ?(pruned = false) ?(cache = true)
     ?(lookup = Raqo_resource.Plan_cache.Exact) ?(memoize = false) ~model ~conditions schema =
   {
     kind;
     schema;
     model;
-    resource_planner = Resource_planner.create ~strategy:resource_strategy ~cache ~lookup conditions;
+    resource_planner =
+      Resource_planner.create ~strategy:resource_strategy ~pruned ~cache ~lookup conditions;
     rng = Raqo_util.Rng.create seed;
     randomized_params;
     resource_strategy;
+    pruned;
     cache_enabled = cache;
     lookup;
     memoize;
@@ -41,6 +45,18 @@ let resource_planner t = t.resource_planner
 let with_conditions t conditions =
   { t with resource_planner = Resource_planner.with_conditions t.resource_planner conditions }
 
+(* Admission: intern the query's relations for the mask-based planners.
+   [None] sends the query down the historical string path — which owns the
+   validation errors (empty set, unknown relation) so messages stay exactly
+   as they were, and which alone handles queries too large for native-int
+   masks (the randomized planner accepts up to 100 relations). *)
+let interned_ctx t relations =
+  let n = List.length relations in
+  if n = 0 || n > Interned.max_relations then None
+  else if List.for_all (Raqo_catalog.Schema.mem t.schema) relations then
+    Some (Interned.make t.schema relations)
+  else None
+
 let run_planner t coster relations =
   match t.kind with
   | Selinger -> Raqo_planner.Selinger.optimize coster t.schema relations
@@ -49,46 +65,89 @@ let run_planner t coster relations =
       Raqo_planner.Randomized.optimize ~params:t.randomized_params t.rng coster t.schema
         relations
 
+let run_planner_masked t m ctx =
+  match t.kind with
+  | Selinger -> Raqo_planner.Selinger.optimize_masked m ctx
+  | Bushy_dp -> Raqo_planner.Dpsub.optimize_masked m ctx
+  | Fast_randomized ->
+      Raqo_planner.Randomized.optimize_masked ~params:t.randomized_params t.rng m ctx
+
 let wrap t coster = if t.memoize then Coster.memoize coster else coster
+let wrap_masked t ctx m = if t.memoize then Coster.memoize_masked ctx m else m
 
 (* The production costers, exposed so the verification layer can drive (and
    re-cost against) the exact coster [optimize] / [optimize_qo] use. *)
 let coster t = wrap t (Coster.raqo t.model t.schema t.resource_planner)
 let coster_qo t ~resources = wrap t (Coster.fixed t.model t.schema resources)
 
-let optimize t relations = run_planner t (coster t) relations
+let masked_coster t ctx = wrap_masked t ctx (Coster.raqo_masked t.model ctx t.resource_planner)
+
+let masked_coster_qo t ctx ~resources =
+  wrap_masked t ctx (Coster.fixed_masked t.model ctx resources)
+
+let optimize t relations =
+  match interned_ctx t relations with
+  | Some ctx -> run_planner_masked t (masked_coster t ctx) ctx
+  | None -> run_planner t (coster t) relations
 
 (* A fresh coster per restart: the raqo coster's memo tables (statistics and,
    when enabled, join memoization) are plain hashtables, and the private
    resource planner keeps the per-restart cache single-domain. The shared
    atomic counters keep aggregate instrumentation meaningful. *)
-let restart_coster t =
+let restart_planner t =
   let counters = Resource_planner.counters t.resource_planner in
   fun () ->
-    let rp =
-      Resource_planner.create ~strategy:t.resource_strategy ~cache:t.cache_enabled
-        ~lookup:t.lookup ~counters
-        (Resource_planner.conditions t.resource_planner)
-    in
-    wrap t (Coster.raqo t.model t.schema rp)
+    Resource_planner.create ~strategy:t.resource_strategy ~pruned:t.pruned
+      ~cache:t.cache_enabled ~lookup:t.lookup ~counters
+      (Resource_planner.conditions t.resource_planner)
+
+let restart_coster t =
+  let planner = restart_planner t in
+  fun () -> wrap t (Coster.raqo t.model t.schema (planner ()))
+
+(* The interned context is immutable, so restarts on different domains share
+   it; each gets its own masked coster (private memo tables). *)
+let restart_masked_coster t ctx =
+  let planner = restart_planner t in
+  fun () -> wrap_masked t ctx (Coster.raqo_masked t.model ctx (planner ()))
 
 let optimize_par t pool relations =
   match t.kind with
   | Selinger | Bushy_dp -> optimize t relations
-  | Fast_randomized ->
-      Raqo_planner.Randomized.optimize_par ~params:t.randomized_params pool t.rng
-        ~coster:(restart_coster t) t.schema relations
+  | Fast_randomized -> begin
+      match interned_ctx t relations with
+      | Some ctx ->
+          Raqo_planner.Randomized.optimize_par_masked ~params:t.randomized_params pool t.rng
+            ~coster:(restart_masked_coster t ctx) ctx
+      | None ->
+          Raqo_planner.Randomized.optimize_par ~params:t.randomized_params pool t.rng
+            ~coster:(restart_coster t) t.schema relations
+    end
 
-let optimize_qo t ~resources relations = run_planner t (coster_qo t ~resources) relations
+let optimize_qo t ~resources relations =
+  match interned_ctx t relations with
+  | Some ctx -> run_planner_masked t (masked_coster_qo t ctx ~resources) ctx
+  | None -> run_planner t (coster_qo t ~resources) relations
 
 let candidates t relations =
-  let coster = coster t in
-  match t.kind with
-  | Selinger -> Option.to_list (Raqo_planner.Selinger.optimize coster t.schema relations)
-  | Bushy_dp -> Option.to_list (Raqo_planner.Dpsub.optimize coster t.schema relations)
-  | Fast_randomized ->
-      Raqo_planner.Randomized.local_optima ~params:t.randomized_params t.rng coster
-        t.schema relations
+  match interned_ctx t relations with
+  | Some ctx -> begin
+      let m = masked_coster t ctx in
+      match t.kind with
+      | Selinger -> Option.to_list (Raqo_planner.Selinger.optimize_masked m ctx)
+      | Bushy_dp -> Option.to_list (Raqo_planner.Dpsub.optimize_masked m ctx)
+      | Fast_randomized ->
+          Raqo_planner.Randomized.local_optima_masked ~params:t.randomized_params t.rng m ctx
+    end
+  | None -> begin
+      let coster = coster t in
+      match t.kind with
+      | Selinger -> Option.to_list (Raqo_planner.Selinger.optimize coster t.schema relations)
+      | Bushy_dp -> Option.to_list (Raqo_planner.Dpsub.optimize coster t.schema relations)
+      | Fast_randomized ->
+          Raqo_planner.Randomized.local_optima ~params:t.randomized_params t.rng coster
+            t.schema relations
+    end
 
 let counters t = Resource_planner.counters t.resource_planner
 

@@ -19,12 +19,25 @@ type t
     best-join choices per query on unordered relation-set pairs — it cuts
     cost evaluations (Selinger's DP re-costs mirrored pairs) without
     changing any chosen plan. Off by default so instrumentation baselines
-    stay comparable. *)
+    stay comparable.
+
+    [pruned] turns on branch-and-bound resource search
+    ({!Raqo_resource.Brute_force.search_pruned}) under the brute-force
+    resource strategy, fed by the cost model's monotone region lower bounds.
+    Chosen configurations and costs are identical to the exhaustive scan;
+    only the evaluation counts drop. Off by default, and a no-op under hill
+    climbing or when the model's feature space admits no bound.
+
+    Queries of up to {!Raqo_catalog.Interned.max_relations} relations run on
+    the interned, mask-based planner core; larger ones (the randomized
+    planner accepts up to 100) fall back to the string-list planners. Both
+    paths produce bit-identical plans, costs, and instrumentation. *)
 val create :
   ?kind:planner_kind ->
   ?seed:int ->
   ?randomized_params:Raqo_planner.Randomized.params ->
   ?resource_strategy:Raqo_resource.Resource_planner.strategy ->
+  ?pruned:bool ->
   ?cache:bool ->
   ?lookup:Raqo_resource.Plan_cache.lookup ->
   ?memoize:bool ->

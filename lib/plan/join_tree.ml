@@ -30,10 +30,14 @@ let rec map_annot f = function
   | Scan name -> Scan name
   | Join (a, l, r) -> Join (f a, map_annot f l, map_annot f r)
 
+(* Effects in [f] fire in left-then-right post-order — pinned explicitly
+   ([let .. and ..] leaves the order unspecified) so effectful costers
+   observe the same invocation sequence from every tree-costing path. *)
 let rec map_joins f = function
   | Scan name -> Scan name
   | Join (a, l, r) ->
-      let l' = map_joins f l and r' = map_joins f r in
+      let l' = map_joins f l in
+      let r' = map_joins f r in
       Join (f a (relations l) (relations r), l', r')
 
 let annotations t = List.rev (fold_joins (fun acc a _ _ -> a :: acc) [] t)

@@ -37,7 +37,9 @@ val fold_joins : ('acc -> 'a -> string list -> string list -> 'acc) -> 'acc -> '
 val map_annot : ('a -> 'b) -> 'a t -> 'b t
 
 (** [map_joins f t] rewrites each annotation with access to the relation sets
-    of the join's subtrees (bottom-up), e.g. to assign resources per join. *)
+    of the join's subtrees (bottom-up), e.g. to assign resources per join.
+    [f] is applied in left-then-right post-order, so effectful callbacks
+    (costers with counters or memo tables) see a deterministic sequence. *)
 val map_joins : ('a -> string list -> string list -> 'b) -> 'a t -> 'b t
 
 (** [annotations t] lists join annotations bottom-up, left before right. *)

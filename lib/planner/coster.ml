@@ -86,24 +86,28 @@ let feasible_start model impl ~small_gb (conditions : Raqo_cluster.Conditions.t)
              ~container_gb:(Float.min conditions.max_gb gb))
       end
 
+(* Resource-plan one join implementation: smallest feasible start config,
+   cost-model closure, and — for pruned planners — the monotone lower bound
+   branch-and-bound consults. Shared by the string and masked RAQO costers. *)
+let raqo_impl model planner ~small_gb best impl =
+  let conditions = Raqo_resource.Resource_planner.conditions planner in
+  match feasible_start model impl ~small_gb conditions with
+  | None -> best
+  | Some start ->
+      let key = Join_impl.to_string impl ^ "/join" in
+      let cost_fn resources = Op_cost.predict_exn model impl ~small_gb ~resources in
+      let bound = Op_cost.region_lower_bound model impl ~small_gb in
+      let resources, cost =
+        Raqo_resource.Resource_planner.plan ~start ?bound planner ~key ~data_gb:small_gb
+          ~cost:cost_fn
+      in
+      pick_cheaper best (finite_choice impl resources cost)
+
 let raqo model schema planner =
   let size = memoized_size schema in
   let best_join ~left ~right =
     let small_gb = Float.min (size left) (size right) in
-    let conditions = Raqo_resource.Resource_planner.conditions planner in
-    List.fold_left
-      (fun best impl ->
-        match feasible_start model impl ~small_gb conditions with
-        | None -> best
-        | Some start ->
-            let key = Join_impl.to_string impl ^ "/join" in
-            let cost_fn resources = Op_cost.predict_exn model impl ~small_gb ~resources in
-            let resources, cost =
-              Raqo_resource.Resource_planner.plan ~start planner ~key ~data_gb:small_gb
-                ~cost:cost_fn
-            in
-            pick_cheaper best (finite_choice impl resources cost))
-      None Join_impl.all
+    List.fold_left (raqo_impl model planner ~small_gb) None Join_impl.all
   in
   { best_join; name = "raqo" }
 
@@ -145,3 +149,165 @@ let simulator engine schema resources =
     | None -> None
   in
   { best_join; name = "simulator-ground-truth" }
+
+(* ------------------------------------------------------------------ *)
+(* Mask-based costers: the same seam keyed on interned relation masks.
+   Field names are distinct from [t]'s so both records coexist in one
+   scope without shadowing. *)
+
+module Interned = Raqo_catalog.Interned
+
+type masked = {
+  best_join_masked : left:int -> right:int -> choice option;
+  masked_name : string;
+}
+
+let of_strings ctx t =
+  (* Memoize mask -> names: the DP hot path asks for the same subsets over
+     and over, and list reconstruction is what interning exists to avoid. *)
+  let names = Hashtbl.create 256 in
+  let names_of mask =
+    match Hashtbl.find_opt names mask with
+    | Some l -> l
+    | None ->
+        let l = Interned.names_of_mask ctx mask in
+        Hashtbl.add names mask l;
+        l
+  in
+  let best_join_masked ~left ~right =
+    t.best_join ~left:(names_of left) ~right:(names_of right)
+  in
+  { best_join_masked; masked_name = t.name }
+
+let to_strings ctx m =
+  let best_join ~left ~right =
+    m.best_join_masked
+      ~left:(Interned.mask_of_names ctx left)
+      ~right:(Interned.mask_of_names ctx right)
+  in
+  { best_join; name = m.masked_name }
+
+(* Statistics cache keyed on the subset mask — one Hashtbl probe on an int
+   instead of sort + concat over the relation names. *)
+let memoized_size_masked ctx =
+  let sizes = Hashtbl.create 512 in
+  let schema = Interned.schema ctx in
+  fun mask ->
+    match Hashtbl.find_opt sizes mask with
+    | Some s -> s
+    | None ->
+        let s = Schema.join_size_gb schema (Interned.names_of_mask ctx mask) in
+        Hashtbl.add sizes mask s;
+        s
+
+let fixed_masked model ctx resources =
+  let size = memoized_size_masked ctx in
+  let best_join_masked ~left ~right =
+    let small_gb = Float.min (size left) (size right) in
+    List.fold_left
+      (fun best impl ->
+        let cost = Op_cost.predict_exn model impl ~small_gb ~resources in
+        pick_cheaper best (finite_choice impl resources cost))
+      None Join_impl.all
+  in
+  { best_join_masked; masked_name = "qo-fixed-resources" }
+
+let raqo_masked model ctx planner =
+  let size = memoized_size_masked ctx in
+  let best_join_masked ~left ~right =
+    let small_gb = Float.min (size left) (size right) in
+    List.fold_left (raqo_impl model planner ~small_gb) None Join_impl.all
+  in
+  { best_join_masked; masked_name = "raqo" }
+
+let is_singleton m = m <> 0 && m land (m - 1) = 0
+
+let bit_index m =
+  let rec go i m = if m land 1 = 1 then i else go (i + 1) (m lsr 1) in
+  go 0 m
+
+(* Memo keyed on the unordered mask pair — the same equivalence classes as
+   the string [memoize] (a mask determines the sorted name set and vice
+   versa), so hit/miss sequences are bit-identical. Layout is tiered by
+   query size: for n <= 16 the dominant singleton-vs-subset lookups (all of
+   left-deep DP) hit a flat array indexed by (singleton id, other mask);
+   larger queries pack the pair into one int key while masks still fit. *)
+let memoize_masked ctx inner =
+  let n = Interned.n ctx in
+  let lookup_tbl tbl key ~left ~right =
+    match Hashtbl.find_opt tbl key with
+    | Some choice -> choice
+    | None ->
+        let choice = inner.best_join_masked ~left ~right in
+        Hashtbl.add tbl key choice;
+        choice
+  in
+  let best_join_masked =
+    if n <= 16 then begin
+      let rows = Array.make (n lsl n) None in
+      let rest = Hashtbl.create 256 in
+      fun ~left ~right ->
+        let sl = is_singleton left and sr = is_singleton right in
+        if sl || sr then begin
+          (* Both singleton: the lower id is the row, so mirrored pairs
+             collapse exactly as the unordered string key does. *)
+          let row, col =
+            if sl && sr then if left <= right then (left, right) else (right, left)
+            else if sl then (left, right)
+            else (right, left)
+          in
+          let idx = (bit_index row lsl n) lor col in
+          match rows.(idx) with
+          | Some choice -> choice
+          | None ->
+              let choice = inner.best_join_masked ~left ~right in
+              rows.(idx) <- Some choice;
+              choice
+        end
+        else
+          let lo = min left right and hi = max left right in
+          lookup_tbl rest ((lo lsl n) lor hi) ~left ~right
+    end
+    else if n <= 31 then begin
+      let memo = Hashtbl.create 1024 in
+      fun ~left ~right ->
+        let lo = min left right and hi = max left right in
+        lookup_tbl memo ((lo lsl n) lor hi) ~left ~right
+    end
+    else begin
+      let memo = Hashtbl.create 1024 in
+      fun ~left ~right ->
+        let lo = min left right and hi = max left right in
+        lookup_tbl memo (lo, hi) ~left ~right
+    end
+  in
+  { best_join_masked; masked_name = inner.masked_name ^ "+memo" }
+
+let counting_masked inner =
+  let count = ref 0 in
+  let best_join_masked ~left ~right =
+    incr count;
+    inner.best_join_masked ~left ~right
+  in
+  ({ best_join_masked; masked_name = inner.masked_name }, fun () -> !count)
+
+(* Mirrors [cost_tree]'s pinned left-then-right post-order, so effectful
+   costers (counting, fault injectors) observe identical invocation
+   sequences — including where an infeasible join aborts the walk. *)
+let cost_tree_masked m ctx shape =
+  let exception Infeasible in
+  let total = ref 0.0 in
+  let rec go = function
+    | Join_tree.Scan name -> (Join_tree.Scan name, Interned.mask_of_name ctx name)
+    | Join_tree.Join ((), l, r) -> (
+        let l', lm = go l in
+        let r', rm = go r in
+        match m.best_join_masked ~left:lm ~right:rm with
+        | Some { impl; resources; cost } ->
+            total := !total +. cost;
+            (Join_tree.Join ((impl, resources), l', r'), lm lor rm)
+        | None -> raise Infeasible)
+  in
+  match go shape with
+  | annotated, _mask -> Some (annotated, !total)
+  | exception Infeasible -> None

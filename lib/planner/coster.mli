@@ -71,3 +71,66 @@ val simulator :
   Raqo_catalog.Schema.t ->
   Raqo_cluster.Resources.t ->
   t
+
+(** {2 Mask-based costers}
+
+    The same [get_plan_cost] seam keyed on interned relation masks
+    ({!Raqo_catalog.Interned}): join sides are subset bitmasks instead of
+    string lists, so the DP hot path allocates nothing per lookup. Field
+    names are distinct from {!t}'s so both records coexist without
+    shadowing. *)
+
+type masked = {
+  best_join_masked : left:int -> right:int -> choice option;
+      (** [None] when no implementation is feasible for this join *)
+  masked_name : string;
+}
+
+(** [of_strings ctx t] adapts a string coster to the mask seam, memoizing
+    mask → name-list conversion. Name lists are produced in ascending id
+    order — exactly what the string planners historically passed — so
+    adapted costers observe byte-identical arguments. *)
+val of_strings : Raqo_catalog.Interned.t -> t -> masked
+
+(** [to_strings ctx m] adapts a masked coster back to the string seam
+    (CLI, examples, and differential-oracle reference arms). *)
+val to_strings : Raqo_catalog.Interned.t -> masked -> t
+
+(** [fixed_masked model ctx resources] is {!fixed} on the mask seam,
+    with the statistics cache keyed on subset masks. *)
+val fixed_masked :
+  Raqo_cost.Op_cost.t ->
+  Raqo_catalog.Interned.t ->
+  Raqo_cluster.Resources.t ->
+  masked
+
+(** [raqo_masked model ctx planner] is {!raqo} on the mask seam. Like the
+    string {!raqo} it hands the resource planner the operator's monotone
+    cost lower bound ({!Raqo_cost.Op_cost.region_lower_bound}), which
+    planners created with [~pruned:true] use for branch-and-bound. *)
+val raqo_masked :
+  Raqo_cost.Op_cost.t ->
+  Raqo_catalog.Interned.t ->
+  Raqo_resource.Resource_planner.t ->
+  masked
+
+(** [memoize_masked ctx m] caches [best_join_masked] results per query,
+    keyed on the unordered mask pair — the same equivalence classes as the
+    string {!memoize}, so hit/miss sequences are bit-identical. Queries of
+    up to 16 relations back the dominant singleton-versus-subset lookups
+    with a flat array; larger queries use packed-int hash keys. Same
+    single-domain discipline as {!memoize}. *)
+val memoize_masked : Raqo_catalog.Interned.t -> masked -> masked
+
+(** [counting_masked m] is {!counting} on the mask seam. *)
+val counting_masked : masked -> masked * (unit -> int)
+
+(** [cost_tree_masked m ctx shape] is {!cost_tree} on the mask seam,
+    resolving leaf masks through [ctx]. Joins are costed in the same pinned
+    left-then-right post-order, including where an infeasible join aborts
+    the walk. *)
+val cost_tree_masked :
+  masked ->
+  Raqo_catalog.Interned.t ->
+  shape ->
+  (Raqo_plan.Join_tree.joint * float) option

@@ -17,3 +17,21 @@ val optimize :
   Raqo_catalog.Schema.t ->
   string list ->
   (Raqo_plan.Join_tree.joint * float) option
+
+(** [optimize_masked m ctx] is the mask-based core {!optimize} runs on:
+    adjacency from the interned context, the coster keyed on subset masks.
+    Bit-identical results to the string reference.
+    @raise Invalid_argument beyond 16 relations. *)
+val optimize_masked :
+  Coster.masked ->
+  Raqo_catalog.Interned.t ->
+  (Raqo_plan.Join_tree.joint * float) option
+
+(** [optimize_reference coster schema relations] is the historical
+    string-list bushy DP, kept as the oracle baseline. Same contract as
+    {!optimize}. *)
+val optimize_reference :
+  Coster.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option

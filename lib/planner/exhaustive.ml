@@ -55,14 +55,23 @@ let all_shapes schema relations =
   in
   shapes ((1 lsl n) - 1)
 
-let optimize coster schema relations =
+let fold_shapes cost_tree shapes =
   List.fold_left
     (fun best shape ->
-      match Coster.cost_tree coster shape with
+      match cost_tree shape with
       | None -> best
       | Some ((_, c) as cand) -> begin
           match best with
           | Some (_, b) when b <= c -> best
           | Some _ | None -> Some cand
         end)
-    None (all_shapes schema relations)
+    None shapes
+
+let optimize coster schema relations =
+  fold_shapes (Coster.cost_tree coster) (all_shapes schema relations)
+
+let optimize_masked m ctx =
+  let schema = Raqo_catalog.Interned.schema ctx in
+  fold_shapes
+    (Coster.cost_tree_masked m ctx)
+    (all_shapes schema (Raqo_catalog.Interned.relations ctx))

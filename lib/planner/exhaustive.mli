@@ -15,3 +15,11 @@ val optimize :
   Raqo_catalog.Schema.t ->
   string list ->
   (Raqo_plan.Join_tree.joint * float) option
+
+(** [optimize_masked m ctx] is {!optimize} over the context's relations with
+    a masked coster (shape enumeration itself is not on the hot path and
+    stays string-based). Bit-identical results to {!optimize}. *)
+val optimize_masked :
+  Coster.masked ->
+  Raqo_catalog.Interned.t ->
+  (Raqo_plan.Join_tree.joint * float) option

@@ -158,15 +158,19 @@ let mutate rng schema shape =
   | Some shape' when valid_shape schema shape' && Join_tree.valid shape' -> Some shape'
   | Some _ | None -> None
 
-let improve ~params rng coster schema shape0 =
-  let best = ref (Coster.cost_tree coster shape0) in
+(* Iterative improvement parameterized over tree costing, so the string and
+   mask-based costing seams share one search loop (and one RNG stream:
+   structure generation stays string-based either way, which is what makes
+   the two seams produce identical shapes for a fixed seed). *)
+let improve_costed ~params rng schema cost shape0 =
+  let best = ref (cost shape0) in
   let shape = ref shape0 in
   let stale = ref 0 in
   while !stale < params.max_no_improve do
     match mutate rng schema !shape with
     | None -> incr stale
     | Some candidate -> begin
-        let costed = Coster.cost_tree coster candidate in
+        let costed = cost candidate in
         match (costed, !best) with
         | (Some (_, c) as improved), Some (_, b) when c < b ->
             best := improved;
@@ -189,7 +193,7 @@ let restart_rngs rng n = List.init n (fun _ -> Rng.split rng)
 
 let run_restart ~params rng coster schema relations =
   let shape = random_shape rng schema relations in
-  improve ~params rng coster schema shape
+  improve_costed ~params rng schema (Coster.cost_tree coster) shape
 
 let local_optima ?(params = default_params) rng coster schema relations =
   if relations = [] then invalid_arg "Randomized.local_optima: empty relation set";
@@ -217,3 +221,32 @@ let optimize ?(params = default_params) rng coster schema relations =
 
 let optimize_par ?(params = default_params) pool rng ~coster schema relations =
   pick_best (local_optima_par ~params pool rng ~coster schema relations)
+
+(* Mask-based variants: the search (shape generation, mutations, RNG
+   splitting) is shared with the string seam above; only tree costing goes
+   through the masked coster, so for a fixed seed the restarts visit the
+   same shapes and the results are bit-identical when the costers agree. *)
+
+module Interned = Raqo_catalog.Interned
+
+let run_restart_masked ~params rng m ctx =
+  let schema = Interned.schema ctx in
+  let shape = random_shape rng schema (Interned.relations ctx) in
+  improve_costed ~params rng schema (Coster.cost_tree_masked m ctx) shape
+
+let local_optima_masked ?(params = default_params) rng m ctx =
+  List.filter_map
+    (fun restart_rng -> run_restart_masked ~params restart_rng m ctx)
+    (restart_rngs rng params.iterations)
+
+let local_optima_par_masked ?(params = default_params) pool rng ~coster ctx =
+  Raqo_par.Pool.parallel_map pool
+    (fun restart_rng -> run_restart_masked ~params restart_rng (coster ()) ctx)
+    (restart_rngs rng params.iterations)
+  |> List.filter_map Fun.id
+
+let optimize_masked ?(params = default_params) rng m ctx =
+  pick_best (local_optima_masked ~params rng m ctx)
+
+let optimize_par_masked ?(params = default_params) pool rng ~coster ctx =
+  pick_best (local_optima_par_masked ~params pool rng ~coster ctx)

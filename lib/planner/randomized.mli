@@ -76,3 +76,47 @@ val optimize_par :
   Raqo_catalog.Schema.t ->
   string list ->
   (Raqo_plan.Join_tree.joint * float) option
+
+(** {2 Mask-based variants}
+
+    Shape generation and mutations share the string seam's RNG streams;
+    only tree costing goes through the masked coster. For a fixed seed the
+    restarts therefore visit the same shapes, and results are bit-identical
+    to the string variants whenever the costers compute the same values.
+    The interned context caps queries at
+    {!Raqo_catalog.Interned.max_relations}; larger queries stay on the
+    string API. *)
+
+val local_optima_masked :
+  ?params:params ->
+  Raqo_util.Rng.t ->
+  Coster.masked ->
+  Raqo_catalog.Interned.t ->
+  (Raqo_plan.Join_tree.joint * float) list
+
+val optimize_masked :
+  ?params:params ->
+  Raqo_util.Rng.t ->
+  Coster.masked ->
+  Raqo_catalog.Interned.t ->
+  (Raqo_plan.Join_tree.joint * float) option
+
+(** [local_optima_par_masked ?params pool rng ~coster ctx] distributes
+    restarts across [pool]; [coster] is a factory invoked once per restart
+    (masked memo tables are single-domain, the context itself is immutable
+    and shared). *)
+val local_optima_par_masked :
+  ?params:params ->
+  Raqo_par.Pool.t ->
+  Raqo_util.Rng.t ->
+  coster:(unit -> Coster.masked) ->
+  Raqo_catalog.Interned.t ->
+  (Raqo_plan.Join_tree.joint * float) list
+
+val optimize_par_masked :
+  ?params:params ->
+  Raqo_par.Pool.t ->
+  Raqo_util.Rng.t ->
+  coster:(unit -> Coster.masked) ->
+  Raqo_catalog.Interned.t ->
+  (Raqo_plan.Join_tree.joint * float) option

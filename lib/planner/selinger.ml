@@ -1,16 +1,23 @@
 module Join_tree = Raqo_plan.Join_tree
 module Schema = Raqo_catalog.Schema
+module Interned = Raqo_catalog.Interned
 
-(* The DP core, parameterized by an optional upper bound: partial plans
-   costing >= the bound are dropped (sound for nonnegative join costs).
-   Returns the best full plan and the number of coster invocations. *)
-let dp ?bound (coster : Coster.t) schema relations =
+let validate schema relations =
   let n = List.length relations in
   if n = 0 then invalid_arg "Selinger.optimize: empty relation set";
   if n > 20 then invalid_arg "Selinger.optimize: too many relations for exhaustive DP";
   List.iter
     (fun r -> if not (Schema.mem schema r) then invalid_arg ("Selinger.optimize: unknown " ^ r))
-    relations;
+    relations
+
+(* The reference DP core over string lists, kept verbatim as the
+   differential-oracle baseline for the mask-based core below. Parameterized
+   by an optional upper bound: partial plans costing >= the bound are dropped
+   (sound for nonnegative join costs). Returns the best full plan and the
+   number of coster invocations. *)
+let dp ?bound (coster : Coster.t) schema relations =
+  validate schema relations;
+  let n = List.length relations in
   let invocations = ref 0 in
   let upper = ref bound in
   let rels = Array.of_list relations in
@@ -81,19 +88,108 @@ let dp ?bound (coster : Coster.t) schema relations =
   done;
   (best.(size - 1), !invocations)
 
-let optimize coster schema relations = fst (dp coster schema relations)
+(* The mask-based DP core: subsets stay integers end to end, connectivity is
+   one AND against the precomputed adjacency mask, and the coster is the
+   mask-keyed seam — no list allocation or per-edge graph rescans on the hot
+   path. Dead subsets are skipped by forward candidate marking: every alive
+   subset marks its one-relation adjacent extensions, and only marked masks
+   are expanded — a mask the reference loop could issue a coster call for is
+   exactly a marked one, so on sparse graphs (chains) the bulk of the 2^n
+   sweep costs one byte load per mask. Enumeration order, pruning, and
+   tie-breaks mirror [dp] exactly, so (plan, cost, invocation count) are
+   bit-identical. *)
+let dp_masked ?bound (m : Coster.masked) ctx =
+  let n = Interned.n ctx in
+  if n > 20 then invalid_arg "Selinger.optimize: too many relations for exhaustive DP";
+  let invocations = ref 0 in
+  let upper = ref bound in
+  let adj = Interned.adj ctx in
+  let size = 1 lsl n in
+  let best : (Join_tree.joint * float) option array = Array.make size None in
+  (* nb.(mask) = union of adjacency over the members of [mask]; maintained
+     only for alive masks (any decomposition yields the same union). *)
+  let nb = Array.make size 0 in
+  let candidate = Bytes.make size '\000' in
+  for i = 0 to n - 1 do
+    best.(1 lsl i) <- Some (Join_tree.Scan (Interned.name ctx i), 0.0);
+    nb.(1 lsl i) <- adj.(i)
+  done;
+  let is_none o = match o with None -> true | Some _ -> false in
+  for mask = 1 to size - 1 do
+    if Bytes.unsafe_get candidate mask <> '\000' && is_none best.(mask) then begin
+      for r = 0 to n - 1 do
+        if mask land (1 lsl r) <> 0 then begin
+          let rest = mask lxor (1 lsl r) in
+          match best.(rest) with
+          | None -> ()
+          | Some (left_tree, left_cost) ->
+              (* No cartesian products: r must join something already in. *)
+              if adj.(r) land rest <> 0 then begin
+                incr invocations;
+                match m.Coster.best_join_masked ~left:rest ~right:(1 lsl r) with
+                | None -> ()
+                | Some { impl; resources; cost } ->
+                    if cost < 0.0 then upper := None;
+                    let total = left_cost +. cost in
+                    let pruned =
+                      match !upper with
+                      | Some u -> total >= u
+                      | None -> false
+                    in
+                    let better =
+                      (not pruned)
+                      &&
+                      match best.(mask) with
+                      | Some (_, c) -> total < c
+                      | None -> true
+                    in
+                    if better then begin
+                      best.(mask) <-
+                        Some
+                          ( Join_tree.Join
+                              ( (impl, resources),
+                                left_tree,
+                                Join_tree.Scan (Interned.name ctx r) ),
+                            total );
+                      nb.(mask) <- nb.(rest) lor adj.(r)
+                    end
+              end
+        end
+      done
+    end;
+    (* Alive (including the singleton seeds, swept before any supermask):
+       mark the adjacent one-relation extensions as worth expanding. *)
+    if not (is_none best.(mask)) then begin
+      let ext = ref (nb.(mask) land lnot mask) in
+      while !ext <> 0 do
+        let bit = !ext land - !ext in
+        Bytes.unsafe_set candidate (mask lor bit) '\001';
+        ext := !ext lxor bit
+      done
+    end
+  done;
+  (best.(size - 1), !invocations)
 
-let optimize_pruned coster schema relations =
+let optimize_masked m ctx = fst (dp_masked m ctx)
+
+let optimize coster schema relations =
+  validate schema relations;
+  let ctx = Interned.make schema relations in
+  optimize_masked (Coster.of_strings ctx coster) ctx
+
+let optimize_reference coster schema relations = fst (dp coster schema relations)
+
+let pruned_with ~greedy_cost_tree ~dp greedy_shape =
   (* Seed the bound with the greedy left-deep plan, when one is costable. *)
   let seed =
-    match Heuristics.greedy_left_deep schema relations with
-    | shape -> Coster.cost_tree coster shape
-    | exception Invalid_argument _ -> None
+    match greedy_shape with
+    | Some shape -> greedy_cost_tree shape
+    | None -> None
   in
   match seed with
-  | None -> dp coster schema relations
+  | None -> dp None
   | Some ((_, greedy_cost) as greedy) ->
-      let result, invocations = dp ~bound:greedy_cost coster schema relations in
+      let result, invocations = dp (Some greedy_cost) in
       (* The bound is strict, so the greedy plan itself may have been pruned;
          fall back to it when the DP returns nothing cheaper. *)
       let result =
@@ -102,3 +198,28 @@ let optimize_pruned coster schema relations =
         | None -> Some greedy
       in
       (result, invocations)
+
+let greedy_shape schema relations =
+  match Heuristics.greedy_left_deep schema relations with
+  | shape -> Some shape
+  | exception Invalid_argument _ -> None
+
+let optimize_pruned_masked m ctx =
+  if Interned.n ctx > 20 then
+    invalid_arg "Selinger.optimize: too many relations for exhaustive DP";
+  pruned_with
+    ~greedy_cost_tree:(Coster.cost_tree_masked m ctx)
+    ~dp:(fun bound -> dp_masked ?bound m ctx)
+    (greedy_shape (Interned.schema ctx) (Interned.relations ctx))
+
+let optimize_pruned coster schema relations =
+  validate schema relations;
+  let ctx = Interned.make schema relations in
+  optimize_pruned_masked (Coster.of_strings ctx coster) ctx
+
+let optimize_pruned_reference coster schema relations =
+  validate schema relations;
+  pruned_with
+    ~greedy_cost_tree:(Coster.cost_tree coster)
+    ~dp:(fun bound -> dp ?bound coster schema relations)
+    (greedy_shape schema relations)

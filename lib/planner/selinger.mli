@@ -31,3 +31,45 @@ val optimize_pruned :
   Raqo_catalog.Schema.t ->
   string list ->
   (Raqo_plan.Join_tree.joint * float) option * int
+
+(** {2 Mask-based core}
+
+    {!optimize} and {!optimize_pruned} run on the interned, mask-based DP:
+    relations are interned once at admission, DP tables are flat arrays
+    indexed by subset masks, and connectivity is a single AND against the
+    precomputed adjacency mask. The entry points below expose that core
+    directly for callers that already hold a context, plus the historical
+    string-list implementation as the differential-oracle reference. *)
+
+(** [optimize_masked m ctx] plans over an interned context with a masked
+    coster. Bit-identical results (plan, cost, coster invocations) to the
+    reference string implementation.
+    @raise Invalid_argument beyond 20 relations. *)
+val optimize_masked :
+  Coster.masked ->
+  Raqo_catalog.Interned.t ->
+  (Raqo_plan.Join_tree.joint * float) option
+
+(** [optimize_pruned_masked m ctx] is {!optimize_pruned} on the mask seam. *)
+val optimize_pruned_masked :
+  Coster.masked ->
+  Raqo_catalog.Interned.t ->
+  (Raqo_plan.Join_tree.joint * float) option * int
+
+(** [optimize_reference coster schema relations] is the historical
+    string-list DP, kept as the oracle baseline the mask-based core is
+    differenced against. Same contract as {!optimize}. *)
+val optimize_reference :
+  Coster.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option
+
+(** [optimize_pruned_reference coster schema relations] is the historical
+    string-list branch-and-bound DP (oracle baseline for
+    {!optimize_pruned}). *)
+val optimize_pruned_reference :
+  Coster.t ->
+  Raqo_catalog.Schema.t ->
+  string list ->
+  (Raqo_plan.Join_tree.joint * float) option * int

@@ -36,6 +36,100 @@ let search ?counters conditions cost =
   let best, evals = fold_best cost (Raqo_cluster.Conditions.all_configs conditions) in
   finish ?counters ~evals best
 
+(* Pruned grid search: a coarse seed lattice tightens an incumbent, then
+   branch-and-bound over grid-aligned boxes discards every box that cannot
+   hold a lexicographically smaller (cost, enumeration index) pair than the
+   incumbent: lb > cost is out, and so is lb = cost when even the box's
+   smallest index loses the tie-break. That second clause matters on cost
+   plateaus — a floored model flattens whole regions to one constant, where
+   a cost-only test would force enumerating every tied cell — and keeps the
+   result exactly [search]'s, tie winner included: any cell that would win
+   the tie has an index below the incumbent's, so its box survives. *)
+let search_pruned ?counters (conditions : Raqo_cluster.Conditions.t) ~bound cost =
+  let nc = Raqo_cluster.Conditions.steps_containers conditions in
+  let ngb = Raqo_cluster.Conditions.steps_gb conditions in
+  let config i j =
+    Raqo_cluster.Resources.make
+      ~containers:(conditions.min_containers + (i * conditions.container_step))
+      ~container_gb:(conditions.min_gb +. (float_of_int j *. conditions.gb_step))
+  in
+  let evals = ref 0 in
+  let memo = Hashtbl.create 64 in
+  let eval i j =
+    let idx = (j * nc) + i in
+    match Hashtbl.find_opt memo idx with
+    | Some c -> c
+    | None ->
+        incr evals;
+        let c = cost (config i j) in
+        Hashtbl.add memo idx c;
+        c
+  in
+  let best_cost = ref Float.infinity and best_idx = ref max_int in
+  let consider i j =
+    let idx = (j * nc) + i in
+    let c = eval i j in
+    if c < !best_cost || (c = !best_cost && idx < !best_idx) then begin
+      best_cost := c;
+      best_idx := idx
+    end
+  in
+  (* Seed lattice, including index 0 so the all-infeasible grid degenerates
+     to [search]'s answer (first config, infinite cost). *)
+  let stride_i = max 1 ((nc + 7) / 8) and stride_j = max 1 ((ngb + 3) / 4) in
+  for j = 0 to (ngb - 1) / stride_j do
+    for i = 0 to (nc - 1) / stride_i do
+      consider (i * stride_i) (j * stride_j)
+    done;
+    consider (nc - 1) (j * stride_j)
+  done;
+  for i = 0 to (nc - 1) / stride_i do
+    consider (i * stride_i) (ngb - 1)
+  done;
+  consider (nc - 1) (ngb - 1);
+  let box_bound i0 i1 j0 j1 = bound ~lo:(config i0 j0) ~hi:(config i1 j1) in
+  let rec descend i0 i1 j0 j1 =
+    let lb = box_bound i0 i1 j0 j1 in
+    if lb < !best_cost || (lb = !best_cost && (j0 * nc) + i0 < !best_idx) then begin
+      if (i1 - i0 + 1) * (j1 - j0 + 1) <= 8 then
+        for j = j0 to j1 do
+          for i = i0 to i1 do
+            consider i j
+          done
+        done
+      else if i1 - i0 >= j1 - j0 then begin
+        let mid = (i0 + i1) / 2 in
+        (* Cheaper-bounded half first: a tight incumbent prunes its sibling. *)
+        if box_bound i0 mid j0 j1 <= box_bound (mid + 1) i1 j0 j1 then begin
+          descend i0 mid j0 j1;
+          descend (mid + 1) i1 j0 j1
+        end
+        else begin
+          descend (mid + 1) i1 j0 j1;
+          descend i0 mid j0 j1
+        end
+      end
+      else begin
+        let mid = (j0 + j1) / 2 in
+        if box_bound i0 i1 j0 mid <= box_bound i0 i1 (mid + 1) j1 then begin
+          descend i0 i1 j0 mid;
+          descend i0 i1 (mid + 1) j1
+        end
+        else begin
+          descend i0 i1 (mid + 1) j1;
+          descend i0 i1 j0 mid
+        end
+      end
+    end
+  in
+  descend 0 (nc - 1) 0 (ngb - 1);
+  (match counters with
+  | Some k ->
+      Counters.record_evaluations k !evals;
+      Counters.record_invocation k
+  | None -> ());
+  (config (!best_idx mod nc) (!best_idx / nc), !best_cost)
+
 let search_par ?counters pool conditions cost =
   let configs = Raqo_cluster.Conditions.all_configs conditions in
   match Pool.chunks (Pool.size pool) configs with

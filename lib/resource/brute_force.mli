@@ -12,6 +12,25 @@ val search :
   (Raqo_cluster.Resources.t -> float) ->
   Raqo_cluster.Resources.t * float
 
+(** [search_pruned ?counters conditions ~bound cost] returns exactly what
+    {!search} returns — the same configuration (ties included) at the same
+    cost — while evaluating [cost] on far fewer configurations: a coarse
+    seed lattice fixes an incumbent, then branch-and-bound over grid-aligned
+    resource boxes prunes every box whose [bound] exceeds it, and every box
+    whose bound merely ties it when the box cannot win the first-enumerated
+    tie-break either (which keeps floored-cost plateaus cheap). [bound ~lo ~hi]
+    must lower-bound [cost r] for every grid point [r] inside the box (see
+    {!Raqo_cost.Op_cost.region_lower_bound}); an incorrect bound silently
+    returns the wrong optimum, so bounds are cross-checked by the
+    differential oracle. Evaluation counts recorded in [counters] reflect
+    distinct configurations actually costed. *)
+val search_pruned :
+  ?counters:Counters.t ->
+  Raqo_cluster.Conditions.t ->
+  bound:(lo:Raqo_cluster.Resources.t -> hi:Raqo_cluster.Resources.t -> float) ->
+  (Raqo_cluster.Resources.t -> float) ->
+  Raqo_cluster.Resources.t * float
+
 (** [search_par ?counters pool conditions cost] is {!search} with the
     configuration grid partitioned into contiguous slices across the pool's
     domains. [cost] must be safe to call concurrently (the operator cost

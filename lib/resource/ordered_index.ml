@@ -48,6 +48,24 @@ module Arr = struct
     in
     collect pos []
 
+  (* Only the successor and predecessor of [center] can be nearest; ties go
+     to the predecessor, i.e. the lower key. *)
+  let nearest t ~center ~radius =
+    if t.n = 0 then None
+    else begin
+      let pos = lower_bound t center in
+      let best =
+        if pos >= t.n then pos - 1
+        else if pos = 0 then 0
+        else if Float.abs (t.keys.(pos - 1) -. center) <= Float.abs (t.keys.(pos) -. center)
+        then pos - 1
+        else pos
+      in
+      if Float.abs (t.keys.(best) -. center) <= radius then
+        Some (t.keys.(best), t.values.(best))
+      else None
+    end
+
   let to_list t = List.init t.n (fun i -> (t.keys.(i), t.values.(i)))
 end
 
@@ -215,6 +233,50 @@ module Bt = struct
     in
     scan l 0 []
 
+  (* First entry with key >= [key]: descend to the covering leaf, then walk
+     the leaf links right past any smaller tail. *)
+  let succ_entry t key =
+    let rec go (l : 'a leaf) =
+      let pos = lower_bound l.lkeys l.ln key in
+      if pos < l.ln then Some (l.lkeys.(pos), l.lvalues.(pos))
+      else match l.next with Some next -> go next | None -> None
+    in
+    go (find_leaf t.root key)
+
+  (* Last entry with key < [key]: rightmost success over the children up to
+     the covering one (leaves have no back links, so descend instead). *)
+  let pred_entry t key =
+    let rec go node =
+      match node with
+      | Leaf l ->
+          let pos = lower_bound l.lkeys l.ln key in
+          if pos > 0 then Some (l.lkeys.(pos - 1), l.lvalues.(pos - 1)) else None
+      | Internal node ->
+          let rec try_child ci =
+            if ci < 0 then None
+            else
+              match go node.children.(ci) with
+              | Some _ as found -> found
+              | None -> try_child (ci - 1)
+          in
+          try_child (child_index node key)
+    in
+    go t.root
+
+  let nearest t ~center ~radius =
+    let best =
+      match (pred_entry t center, succ_entry t center) with
+      | Some ((pk, _) as p), Some ((sk, _) as s) ->
+          (* Ties go to the predecessor, i.e. the lower key. *)
+          if Float.abs (pk -. center) <= Float.abs (sk -. center) then Some p else Some s
+      | (Some _ as p), None -> p
+      | None, (Some _ as s) -> s
+      | None, None -> None
+    in
+    match best with
+    | Some (k, _) when Float.abs (k -. center) <= radius -> best
+    | Some _ | None -> None
+
   let to_list t =
     (* Leftmost leaf, then follow the links. *)
     let rec leftmost = function
@@ -271,6 +333,12 @@ let within t ~center ~radius =
   | A a -> Arr.within a ~center ~radius
   | B b -> Bt.within b ~center ~radius
   | Empty_btree -> []
+
+let nearest t ~center ~radius =
+  match t.repr with
+  | A a -> Arr.nearest a ~center ~radius
+  | B b -> Bt.nearest b ~center ~radius
+  | Empty_btree -> None
 
 let to_list t =
   match t.repr with

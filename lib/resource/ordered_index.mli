@@ -28,5 +28,11 @@ val find_exact : 'a t -> float -> 'a option
     [|key - center| <= radius], in ascending key order. *)
 val within : 'a t -> center:float -> radius:float -> (float * 'a) list
 
+(** [nearest t ~center ~radius] is the entry minimizing [|key - center|],
+    provided that distance is at most [radius]; ties between equidistant
+    neighbors go to the lower key. O(log n) — only the predecessor and
+    successor of [center] are probed, never the whole radius band. *)
+val nearest : 'a t -> center:float -> radius:float -> (float * 'a) option
+
 (** [to_list t] is all entries in ascending key order (testing aid). *)
 val to_list : 'a t -> (float * 'a) list

@@ -19,15 +19,9 @@ let find_in_index idx ~data_gb lookup =
   match lookup with
   | Exact -> Ordered_index.find_exact idx data_gb
   | Nearest_neighbor threshold ->
-      let close = Ordered_index.within idx ~center:data_gb ~radius:threshold in
-      List.fold_left
-        (fun best (k, plan) ->
-          let d = Float.abs (k -. data_gb) in
-          match best with
-          | Some (bd, _) when bd <= d -> best
-          | Some _ | None -> Some (d, plan))
-        None close
-      |> Option.map snd
+      (* Predecessor/successor probes, not a linear fold over the whole
+         radius band; same answer, ties to the lower key either way. *)
+      Ordered_index.nearest idx ~center:data_gb ~radius:threshold |> Option.map snd
   | Weighted_average threshold -> begin
       match Ordered_index.within idx ~center:data_gb ~radius:threshold with
       | [] -> None

@@ -3,17 +3,19 @@ type strategy = Brute_force | Hill_climb
 type t = {
   conditions : Raqo_cluster.Conditions.t;
   strategy : strategy;
+  pruned : bool;
   cache : Plan_cache.t option;
   lookup : Plan_cache.lookup;
   counters : Counters.t;
   pool : Raqo_par.Pool.t option;
 }
 
-let create ?(strategy = Hill_climb) ?(cache = true) ?(lookup = Plan_cache.Exact) ?counters
-    ?pool conditions =
+let create ?(strategy = Hill_climb) ?(pruned = false) ?(cache = true)
+    ?(lookup = Plan_cache.Exact) ?counters ?pool conditions =
   {
     conditions;
     strategy;
+    pruned;
     cache = (if cache then Some (Plan_cache.create ()) else None);
     lookup;
     counters = (match counters with Some k -> k | None -> Counters.create ());
@@ -22,16 +24,22 @@ let create ?(strategy = Hill_climb) ?(cache = true) ?(lookup = Plan_cache.Exact)
 
 let conditions t = t.conditions
 let with_conditions t conditions = { t with conditions }
+let pruned t = t.pruned
 
-let search ?start t cost =
-  match (t.strategy, t.pool) with
-  | Brute_force, Some pool -> Brute_force.search_par ~counters:t.counters pool t.conditions cost
-  | Brute_force, None -> Brute_force.search ~counters:t.counters t.conditions cost
-  | Hill_climb, _ -> Hill_climb.plan ~counters:t.counters ?start t.conditions cost
+let search ?start ?bound t cost =
+  match t.strategy with
+  | Hill_climb -> Hill_climb.plan ~counters:t.counters ?start t.conditions cost
+  | Brute_force -> begin
+      match (t.pruned, bound, t.pool) with
+      | true, Some bound, _ ->
+          Brute_force.search_pruned ~counters:t.counters t.conditions ~bound cost
+      | _, _, Some pool -> Brute_force.search_par ~counters:t.counters pool t.conditions cost
+      | _, _, None -> Brute_force.search ~counters:t.counters t.conditions cost
+    end
 
-let plan ?start t ~key ~data_gb ~cost =
+let plan ?start ?bound t ~key ~data_gb ~cost =
   match t.cache with
-  | None -> search ?start t cost
+  | None -> search ?start ?bound t cost
   | Some cache -> begin
       match Plan_cache.find ~counters:t.counters cache ~key ~data_gb t.lookup with
       | Some cached ->
@@ -39,7 +47,7 @@ let plan ?start t ~key ~data_gb ~cost =
           Counters.record_evaluation t.counters;
           (cached, cost cached)
       | None ->
-          let resources, best = search ?start t cost in
+          let resources, best = search ?start ?bound t cost in
           Plan_cache.insert cache ~key ~data_gb resources;
           (resources, best)
     end

@@ -6,25 +6,35 @@ type strategy = Brute_force | Hill_climb
 
 type t
 
-(** [create ?strategy ?cache ?lookup ?counters ?pool conditions] builds a
-    planner. Defaults: hill climbing, caching enabled, exact-match lookup,
-    private counters, no pool.
+(** [create ?strategy ?pruned ?cache ?lookup ?counters ?pool conditions]
+    builds a planner. Defaults: hill climbing, no pruning, caching enabled,
+    exact-match lookup, private counters, no pool.
 
-    [counters] shares an existing (atomic) instrument — parallel randomized
-    restarts give each restart its own planner but one shared counter set so
-    the aggregate figures survive. [pool] parallelizes the brute-force grid
-    search across its domains (hill climbing is inherently sequential and
-    ignores it). The cache, when enabled, is private to this planner and
-    must only be touched from one domain at a time — cache sharing across
-    concurrent queries stays opt-in and single-domain. *)
+    [pruned] switches the brute-force strategy to branch-and-bound
+    ({!Brute_force.search_pruned}) whenever the caller supplies a cost lower
+    bound to {!plan}; calls without a bound (and hill climbing) are
+    unaffected, so results are always identical to the exhaustive scan —
+    only the evaluation counts drop. [counters] shares an existing (atomic)
+    instrument — parallel randomized restarts give each restart its own
+    planner but one shared counter set so the aggregate figures survive.
+    [pool] parallelizes the unpruned brute-force grid search across its
+    domains (pruned search is sequential — its incumbent is inherently
+    serial — and hill climbing ignores the pool too). The cache, when
+    enabled, is private to this planner and must only be touched from one
+    domain at a time — cache sharing across concurrent queries stays opt-in
+    and single-domain. *)
 val create :
   ?strategy:strategy ->
+  ?pruned:bool ->
   ?cache:bool ->
   ?lookup:Plan_cache.lookup ->
   ?counters:Counters.t ->
   ?pool:Raqo_par.Pool.t ->
   Raqo_cluster.Conditions.t ->
   t
+
+(** [pruned t] reports whether branch-and-bound pruning is enabled. *)
+val pruned : t -> bool
 
 val conditions : t -> Raqo_cluster.Conditions.t
 
@@ -41,9 +51,15 @@ val with_conditions : t -> Raqo_cluster.Conditions.t -> t
     [start] seeds the hill climb (default: the cluster's minimum
     configuration). Operators with feasibility cliffs — BHJ is infeasible
     below a memory threshold — should pass their smallest feasible
-    configuration, or the climb never escapes the infinite-cost plateau. *)
+    configuration, or the climb never escapes the infinite-cost plateau.
+
+    [bound ~lo ~hi] is an optional lower bound on [cost] over resource
+    boxes (see {!Raqo_cost.Op_cost.region_lower_bound}); it is consulted
+    only when this planner was created with [~pruned:true] under the
+    brute-force strategy, and ignored otherwise. *)
 val plan :
   ?start:Raqo_cluster.Resources.t ->
+  ?bound:(lo:Raqo_cluster.Resources.t -> hi:Raqo_cluster.Resources.t -> float) ->
   t ->
   key:string ->
   data_gb:float ->

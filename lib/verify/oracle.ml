@@ -1,5 +1,9 @@
 module Schema = Raqo_catalog.Schema
 module Random_schema = Raqo_catalog.Random_schema
+module Interned = Raqo_catalog.Interned
+module Join_impl = Raqo_plan.Join_impl
+module Brute_force = Raqo_resource.Brute_force
+module Counters = Raqo_resource.Counters
 module Conditions = Raqo_cluster.Conditions
 module Resources = Raqo_cluster.Resources
 module Rng = Raqo_util.Rng
@@ -199,6 +203,104 @@ let check ?(jobs = [ 2; 4 ]) ?(fault = no_fault) t =
               (fun a b -> a = b)
               (cost par) (cost raqo_bf)))
     jobs;
+
+  (* ------------------------------------------------ mask-core bit-identity *)
+  (* Every mask-based planner must return bit-identical (plan, cost, coster
+     invocation count) results to the historical string-list implementation
+     when both drive the same underlying coster — the fault seam wraps that
+     shared coster, so these relations test the interning machinery itself
+     rather than the coster. *)
+  (match Interned.make schema rels with
+  | exception Invalid_argument _ -> ()
+  | ctx ->
+      let base = fault ~arm:"mask-core" (Coster.fixed model schema fixed_resources) in
+      let pair () =
+        let m, m_count = Coster.counting_masked (Coster.of_strings ctx base) in
+        let s, s_count = Coster.counting base in
+        (m, m_count, s, s_count)
+      in
+      let identical invariant describe masked reference =
+        if masked <> reference then
+          add [ D.v ~invariant "mask-based %s diverged from the string reference" describe ]
+      in
+      let m, mc, s, sc = pair () in
+      identical "oracle/mask-selinger" "Selinger"
+        (Selinger.optimize_masked m ctx, mc ())
+        (Selinger.optimize_reference s schema rels, sc ());
+      let m, mc, s, sc = pair () in
+      identical "oracle/mask-selinger-pruned" "bound-pruned Selinger"
+        (Selinger.optimize_pruned_masked m ctx, mc ())
+        (Selinger.optimize_pruned_reference s schema rels, sc ());
+      let m, mc, s, sc = pair () in
+      identical "oracle/mask-selinger-memo" "memoized Selinger"
+        (Selinger.optimize_masked (Coster.memoize_masked ctx m) ctx, mc ())
+        (Selinger.optimize_reference (Coster.memoize s) schema rels, sc ());
+      if n <= 14 then begin
+        let m, mc, s, sc = pair () in
+        identical "oracle/mask-dpsub" "bushy DP"
+          (Dpsub.optimize_masked m ctx, mc ())
+          (Dpsub.optimize_reference s schema rels, sc ())
+      end;
+      if n <= 7 then begin
+        let m, mc, s, sc = pair () in
+        identical "oracle/mask-exhaustive" "exhaustive enumeration"
+          (Exhaustive.optimize_masked m ctx, mc ())
+          (Exhaustive.optimize s schema rels, sc ())
+      end;
+      let m, mc, s, sc = pair () in
+      identical "oracle/mask-randomized" "randomized search (same seed)"
+        (Randomized.optimize_masked (Rng.create rand_seed) m ctx, mc ())
+        (Randomized.optimize (Rng.create rand_seed) s schema rels, sc ()));
+
+  (* ------------------------------------------------ pruned resource search *)
+  (* Branch-and-bound over the resource grid must return exactly what the
+     exhaustive scan returns — configuration, cost, and tie-breaks — for
+     every join implementation across a spread of build-side sizes (feasible
+     everywhere, partially feasible, and all-infeasible for BHJ). *)
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun small_gb ->
+          match Op_cost.region_lower_bound model impl ~small_gb with
+          | None -> ()
+          | Some bound ->
+              let cost r = Op_cost.predict_exn model impl ~small_gb ~resources:r in
+              let exhaustive_counters = Counters.create () in
+              let pruned_counters = Counters.create () in
+              let exact = Brute_force.search ~counters:exhaustive_counters conditions cost in
+              let pruned =
+                Brute_force.search_pruned ~counters:pruned_counters conditions ~bound cost
+              in
+              if exact <> pruned then
+                add
+                  [ D.v ~invariant:"oracle/pruned-grid-vs-exhaustive"
+                      "pruned grid search diverged for %s at %.2f GB (%.6f vs %.6f)"
+                      (Join_impl.to_string impl) small_gb (snd pruned) (snd exact) ];
+              if
+                Counters.cost_evaluations pruned_counters
+                > Counters.cost_evaluations exhaustive_counters
+              then
+                add
+                  [ D.v ~invariant:"oracle/pruned-extra-evals"
+                      "pruned grid search costed %d configs, exhaustive %d, for %s at %.2f GB"
+                      (Counters.cost_evaluations pruned_counters)
+                      (Counters.cost_evaluations exhaustive_counters)
+                      (Join_impl.to_string impl) small_gb ])
+        [ 0.1; 1.0; 3.0; 8.0; 25.0 ])
+    Join_impl.all;
+
+  (* The pruned joint arm must be bit-identical to the uncached exhaustive
+     arm: same plan, same cost, never more cost-model evaluations. *)
+  let rp_pruned =
+    Resource_planner.create ~strategy:Resource_planner.Brute_force ~pruned:true ~cache:false
+      conditions
+  in
+  let pruned_coster = fault ~arm:"raqo-bf-pruned" (Coster.raqo model schema rp_pruned) in
+  let raqo_bf_pruned = validate "raqo-bf-pruned" (Selinger.optimize pruned_coster schema rels) in
+  relate "oracle/raqo-pruned-vs-exhaustive"
+    "pruned resource search must pick the exhaustive joint optimum"
+    (fun a b -> a = b)
+    (cost raqo_bf_pruned) (cost raqo_bf_nocache);
 
   (* Resource-plan cache answers must stay within their lookup radius and
      reproduce the stored entries (exercises every lookup policy against the

@@ -430,6 +430,176 @@ let prop_randomized_plans_valid =
           && List.sort compare (Join_tree.relations plan) = List.sort compare Tpch.q2
       | None -> false)
 
+(* ------------------------------------------------------- mask-based core *)
+
+module Interned = Raqo_catalog.Interned
+module Dpsub = Raqo_planner.Dpsub
+
+let test_interned_roundtrip () =
+  let ctx = Interned.make schema Tpch.all in
+  Alcotest.(check int) "n" 8 (Interned.n ctx);
+  Alcotest.(check (list string)) "relations keep admission order" Tpch.all
+    (Interned.relations ctx);
+  Alcotest.(check (list string)) "full mask round-trips in id order" Tpch.all
+    (Interned.names_of_mask ctx (Interned.full_mask ctx));
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int) (r ^ " mask is singleton") (1 lsl i) (Interned.mask_of_name ctx r);
+      Alcotest.(check string) (r ^ " name") r (Interned.name ctx i);
+      Alcotest.(check (list string))
+        (r ^ " singleton round-trips") [ r ]
+        (Interned.names_of_mask ctx (Interned.mask_of_name ctx r)))
+    Tpch.all;
+  Alcotest.(check int) "mask_of_names folds" (Interned.full_mask ctx)
+    (Interned.mask_of_names ctx (List.rev Tpch.all))
+
+let test_interned_adjacency_matches_graph () =
+  let ctx = Interned.make schema Tpch.all in
+  let rels = Array.of_list Tpch.all in
+  let graph = Schema.graph schema in
+  let adj = Interned.adj ctx in
+  Array.iteri
+    (fun i _ ->
+      Array.iteri
+        (fun j _ ->
+          let bit = adj.(i) land (1 lsl j) <> 0 in
+          let edge =
+            i <> j
+            && Option.is_some (Raqo_catalog.Join_graph.selectivity graph rels.(i) rels.(j))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "adj %s-%s" rels.(i) rels.(j))
+            edge bit)
+        rels)
+    rels
+
+let test_interned_connected_matches_graph () =
+  let ctx = Interned.make schema Tpch.all in
+  let graph = Schema.graph schema in
+  for mask = 1 to Interned.full_mask ctx do
+    let names = Interned.names_of_mask ctx mask in
+    Alcotest.(check bool)
+      (Printf.sprintf "connectivity of mask %d" mask)
+      (Raqo_catalog.Join_graph.connected graph names)
+      (Interned.connected ctx mask)
+  done
+
+let test_interned_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Interned.make: empty relation set")
+    (fun () -> ignore (Interned.make schema []));
+  Alcotest.check_raises "unknown" (Invalid_argument "Interned.make: unknown zz") (fun () ->
+      ignore (Interned.make schema [ "zz" ]))
+
+(* Both arms share one underlying coster, so these tests check the interning
+   machinery itself: identical plans, costs, and invocation counts. *)
+let masked_and_reference_arms rels base =
+  let ctx = Interned.make schema rels in
+  let m, m_count = Coster.counting_masked (Coster.of_strings ctx base) in
+  let s, s_count = Coster.counting base in
+  (ctx, m, m_count, s, s_count)
+
+let test_masked_selinger_bit_identical () =
+  List.iter
+    (fun (name, rels) ->
+      let ctx, m, mc, s, sc = masked_and_reference_arms rels (fixed_coster ()) in
+      let masked = Selinger.optimize_masked m ctx in
+      let reference = Selinger.optimize_reference s schema rels in
+      Alcotest.(check bool) (name ^ ": same plan and cost") true (masked = reference);
+      Alcotest.(check int) (name ^ ": same invocations") (sc ()) (mc ()))
+    Tpch.evaluation_queries
+
+let test_masked_selinger_pruned_bit_identical () =
+  List.iter
+    (fun (name, rels) ->
+      let ctx, m, mc, s, sc = masked_and_reference_arms rels (fixed_coster ()) in
+      let masked = Selinger.optimize_pruned_masked m ctx in
+      let reference = Selinger.optimize_pruned_reference s schema rels in
+      Alcotest.(check bool) (name ^ ": same plan, cost, DP count") true (masked = reference);
+      Alcotest.(check int) (name ^ ": same coster invocations") (sc ()) (mc ()))
+    Tpch.evaluation_queries
+
+let test_masked_dpsub_bit_identical () =
+  List.iter
+    (fun (name, rels) ->
+      let ctx, m, mc, s, sc = masked_and_reference_arms rels (fixed_coster ()) in
+      let masked = Dpsub.optimize_masked m ctx in
+      let reference = Dpsub.optimize_reference s schema rels in
+      Alcotest.(check bool) (name ^ ": same plan and cost") true (masked = reference);
+      Alcotest.(check int) (name ^ ": same invocations") (sc ()) (mc ()))
+    Tpch.evaluation_queries
+
+let test_masked_randomized_bit_identical () =
+  let ctx, m, mc, s, sc = masked_and_reference_arms Tpch.q2 (fixed_coster ()) in
+  let masked = Randomized.optimize_masked (Rng.create 11) m ctx in
+  let reference = Randomized.optimize (Rng.create 11) s schema Tpch.q2 in
+  Alcotest.(check bool) "same plan and cost for one seed" true (masked = reference);
+  Alcotest.(check int) "same invocations" (sc ()) (mc ())
+
+let test_masked_memoize_bit_identical () =
+  (* The mask memo must collapse exactly the pairs the string memo collapses:
+     same results AND the same number of underlying lookups. *)
+  List.iter
+    (fun (name, rels) ->
+      let ctx, m, mc, s, sc = masked_and_reference_arms rels (fixed_coster ()) in
+      let masked = Selinger.optimize_masked (Coster.memoize_masked ctx m) ctx in
+      let reference = Selinger.optimize_reference (Coster.memoize s) schema rels in
+      Alcotest.(check bool) (name ^ ": same plan and cost") true (masked = reference);
+      Alcotest.(check int) (name ^ ": same underlying lookups") (sc ()) (mc ()))
+    Tpch.evaluation_queries
+
+let test_masked_raqo_coster_bit_identical () =
+  (* Joint arms: each side gets its own (deterministic) resource planner. *)
+  let ctx = Interned.make schema Tpch.q2 in
+  let rp_masked = Raqo_resource.Resource_planner.create Conditions.default in
+  let rp_string = Raqo_resource.Resource_planner.create Conditions.default in
+  let masked =
+    Selinger.optimize_masked (Coster.raqo_masked model ctx rp_masked) ctx
+  in
+  let reference = Selinger.optimize_reference (Coster.raqo model schema rp_string) schema Tpch.q2 in
+  Alcotest.(check bool) "same joint plan and cost" true (masked = reference)
+
+let test_masked_public_entry_points_agree () =
+  (* The public string API now runs on the mask core; spot-check it against
+     the kept reference implementations. *)
+  List.iter
+    (fun (name, rels) ->
+      let coster = fixed_coster () in
+      Alcotest.(check bool)
+        (name ^ ": Selinger public = reference")
+        true
+        (Selinger.optimize coster schema rels = Selinger.optimize_reference coster schema rels);
+      Alcotest.(check bool)
+        (name ^ ": Dpsub public = reference")
+        true
+        (Dpsub.optimize coster schema rels = Dpsub.optimize_reference coster schema rels))
+    Tpch.evaluation_queries
+
+let test_masked_caps_preserved () =
+  let rng = Rng.create 123 in
+  let big = Raqo_catalog.Random_schema.generate rng ~tables:21 in
+  let ctx = Interned.make big (Schema.relation_names big) in
+  let m = Coster.of_strings ctx (Coster.fixed model big fixed_res) in
+  Alcotest.check_raises "selinger cap"
+    (Invalid_argument "Selinger.optimize: too many relations for exhaustive DP") (fun () ->
+      ignore (Selinger.optimize_masked m ctx));
+  Alcotest.check_raises "dpsub cap"
+    (Invalid_argument "Dpsub.optimize: too many relations for bushy DP") (fun () ->
+      ignore (Dpsub.optimize_masked m ctx))
+
+let prop_masked_selinger_matches_reference =
+  QCheck.Test.make ~name:"masked Selinger = string reference on random schemas" ~count:25
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let s = Raqo_catalog.Random_schema.generate rng ~tables:6 in
+      let rels = Schema.relation_names s in
+      let ctx = Interned.make s rels in
+      let base = Coster.fixed model s fixed_res in
+      let m, mc = Coster.counting_masked (Coster.of_strings ctx base) in
+      let str, sc = Coster.counting base in
+      Selinger.optimize_masked m ctx = Selinger.optimize_reference str s rels
+      && mc () = sc ())
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -494,6 +664,30 @@ let () =
           Alcotest.test_case "oracle <= Selinger" `Quick test_exhaustive_optimize_not_above_selinger;
           Alcotest.test_case "rejects oversize inputs" `Quick test_exhaustive_rejects_oversize;
         ] );
+      ( "interned",
+        [
+          Alcotest.test_case "ids and masks round-trip" `Quick test_interned_roundtrip;
+          Alcotest.test_case "adjacency matches the join graph" `Quick
+            test_interned_adjacency_matches_graph;
+          Alcotest.test_case "connectivity matches the join graph" `Quick
+            test_interned_connected_matches_graph;
+          Alcotest.test_case "input validation" `Quick test_interned_validation;
+          Alcotest.test_case "masked Selinger bit-identical" `Quick
+            test_masked_selinger_bit_identical;
+          Alcotest.test_case "masked pruned Selinger bit-identical" `Quick
+            test_masked_selinger_pruned_bit_identical;
+          Alcotest.test_case "masked DPsub bit-identical" `Quick test_masked_dpsub_bit_identical;
+          Alcotest.test_case "masked randomized bit-identical" `Quick
+            test_masked_randomized_bit_identical;
+          Alcotest.test_case "masked memoization bit-identical" `Quick
+            test_masked_memoize_bit_identical;
+          Alcotest.test_case "masked RAQO coster bit-identical" `Quick
+            test_masked_raqo_coster_bit_identical;
+          Alcotest.test_case "public entry points = references" `Quick
+            test_masked_public_entry_points_agree;
+          Alcotest.test_case "relation caps preserved" `Quick test_masked_caps_preserved;
+        ]
+        @ qsuite [ prop_masked_selinger_matches_reference ] );
       ( "heuristics",
         [
           Alcotest.test_case "greedy left-deep is valid" `Quick test_greedy_left_deep_valid;

@@ -45,6 +45,107 @@ let test_brute_force_tie_break_stable () =
   Alcotest.(check int) "min containers" 1 best.Resources.containers;
   check_float "min memory" 1.0 best.Resources.container_gb
 
+(* --------------------------------------------------- Pruned brute force *)
+
+module Op_cost = Raqo_cost.Op_cost
+module Join_impl = Raqo_plan.Join_impl
+
+let model = Op_cost.with_floor 0.01 Op_cost.paper
+let op_cost impl ~small_gb r = Op_cost.predict_exn model impl ~small_gb ~resources:r
+
+let op_bound impl ~small_gb =
+  match Op_cost.region_lower_bound model impl ~small_gb with
+  | Some b -> b
+  | None -> Alcotest.failf "no region bound for %s" (Join_impl.to_string impl)
+
+let test_pruned_matches_exhaustive () =
+  (* Exact equality — configuration (ties included) and cost — on the
+     paper's default 1000-config grid, across both operators and data sizes
+     spanning the BHJ feasibility cliff. *)
+  let c = Conditions.default in
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun small_gb ->
+          let cost = op_cost impl ~small_gb in
+          let exhaustive = Brute_force.search c cost in
+          let pruned =
+            Brute_force.search_pruned c ~bound:(op_bound impl ~small_gb) cost
+          in
+          if pruned <> exhaustive then
+            Alcotest.failf "%s small_gb=%g: pruned differs from exhaustive"
+              (Join_impl.to_string impl) small_gb)
+        [ 0.1; 0.5; 1.0; 2.0; 3.0; 6.0; 8.0; 25.0 ])
+    Join_impl.all
+
+let test_pruned_five_x_fewer_evals () =
+  (* The acceptance bar: branch-and-bound must cost <= 1/5 of the grid. *)
+  let c = Conditions.default in
+  let exhaustive = ref 0 and pruned = ref 0 in
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun small_gb ->
+          let ke = Counters.create () and kp = Counters.create () in
+          let cost = op_cost impl ~small_gb in
+          let _ = Brute_force.search ~counters:ke c cost in
+          let _ =
+            Brute_force.search_pruned ~counters:kp c
+              ~bound:(op_bound impl ~small_gb) cost
+          in
+          exhaustive := !exhaustive + Counters.cost_evaluations ke;
+          pruned := !pruned + Counters.cost_evaluations kp)
+        [ 0.5; 2.0; 6.0 ])
+    Join_impl.all;
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned %d <= exhaustive %d / 5" !pruned !exhaustive)
+    true
+    (!pruned * 5 <= !exhaustive)
+
+let test_pruned_bhj_partial_infeasibility () =
+  (* A data size feasible only in the upper memory range: the bound must
+     price infeasible boxes at infinity without clipping the true optimum. *)
+  let c = Conditions.default in
+  let small_gb = 6.0 in
+  let cost = op_cost Join_impl.Bhj ~small_gb in
+  let (re, ce) = Brute_force.search c cost in
+  let (rp, cp) =
+    Brute_force.search_pruned c ~bound:(op_bound Join_impl.Bhj ~small_gb) cost
+  in
+  Alcotest.(check bool) "partially feasible surface" true
+    (cost (Conditions.min_config c) = Float.infinity && ce < Float.infinity);
+  Alcotest.(check bool) "same config" true (Resources.equal re rp);
+  Alcotest.(check bool) "same cost" true (ce = cp)
+
+let test_pruned_all_infeasible_degenerate () =
+  (* BHJ with an impossibly large build side: every config is infinite, and
+     both searches must agree on the first-enumerated config at infinity. *)
+  let c = Conditions.default in
+  let small_gb = 1e6 in
+  let cost = op_cost Join_impl.Bhj ~small_gb in
+  Alcotest.(check bool) "all infeasible" true
+    (cost (Conditions.max_config c) = Float.infinity);
+  let (re, ce) = Brute_force.search c cost in
+  let (rp, cp) =
+    Brute_force.search_pruned c ~bound:(op_bound Join_impl.Bhj ~small_gb) cost
+  in
+  Alcotest.(check bool) "infinite cost" true (ce = Float.infinity && cp = Float.infinity);
+  Alcotest.(check bool) "same config" true (Resources.equal re rp);
+  Alcotest.(check int) "first config" 1 rp.Resources.containers;
+  check_float "first config memory" 1.0 rp.Resources.container_gb
+
+let prop_pruned_matches_exhaustive_random_grids =
+  QCheck.Test.make ~name:"pruned search equals exhaustive on random grids" ~count:50
+    QCheck.(triple (int_range 1 60) (int_range 1 12) (float_range 0.05 20.0))
+    (fun (ncs, ngbs, small_gb) ->
+      let c = Conditions.make ~max_containers:ncs ~max_gb:(float_of_int ngbs) () in
+      List.for_all
+        (fun impl ->
+          let cost = op_cost impl ~small_gb in
+          Brute_force.search c cost
+          = Brute_force.search_pruned c ~bound:(op_bound impl ~small_gb) cost)
+        Join_impl.all)
+
 (* ---------------------------------------------------------- Hill climbing *)
 
 let test_hill_climb_convex_exact () =
@@ -359,6 +460,72 @@ let test_btree_large_scale () =
     | None -> Alcotest.failf "lost key %f" k
   done
 
+let test_index_nearest_basic () =
+  both_backends (fun backend ->
+      let idx = Ordered_index.create backend in
+      Alcotest.(check (option (pair (float 1e-9) string))) "empty" None
+        (Ordered_index.nearest idx ~center:1.0 ~radius:10.0);
+      Ordered_index.insert idx 5.0 "five";
+      Alcotest.(check (option (pair (float 1e-9) string))) "single within radius"
+        (Some (5.0, "five"))
+        (Ordered_index.nearest idx ~center:4.6 ~radius:0.5);
+      Alcotest.(check (option (pair (float 1e-9) string))) "single outside radius" None
+        (Ordered_index.nearest idx ~center:3.0 ~radius:0.5))
+
+let test_index_nearest_tie_goes_to_lower_key () =
+  both_backends (fun backend ->
+      let idx = Ordered_index.create backend in
+      Ordered_index.insert idx 2.0 "lo";
+      Ordered_index.insert idx 4.0 "hi";
+      match Ordered_index.nearest idx ~center:3.0 ~radius:5.0 with
+      | Some (k, v) ->
+          check_float "lower key wins the tie" 2.0 k;
+          Alcotest.(check string) "its value" "lo" v
+      | None -> Alcotest.fail "hit expected")
+
+let test_index_nearest_btree_across_leaves () =
+  (* Enough keys for several leaf splits; every probe sits exactly between
+     two keys, so ties must resolve to the lower one across leaf
+     boundaries. *)
+  let idx = Ordered_index.create Ordered_index.Btree in
+  for i = 0 to 999 do
+    Ordered_index.insert idx (float_of_int (2 * i)) i
+  done;
+  for p = 0 to 500 do
+    let center = float_of_int (2 * p) +. 1.0 in
+    match Ordered_index.nearest idx ~center ~radius:2.0 with
+    | Some (k, _) -> check_float "tie to lower" (float_of_int (2 * p)) k
+    | None -> Alcotest.fail "hit expected"
+  done
+
+let prop_nearest_matches_linear_scan =
+  QCheck.Test.make ~name:"nearest equals a linear scan with lower-key ties" ~count:100
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 0 60) (int_range 0 100))
+        (int_range 0 100) (int_range 0 20))
+    (fun (keys, probe, radius) ->
+      let center = float_of_int probe and radius = float_of_int radius in
+      List.for_all
+        (fun backend ->
+          let idx = Ordered_index.create backend in
+          List.iter (fun k -> Ordered_index.insert idx (float_of_int k) k) keys;
+          let expected =
+            (* to_list is ascending, so keeping the first minimum reproduces
+               the tie-to-lower-key contract. *)
+            List.fold_left
+              (fun acc (k, v) ->
+                let d = Float.abs (k -. center) in
+                match acc with
+                | None -> if d <= radius then Some (k, v) else None
+                | Some (bk, _) ->
+                    if d <= radius && d < Float.abs (bk -. center) then Some (k, v)
+                    else acc)
+              None (Ordered_index.to_list idx)
+          in
+          Ordered_index.nearest idx ~center ~radius = expected)
+        [ Ordered_index.Sorted_array; Ordered_index.Btree ])
+
 let prop_backends_agree =
   (* Random (insert | lookup | range) traces produce identical results on
      both backends. *)
@@ -454,6 +621,40 @@ let test_planner_reset () =
     (Counters.cost_evaluations (Resource_planner.counters planner));
   Alcotest.(check int) "cache emptied" 0 (Resource_planner.cache_size planner)
 
+let test_planner_pruned_brute_force () =
+  (* With ~pruned:true and a bound, the planner must return the exhaustive
+     optimum while evaluating a fraction of the 1000-config grid. *)
+  let planner =
+    Resource_planner.create ~strategy:Resource_planner.Brute_force ~pruned:true
+      ~cache:false Conditions.default
+  in
+  Alcotest.(check bool) "pruned flag" true (Resource_planner.pruned planner);
+  let small_gb = 2.0 in
+  let cost = op_cost Join_impl.Smj ~small_gb in
+  let baseline, baseline_cost = Brute_force.search Conditions.default cost in
+  let r, c =
+    Resource_planner.plan planner
+      ~bound:(op_bound Join_impl.Smj ~small_gb)
+      ~key:"smj/join" ~data_gb:small_gb ~cost
+  in
+  Alcotest.(check bool) "same config as exhaustive" true (Resources.equal r baseline);
+  check_float "same cost" baseline_cost c;
+  let evals = Counters.cost_evaluations (Resource_planner.counters planner) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned evals %d <= 1000 / 5" evals)
+    true (evals * 5 <= 1000)
+
+let test_planner_pruned_without_bound_stays_exhaustive () =
+  let planner =
+    Resource_planner.create ~strategy:Resource_planner.Brute_force ~pruned:true
+      ~cache:false Conditions.default
+  in
+  let _ =
+    Resource_planner.plan planner ~key:"k" ~data_gb:1.0 ~cost:(bowl ~nc_opt:3 ~gb_opt:2.0)
+  in
+  Alcotest.(check int) "full grid without a bound" 1000
+    (Counters.cost_evaluations (Resource_planner.counters planner))
+
 let test_counters_add () =
   let a = Counters.create () and b = Counters.create () in
   Counters.record_evaluations a 3;
@@ -475,6 +676,18 @@ let () =
             test_brute_force_counts_every_config;
           Alcotest.test_case "stable tie-break" `Quick test_brute_force_tie_break_stable;
         ] );
+      ( "brute_force_pruned",
+        [
+          Alcotest.test_case "equals exhaustive on the default grid" `Quick
+            test_pruned_matches_exhaustive;
+          Alcotest.test_case ">=5x fewer cost evaluations" `Quick
+            test_pruned_five_x_fewer_evals;
+          Alcotest.test_case "BHJ partial infeasibility" `Quick
+            test_pruned_bhj_partial_infeasibility;
+          Alcotest.test_case "all-infeasible degenerate surface" `Quick
+            test_pruned_all_infeasible_degenerate;
+        ]
+        @ qsuite [ prop_pruned_matches_exhaustive_random_grids ] );
       ( "hill_climb",
         [
           Alcotest.test_case "exact on convex surfaces" `Quick test_hill_climb_convex_exact;
@@ -523,8 +736,13 @@ let () =
             test_index_ordered_iteration;
           Alcotest.test_case "B+-tree at 20k entries" `Quick test_btree_large_scale;
           Alcotest.test_case "plan cache on the B+-tree backend" `Quick test_cache_btree_backend;
+          Alcotest.test_case "nearest: empty/single/radius" `Quick test_index_nearest_basic;
+          Alcotest.test_case "nearest: ties go to the lower key" `Quick
+            test_index_nearest_tie_goes_to_lower_key;
+          Alcotest.test_case "nearest: B+-tree across leaf boundaries" `Quick
+            test_index_nearest_btree_across_leaves;
         ]
-        @ qsuite [ prop_backends_agree ] );
+        @ qsuite [ prop_backends_agree; prop_nearest_matches_linear_scan ] );
       ( "resource_planner",
         [
           Alcotest.test_case "cache hit short-circuits search" `Quick test_planner_cache_flow;
@@ -532,6 +750,10 @@ let () =
           Alcotest.test_case "NN lookup reuses neighbors" `Quick
             test_planner_nn_lookup_reuses_neighbor;
           Alcotest.test_case "brute-force strategy" `Quick test_planner_brute_force_strategy;
+          Alcotest.test_case "pruned brute force matches exhaustive" `Quick
+            test_planner_pruned_brute_force;
+          Alcotest.test_case "pruned without a bound stays exhaustive" `Quick
+            test_planner_pruned_without_bound_stays_exhaustive;
           Alcotest.test_case "condition change clamps cached plans" `Quick
             test_planner_with_conditions_shares_cache;
           Alcotest.test_case "reset" `Quick test_planner_reset;
