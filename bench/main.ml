@@ -1267,6 +1267,129 @@ let scaling () =
   sample "scaling:pruned-evals:pruned" (float_of_int !pruned_evals);
   note "masked speedup and pruning saving are this PR's acceptance metrics (>=3x, >=5x)"
 
+(* ----------------------------------------------------------------- kernel *)
+
+(* Compiled cost kernels vs the scalar model: full-grid evaluation on 20x20
+   and 60x60 resource grids (the searches are bit-identical, so the speedup
+   column is pure evaluation mechanics), a steady-state allocation probe, and
+   per-planner end-to-end planning times with kernels on vs --no-kernel. The
+   paper-space model is used throughout — the extended feature space refuses
+   to compile and would measure the scalar path twice. *)
+let kernel_bench () =
+  let pm = Raqo_cost.Op_cost.with_floor 0.01 Raqo_cost.Op_cost.paper in
+  let module Kernel = Raqo_cost.Kernel in
+  let module Brute_force = Raqo_resource.Brute_force in
+  let scratch = Kernel.create_scratch () in
+  let grids =
+    [
+      ("20x20", Conditions.make ~max_containers:20 ~max_gb:20.0 ());
+      ("60x60", Conditions.make ~max_containers:60 ~max_gb:60.0 ());
+    ]
+  in
+  let small_gb = 2.0 in
+  let sweep_runs = 100 in
+  let speed60 = ref [] in
+  let sweep_rows =
+    List.concat_map
+      (fun (gname, c) ->
+        List.map
+          (fun impl ->
+            let cost r = Raqo_cost.Op_cost.predict_exn pm impl ~small_gb ~resources:r in
+            let kernel = Option.get (Kernel.make pm impl ~small_gb) in
+            let iname = Join_impl.to_string impl in
+            (* Warm both paths (and the scratch buffer) before timing. *)
+            let scalar_result = ref (Brute_force.search c cost) in
+            let kernel_result = ref (Brute_force.search_kernel c ~kernel ~scratch) in
+            let _, scalar_ms =
+              Timer.avg_ms ~runs:sweep_runs (fun () ->
+                  scalar_result := Brute_force.search c cost)
+            in
+            let _, kernel_ms =
+              Timer.avg_ms ~runs:sweep_runs (fun () ->
+                  kernel_result := Brute_force.search_kernel c ~kernel ~scratch)
+            in
+            (* Steady-state allocation probe: minor words per warm grid sweep
+               (the search wrappers box one result tuple on top of this). *)
+            Kernel.ensure scratch (Conditions.n_configs c);
+            let buf = Kernel.buffer scratch in
+            let before = Gc.minor_words () in
+            for _ = 1 to sweep_runs do
+              Kernel.sweep kernel c buf
+            done;
+            let words_per_sweep =
+              (Gc.minor_words () -. before) /. float_of_int sweep_runs
+            in
+            let tag suffix v =
+              sample (Printf.sprintf "kernel:sweep:%s:%s:%s" gname iname suffix) v
+            in
+            tag "scalar" (scalar_ms /. 1000.0);
+            tag "kernel" (kernel_ms /. 1000.0);
+            tag "minor-words-per-sweep" words_per_sweep;
+            if gname = "60x60" then speed60 := (scalar_ms /. kernel_ms) :: !speed60;
+            [
+              gname;
+              iname;
+              f scalar_ms;
+              f kernel_ms;
+              f (scalar_ms /. kernel_ms);
+              f words_per_sweep;
+              (if !scalar_result = !kernel_result then "yes" else "DIFFERENT");
+            ])
+          Join_impl.all)
+      grids
+  in
+  Table.print
+    ~title:
+      "Grid evaluation: scalar predict per config vs compiled kernel sweep \
+       (identical search results)"
+    ~headers:
+      [ "grid"; "impl"; "scalar ms"; "kernel ms"; "speedup"; "alloc w/sweep"; "same" ]
+    sweep_rows;
+  (* End-to-end: joint optimization of a TPC-H query, kernels on vs off, per
+     resource-search strategy. Same plans and costs either way (the oracle
+     and tests enforce bit-identity); only the planning time moves. *)
+  let e2e_runs = 10 in
+  let e2e_rows =
+    List.map
+      (fun (sname, strategy, pruned) ->
+        let time kernel =
+          let opt =
+            Raqo.Cost_based.create ~resource_strategy:strategy ~pruned ~cache:false
+              ~kernel ~model:pm ~conditions:Conditions.default tpch
+          in
+          let result = ref (Raqo.Cost_based.optimize opt Tpch.q5) in
+          let _, ms =
+            Timer.avg_ms ~runs:e2e_runs (fun () ->
+                result := Raqo.Cost_based.optimize opt Tpch.q5)
+          in
+          (ms, Option.map snd !result)
+        in
+        let on_ms, on_cost = time true in
+        let off_ms, off_cost = time false in
+        sample (Printf.sprintf "kernel:e2e:%s:on" sname) (on_ms /. 1000.0);
+        sample (Printf.sprintf "kernel:e2e:%s:off" sname) (off_ms /. 1000.0);
+        [
+          sname;
+          f off_ms;
+          f on_ms;
+          f (off_ms /. on_ms);
+          (if on_cost = off_cost then "yes" else "DIFFERENT");
+        ])
+      [
+        ("hill-climb", Raqo_resource.Resource_planner.Hill_climb, false);
+        ("brute-force", Raqo_resource.Resource_planner.Brute_force, false);
+        ("pruned", Raqo_resource.Resource_planner.Brute_force, true);
+      ]
+  in
+  Table.print
+    ~title:"End-to-end joint planning (TPC-H Q5): --no-kernel vs compiled kernels"
+    ~headers:[ "strategy"; "scalar ms"; "kernel ms"; "speedup"; "same cost" ]
+    e2e_rows;
+  let worst60 = List.fold_left Float.min Float.infinity !speed60 in
+  sample "kernel:sweep:60x60:min-speedup" worst60;
+  note "acceptance: 60x60 grid evaluation >=3x (measured min %.1fx), 0 words/sweep"
+    worst60
+
 (* ------------------------------------------------------------------ micro *)
 
 let micro () =
@@ -1359,6 +1482,7 @@ let figures =
     ("pruning", "ablation: branch-and-bound pruning in the DP", ablation_pruning);
     ("par", "parallel planning: domain pools and the memoizing coster", par_bench);
     ("scaling", "planner scaling: interned mask core and pruned resource search", scaling);
+    ("kernel", "compiled cost kernels vs the scalar model", kernel_bench);
   ]
 
 (* Pull "--json FILE" out of the argument list, leaving figure names. *)

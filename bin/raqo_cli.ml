@@ -37,6 +37,13 @@ let jobs_opt_arg =
                $(docv) domains (results are identical to --jobs 1 for a fixed seed); with \
                workload batches, queries are planned concurrently.")
 
+let no_kernel_arg =
+  Arg.(value & flag & info [ "no-kernel" ]
+         ~doc:"Disable compiled cost kernels: resource search evaluates the scalar cost \
+               model per configuration instead of sweeping a precompiled grid. Plans, \
+               costs, and counters are identical either way (the kernels are bit-exact); \
+               this is a debugging escape hatch.")
+
 (* ------------------------------------------------------------------ plan *)
 
 let plan_cmd =
@@ -68,7 +75,7 @@ let plan_cmd =
                  e.g. \"select * from orders, lineitem where o_orderkey = l_orderkey and \
                  o_totalprice < 172000\".")
   in
-  let run relations planner mode max_containers max_gb nc gb sql jobs =
+  let run relations planner mode max_containers max_gb nc gb sql jobs no_kernel =
     let schema = Raqo_catalog.Tpch.schema () in
     let model = Raqo.Models.hive () in
     let kind =
@@ -80,8 +87,8 @@ let plan_cmd =
     match sql with
     | Some sql -> begin
         match
-          Raqo.Sql_frontend.plan ~kind ~model ~conditions ~schema
-            ~columns:(Raqo_catalog.Tpch.columns ()) sql
+          Raqo.Sql_frontend.plan ~kind ~kernel:(not no_kernel) ~model ~conditions
+            ~schema ~columns:(Raqo_catalog.Tpch.columns ()) sql
         with
         | Ok planned ->
             List.iter
@@ -103,7 +110,10 @@ let plan_cmd =
             Printf.eprintf "error: %s\n" msg;
             exit 1
         | _ ->
-            let opt = Raqo.Cost_based.create ~kind ~model ~conditions schema in
+            let opt =
+              Raqo.Cost_based.create ~kind ~kernel:(not no_kernel) ~model ~conditions
+                schema
+            in
             let result =
               match mode with
               | `Raqo when jobs > 1 ->
@@ -129,7 +139,7 @@ let plan_cmd =
   in
   let term =
     Term.(const run $ relations_arg $ planner_arg $ mode_arg $ containers_arg $ memory_arg
-          $ fixed_containers $ fixed_gb $ sql_arg $ jobs_opt_arg)
+          $ fixed_containers $ fixed_gb $ sql_arg $ jobs_opt_arg $ no_kernel_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Jointly optimize a TPC-H query's plan and resources") term
 
@@ -188,11 +198,12 @@ let relations_pos =
          ~doc:"TPC-H relations to join (default: customer orders lineitem).")
 
 let pareto_cmd =
-  let run relations max_containers max_gb =
+  let run relations max_containers max_gb no_kernel =
     let schema = Raqo_catalog.Tpch.schema () in
     let opt =
       Raqo.Cost_based.create ~kind:Raqo.Cost_based.Fast_randomized
-        ~model:(Raqo.Models.hive ()) ~conditions:(conditions max_containers max_gb) schema
+        ~kernel:(not no_kernel) ~model:(Raqo.Models.hive ())
+        ~conditions:(conditions max_containers max_gb) schema
     in
     let front = Raqo.Pareto.front opt relations in
     print_string (Raqo.Pareto.render front);
@@ -205,7 +216,7 @@ let pareto_cmd =
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Print the time-money Pareto front of joint plans")
-    Term.(const run $ relations_pos $ containers_arg $ memory_arg)
+    Term.(const run $ relations_pos $ containers_arg $ memory_arg $ no_kernel_arg)
 
 (* ---------------------------------------------------------------- robust *)
 
@@ -218,13 +229,13 @@ let robust_cmd =
     Arg.(value & opt float 3.0 & info [ "spike-gb" ] ~docv:"GB"
            ~doc:"Container memory left during the spike scenario.")
   in
-  let run relations max_containers max_gb sc sgb =
+  let run relations max_containers max_gb sc sgb no_kernel =
     let schema = Raqo_catalog.Tpch.schema () in
     let normal = conditions max_containers max_gb in
     let spiked = conditions sc sgb in
     let opt =
       Raqo.Cost_based.create ~kind:Raqo.Cost_based.Fast_randomized
-        ~model:(Raqo.Models.hive ()) ~conditions:normal schema
+        ~kernel:(not no_kernel) ~model:(Raqo.Models.hive ()) ~conditions:normal schema
     in
     match Raqo.Robust.optimize opt ~scenarios:[ normal; spiked ] relations with
     | Some choice ->
@@ -242,7 +253,8 @@ let robust_cmd =
   Cmd.v
     (Cmd.info "robust"
        ~doc:"Pick the plan shape most resilient to a cluster-condition spike")
-    Term.(const run $ relations_pos $ containers_arg $ memory_arg $ spike_containers $ spike_gb)
+    Term.(const run $ relations_pos $ containers_arg $ memory_arg $ spike_containers
+          $ spike_gb $ no_kernel_arg)
 
 (* ----------------------------------------------------------------- queue *)
 

@@ -16,18 +16,22 @@ type t = {
   cache_enabled : bool;
   lookup : Raqo_resource.Plan_cache.lookup;
   memoize : bool;
+  kernel : bool;
+  cache_capacity : int option;
 }
 
 let create ?(kind = Selinger) ?(seed = 42)
     ?(randomized_params = Raqo_planner.Randomized.default_params)
     ?(resource_strategy = Resource_planner.Hill_climb) ?(pruned = false) ?(cache = true)
-    ?(lookup = Raqo_resource.Plan_cache.Exact) ?(memoize = false) ~model ~conditions schema =
+    ?(lookup = Raqo_resource.Plan_cache.Exact) ?(memoize = false) ?(kernel = true)
+    ?cache_capacity ~model ~conditions schema =
   {
     kind;
     schema;
     model;
     resource_planner =
-      Resource_planner.create ~strategy:resource_strategy ~pruned ~cache ~lookup conditions;
+      Resource_planner.create ~strategy:resource_strategy ~pruned ~cache ~lookup ~kernel
+        ?cache_capacity conditions;
     rng = Raqo_util.Rng.create seed;
     randomized_params;
     resource_strategy;
@@ -35,6 +39,8 @@ let create ?(kind = Selinger) ?(seed = 42)
     cache_enabled = cache;
     lookup;
     memoize;
+    kernel;
+    cache_capacity;
   }
 
 let schema t = t.schema
@@ -98,7 +104,8 @@ let restart_planner t =
   let counters = Resource_planner.counters t.resource_planner in
   fun () ->
     Resource_planner.create ~strategy:t.resource_strategy ~pruned:t.pruned
-      ~cache:t.cache_enabled ~lookup:t.lookup ~counters
+      ~cache:t.cache_enabled ~lookup:t.lookup ~counters ~kernel:t.kernel
+      ?cache_capacity:t.cache_capacity
       (Resource_planner.conditions t.resource_planner)
 
 let restart_coster t =

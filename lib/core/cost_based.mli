@@ -28,6 +28,16 @@ type t
     only the evaluation counts drop. Off by default, and a no-op under hill
     climbing or when the model's feature space admits no bound.
 
+    [kernel] (default [true]) compiles paper-space cost models into
+    {!Raqo_cost.Kernel} form per costed join, so resource search sweeps the
+    grid allocation-free instead of building a feature vector per point —
+    bit-identical plans, costs, and counters, just faster. [~kernel:false]
+    (the CLI's [--no-kernel]) forces the scalar path; extended-space models
+    never compile and use it regardless.
+
+    [cache_capacity] bounds the resource-plan cache with LRU eviction
+    ({!Raqo_resource.Plan_cache.create}); omitted keeps it unbounded.
+
     Queries of up to {!Raqo_catalog.Interned.max_relations} relations run on
     the interned, mask-based planner core; larger ones (the randomized
     planner accepts up to 100) fall back to the string-list planners. Both
@@ -41,6 +51,8 @@ val create :
   ?cache:bool ->
   ?lookup:Raqo_resource.Plan_cache.lookup ->
   ?memoize:bool ->
+  ?kernel:bool ->
+  ?cache_capacity:int ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->
   Raqo_catalog.Schema.t ->

@@ -7,7 +7,13 @@
     local optima plus the best plan at each rung of a resource ladder
     spanning the cluster conditions (more/bigger containers: faster but
     pricier) — prices each, and filters to the non-dominated set, sorted by
-    ascending estimated cost. *)
+    ascending estimated cost.
+
+    The joint candidates inherit [opt]'s compiled-kernel setting: with
+    kernels on (the default) their resource searches run the allocation-free
+    {!Raqo_cost.Kernel} path, reusing one scratch buffer across every ladder
+    rung and candidate — bit-identical fronts either way. The fixed-resource
+    rungs never search resources, so kernels do not apply there. *)
 val front : Cost_based.t -> string list -> Use_cases.priced_plan list
 
 (** [knee plans] picks the knee of a front: the plan minimizing the product

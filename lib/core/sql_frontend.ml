@@ -4,13 +4,14 @@ type planned = {
   est_cost : float;
 }
 
-let plan ?kind ?seed ~model ~conditions ~schema ~columns sql =
+let plan ?kind ?seed ?kernel ~model ~conditions ~schema ~columns sql =
   match Raqo_sql.Resolver.analyze schema columns sql with
   | Error e -> Error e
   | Ok analyzed -> begin
       (* Optimize against the filter-scaled schema the resolver produced. *)
       let opt =
-        Cost_based.create ?kind ?seed ~model ~conditions analyzed.Raqo_sql.Resolver.schema
+        Cost_based.create ?kind ?seed ?kernel ~model ~conditions
+          analyzed.Raqo_sql.Resolver.schema
       in
       match Cost_based.optimize opt analyzed.Raqo_sql.Resolver.relations with
       | Some (plan, est_cost) -> Ok { analyzed; plan; est_cost }

@@ -9,12 +9,14 @@ type planned = {
   est_cost : float;
 }
 
-(** [plan ?kind ?seed ~model ~conditions ~schema ~columns sql] parses,
-    resolves, and jointly optimizes [sql]. Errors are SQL front-end errors;
-    an infeasible plan reports as an error too. *)
+(** [plan ?kind ?seed ?kernel ~model ~conditions ~schema ~columns sql]
+    parses, resolves, and jointly optimizes [sql]. [kernel] is forwarded to
+    {!Cost_based.create} (the CLI's [--no-kernel] passes [false]). Errors
+    are SQL front-end errors; an infeasible plan reports as an error too. *)
 val plan :
   ?kind:Cost_based.planner_kind ->
   ?seed:int ->
+  ?kernel:bool ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->
   schema:Raqo_catalog.Schema.t ->

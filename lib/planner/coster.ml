@@ -88,7 +88,11 @@ let feasible_start model impl ~small_gb (conditions : Raqo_cluster.Conditions.t)
 
 (* Resource-plan one join implementation: smallest feasible start config,
    cost-model closure, and — for pruned planners — the monotone lower bound
-   branch-and-bound consults. Shared by the string and masked RAQO costers. *)
+   branch-and-bound consults. Shared by the string and masked RAQO costers.
+   When the planner accepts kernels, the model is also compiled down to a
+   {!Raqo_cost.Kernel.t} for this (impl, small_gb) pair — compilation is a
+   handful of multiplies, so it is done per costed join; extended-space
+   models yield no kernel and keep the scalar path throughout. *)
 let raqo_impl model planner ~small_gb best impl =
   let conditions = Raqo_resource.Resource_planner.conditions planner in
   match feasible_start model impl ~small_gb conditions with
@@ -97,9 +101,14 @@ let raqo_impl model planner ~small_gb best impl =
       let key = Join_impl.to_string impl ^ "/join" in
       let cost_fn resources = Op_cost.predict_exn model impl ~small_gb ~resources in
       let bound = Op_cost.region_lower_bound model impl ~small_gb in
+      let kernel =
+        if Raqo_resource.Resource_planner.kernel_enabled planner then
+          Raqo_cost.Kernel.make model impl ~small_gb
+        else None
+      in
       let resources, cost =
-        Raqo_resource.Resource_planner.plan ~start ?bound planner ~key ~data_gb:small_gb
-          ~cost:cost_fn
+        Raqo_resource.Resource_planner.plan ~start ?bound ?kernel planner ~key
+          ~data_gb:small_gb ~cost:cost_fn
       in
       pick_cheaper best (finite_choice impl resources cost)
 

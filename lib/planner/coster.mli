@@ -41,7 +41,13 @@ val fixed :
 
 (** [raqo model schema planner] — cost-based RAQO: resource-plan each
     implementation of each join (hill climbing / cache per [planner]), then
-    keep the cheapest feasible (implementation, resources) pair. *)
+    keep the cheapest feasible (implementation, resources) pair. When
+    [planner] accepts kernels ({!Raqo_resource.Resource_planner.create}'s
+    [?kernel], the default), paper-space models are compiled per
+    (implementation, size) into {!Raqo_cost.Kernel.t} values and resource
+    search runs on the bit-identical kernel path — same plans and costs,
+    allocation-free grid sweeps; extended-space models keep the scalar
+    path. *)
 val raqo :
   Raqo_cost.Op_cost.t ->
   Raqo_catalog.Schema.t ->

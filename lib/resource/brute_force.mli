@@ -31,6 +31,37 @@ val search_pruned :
   (Raqo_cluster.Resources.t -> float) ->
   Raqo_cluster.Resources.t * float
 
+(** [search_kernel ?counters conditions ~kernel ~scratch] is {!search} on a
+    compiled cost kernel: one allocation-free {!Raqo_cost.Kernel.sweep} into
+    [scratch], then an argmin scan with {!search}'s exact tie-break.
+    Bit-identical to [search conditions (predict kernel)] — same winning
+    cell, same cost, same recorded evaluation count — while never building a
+    feature vector or a configuration until the final result. [scratch]
+    grows once to the largest grid and is reused across calls (zero
+    steady-state allocation); it must not be shared across domains. *)
+val search_kernel :
+  ?counters:Counters.t ->
+  Raqo_cluster.Conditions.t ->
+  kernel:Raqo_cost.Kernel.t ->
+  scratch:Raqo_cost.Kernel.scratch ->
+  Raqo_cluster.Resources.t * float
+
+(** [search_pruned_kernel ?counters conditions ~kernel ~scratch] is
+    {!search_pruned} on a compiled kernel: identical seed lattice, identical
+    branch-and-bound recursion, with point costs memoised in [scratch]'s
+    buffer (a seen-bitmap stands in for the hash memo, preserving the
+    distinct-evaluation count) and box bounds from
+    {!Raqo_cost.Kernel.bound_at}, which is bit-identical to the scalar
+    {!Raqo_cost.Op_cost.region_lower_bound} closure. Every pruning decision
+    — and therefore the result and the counters — matches {!search_pruned}
+    exactly. *)
+val search_pruned_kernel :
+  ?counters:Counters.t ->
+  Raqo_cluster.Conditions.t ->
+  kernel:Raqo_cost.Kernel.t ->
+  scratch:Raqo_cost.Kernel.scratch ->
+  Raqo_cluster.Resources.t * float
+
 (** [search_par ?counters pool conditions cost] is {!search} with the
     configuration grid partitioned into contiguous slices across the pool's
     domains. [cost] must be safe to call concurrently (the operator cost

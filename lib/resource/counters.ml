@@ -5,6 +5,7 @@ type t = {
   cost_evaluations : int Atomic.t;
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
+  cache_evictions : int Atomic.t;
   planner_invocations : int Atomic.t;
 }
 
@@ -13,6 +14,7 @@ let create () =
     cost_evaluations = Atomic.make 0;
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
+    cache_evictions = Atomic.make 0;
     planner_invocations = Atomic.make 0;
   }
 
@@ -20,25 +22,30 @@ let reset t =
   Atomic.set t.cost_evaluations 0;
   Atomic.set t.cache_hits 0;
   Atomic.set t.cache_misses 0;
+  Atomic.set t.cache_evictions 0;
   Atomic.set t.planner_invocations 0
 
 let cost_evaluations t = Atomic.get t.cost_evaluations
 let cache_hits t = Atomic.get t.cache_hits
 let cache_misses t = Atomic.get t.cache_misses
+let cache_evictions t = Atomic.get t.cache_evictions
 let planner_invocations t = Atomic.get t.planner_invocations
 
 let record_evaluations t n = ignore (Atomic.fetch_and_add t.cost_evaluations n)
 let record_evaluation t = record_evaluations t 1
 let record_hit t = ignore (Atomic.fetch_and_add t.cache_hits 1)
 let record_miss t = ignore (Atomic.fetch_and_add t.cache_misses 1)
+let record_eviction t = ignore (Atomic.fetch_and_add t.cache_evictions 1)
 let record_invocation t = ignore (Atomic.fetch_and_add t.planner_invocations 1)
 
 let add ~into t =
   record_evaluations into (cost_evaluations t);
   ignore (Atomic.fetch_and_add into.cache_hits (cache_hits t));
   ignore (Atomic.fetch_and_add into.cache_misses (cache_misses t));
+  ignore (Atomic.fetch_and_add into.cache_evictions (cache_evictions t));
   ignore (Atomic.fetch_and_add into.planner_invocations (planner_invocations t))
 
 let pp fmt t =
-  Format.fprintf fmt "evals=%d hits=%d misses=%d invocations=%d" (cost_evaluations t)
-    (cache_hits t) (cache_misses t) (planner_invocations t)
+  Format.fprintf fmt "evals=%d hits=%d misses=%d evictions=%d invocations=%d"
+    (cost_evaluations t) (cache_hits t) (cache_misses t) (cache_evictions t)
+    (planner_invocations t)

@@ -21,6 +21,9 @@ val cost_evaluations : t -> int
 val cache_hits : t -> int
 val cache_misses : t -> int
 
+val cache_evictions : t -> int
+    (** entries dropped by a capacity-bounded plan cache (LRU) *)
+
 val planner_invocations : t -> int
     (** resource-planning calls (one per costed sub-plan) *)
 
@@ -30,6 +33,7 @@ val record_evaluation : t -> unit
 val record_evaluations : t -> int -> unit
 val record_hit : t -> unit
 val record_miss : t -> unit
+val record_eviction : t -> unit
 val record_invocation : t -> unit
 
 (** [add ~into t] accumulates [t] into [into]. *)

@@ -8,12 +8,16 @@ let to_vec (r : Resources.t) = [| float_of_int r.containers; r.container_gb |]
 let of_vec v =
   Resources.make ~containers:(int_of_float (Float.round v.(0))) ~container_gb:v.(1)
 
-let plan ?counters ?start (conditions : Conditions.t) cost =
-  let eval r =
+(* The climb itself, generic in how a (containers, gb) point is costed so the
+   compiled-kernel path can skip building Resources.t values per probe. Both
+   entry points feed bit-identical costs, so the trajectory — every step,
+   the stopping point, the result — is the same either way. *)
+let plan_gen ?counters ?start (conditions : Conditions.t) eval_point =
+  let eval v =
     (match counters with
     | Some k -> Counters.record_evaluation k
     | None -> ());
-    cost r
+    eval_point ~containers:(int_of_float (Float.round v.(0))) ~container_gb:v.(1)
   in
   (match counters with
   | Some k -> Counters.record_invocation k
@@ -32,7 +36,7 @@ let plan ?counters ?start (conditions : Conditions.t) cost =
   in
   let dims = Array.length curr_res in
   let rec climb () =
-    let curr_cost = eval (of_vec curr_res) in
+    let curr_cost = eval curr_res in
     let best_cost = ref curr_cost in
     for i = 0 to dims - 1 do
       let best = ref (-1) in
@@ -41,7 +45,7 @@ let plan ?counters ?start (conditions : Conditions.t) cost =
         let stepped = curr_res.(i) +. ival in
         if stepped <= maximum.(i) +. 1e-9 && stepped >= minimum.(i) -. 1e-9 then begin
           curr_res.(i) <- stepped;
-          let temp = eval (of_vec curr_res) in
+          let temp = eval curr_res in
           curr_res.(i) <- curr_res.(i) -. ival;
           if temp < !best_cost then begin
             best_cost := temp;
@@ -56,3 +60,11 @@ let plan ?counters ?start (conditions : Conditions.t) cost =
     if !best_cost < curr_cost then climb () else (of_vec curr_res, curr_cost)
   in
   climb ()
+
+let plan ?counters ?start conditions cost =
+  plan_gen ?counters ?start conditions (fun ~containers ~container_gb ->
+      cost (Resources.make ~containers ~container_gb))
+
+let plan_kernel ?counters ?start conditions kernel =
+  plan_gen ?counters ?start conditions (fun ~containers ~container_gb ->
+      Raqo_cost.Kernel.predict kernel ~containers ~container_gb)

@@ -15,3 +15,16 @@ val plan :
   Raqo_cluster.Conditions.t ->
   (Raqo_cluster.Resources.t -> float) ->
   Raqo_cluster.Resources.t * float
+
+(** [plan_kernel ?counters ?start conditions kernel] is {!plan} costing
+    probes through a compiled kernel instead of a [Resources.t -> float]
+    closure: no configuration value or feature vector is built per probe.
+    {!Raqo_cost.Kernel.predict} is bit-identical to the scalar model, so the
+    climb's trajectory, result, cost, and evaluation count all match
+    {!plan}'s on the same model. *)
+val plan_kernel :
+  ?counters:Counters.t ->
+  ?start:Raqo_cluster.Resources.t ->
+  Raqo_cluster.Conditions.t ->
+  Raqo_cost.Kernel.t ->
+  Raqo_cluster.Resources.t * float

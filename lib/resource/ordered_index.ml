@@ -40,6 +40,16 @@ module Arr = struct
     let pos = lower_bound t key in
     if pos < t.n && t.keys.(pos) = key then Some t.values.(pos) else None
 
+  let remove t key =
+    let pos = lower_bound t key in
+    if pos < t.n && t.keys.(pos) = key then begin
+      Array.blit t.keys (pos + 1) t.keys pos (t.n - pos - 1);
+      Array.blit t.values (pos + 1) t.values pos (t.n - pos - 1);
+      t.n <- t.n - 1;
+      true
+    end
+    else false
+
   let within t ~center ~radius =
     let pos = lower_bound t (center -. radius) in
     let rec collect i acc =
@@ -216,6 +226,23 @@ module Bt = struct
         root.children.(1) <- right;
         t.root <- Internal root
 
+  (* Deletion without rebalancing: shift the covering leaf's tail left. An
+     emptied leaf stays in place (separators and leaf links unchanged) — every
+     traversal already skips past [ln = 0] leaves via the links, and the plan
+     cache's LRU workload deletes cold entries only, so the tree never
+     degenerates faster than it grows. *)
+  let remove t key =
+    let l = find_leaf t.root key in
+    let pos = lower_bound l.lkeys l.ln key in
+    if pos < l.ln && l.lkeys.(pos) = key then begin
+      Array.blit l.lkeys (pos + 1) l.lkeys pos (l.ln - pos - 1);
+      Array.blit l.lvalues (pos + 1) l.lvalues pos (l.ln - pos - 1);
+      l.ln <- l.ln - 1;
+      t.count <- t.count - 1;
+      true
+    end
+    else false
+
   let within t ~center ~radius =
     let l = find_leaf t.root (center -. radius) in
     let rec scan (l : 'a leaf) i acc =
@@ -327,6 +354,12 @@ let find_exact t key =
   | A a -> Arr.find_exact a key
   | B b -> Bt.find_exact b key
   | Empty_btree -> None
+
+let remove t key =
+  match t.repr with
+  | A a -> Arr.remove a key
+  | B b -> Bt.remove b key
+  | Empty_btree -> false
 
 let within t ~center ~radius =
   match t.repr with

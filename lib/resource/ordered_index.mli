@@ -24,6 +24,13 @@ val insert : 'a t -> float -> 'a -> unit
 (** [find_exact t key] is the value at exactly [key]. *)
 val find_exact : 'a t -> float -> 'a option
 
+(** [remove t key] deletes the entry at exactly [key], reporting whether one
+    existed. The sorted array shifts its tail; the B+-tree deletes in place
+    without rebalancing (an emptied leaf stays linked and is skipped by every
+    scan) — fine for the plan cache's evict-coldest workload, which removes
+    entries far more rarely than it inserts them. *)
+val remove : 'a t -> float -> bool
+
 (** [within t ~center ~radius] returns every [(key, value)] with
     [|key - center| <= radius], in ascending key order. *)
 val within : 'a t -> center:float -> radius:float -> (float * 'a) list

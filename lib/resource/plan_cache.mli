@@ -19,8 +19,17 @@ type lookup =
           threshold (paper: HC+Caching_WA) *)
 
 (** [create ()] builds an empty cache. Default backend: the paper's sorted
-    array. *)
-val create : ?backend:Ordered_index.backend -> unit -> t
+    array. [capacity] bounds the total entry count across keys: inserting
+    past it evicts least-recently-used entries (recency is refreshed by
+    inserts and by every lookup that consults the entry — exact hits, the
+    nearest-neighbor match, and each weighted-average contributor). The
+    default keeps the paper's unbounded behaviour, with zero bookkeeping
+    overhead on the lookup path.
+    @raise Invalid_argument if [capacity < 1]. *)
+val create : ?backend:Ordered_index.backend -> ?capacity:int -> unit -> t
+
+(** [capacity t] is the bound [t] was created with, if any. *)
+val capacity : t -> int option
 
 (** [find t ~key ~data_gb lookup] queries the index for [key] (e.g.
     ["SMJ/join"]). Updates hit/miss counters in [counters] when given. *)
@@ -33,8 +42,11 @@ val find :
   Raqo_cluster.Resources.t option
 
 (** [insert t ~key ~data_gb resources] records a freshly planned
-    configuration. Re-inserting an existing data characteristic overwrites. *)
-val insert : t -> key:string -> data_gb:float -> Raqo_cluster.Resources.t -> unit
+    configuration. Re-inserting an existing data characteristic overwrites.
+    On a capacity-bounded cache, inserting a new entry past the bound evicts
+    the least-recently-used entries (recorded in [counters] when given). *)
+val insert :
+  ?counters:Counters.t -> t -> key:string -> data_gb:float -> Raqo_cluster.Resources.t -> unit
 
 (** [clear t] empties the cache (the evaluation clears it between queries
     unless measuring across-query caching). *)

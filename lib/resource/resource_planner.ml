@@ -1,3 +1,5 @@
+module Kernel = Raqo_cost.Kernel
+
 type strategy = Brute_force | Hill_climb
 
 type t = {
@@ -8,28 +10,45 @@ type t = {
   lookup : Plan_cache.lookup;
   counters : Counters.t;
   pool : Raqo_par.Pool.t option;
+  use_kernel : bool;
+  scratch : Kernel.scratch;
 }
 
 let create ?(strategy = Hill_climb) ?(pruned = false) ?(cache = true)
-    ?(lookup = Plan_cache.Exact) ?counters ?pool conditions =
+    ?(lookup = Plan_cache.Exact) ?counters ?pool ?(kernel = true) ?cache_capacity conditions =
   {
     conditions;
     strategy;
     pruned;
-    cache = (if cache then Some (Plan_cache.create ()) else None);
+    cache = (if cache then Some (Plan_cache.create ?capacity:cache_capacity ()) else None);
     lookup;
     counters = (match counters with Some k -> k | None -> Counters.create ());
     pool;
+    use_kernel = kernel;
+    scratch = Kernel.create_scratch ();
   }
 
 let conditions t = t.conditions
 let with_conditions t conditions = { t with conditions }
 let pruned t = t.pruned
+let kernel_enabled t = t.use_kernel
+let scratch t = t.scratch
 
-let search ?start ?bound t cost =
-  match t.strategy with
-  | Hill_climb -> Hill_climb.plan ~counters:t.counters ?start t.conditions cost
-  | Brute_force -> begin
+let search ?start ?bound ?kernel t cost =
+  let kernel = if t.use_kernel then kernel else None in
+  match (t.strategy, kernel) with
+  | Hill_climb, Some k -> Hill_climb.plan_kernel ~counters:t.counters ?start t.conditions k
+  | Hill_climb, None -> Hill_climb.plan ~counters:t.counters ?start t.conditions cost
+  | Brute_force, Some k ->
+      (* Kernels compile only where region bounds exist (the paper feature
+         space), so the pruned planner never needs the caller's [bound] here;
+         the kernel path is single-domain by design — the sweep outruns the
+         pooled scalar scan, and results are identical either way. *)
+      if t.pruned then
+        Brute_force.search_pruned_kernel ~counters:t.counters t.conditions ~kernel:k
+          ~scratch:t.scratch
+      else Brute_force.search_kernel ~counters:t.counters t.conditions ~kernel:k ~scratch:t.scratch
+  | Brute_force, None -> begin
       match (t.pruned, bound, t.pool) with
       | true, Some bound, _ ->
           Brute_force.search_pruned ~counters:t.counters t.conditions ~bound cost
@@ -37,18 +56,23 @@ let search ?start ?bound t cost =
       | _, _, None -> Brute_force.search ~counters:t.counters t.conditions cost
     end
 
-let plan ?start ?bound t ~key ~data_gb ~cost =
+let plan ?start ?bound ?kernel t ~key ~data_gb ~cost =
   match t.cache with
-  | None -> search ?start ?bound t cost
+  | None -> search ?start ?bound ?kernel t cost
   | Some cache -> begin
       match Plan_cache.find ~counters:t.counters cache ~key ~data_gb t.lookup with
       | Some cached ->
           let cached = Raqo_cluster.Conditions.clamp t.conditions cached in
           Counters.record_evaluation t.counters;
-          (cached, cost cached)
+          let c =
+            match (if t.use_kernel then kernel else None) with
+            | Some k -> Kernel.predict_resources k cached
+            | None -> cost cached
+          in
+          (cached, c)
       | None ->
-          let resources, best = search ?start ?bound t cost in
-          Plan_cache.insert cache ~key ~data_gb resources;
+          let resources, best = search ?start ?bound ?kernel t cost in
+          Plan_cache.insert ~counters:t.counters cache ~key ~data_gb resources;
           (resources, best)
     end
 

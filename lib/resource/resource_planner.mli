@@ -22,7 +22,19 @@ type t
     serial — and hill climbing ignores the pool too). The cache, when
     enabled, is private to this planner and must only be touched from one
     domain at a time — cache sharing across concurrent queries stays opt-in
-    and single-domain. *)
+    and single-domain.
+
+    [kernel] (default [true]) lets {!plan} use compiled cost kernels when
+    the caller supplies one: grid sweeps and hill-climb probes run through
+    {!Raqo_cost.Kernel} — bit-identical costs, same plans, no per-point
+    feature vectors — reusing one per-planner scratch buffer across calls so
+    steady-state planning does zero grid allocation. [~kernel:false] forces
+    the scalar path everywhere (the CLI's [--no-kernel] escape hatch).
+    Kernelised grid searches are single-domain: they ignore [pool], which
+    only shapes the scalar fallback.
+
+    [cache_capacity] bounds the plan cache with LRU eviction (see
+    {!Plan_cache.create}); omitted means unbounded, the paper's behaviour. *)
 val create :
   ?strategy:strategy ->
   ?pruned:bool ->
@@ -30,11 +42,23 @@ val create :
   ?lookup:Plan_cache.lookup ->
   ?counters:Counters.t ->
   ?pool:Raqo_par.Pool.t ->
+  ?kernel:bool ->
+  ?cache_capacity:int ->
   Raqo_cluster.Conditions.t ->
   t
 
 (** [pruned t] reports whether branch-and-bound pruning is enabled. *)
 val pruned : t -> bool
+
+(** [kernel_enabled t] reports whether this planner accepts compiled kernels
+    from {!plan} (the [?kernel] creation flag). *)
+val kernel_enabled : t -> bool
+
+(** [scratch t] is the planner's private kernel scratch buffer — exposed so
+    tests and benches can audit its allocation/reuse counters
+    ({!Raqo_cost.Kernel.allocs}, {!Raqo_cost.Kernel.reuses}) and prove the
+    steady state sweeps without allocating. *)
+val scratch : t -> Raqo_cost.Kernel.scratch
 
 val conditions : t -> Raqo_cluster.Conditions.t
 
@@ -56,10 +80,20 @@ val with_conditions : t -> Raqo_cluster.Conditions.t -> t
     [bound ~lo ~hi] is an optional lower bound on [cost] over resource
     boxes (see {!Raqo_cost.Op_cost.region_lower_bound}); it is consulted
     only when this planner was created with [~pruned:true] under the
-    brute-force strategy, and ignored otherwise. *)
+    brute-force strategy, and ignored otherwise.
+
+    [kernel] is a compiled form of [cost] (same model, same impl, same
+    [data_gb] — see {!Raqo_cost.Kernel.make}); when given and the planner
+    was created with [~kernel:true], searches and cache-hit re-costing run
+    through it instead of [cost]. The kernel is bit-identical to the scalar
+    model, so passing it never changes the chosen configuration, its cost,
+    or the evaluation counters — only the time and allocation spent. Callers
+    with extended-space models simply have no kernel to pass ([Kernel.make]
+    returns [None]) and keep the scalar path. *)
 val plan :
   ?start:Raqo_cluster.Resources.t ->
   ?bound:(lo:Raqo_cluster.Resources.t -> hi:Raqo_cluster.Resources.t -> float) ->
+  ?kernel:Raqo_cost.Kernel.t ->
   t ->
   key:string ->
   data_gb:float ->

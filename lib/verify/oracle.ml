@@ -289,6 +289,133 @@ let check ?(jobs = [ 2; 4 ]) ?(fault = no_fault) t =
         [ 0.1; 1.0; 3.0; 8.0; 25.0 ])
     Join_impl.all;
 
+  (* ------------------------------------------------ compiled cost kernels *)
+  (* The kernel path must be bit-identical to the scalar oracle baseline —
+     same floats at every grid point, same winners and tie-breaks from every
+     search, same evaluation counts — across both join implementations and
+     the same build-side size spread as the pruned arms. *)
+  let scratch = Raqo_cost.Kernel.create_scratch () in
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun small_gb ->
+          match Raqo_cost.Kernel.make model impl ~small_gb with
+          | None ->
+              (* The oracle model is paper-space; a refusal here is a bug. *)
+              add
+                [ D.v ~invariant:"oracle/kernel-refused"
+                    "kernel failed to compile the paper-space model for %s at %.2f GB"
+                    (Join_impl.to_string impl) small_gb ]
+          | Some kernel ->
+              let cost r = Op_cost.predict_exn model impl ~small_gb ~resources:r in
+              (* Pointwise: Kernel.predict = Op_cost.predict_exn on every
+                 grid configuration, bitwise (infinity mask included). *)
+              List.iter
+                (fun (r : Resources.t) ->
+                  let k = Raqo_cost.Kernel.predict_resources kernel r in
+                  let s = cost r in
+                  if not (Float.equal k s) then
+                    add
+                      [ D.v ~invariant:"oracle/kernel-point-vs-scalar"
+                          "kernel cost diverged for %s at %.2f GB, %d x %.1f GB (%h vs %h)"
+                          (Join_impl.to_string impl) small_gb r.Resources.containers
+                          r.Resources.container_gb k s ])
+                (Conditions.all_configs conditions);
+              (* Exhaustive sweep vs scalar scan: identical tuple and counts. *)
+              let kc = Counters.create () and sc = Counters.create () in
+              let swept = Brute_force.search_kernel ~counters:kc conditions ~kernel ~scratch in
+              let scanned = Brute_force.search ~counters:sc conditions cost in
+              if swept <> scanned then
+                add
+                  [ D.v ~invariant:"oracle/kernel-sweep-vs-scalar"
+                      "kernel grid sweep diverged for %s at %.2f GB (%.6f vs %.6f)"
+                      (Join_impl.to_string impl) small_gb (snd swept) (snd scanned) ];
+              if Counters.cost_evaluations kc <> Counters.cost_evaluations sc then
+                add
+                  [ D.v ~invariant:"oracle/kernel-sweep-evals"
+                      "kernel sweep counted %d evaluations, scalar %d, for %s at %.2f GB"
+                      (Counters.cost_evaluations kc) (Counters.cost_evaluations sc)
+                      (Join_impl.to_string impl) small_gb ];
+              (* Kernel sweep vs the pooled scalar partition, per pool size:
+                 the kernel path is single-domain but must return what any
+                 partitioning returns. *)
+              List.iter
+                (fun j ->
+                  if j > 1 then
+                    Pool.with_pool ~jobs:j (fun pool ->
+                        let par = Brute_force.search_par pool conditions cost in
+                        if swept <> par then
+                          add
+                            [ D.v ~invariant:"oracle/kernel-sweep-vs-par"
+                                "kernel sweep diverged from %d-way partitioned scan for %s at %.2f GB"
+                                j (Join_impl.to_string impl) small_gb ]))
+                jobs;
+              (* Pruned search: kernel bounds replicate the scalar bound
+                 closure, so the visit pattern — hence result and distinct
+                 evaluation count — must match exactly. *)
+              (match Op_cost.region_lower_bound model impl ~small_gb with
+              | None -> ()
+              | Some bound ->
+                  let kc = Counters.create () and sc = Counters.create () in
+                  let kp =
+                    Brute_force.search_pruned_kernel ~counters:kc conditions ~kernel ~scratch
+                  in
+                  let sp = Brute_force.search_pruned ~counters:sc conditions ~bound cost in
+                  if kp <> sp || Counters.cost_evaluations kc <> Counters.cost_evaluations sc
+                  then
+                    add
+                      [ D.v ~invariant:"oracle/kernel-pruned-vs-scalar"
+                          "kernel pruned search diverged for %s at %.2f GB (%d evals vs %d)"
+                          (Join_impl.to_string impl) small_gb (Counters.cost_evaluations kc)
+                          (Counters.cost_evaluations sc) ]);
+              (* Hill climbing probes through the kernel must trace the same
+                 trajectory: same optimum, same cost, same evaluations. *)
+              let kc = Counters.create () and sc = Counters.create () in
+              let start =
+                match impl with
+                | Join_impl.Smj -> None
+                | Join_impl.Bhj ->
+                    Some
+                      (Conditions.clamp conditions
+                         (Resources.make ~containers:1
+                            ~container_gb:(Float.min conditions.max_gb (Float.max 1.0 small_gb))))
+              in
+              let kh =
+                Raqo_resource.Hill_climb.plan_kernel ~counters:kc ?start conditions kernel
+              in
+              let sh = Raqo_resource.Hill_climb.plan ~counters:sc ?start conditions cost in
+              if kh <> sh || Counters.cost_evaluations kc <> Counters.cost_evaluations sc then
+                add
+                  [ D.v ~invariant:"oracle/kernel-hillclimb-vs-scalar"
+                      "kernel hill climb diverged for %s at %.2f GB" (Join_impl.to_string impl)
+                      small_gb ])
+        [ 0.1; 1.0; 3.0; 8.0; 25.0 ])
+    Join_impl.all;
+
+  (* Joint planning with kernels on must be bit-identical to kernels off —
+     plans, costs, and instrumentation — under both search strategies. *)
+  List.iter
+    (fun (label, strategy, pruned) ->
+      let run kernel =
+        let counters = Counters.create () in
+        let rp =
+          Resource_planner.create ~strategy ~pruned ~cache:false ~kernel ~counters conditions
+        in
+        let coster = fault ~arm:("raqo-kernel-" ^ label) (Coster.raqo model schema rp) in
+        let result = Selinger.optimize coster schema rels in
+        (result, Counters.cost_evaluations counters, Counters.planner_invocations counters)
+      in
+      let on = run true and off = run false in
+      if on <> off then
+        add
+          [ D.v ~invariant:"oracle/kernel-joint-vs-scalar"
+              "kernelised joint planning (%s) diverged from the scalar path" label ])
+    [
+      ("bf", Resource_planner.Brute_force, false);
+      ("bf-pruned", Resource_planner.Brute_force, true);
+      ("hc", Resource_planner.Hill_climb, false);
+    ];
+
   (* The pruned joint arm must be bit-identical to the uncached exhaustive
      arm: same plan, same cost, never more cost-model evaluations. *)
   let rp_pruned =

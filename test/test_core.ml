@@ -249,6 +249,44 @@ let test_candidates_nonempty () =
   let cands = Cost_based.candidates opt Tpch.q3 in
   Alcotest.(check bool) "several candidates" true (List.length cands >= 2)
 
+let test_kernel_toggle_is_invisible () =
+  (* Compiled kernels are a pure perf lever: a kernel-on optimizer and its
+     --no-kernel twin emit identical joint plans, costs, and instrumentation.
+     On the paper-space model the kernels actually engage; on the
+     extended-space hive model Kernel.make refuses and both sides run the
+     scalar fallback — the flag must be invisible either way. *)
+  let models =
+    [
+      ("paper", Raqo_cost.Op_cost.with_floor 0.01 Raqo_cost.Op_cost.paper);
+      ("extended hive", Models.hive ());
+    ]
+  in
+  let strategies =
+    [
+      ("hill climb", Raqo_resource.Resource_planner.Hill_climb, false);
+      ("brute force", Raqo_resource.Resource_planner.Brute_force, false);
+      ("pruned brute force", Raqo_resource.Resource_planner.Brute_force, true);
+    ]
+  in
+  List.iter
+    (fun (mname, model) ->
+      List.iter
+        (fun (sname, strategy, pruned) ->
+          let run kernel =
+            let opt =
+              Cost_based.create ~resource_strategy:strategy ~pruned ~cache:false ~kernel
+                ~model ~conditions:Conditions.default schema
+            in
+            let result = Cost_based.optimize opt Tpch.q5 in
+            let k = Cost_based.counters opt in
+            (result, Counters.cost_evaluations k, Counters.planner_invocations k)
+          in
+          let label = mname ^ "/" ^ sname in
+          Alcotest.(check bool) (label ^ ": kernel toggle invisible") true
+            (run true = run false))
+        strategies)
+    models
+
 (* ------------------------------------------------------------ Use_cases *)
 
 let test_use_case_r_to_p () =
@@ -655,6 +693,8 @@ let () =
           Alcotest.test_case "condition changes rebound resources" `Quick
             test_with_conditions_changes_bounds;
           Alcotest.test_case "candidates for multi-objective use" `Quick test_candidates_nonempty;
+          Alcotest.test_case "kernel toggle changes nothing observable" `Quick
+            test_kernel_toggle_is_invisible;
         ] );
       ( "use_cases",
         [

@@ -261,6 +261,157 @@ let prop_pareto_front_complete =
           || List.exists (fun y -> y != x && Objective.dominates (objective y) (objective x)) items)
         items)
 
+(* --------------------------------------------------------------- Kernel *)
+
+module Kernel = Raqo_cost.Kernel
+module Conditions = Raqo_cluster.Conditions
+
+(* Kernel outputs must be *bit*-identical to the scalar path, not merely
+   close: downstream tie-breaks compare raw floats. *)
+let check_bits msg expected actual =
+  if Int64.bits_of_float expected <> Int64.bits_of_float actual then
+    Alcotest.failf "%s: expected %h, got %h" msg expected actual
+
+let floored = Op_cost.with_floor 0.01 Op_cost.paper
+
+(* A well-formed extended-space model (11-dim coefficients), for the
+   refuse-and-fall-back satellite. *)
+let extended_model =
+  let extend (l : Linreg.t) =
+    Linreg.of_coefficients ~intercept:l.Linreg.intercept
+      (Array.append l.Linreg.coefficients [| 0.01; 0.02; 0.03; 0.04 |])
+  in
+  {
+    Op_cost.paper with
+    Op_cost.space = Feature.Extended;
+    smj = extend Op_cost.paper.Op_cost.smj;
+    bhj = extend Op_cost.paper.Op_cost.bhj;
+    scan = extend Op_cost.paper.Op_cost.scan;
+  }
+
+let test_kernel_refuses_extended_space () =
+  (* Mirrors region_lower_bound: the extended space has decreasing monomials,
+     so neither kernels nor bounds exist there — callers keep the scalar
+     path. *)
+  List.iter
+    (fun impl ->
+      Alcotest.(check bool)
+        "no kernel for the extended space" true
+        (Kernel.make extended_model impl ~small_gb:2.0 = None);
+      Alcotest.(check bool)
+        "no region bound for the extended space either" true
+        (Op_cost.region_lower_bound extended_model impl ~small_gb:2.0 = None);
+      Alcotest.(check bool)
+        "paper space does compile" true
+        (Kernel.make floored impl ~small_gb:2.0 <> None))
+    Join_impl.all
+
+let test_kernel_predict_bhj_cliff () =
+  let small_gb = 5.0 in
+  let k = Option.get (Kernel.make floored Join_impl.Bhj ~small_gb) in
+  (* Below the OOM threshold (5.0 / 1.15 ≈ 4.35 GB) the mask applies. *)
+  check_bits "infeasible side is infinity" Float.infinity
+    (Kernel.predict k ~containers:4 ~container_gb:4.0);
+  let r = res 4 5.0 in
+  check_bits "feasible side matches the scalar model"
+    (Op_cost.predict_exn floored Join_impl.Bhj ~small_gb ~resources:r)
+    (Kernel.predict_resources k r)
+
+let gen_impl = QCheck.map (fun b -> if b then Join_impl.Smj else Join_impl.Bhj) QCheck.bool
+
+let prop_kernel_predict_bitwise =
+  QCheck.Test.make ~name:"kernel predict is bit-identical to predict_exn" ~count:500
+    QCheck.(
+      quad gen_impl (float_range 0.01 40.0) (int_range 1 400) (float_range 0.25 16.0))
+    (fun (impl, small_gb, containers, container_gb) ->
+      List.for_all
+        (fun model ->
+          let k = Option.get (Kernel.make model impl ~small_gb) in
+          let resources = res containers container_gb in
+          Int64.bits_of_float (Kernel.predict k ~containers ~container_gb)
+          = Int64.bits_of_float (Op_cost.predict_exn model impl ~small_gb ~resources))
+        [ Op_cost.paper; floored ])
+
+let prop_kernel_sweep_bitwise =
+  (* One sweep = per-point scalar prediction, bitwise, at every grid cell of
+     random (possibly ragged) grids; also pins the j-major cell layout. *)
+  QCheck.Test.make ~name:"kernel sweep is bit-identical per grid cell" ~count:100
+    QCheck.(
+      quad gen_impl (float_range 0.01 30.0) (int_range 1 40) (int_range 1 12))
+    (fun (impl, small_gb, max_containers, gb_steps) ->
+      let c =
+        Conditions.make ~min_containers:1 ~max_containers ~container_step:1 ~min_gb:0.5
+          ~max_gb:(0.5 +. (0.75 *. float_of_int (gb_steps - 1)))
+          ~gb_step:0.75 ()
+      in
+      let k = Option.get (Kernel.make floored impl ~small_gb) in
+      let n = Conditions.n_configs c in
+      let buf = Array.make n nan in
+      Kernel.sweep k c buf;
+      let nc = Conditions.steps_containers c in
+      List.for_all2
+        (fun idx (r : Resources.t) ->
+          let cell = buf.(((idx / nc) * nc) + (idx mod nc)) in
+          Int64.bits_of_float cell
+          = Int64.bits_of_float (Op_cost.predict_exn floored impl ~small_gb ~resources:r)
+          && Int64.bits_of_float cell
+             = Int64.bits_of_float
+                 (Kernel.point_at k c ~i:(idx mod nc) ~j:(idx / nc)))
+        (List.init n Fun.id) (Conditions.all_configs c))
+
+let prop_kernel_bound_bitwise =
+  (* The kernel's region bound must replicate the scalar bound closure so
+     pruned kernel searches make identical pruning decisions. *)
+  QCheck.Test.make ~name:"kernel region bound is bit-identical" ~count:200
+    QCheck.(
+      quad gen_impl (float_range 0.01 30.0) (pair (int_range 1 50) (int_range 0 49))
+        (pair (float_range 0.5 12.0) (float_range 0.0 8.0)))
+    (fun (impl, small_gb, (nc_lo, nc_extra), (gb_lo, gb_extra)) ->
+      let lo = res nc_lo gb_lo in
+      let hi = res (nc_lo + nc_extra) (gb_lo +. gb_extra) in
+      let k = Option.get (Kernel.make floored impl ~small_gb) in
+      let scalar = Option.get (Op_cost.region_lower_bound floored impl ~small_gb) in
+      Int64.bits_of_float (Kernel.bound k ~lo ~hi) = Int64.bits_of_float (scalar ~lo ~hi))
+
+let test_kernel_sweep_rejects_small_buffer () =
+  let c = Conditions.make ~max_containers:4 ~max_gb:3.0 () in
+  let k = Option.get (Kernel.make floored Join_impl.Smj ~small_gb:1.0) in
+  Alcotest.check_raises "undersized scratch"
+    (Invalid_argument "Kernel.sweep: scratch buffer too small") (fun () ->
+      Kernel.sweep k c (Array.make (Conditions.n_configs c - 1) 0.0))
+
+let test_kernel_scratch_reuse_accounting () =
+  let s = Kernel.create_scratch () in
+  Alcotest.(check int) "fresh scratch never allocated" 0 (Kernel.allocs s);
+  Kernel.ensure s 100;
+  Kernel.ensure s 60;
+  Kernel.ensure s 100;
+  Alcotest.(check int) "one growth" 1 (Kernel.allocs s);
+  Alcotest.(check int) "two reuses" 2 (Kernel.reuses s);
+  Kernel.ensure s 101;
+  Alcotest.(check int) "regrowth counted" 2 (Kernel.allocs s);
+  Alcotest.(check bool) "buffer large enough" true (Array.length (Kernel.buffer s) >= 101)
+
+let test_kernel_sweep_allocation_free () =
+  (* The acceptance criterion's allocation probe: a warm sweep over a 60x60
+     grid must allocate nothing (the scalar path allocates a feature vector
+     and a configuration per cell — tens of thousands of words here). *)
+  let c =
+    Conditions.make ~min_containers:1 ~max_containers:60 ~container_step:1 ~min_gb:1.0
+      ~max_gb:60.0 ~gb_step:1.0 ()
+  in
+  let k = Option.get (Kernel.make floored Join_impl.Bhj ~small_gb:12.5) in
+  let s = Kernel.create_scratch () in
+  Kernel.ensure s (Conditions.n_configs c);
+  let buf = Kernel.buffer s in
+  Kernel.sweep k c buf;
+  let w0 = Gc.minor_words () in
+  Kernel.sweep k c buf;
+  let delta = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm sweep allocated %.0f minor words" delta)
+    true (delta <= 64.0)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -314,4 +465,23 @@ let () =
           Alcotest.test_case "scalarization" `Quick test_scalarize_weights;
         ]
         @ qsuite [ prop_pareto_front_sound; prop_pareto_front_complete ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "refuses the extended space" `Quick
+            test_kernel_refuses_extended_space;
+          Alcotest.test_case "BHJ OOM cliff is an infinity mask" `Quick
+            test_kernel_predict_bhj_cliff;
+          Alcotest.test_case "rejects undersized buffers" `Quick
+            test_kernel_sweep_rejects_small_buffer;
+          Alcotest.test_case "scratch reuse accounting" `Quick
+            test_kernel_scratch_reuse_accounting;
+          Alcotest.test_case "warm sweep allocates nothing" `Quick
+            test_kernel_sweep_allocation_free;
+        ]
+        @ qsuite
+            [
+              prop_kernel_predict_bitwise;
+              prop_kernel_sweep_bitwise;
+              prop_kernel_bound_bitwise;
+            ] );
     ]

@@ -664,6 +664,410 @@ let test_counters_add () =
   Alcotest.(check int) "evals" 7 (Counters.cost_evaluations a);
   Alcotest.(check int) "hits" 1 (Counters.cache_hits a)
 
+(* ------------------------------------------------------ compiled kernels *)
+
+module Kernel = Raqo_cost.Kernel
+
+let kernel_of ?(model = model) impl ~small_gb =
+  match Kernel.make model impl ~small_gb with
+  | Some k -> k
+  | None -> Alcotest.failf "no kernel for %s" (Join_impl.to_string impl)
+
+let test_search_kernel_matches_scalar () =
+  let c = Conditions.default in
+  let scratch = Kernel.create_scratch () in
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun small_gb ->
+          let ks = Counters.create () and ss = Counters.create () in
+          let kernel = kernel_of impl ~small_gb in
+          let swept = Brute_force.search_kernel ~counters:ks c ~kernel ~scratch in
+          let scanned = Brute_force.search ~counters:ss c (op_cost impl ~small_gb) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s @ %.1f GB identical" (Join_impl.to_string impl) small_gb)
+            true (swept = scanned);
+          Alcotest.(check int) "same evaluation count" (Counters.cost_evaluations ss)
+            (Counters.cost_evaluations ks))
+        [ 0.1; 2.0; 7.5; 1e6 ])
+    Join_impl.all
+
+let test_search_kernel_tie_break_on_plateau () =
+  (* A huge floor flattens the whole grid to one constant: the sweep's argmin
+     scan must keep search's first-enumerated winner. *)
+  let plateau = Op_cost.with_floor 1e12 Op_cost.paper in
+  let c = Conditions.default in
+  let kernel = kernel_of ~model:plateau Join_impl.Smj ~small_gb:1.0 in
+  let swept =
+    Brute_force.search_kernel c ~kernel ~scratch:(Kernel.create_scratch ())
+  in
+  let scanned =
+    Brute_force.search c (fun r ->
+        Op_cost.predict_exn plateau Join_impl.Smj ~small_gb:1.0 ~resources:r)
+  in
+  Alcotest.(check bool) "same winner on the plateau" true (swept = scanned);
+  Alcotest.(check int) "first config" 1 (fst swept).Resources.containers
+
+let test_search_pruned_kernel_matches_scalar () =
+  let c = Conditions.default in
+  let scratch = Kernel.create_scratch () in
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun small_gb ->
+          let kp = Counters.create () and sp = Counters.create () in
+          let kernel = kernel_of impl ~small_gb in
+          let kerneled = Brute_force.search_pruned_kernel ~counters:kp c ~kernel ~scratch in
+          let scalar =
+            Brute_force.search_pruned ~counters:sp c ~bound:(op_bound impl ~small_gb)
+              (op_cost impl ~small_gb)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s @ %.1f GB identical" (Join_impl.to_string impl) small_gb)
+            true (kerneled = scalar);
+          Alcotest.(check int) "identical distinct-evaluation count"
+            (Counters.cost_evaluations sp) (Counters.cost_evaluations kp))
+        [ 0.1; 2.0; 7.5; 1e6 ])
+    Join_impl.all
+
+let prop_kernel_searches_match_scalar_random_grids =
+  QCheck.Test.make ~name:"kernel searches equal scalar searches on random grids" ~count:50
+    QCheck.(triple (int_range 1 60) (int_range 1 12) (float_range 0.05 20.0))
+    (fun (ncs, ngbs, small_gb) ->
+      let c = Conditions.make ~max_containers:ncs ~max_gb:(float_of_int ngbs) () in
+      let scratch = Kernel.create_scratch () in
+      List.for_all
+        (fun impl ->
+          let kernel = kernel_of impl ~small_gb in
+          let cost = op_cost impl ~small_gb in
+          Brute_force.search_kernel c ~kernel ~scratch = Brute_force.search c cost
+          && Brute_force.search_pruned_kernel c ~kernel ~scratch
+             = Brute_force.search_pruned c ~bound:(op_bound impl ~small_gb) cost)
+        Join_impl.all)
+
+let test_hill_climb_kernel_matches_scalar () =
+  let c = Conditions.default in
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun small_gb ->
+          List.iter
+            (fun start ->
+              let kc = Counters.create () and sc = Counters.create () in
+              let kernel = kernel_of impl ~small_gb in
+              let k = Hill_climb.plan_kernel ~counters:kc ?start c kernel in
+              let s = Hill_climb.plan ~counters:sc ?start c (op_cost impl ~small_gb) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s @ %.1f GB same climb" (Join_impl.to_string impl) small_gb)
+                true (k = s);
+              Alcotest.(check int) "same evaluations" (Counters.cost_evaluations sc)
+                (Counters.cost_evaluations kc))
+            [ None; Some (res 50 5.0); Some (res 100 10.0) ])
+        [ 0.1; 2.0; 7.5 ])
+    Join_impl.all
+
+(* --------------------------------------------------- LRU-bounded cache *)
+
+let test_cache_capacity_validates () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Plan_cache.create: capacity must be >= 1") (fun () ->
+      ignore (Plan_cache.create ~capacity:0 ()))
+
+let test_cache_unbounded_by_default () =
+  let cache = Plan_cache.create () in
+  Alcotest.(check bool) "no capacity" true (Plan_cache.capacity cache = None);
+  for i = 1 to 100 do
+    Plan_cache.insert cache ~key:"k" ~data_gb:(float_of_int i) (res i 1.0)
+  done;
+  Alcotest.(check int) "everything retained" 100 (Plan_cache.size cache)
+
+let test_cache_capacity_evicts_lru () =
+  let cache = Plan_cache.create ~capacity:2 () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 1 1.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:2.0 (res 2 2.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:3.0 (res 3 3.0);
+  Alcotest.(check int) "bounded" 2 (Plan_cache.size cache);
+  Alcotest.(check (list (float 0.0)))
+    "oldest evicted" [ 2.0; 3.0 ]
+    (List.map fst (Plan_cache.entries cache ~key:"k"))
+
+let test_cache_lookup_refreshes_recency () =
+  let cache = Plan_cache.create ~capacity:2 () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 1 1.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:2.0 (res 2 2.0);
+  (* Touch 1.0: now 2.0 is the cold entry. *)
+  Alcotest.(check bool) "hit" true
+    (Plan_cache.find cache ~key:"k" ~data_gb:1.0 Plan_cache.Exact <> None);
+  Plan_cache.insert cache ~key:"k" ~data_gb:3.0 (res 3 3.0);
+  Alcotest.(check (list (float 0.0)))
+    "2.0 evicted, touched 1.0 kept" [ 1.0; 3.0 ]
+    (List.map fst (Plan_cache.entries cache ~key:"k"))
+
+let test_cache_nearest_lookup_refreshes_recency () =
+  let cache = Plan_cache.create ~capacity:2 () in
+  Plan_cache.insert cache ~key:"k" ~data_gb:1.0 (res 1 1.0);
+  Plan_cache.insert cache ~key:"k" ~data_gb:2.0 (res 2 2.0);
+  (* A nearest-neighbor probe that matches 1.0 must warm that entry. *)
+  Alcotest.(check bool) "nn hit" true
+    (Plan_cache.find cache ~key:"k" ~data_gb:1.1 (Plan_cache.Nearest_neighbor 0.5) <> None);
+  Plan_cache.insert cache ~key:"k" ~data_gb:3.0 (res 3 3.0);
+  Alcotest.(check (list (float 0.0)))
+    "nn-matched entry survives" [ 1.0; 3.0 ]
+    (List.map fst (Plan_cache.entries cache ~key:"k"))
+
+let test_cache_capacity_spans_keys () =
+  (* The bound is global across cache keys, and an emptied key disappears. *)
+  let cache = Plan_cache.create ~capacity:2 () in
+  Plan_cache.insert cache ~key:"a" ~data_gb:1.0 (res 1 1.0);
+  Plan_cache.insert cache ~key:"b" ~data_gb:1.0 (res 2 2.0);
+  Plan_cache.insert cache ~key:"b" ~data_gb:2.0 (res 3 3.0);
+  Alcotest.(check int) "bounded across keys" 2 (Plan_cache.size cache);
+  Alcotest.(check (list string)) "key a emptied and dropped" [ "b" ] (Plan_cache.keys cache)
+
+let test_cache_overwrite_does_not_evict () =
+  let k = Counters.create () in
+  let cache = Plan_cache.create ~capacity:2 () in
+  Plan_cache.insert ~counters:k cache ~key:"k" ~data_gb:1.0 (res 1 1.0);
+  Plan_cache.insert ~counters:k cache ~key:"k" ~data_gb:2.0 (res 2 2.0);
+  Plan_cache.insert ~counters:k cache ~key:"k" ~data_gb:2.0 (res 9 9.0);
+  Alcotest.(check int) "still two entries" 2 (Plan_cache.size cache);
+  Alcotest.(check int) "no evictions" 0 (Counters.cache_evictions k);
+  Alcotest.(check bool) "overwrite took" true
+    (Plan_cache.find cache ~key:"k" ~data_gb:2.0 Plan_cache.Exact = Some (res 9 9.0))
+
+let test_cache_eviction_counters () =
+  let k = Counters.create () in
+  let cache = Plan_cache.create ~capacity:3 () in
+  for i = 1 to 10 do
+    Plan_cache.insert ~counters:k cache ~key:"k" ~data_gb:(float_of_int i) (res i 1.0)
+  done;
+  Alcotest.(check int) "bounded" 3 (Plan_cache.size cache);
+  Alcotest.(check int) "seven evictions recorded" 7 (Counters.cache_evictions k);
+  Alcotest.(check int) "clear resets" 0 (Plan_cache.size (Plan_cache.clear cache; cache))
+
+let prop_cache_capacity_never_exceeded =
+  QCheck.Test.make ~name:"bounded cache never exceeds capacity" ~count:100
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size Gen.(int_range 1 60) (pair (int_range 0 2) (int_range 1 20))))
+    (fun (cap, ops) ->
+      let cache = Plan_cache.create ~capacity:cap () in
+      let key = function 0 -> "a" | 1 -> "b" | _ -> "c" in
+      List.for_all
+        (fun (k, v) ->
+          Plan_cache.insert cache ~key:(key k) ~data_gb:(float_of_int v) (res v 1.0);
+          Plan_cache.size cache <= cap)
+        ops)
+
+(* ------------------------------------------------- ordered-index removal *)
+
+let with_index_backends f =
+  List.iter
+    (fun backend -> f (Ordered_index.create backend))
+    [ Ordered_index.Sorted_array; Ordered_index.Btree ]
+
+let test_index_remove_basic () =
+  with_index_backends (fun idx ->
+      List.iter (fun k -> Ordered_index.insert idx k (int_of_float k)) [ 5.0; 1.0; 3.0 ];
+      Alcotest.(check bool) "removes present key" true (Ordered_index.remove idx 3.0);
+      Alcotest.(check int) "size drops" 2 (Ordered_index.size idx);
+      Alcotest.(check bool) "gone" true (Ordered_index.find_exact idx 3.0 = None);
+      Alcotest.(check bool) "missing key is a no-op" false (Ordered_index.remove idx 3.0);
+      Alcotest.(check int) "size unchanged" 2 (Ordered_index.size idx);
+      Alcotest.(check (list (float 0.0)))
+        "order preserved" [ 1.0; 5.0 ]
+        (List.map fst (Ordered_index.to_list idx)))
+
+let test_index_remove_btree_across_leaves () =
+  (* Enough entries to force leaf splits; removals must stay consistent with
+     a reference model even when leaves empty out. *)
+  let idx = Ordered_index.create Ordered_index.Btree in
+  let n = 200 in
+  for i = 0 to n - 1 do
+    Ordered_index.insert idx (float_of_int i) i
+  done;
+  let expected = ref [] in
+  for i = n - 1 downto 0 do
+    if i mod 3 <> 0 then expected := (float_of_int i, i) :: !expected
+    else Alcotest.(check bool) "removed" true (Ordered_index.remove idx (float_of_int i))
+  done;
+  Alcotest.(check int) "size" (List.length !expected) (Ordered_index.size idx);
+  Alcotest.(check bool) "contents" true (Ordered_index.to_list idx = !expected);
+  (* Survivors stay findable and re-insertable after their neighbors left. *)
+  Alcotest.(check bool) "find survivor" true (Ordered_index.find_exact idx 100.0 = Some 100);
+  Ordered_index.insert idx 99.0 (-99);
+  Alcotest.(check bool) "reinsert into emptied region" true
+    (Ordered_index.find_exact idx 99.0 = Some (-99))
+
+(* -------------------------------------------- nearest: edge-case corpus *)
+
+let test_index_nearest_single_element () =
+  with_index_backends (fun idx ->
+      Ordered_index.insert idx 5.0 50;
+      Alcotest.(check bool) "query below" true
+        (Ordered_index.nearest idx ~center:1.0 ~radius:10.0 = Some (5.0, 50));
+      Alcotest.(check bool) "query above" true
+        (Ordered_index.nearest idx ~center:9.0 ~radius:10.0 = Some (5.0, 50));
+      Alcotest.(check bool) "query exact" true
+        (Ordered_index.nearest idx ~center:5.0 ~radius:0.0 = Some (5.0, 50));
+      Alcotest.(check bool) "radius excludes" true
+        (Ordered_index.nearest idx ~center:1.0 ~radius:1.0 = None))
+
+let test_index_nearest_duplicate_inserts () =
+  (* Keys are unique: re-inserting overwrites, and nearest sees the latest
+     value, never a stale duplicate. *)
+  with_index_backends (fun idx ->
+      Ordered_index.insert idx 2.0 1;
+      Ordered_index.insert idx 2.0 2;
+      Ordered_index.insert idx 2.0 3;
+      Alcotest.(check int) "one entry" 1 (Ordered_index.size idx);
+      Alcotest.(check bool) "latest value" true
+        (Ordered_index.nearest idx ~center:2.4 ~radius:1.0 = Some (2.0, 3)))
+
+let test_index_nearest_outside_key_range () =
+  with_index_backends (fun idx ->
+      List.iter (fun k -> Ordered_index.insert idx k (int_of_float k)) [ 10.0; 20.0; 30.0 ];
+      Alcotest.(check bool) "below all keys snaps to the lowest" true
+        (Ordered_index.nearest idx ~center:(-5.0) ~radius:100.0 = Some (10.0, 10));
+      Alcotest.(check bool) "above all keys snaps to the highest" true
+        (Ordered_index.nearest idx ~center:99.0 ~radius:100.0 = Some (30.0, 30));
+      Alcotest.(check bool) "below all keys, out of radius" true
+        (Ordered_index.nearest idx ~center:(-5.0) ~radius:1.0 = None);
+      Alcotest.(check bool) "above all keys, out of radius" true
+        (Ordered_index.nearest idx ~center:99.0 ~radius:1.0 = None))
+
+let prop_nearest_backends_agree =
+  (* Array and B+-tree must answer identically on random key sets and random
+     probes — including after interleaved removals. *)
+  QCheck.Test.make ~name:"nearest: array and B+-tree backends agree" ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 1 40) (int_range 0 60))
+        (list_of_size Gen.(int_range 0 10) (int_range 0 60))
+        (list_of_size Gen.(int_range 1 20) (pair (int_range (-10) 70) (int_range 0 8))))
+    (fun (keys, removals, probes) ->
+      let arr = Ordered_index.create Ordered_index.Sorted_array in
+      let bt = Ordered_index.create Ordered_index.Btree in
+      List.iter
+        (fun k ->
+          Ordered_index.insert arr (float_of_int k) k;
+          Ordered_index.insert bt (float_of_int k) k)
+        keys;
+      List.iter
+        (fun k ->
+          let a = Ordered_index.remove arr (float_of_int k) in
+          let b = Ordered_index.remove bt (float_of_int k) in
+          if a <> b then QCheck.Test.fail_reportf "remove %d disagreed" k)
+        removals;
+      Ordered_index.size arr = Ordered_index.size bt
+      && List.for_all
+           (fun (center, radius) ->
+             Ordered_index.nearest arr ~center:(float_of_int center)
+               ~radius:(float_of_int radius)
+             = Ordered_index.nearest bt ~center:(float_of_int center)
+                 ~radius:(float_of_int radius))
+           probes)
+
+(* ------------------------------------------ planner kernel integration *)
+
+let test_planner_kernel_scratch_reuse () =
+  (* Steady state: one grid allocation for the first search, pure reuse for
+     every subsequent subplan — the zero-grid-allocation criterion. *)
+  let planner =
+    Resource_planner.create ~strategy:Resource_planner.Brute_force ~cache:false
+      Conditions.default
+  in
+  Alcotest.(check bool) "kernels on by default" true (Resource_planner.kernel_enabled planner);
+  List.iter
+    (fun small_gb ->
+      let kernel = kernel_of Join_impl.Smj ~small_gb in
+      let kerneled =
+        Resource_planner.plan ~kernel planner ~key:"SMJ/join" ~data_gb:small_gb
+          ~cost:(op_cost Join_impl.Smj ~small_gb)
+      in
+      let scalar =
+        Brute_force.search Conditions.default (op_cost Join_impl.Smj ~small_gb)
+      in
+      Alcotest.(check bool) "matches the scalar search" true (kerneled = scalar))
+    [ 0.5; 1.5; 2.5; 3.5 ];
+  let s = Resource_planner.scratch planner in
+  Alcotest.(check int) "one grid allocation" 1 (Kernel.allocs s);
+  Alcotest.(check int) "three reuses" 3 (Kernel.reuses s)
+
+let test_planner_kernel_disabled_ignores_kernel () =
+  let planner =
+    Resource_planner.create ~strategy:Resource_planner.Brute_force ~cache:false
+      ~kernel:false Conditions.default
+  in
+  Alcotest.(check bool) "reports disabled" true
+    (not (Resource_planner.kernel_enabled planner));
+  let kernel = kernel_of Join_impl.Smj ~small_gb:2.0 in
+  let result =
+    Resource_planner.plan ~kernel planner ~key:"SMJ/join" ~data_gb:2.0
+      ~cost:(op_cost Join_impl.Smj ~small_gb:2.0)
+  in
+  Alcotest.(check bool) "scalar result" true
+    (result = Brute_force.search Conditions.default (op_cost Join_impl.Smj ~small_gb:2.0));
+  Alcotest.(check int) "scratch untouched" 0 (Kernel.allocs (Resource_planner.scratch planner))
+
+let test_planner_kernel_pruned_no_bound_needed () =
+  (* With a kernel in hand the pruned planner needs no caller bound: kernels
+     only compile where bounds exist, and carry their own. *)
+  let counters = Counters.create () in
+  let planner =
+    Resource_planner.create ~strategy:Resource_planner.Brute_force ~pruned:true ~cache:false
+      ~counters Conditions.default
+  in
+  let small_gb = 2.0 in
+  let kernel = kernel_of Join_impl.Bhj ~small_gb in
+  let kerneled =
+    Resource_planner.plan ~kernel planner ~key:"BHJ/join" ~data_gb:small_gb
+      ~cost:(op_cost Join_impl.Bhj ~small_gb)
+  in
+  let sc = Counters.create () in
+  let scalar =
+    Brute_force.search_pruned ~counters:sc Conditions.default
+      ~bound:(op_bound Join_impl.Bhj ~small_gb) (op_cost Join_impl.Bhj ~small_gb)
+  in
+  Alcotest.(check bool) "same result as scalar pruned" true (kerneled = scalar);
+  Alcotest.(check int) "same pruned evaluation count" (Counters.cost_evaluations sc)
+    (Counters.cost_evaluations counters)
+
+let test_planner_kernel_cache_hit_recosting () =
+  (* On a cache hit the cached configuration is re-costed through the kernel:
+     same float as the scalar closure, one recorded evaluation. *)
+  let counters = Counters.create () in
+  let planner =
+    Resource_planner.create ~strategy:Resource_planner.Hill_climb ~cache:true ~counters
+      Conditions.default
+  in
+  let small_gb = 2.0 in
+  let kernel = kernel_of Join_impl.Smj ~small_gb in
+  let cost = op_cost Join_impl.Smj ~small_gb in
+  let first =
+    Resource_planner.plan ~kernel planner ~key:"SMJ/join" ~data_gb:small_gb ~cost
+  in
+  let hit = Resource_planner.plan ~kernel planner ~key:"SMJ/join" ~data_gb:small_gb ~cost in
+  Alcotest.(check bool) "hit returns the cached plan at the same cost" true (first = hit);
+  Alcotest.(check int) "one hit" 1 (Counters.cache_hits counters);
+  Alcotest.(check bool) "hit cost equals the scalar model" true
+    (snd hit = cost (fst hit))
+
+let test_planner_cache_capacity_plumbed () =
+  let counters = Counters.create () in
+  let planner =
+    Resource_planner.create ~strategy:Resource_planner.Hill_climb ~cache:true
+      ~cache_capacity:2 ~counters Conditions.default
+  in
+  List.iter
+    (fun gb ->
+      ignore
+        (Resource_planner.plan planner ~key:"SMJ/join" ~data_gb:gb
+           ~cost:(op_cost Join_impl.Smj ~small_gb:gb)))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "cache stays bounded" 2 (Resource_planner.cache_size planner);
+  Alcotest.(check int) "evictions recorded" 2 (Counters.cache_evictions counters)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -758,5 +1162,61 @@ let () =
             test_planner_with_conditions_shares_cache;
           Alcotest.test_case "reset" `Quick test_planner_reset;
           Alcotest.test_case "counter accumulation" `Quick test_counters_add;
+        ] );
+      ( "kernel_search",
+        [
+          Alcotest.test_case "sweep search equals scalar search" `Quick
+            test_search_kernel_matches_scalar;
+          Alcotest.test_case "tie-break on a floored plateau" `Quick
+            test_search_kernel_tie_break_on_plateau;
+          Alcotest.test_case "pruned kernel equals scalar pruned" `Quick
+            test_search_pruned_kernel_matches_scalar;
+          Alcotest.test_case "kernel hill climb equals scalar climb" `Quick
+            test_hill_climb_kernel_matches_scalar;
+        ]
+        @ qsuite [ prop_kernel_searches_match_scalar_random_grids ] );
+      ( "plan_cache_lru",
+        [
+          Alcotest.test_case "capacity must be positive" `Quick test_cache_capacity_validates;
+          Alcotest.test_case "unbounded by default" `Quick test_cache_unbounded_by_default;
+          Alcotest.test_case "evicts least-recently-used" `Quick
+            test_cache_capacity_evicts_lru;
+          Alcotest.test_case "exact lookup refreshes recency" `Quick
+            test_cache_lookup_refreshes_recency;
+          Alcotest.test_case "nearest lookup refreshes recency" `Quick
+            test_cache_nearest_lookup_refreshes_recency;
+          Alcotest.test_case "bound spans cache keys" `Quick test_cache_capacity_spans_keys;
+          Alcotest.test_case "overwrite does not evict" `Quick
+            test_cache_overwrite_does_not_evict;
+          Alcotest.test_case "eviction counters" `Quick test_cache_eviction_counters;
+        ]
+        @ qsuite [ prop_cache_capacity_never_exceeded ] );
+      ( "ordered_index_remove",
+        [
+          Alcotest.test_case "remove on both backends" `Quick test_index_remove_basic;
+          Alcotest.test_case "B+-tree removal across leaves" `Quick
+            test_index_remove_btree_across_leaves;
+        ] );
+      ( "ordered_index_nearest_edges",
+        [
+          Alcotest.test_case "single element" `Quick test_index_nearest_single_element;
+          Alcotest.test_case "duplicate inserts overwrite" `Quick
+            test_index_nearest_duplicate_inserts;
+          Alcotest.test_case "queries outside the key range" `Quick
+            test_index_nearest_outside_key_range;
+        ]
+        @ qsuite [ prop_nearest_backends_agree ] );
+      ( "resource_planner_kernel",
+        [
+          Alcotest.test_case "scratch reuse across plans" `Quick
+            test_planner_kernel_scratch_reuse;
+          Alcotest.test_case "kernel:false ignores supplied kernels" `Quick
+            test_planner_kernel_disabled_ignores_kernel;
+          Alcotest.test_case "pruned kernel search needs no bound" `Quick
+            test_planner_kernel_pruned_no_bound_needed;
+          Alcotest.test_case "cache hits re-cost through the kernel" `Quick
+            test_planner_kernel_cache_hit_recosting;
+          Alcotest.test_case "cache capacity plumbed through" `Quick
+            test_planner_cache_capacity_plumbed;
         ] );
     ]
