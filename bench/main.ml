@@ -1000,6 +1000,22 @@ let ablation_workload () =
 let json_samples : (string * float) list ref = ref []
 let sample name seconds = json_samples := (name, seconds) :: !json_samples
 
+(* Bump when the JSON shape changes; cross-PR comparison scripts key on it. *)
+let json_schema_version = 2
+
+(* Identify the benchmarked tree so a BENCH_PRn.json artifact is traceable
+   to a commit. Best-effort: "unknown" outside a git checkout. *)
+let git_describe () =
+  match
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = In_channel.input_line ic in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some line when String.trim line <> "" -> Some (String.trim line)
+    | _ -> None
+  with
+  | Some describe -> describe
+  | None | (exception _) -> "unknown"
+
 let write_json path =
   let oc = open_out path in
   let entries =
@@ -1008,7 +1024,9 @@ let write_json path =
         Printf.sprintf "    {\"name\": %S, \"seconds\": %.6f}" name seconds)
       !json_samples
   in
-  Printf.fprintf oc "{\n  \"figures\": [\n%s\n  ]\n}\n" (String.concat ",\n" entries);
+  Printf.fprintf oc "{\n  \"schema_version\": %d,\n  \"commit\": %S,\n  \"figures\": [\n%s\n  ]\n}\n"
+    json_schema_version (git_describe ())
+    (String.concat ",\n" entries);
   close_out oc;
   Printf.printf "wrote %d timing samples to %s\n" (List.length entries) path
 
@@ -1390,6 +1408,66 @@ let kernel_bench () =
   note "acceptance: 60x60 grid evaluation >=3x (measured min %.1fx), 0 words/sweep"
     worst60
 
+(* -------------------------------------------------------------------- obs *)
+
+(* Observability overhead: every instrumented hot site pays one Atomic.get
+   and a branch when the subsystem is off, so the disabled column should sit
+   within noise of the uninstrumented PR-4 numbers (the CI gate compares
+   kernel/scaling samples against BENCH_PR4.json). The enabled column bounds
+   the cost of live counters and span recording. *)
+let obs_bench () =
+  let pm = Raqo_cost.Op_cost.with_floor 0.01 Raqo_cost.Op_cost.paper in
+  let module Kernel = Raqo_cost.Kernel in
+  let c = Conditions.make ~max_containers:60 ~max_gb:60.0 () in
+  let kernel = Option.get (Kernel.make pm Join_impl.Bhj ~small_gb:2.0) in
+  let scratch = Kernel.create_scratch () in
+  Kernel.ensure scratch (Conditions.n_configs c);
+  let buf = Kernel.buffer scratch in
+  let sweep () = Kernel.sweep kernel c buf in
+  let coster = Raqo_planner.Coster.fixed pm tpch (res 10 5.0) in
+  let plan () = ignore (Raqo_planner.Selinger.optimize coster tpch Tpch.q5) in
+  let search () = ignore (Raqo_resource.Brute_force.search_kernel c ~kernel ~scratch) in
+  let saved = Raqo_obs.Obs.enabled () in
+  let measure name runs fn =
+    (* Warm inside each flag state (the first timed pass otherwise pays heap
+       growth and page-fault warm-up, dwarfing the instrumentation delta);
+       clear the rings afterwards so repeated sections never wrap
+       mid-measurement. *)
+    let time v =
+      Raqo_obs.Obs.with_enabled v (fun () ->
+          for _ = 1 to max 3 (runs / 10) do
+            fn ()
+          done;
+          let _, ms = Timer.avg_ms ~runs fn in
+          ms)
+    in
+    (* Alternate states and keep the per-state minimum: long-running drift
+       (heap growth, frequency scaling) otherwise flatters whichever state
+       is timed last. *)
+    let off_ms = ref infinity and on_ms = ref infinity in
+    for _ = 1 to 3 do
+      off_ms := Float.min !off_ms (time false);
+      on_ms := Float.min !on_ms (time true)
+    done;
+    let off_ms = !off_ms and on_ms = !on_ms in
+    Raqo_obs.Trace.clear ();
+    sample (Printf.sprintf "obs:%s:off" name) (off_ms /. 1000.0);
+    sample (Printf.sprintf "obs:%s:on" name) (on_ms /. 1000.0);
+    [ name; f off_ms; f on_ms; f (on_ms /. off_ms) ]
+  in
+  let rows =
+    [
+      measure "kernel-sweep-60x60" 200 sweep;
+      measure "brute-force-search-kernel" 200 search;
+      measure "selinger-q5" 100 plan;
+    ]
+  in
+  Raqo_obs.Obs.set_enabled saved;
+  Table.print
+    ~title:"Observability overhead: instrumented hot paths, subsystem off vs on"
+    ~headers:[ "workload"; "obs off ms"; "obs on ms"; "on/off" ] rows;
+  note "acceptance: obs-off kernel/scaling samples regress <5%% vs BENCH_PR4.json"
+
 (* ------------------------------------------------------------------ micro *)
 
 let micro () =
@@ -1483,6 +1561,7 @@ let figures =
     ("par", "parallel planning: domain pools and the memoizing coster", par_bench);
     ("scaling", "planner scaling: interned mask core and pruned resource search", scaling);
     ("kernel", "compiled cost kernels vs the scalar model", kernel_bench);
+    ("obs", "observability overhead: instrumented hot paths off vs on", obs_bench);
   ]
 
 (* Pull "--json FILE" out of the argument list, leaving figure names. *)

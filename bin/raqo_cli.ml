@@ -5,9 +5,29 @@
      switch  — locate the BHJ/SMJ switch point for a resource configuration
      tree    — print the default or trained join-implementation decision tree
      queue   — simulate a contended cluster queue and print wait statistics
-     fuzz    — differential fuzzing of the planners against each other *)
+     fuzz    — differential fuzzing of the planners against each other
+     trace   — run a traced joint planning and summarize its spans
+     metrics — run the evaluation queries and dump the metrics registry *)
 
 open Cmdliner
+
+(* --trace FILE: shared across the planning subcommands. Turns the
+   observability layer on for the whole run and dumps the span rings as
+   Chrome trace_event JSON on the way out. *)
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Enable observability and write a Chrome trace_event JSON trace of the run \
+               to $(docv) (open it in chrome://tracing or https://ui.perfetto.dev).")
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Raqo_obs.Obs.set_enabled true;
+      let result = f () in
+      Raqo_obs.Export.write_chrome_trace path;
+      Printf.printf "trace: %d spans written to %s\n" (Raqo_obs.Trace.recorded ()) path;
+      result
 
 let engine_of_string = function
   | "hive" -> Ok Raqo_execsim.Engine.hive
@@ -75,7 +95,8 @@ let plan_cmd =
                  e.g. \"select * from orders, lineitem where o_orderkey = l_orderkey and \
                  o_totalprice < 172000\".")
   in
-  let run relations planner mode max_containers max_gb nc gb sql jobs no_kernel =
+  let run relations planner mode max_containers max_gb nc gb sql jobs no_kernel trace =
+    with_trace trace @@ fun () ->
     let schema = Raqo_catalog.Tpch.schema () in
     let model = Raqo.Models.hive () in
     let kind =
@@ -139,7 +160,7 @@ let plan_cmd =
   in
   let term =
     Term.(const run $ relations_arg $ planner_arg $ mode_arg $ containers_arg $ memory_arg
-          $ fixed_containers $ fixed_gb $ sql_arg $ jobs_opt_arg $ no_kernel_arg)
+          $ fixed_containers $ fixed_gb $ sql_arg $ jobs_opt_arg $ no_kernel_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Jointly optimize a TPC-H query's plan and resources") term
 
@@ -306,24 +327,123 @@ let fuzz_cmd =
            ~doc:"Maximum pool size for the parallel-vs-sequential oracle arms; pool sizes \
                  in {2, 4, $(docv)} up to $(docv) are exercised (1 disables them).")
   in
-  let run seeds start tables joins max_jobs =
+  let run seeds start tables joins max_jobs trace =
     let jobs =
       List.sort_uniq compare (List.filter (fun j -> j >= 2 && j <= max_jobs) [ 2; 4; max_jobs ])
     in
-    exit (Raqo_verify.Fuzz.main ~tables ~joins ~jobs ~start ~seeds ())
+    (* Compute the exit code inside [with_trace] so the trace is flushed
+       before the process exits. *)
+    let code = with_trace trace (fun () -> Raqo_verify.Fuzz.main ~tables ~joins ~jobs ~start ~seeds ()) in
+    exit code
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Fuzz the planners against the invariant checker and cross-planner oracle, \
              shrinking any failure to a minimal printed repro")
-    Term.(const run $ seeds_arg $ start_arg $ tables_arg $ joins_arg $ fuzz_jobs_arg)
+    Term.(const run $ seeds_arg $ start_arg $ tables_arg $ joins_arg $ fuzz_jobs_arg
+          $ trace_arg)
+
+(* ----------------------------------------------------------------- trace *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Also write the Chrome trace_event JSON to $(docv).")
+  in
+  let planner_arg =
+    Arg.(value & opt (enum [ ("selinger", `Selinger); ("randomized", `Randomized) ]) `Selinger
+           & info [ "planner" ] ~docv:"PLANNER" ~doc:"Join-order planner.")
+  in
+  let run relations planner max_containers max_gb jobs no_kernel out =
+    Raqo_obs.Obs.set_enabled true;
+    let kind =
+      match planner with
+      | `Selinger -> Raqo.Cost_based.Selinger
+      | `Randomized -> Raqo.Cost_based.Fast_randomized
+    in
+    (* Brute-force resource search and the paper-space model so the trace
+       shows the full nesting: planner span -> resource-search spans ->
+       kernel sweeps. (The trained models are extended-space, for which
+       [Kernel.make] refuses to compile; see kernel.mli.) *)
+    let model = Raqo_cost.Op_cost.with_floor 0.01 Raqo_cost.Op_cost.paper in
+    let opt =
+      Raqo.Cost_based.create ~kind
+        ~resource_strategy:Raqo_resource.Resource_planner.Brute_force
+        ~kernel:(not no_kernel) ~model
+        ~conditions:(conditions max_containers max_gb)
+        (Raqo_catalog.Tpch.schema ())
+    in
+    let result =
+      if jobs > 1 then
+        Raqo_par.Pool.with_pool ~jobs (fun pool ->
+            Raqo.Cost_based.optimize_par opt pool relations)
+      else Raqo.Cost_based.optimize opt relations
+    in
+    match result with
+    | None ->
+        print_endline "no feasible plan";
+        exit 2
+    | Some (_, cost) ->
+        Printf.printf "joint plan for [%s]: est cost %.3g\n\n" (String.concat " " relations)
+          cost;
+        print_string (Raqo_obs.Export.span_summary (Raqo_obs.Trace.events ()));
+        (match out with
+        | Some path ->
+            Raqo_obs.Export.write_chrome_trace path;
+            Printf.printf "\ntrace: %d spans written to %s\n" (Raqo_obs.Trace.recorded ())
+              path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one traced joint planning and print a per-span summary table")
+    Term.(const run $ relations_pos $ planner_arg $ containers_arg $ memory_arg
+          $ jobs_opt_arg $ no_kernel_arg $ out_arg)
+
+(* --------------------------------------------------------------- metrics *)
+
+let metrics_cmd =
+  let prometheus_arg =
+    Arg.(value & flag & info [ "prometheus" ]
+           ~doc:"Emit Prometheus text exposition instead of a table.")
+  in
+  let run max_containers max_gb no_kernel prometheus =
+    Raqo_obs.Obs.set_enabled true;
+    (* Drive every instrumented layer once: plan each TPC-H evaluation query
+       jointly, sharing one optimizer so the plan cache sees reuse. The
+       paper-space model keeps the kernel path live (kernel counters would
+       read zero under the extended-space trained models). *)
+    let model = Raqo_cost.Op_cost.with_floor 0.01 Raqo_cost.Op_cost.paper in
+    let opt =
+      Raqo.Cost_based.create
+        ~resource_strategy:Raqo_resource.Resource_planner.Brute_force
+        ~kernel:(not no_kernel) ~model
+        ~conditions:(conditions max_containers max_gb)
+        (Raqo_catalog.Tpch.schema ())
+    in
+    List.iter
+      (fun (_, relations) -> ignore (Raqo.Cost_based.optimize opt relations))
+      Raqo_catalog.Tpch.evaluation_queries;
+    if prometheus then print_string (Raqo_obs.Export.prometheus ())
+    else begin
+      Printf.printf "metrics after planning %d TPC-H evaluation queries:\n\n"
+        (List.length Raqo_catalog.Tpch.evaluation_queries);
+      print_string (Raqo_obs.Export.metrics_table ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Plan the TPC-H evaluation queries with observability on and dump the \
+             metrics registry")
+    Term.(const run $ containers_arg $ memory_arg $ no_kernel_arg $ prometheus_arg)
 
 (* -------------------------------------------------------------- workload *)
 
 let workload_cmd =
   let n_arg = Arg.(value & opt int 100 & info [ "queries" ] ~docv:"N" ~doc:"Queries to simulate.") in
   let seed_arg = Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
-  let run n seed max_containers max_gb jobs =
+  let run n seed max_containers max_gb jobs trace =
+    with_trace trace @@ fun () ->
     let schema = Raqo_catalog.Tpch.schema () in
     let engine = Raqo_execsim.Engine.hive in
     let model = Raqo.Models.hive () in
@@ -363,7 +483,8 @@ let workload_cmd =
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Compare RAQO vs the two-step default on a query workload")
-    Term.(const run $ n_arg $ seed_arg $ containers_arg $ memory_arg $ jobs_opt_arg)
+    Term.(const run $ n_arg $ seed_arg $ containers_arg $ memory_arg $ jobs_opt_arg
+          $ trace_arg)
 
 let () =
   let info =
@@ -382,4 +503,6 @@ let () =
             robust_cmd;
             workload_cmd;
             fuzz_cmd;
+            trace_cmd;
+            metrics_cmd;
           ]))

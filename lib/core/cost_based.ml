@@ -78,6 +78,34 @@ let run_planner_masked t m ctx =
   | Fast_randomized ->
       Raqo_planner.Randomized.optimize_masked ~params:t.randomized_params t.rng m ctx
 
+let m_plans = Raqo_obs.Metrics.counter "raqo_plans_total"
+let m_plan_seconds = Raqo_obs.Metrics.histogram "raqo_plan_seconds"
+
+let kind_span = function
+  | Selinger -> "plan/selinger"
+  | Bushy_dp -> "plan/bushy-dp"
+  | Fast_randomized -> "plan/randomized"
+
+(* Top-level planning span + duration histogram; everything the planners and
+   resource searches record nests under this span (across domains too — the
+   pool re-parents its tasks to the submitting span). *)
+let instrumented t f =
+  if not (Raqo_obs.Obs.enabled ()) then f ()
+  else begin
+    let t0 = Raqo_obs.Obs.now_ns () in
+    let span = Raqo_obs.Trace.start (kind_span t.kind) in
+    match f () with
+    | result ->
+        Raqo_obs.Trace.finish span;
+        Raqo_obs.Metrics.Counter.inc m_plans;
+        Raqo_obs.Metrics.Histogram.observe m_plan_seconds
+          (float_of_int (Raqo_obs.Obs.now_ns () - t0) /. 1e9);
+        result
+    | exception e ->
+        Raqo_obs.Trace.finish span;
+        raise e
+  end
+
 let wrap t coster = if t.memoize then Coster.memoize coster else coster
 let wrap_masked t ctx m = if t.memoize then Coster.memoize_masked ctx m else m
 
@@ -92,9 +120,10 @@ let masked_coster_qo t ctx ~resources =
   wrap_masked t ctx (Coster.fixed_masked t.model ctx resources)
 
 let optimize t relations =
-  match interned_ctx t relations with
-  | Some ctx -> run_planner_masked t (masked_coster t ctx) ctx
-  | None -> run_planner t (coster t) relations
+  instrumented t (fun () ->
+      match interned_ctx t relations with
+      | Some ctx -> run_planner_masked t (masked_coster t ctx) ctx
+      | None -> run_planner t (coster t) relations)
 
 (* A fresh coster per restart: the raqo coster's memo tables (statistics and,
    when enabled, join memoization) are plain hashtables, and the private
@@ -121,20 +150,23 @@ let restart_masked_coster t ctx =
 let optimize_par t pool relations =
   match t.kind with
   | Selinger | Bushy_dp -> optimize t relations
-  | Fast_randomized -> begin
-      match interned_ctx t relations with
-      | Some ctx ->
-          Raqo_planner.Randomized.optimize_par_masked ~params:t.randomized_params pool t.rng
-            ~coster:(restart_masked_coster t ctx) ctx
-      | None ->
-          Raqo_planner.Randomized.optimize_par ~params:t.randomized_params pool t.rng
-            ~coster:(restart_coster t) t.schema relations
-    end
+  | Fast_randomized ->
+      instrumented t (fun () ->
+          match interned_ctx t relations with
+          | Some ctx ->
+              Raqo_planner.Randomized.optimize_par_masked ~params:t.randomized_params pool
+                t.rng
+                ~coster:(restart_masked_coster t ctx)
+                ctx
+          | None ->
+              Raqo_planner.Randomized.optimize_par ~params:t.randomized_params pool t.rng
+                ~coster:(restart_coster t) t.schema relations)
 
 let optimize_qo t ~resources relations =
-  match interned_ctx t relations with
-  | Some ctx -> run_planner_masked t (masked_coster_qo t ctx ~resources) ctx
-  | None -> run_planner t (coster_qo t ~resources) relations
+  instrumented t (fun () ->
+      match interned_ctx t relations with
+      | Some ctx -> run_planner_masked t (masked_coster_qo t ctx ~resources) ctx
+      | None -> run_planner t (coster_qo t ~resources) relations)
 
 let candidates t relations =
   match interned_ctx t relations with

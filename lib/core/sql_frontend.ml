@@ -4,8 +4,14 @@ type planned = {
   est_cost : float;
 }
 
+let m_queries = Raqo_obs.Metrics.counter "raqo_sql_queries_total"
+
 let plan ?kind ?seed ?kernel ~model ~conditions ~schema ~columns sql =
-  match Raqo_sql.Resolver.analyze schema columns sql with
+  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_queries;
+  match
+    Raqo_obs.Trace.with_ ~name:"sql/analyze" (fun () ->
+        Raqo_sql.Resolver.analyze schema columns sql)
+  with
   | Error e -> Error e
   | Ok analyzed -> begin
       (* Optimize against the filter-scaled schema the resolver produced. *)
@@ -13,7 +19,10 @@ let plan ?kind ?seed ?kernel ~model ~conditions ~schema ~columns sql =
         Cost_based.create ?kind ?seed ?kernel ~model ~conditions
           analyzed.Raqo_sql.Resolver.schema
       in
-      match Cost_based.optimize opt analyzed.Raqo_sql.Resolver.relations with
+      match
+        Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
+            Cost_based.optimize opt analyzed.Raqo_sql.Resolver.relations)
+      with
       | Some (plan, est_cost) -> Ok { analyzed; plan; est_cost }
       | None -> Error "no feasible joint plan under the current cluster conditions"
     end

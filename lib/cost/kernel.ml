@@ -86,10 +86,23 @@ let point_at t (c : Conditions.t) ~i ~j =
     ~containers:(c.Conditions.min_containers + (i * c.Conditions.container_step))
     ~container_gb:(c.Conditions.min_gb +. (float_of_int j *. c.Conditions.gb_step))
 
+let m_sweeps = Raqo_obs.Metrics.counter "raqo_kernel_sweeps_total"
+let m_cells = Raqo_obs.Metrics.counter "raqo_kernel_cells_total"
+
 let sweep t (c : Conditions.t) buf =
   let nc_steps = Conditions.steps_containers c in
   let ngb = Conditions.steps_gb c in
   if Array.length buf < nc_steps * ngb then invalid_arg "Kernel.sweep: scratch buffer too small";
+  (* Disabled probe = one atomic load and a branch: the warm sweep must stay
+     at zero minor words (the bench Gc probe pins this). *)
+  let span =
+    if not (Raqo_obs.Obs.enabled ()) then Raqo_obs.Trace.none
+    else begin
+      Raqo_obs.Metrics.Counter.inc m_sweeps;
+      Raqo_obs.Metrics.Counter.add m_cells (nc_steps * ngb);
+      Raqo_obs.Trace.start "kernel/sweep"
+    end
+  in
   (* Local unboxed copies: the inner loop is pure float arithmetic into a
      float array, no allocation. *)
   let acc0 = t.acc0 in
@@ -114,7 +127,8 @@ let sweep t (c : Conditions.t) buf =
         buf.(base + i) <- (if floor > 0.0 && cost <= floor then floor else cost)
       done
     end
-  done
+  done;
+  Raqo_obs.Trace.finish span
 
 (* Region lower bound, replicating Op_cost.region_lower_bound float-for-float
    so the pruned kernel search prunes (and therefore counts evaluations)

@@ -1,0 +1,30 @@
+(** Exporters for the metrics registry and the span rings.
+
+    Three formats: Chrome [trace_event] JSON (load in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}), Prometheus text exposition, and
+    human-readable tables via {!Raqo_util.Table_fmt}. *)
+
+(** Chrome trace: one complete ("ph":"X") event per span, timestamps and
+    durations in microseconds, [tid] = domain id, span/parent ids in [args]
+    so the hierarchy survives even where timestamps tie. *)
+val chrome_json : Trace.event list -> string
+
+(** [write_chrome_trace path] dumps the current rings to [path]. *)
+val write_chrome_trace : string -> unit
+
+(** Prometheus text exposition of {!Metrics.snapshot}: [# TYPE] comments,
+    histogram [_bucket{le="..."}] series (cumulative, with [+Inf]), [_sum]
+    and [_count]. Floats are printed round-trippably. *)
+val prometheus : unit -> string
+
+(** [parse_prometheus text] reads back the sample lines of an exposition:
+    [(name-with-labels, value)] pairs in file order, comments and blank
+    lines skipped. Inverse of {!prometheus} for the subset it emits. *)
+val parse_prometheus : string -> (string * float) list
+
+(** Per-span-name aggregate table (count, total/mean/min/max ms), widest
+    total first. The [raqo trace] summary. *)
+val span_summary : Trace.event list -> string
+
+(** Registry contents as an aligned table. *)
+val metrics_table : unit -> string

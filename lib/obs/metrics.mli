@@ -1,0 +1,87 @@
+(** Lock-free metric primitives and a named global registry.
+
+    Counters and histograms are sharded per domain: each recording operation
+    is a single [Atomic.fetch_and_add] on the shard indexed by the calling
+    domain's id, so hot planning loops never contend on one cache line and
+    never take a lock. Reads merge the shards; like {!Raqo_resource.Counters},
+    a read is exact once the parallel section has joined and approximate
+    while it is in flight.
+
+    Handles are cheap records — create them once at module initialisation
+    (either anonymous via [Counter.create], or named via the registry
+    functions below) and record through the handle. Registry lookups hash a
+    string and take a mutex, so they do not belong on a hot path. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val inc : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+  val value : t -> float
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  (** Default bucket upper bounds, chosen for millisecond-scale timings:
+      1µs … 1s in a 1/5/10 progression. *)
+  val default_buckets : float array
+
+  (** [create ?buckets ()] makes a histogram with the given strictly
+      increasing upper bucket edges; an implicit [+Inf] bucket catches the
+      overflow. Raises [Invalid_argument] on empty or non-increasing edges. *)
+  val create : ?buckets:float array -> unit -> t
+
+  val observe : t -> float -> unit
+
+  val edges : t -> float array
+
+  (** Per-bucket (non-cumulative) counts, length [Array.length (edges t) + 1];
+      the last entry is the [+Inf] overflow bucket. *)
+  val counts : t -> int array
+
+  (** Cumulative counts in Prometheus [le] semantics (each bucket includes
+      everything below it); same length as {!counts}. *)
+  val cumulative : t -> int array
+
+  val count : t -> int
+  val sum : t -> float
+  val reset : t -> unit
+end
+
+(** {2 Registry}
+
+    One global name -> metric table. [counter]/[gauge]/[histogram] get or
+    create; asking for an existing name with a different kind (or different
+    histogram buckets) raises [Invalid_argument]. *)
+
+val counter : string -> Counter.t
+val gauge : string -> Gauge.t
+val histogram : ?buckets:float array -> string -> Histogram.t
+
+type snapshot =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of {
+      edges : float array;
+      counts : int array;  (** non-cumulative; last entry is +Inf *)
+      sum : float;
+      count : int;
+    }
+
+(** All registered metrics, sorted by name. *)
+val snapshot : unit -> (string * snapshot) list
+
+(** Zero every registered metric (registration survives; handles stay valid). *)
+val reset : unit -> unit

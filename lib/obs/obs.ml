@@ -1,0 +1,19 @@
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+let set_enabled v = Atomic.set flag v
+
+let with_enabled v f =
+  let saved = Atomic.get flag in
+  Atomic.set flag v;
+  match f () with
+  | r ->
+      Atomic.set flag saved;
+      r
+  | exception e ->
+      Atomic.set flag saved;
+      raise e
+
+(* 2^62 ns ≈ 146 years of uptime, so the int64 -> int conversion is safe on
+   64-bit platforms and keeps timestamps unboxed in span records. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())

@@ -1,0 +1,20 @@
+(** The single switch for the observability layer.
+
+    Every instrumentation site in the planning stack — spans, registry
+    mirrors, sweep counters — is guarded by [enabled ()]. The flag is one
+    [Atomic.get] on an immediate bool, so a disabled probe costs a load and
+    a branch and allocates nothing: the warm [Kernel.sweep] loop stays at
+    zero minor words with observability off. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** [with_enabled v f] runs [f] with the flag forced to [v], restoring the
+    previous value afterwards (including on exceptions). Test helper; not
+    intended for concurrent use with other writers of the flag. *)
+val with_enabled : bool -> (unit -> 'a) -> 'a
+
+(** Monotonic wall-clock in nanoseconds ([CLOCK_MONOTONIC] via an
+    allocation-free stub). Only meaningful as a difference of two reads. *)
+val now_ns : unit -> int

@@ -1,0 +1,153 @@
+type event = {
+  name : string;
+  id : int;
+  parent : int;
+  domain : int;
+  start_ns : int;
+  dur_ns : int;
+}
+
+(* Single-writer ring: [buf] is only ever written by the owning domain (it
+   lives in that domain's DLS), so recording needs no synchronisation. The
+   global [rings] list exists solely so readers can merge after a join. *)
+type ring = {
+  ring_domain : int;
+  mutable buf : event array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let default_capacity = Atomic.make 8192
+let rings : ring list ref = ref []
+let rings_mutex = Mutex.create ()
+
+let dummy_event = { name = ""; id = 0; parent = 0; domain = 0; start_ns = 0; dur_ns = 0 }
+
+type dls_state = { mutable current : int; mutable ring : ring option }
+
+let dls_key = Domain.DLS.new_key (fun () -> { current = 0; ring = None })
+
+let get_ring st =
+  match st.ring with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          ring_domain = (Domain.self () :> int);
+          buf = Array.make (Atomic.get default_capacity) dummy_event;
+          next = 0;
+          total = 0;
+        }
+      in
+      st.ring <- Some r;
+      Mutex.lock rings_mutex;
+      rings := r :: !rings;
+      Mutex.unlock rings_mutex;
+      r
+
+type span =
+  | No_span
+  | Span of { id : int; parent : int; name : string; start_ns : int }
+
+let none = No_span
+
+let next_id = Atomic.make 1
+
+let start name =
+  if not (Obs.enabled ()) then No_span
+  else begin
+    let st = Domain.DLS.get dls_key in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent = st.current in
+    st.current <- id;
+    Span { id; parent; name; start_ns = Obs.now_ns () }
+  end
+
+let finish = function
+  | No_span -> ()
+  | Span { id; parent; name; start_ns } ->
+      let st = Domain.DLS.get dls_key in
+      let dur = Obs.now_ns () - start_ns in
+      (* Restore the parent even if an inner span leaked without a finish:
+         the chain re-synchronises at every close. *)
+      st.current <- parent;
+      let r = get_ring st in
+      r.buf.(r.next) <-
+        {
+          name;
+          id;
+          parent;
+          domain = (Domain.self () :> int);
+          start_ns;
+          dur_ns = (if dur < 0 then 0 else dur);
+        };
+      r.next <- (r.next + 1) mod Array.length r.buf;
+      r.total <- r.total + 1
+
+let with_ ~name f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    let s = start name in
+    match f () with
+    | v ->
+        finish s;
+        v
+    | exception e ->
+        finish s;
+        raise e
+  end
+
+let current () = if not (Obs.enabled ()) then 0 else (Domain.DLS.get dls_key).current
+
+let with_context parent f =
+  if parent = 0 then f ()
+  else begin
+    let st = Domain.DLS.get dls_key in
+    let saved = st.current in
+    st.current <- parent;
+    match f () with
+    | v ->
+        st.current <- saved;
+        v
+    | exception e ->
+        st.current <- saved;
+        raise e
+  end
+
+let all_rings () =
+  Mutex.lock rings_mutex;
+  let rs = !rings in
+  Mutex.unlock rings_mutex;
+  rs
+
+let events () =
+  let collect r =
+    let cap = Array.length r.buf in
+    let n = min r.total cap in
+    let first = if r.total <= cap then 0 else r.next in
+    List.init n (fun i -> r.buf.((first + i) mod cap))
+  in
+  all_rings ()
+  |> List.concat_map collect
+  |> List.sort (fun a b -> compare (a.start_ns, a.id) (b.start_ns, b.id))
+
+let recorded () = List.fold_left (fun acc r -> acc + r.total) 0 (all_rings ())
+
+let clear () =
+  List.iter
+    (fun r ->
+      r.next <- 0;
+      r.total <- 0)
+    (all_rings ())
+
+let set_ring_capacity n =
+  if n < 1 then invalid_arg "Trace.set_ring_capacity: capacity must be >= 1";
+  Atomic.set default_capacity n;
+  List.iter
+    (fun r ->
+      r.buf <- Array.make n dummy_event;
+      r.next <- 0;
+      r.total <- 0)
+    (all_rings ())
+
+let ring_capacity () = Atomic.get default_capacity

@@ -1,0 +1,83 @@
+(** Hierarchical spans recorded into bounded per-domain ring buffers.
+
+    A span is opened with {!start} (or the scoped {!with_}) and closed with
+    {!finish}; the completed event — name, id, parent id, domain, monotonic
+    start timestamp and duration — lands in the ring buffer of the domain
+    that closed it. Each ring is written only by its owning domain, so
+    recording takes no lock; rings are bounded and overwrite their oldest
+    events on wrap, so a long tracing session has a fixed memory ceiling.
+
+    Nesting is ambient: each domain tracks its current innermost span, new
+    spans parent to it, and {!current}/{!with_context} let a task submitted
+    to {!Raqo_par.Pool} inherit the submitter's span as its parent even when
+    it runs on another domain.
+
+    When {!Obs.enabled} is false, {!start} returns {!none} without
+    allocating and {!finish} on {!none} is a no-op, so instrumented hot
+    paths stay allocation-free. *)
+
+type span
+
+(** The disabled/absent span: [finish none] does nothing. *)
+val none : span
+
+(** [start name] opens a span named [name] as a child of the calling
+    domain's current span, and makes it current. Returns {!none} (no
+    allocation, no clock read) when observability is off. [name] should be a
+    static string: it is stored by reference in the event. *)
+val start : string -> span
+
+(** [finish s] closes [s]: records the completed event in this domain's
+    ring and restores [s]'s parent as current. Start and finish must happen
+    on the same domain (spans do not migrate; tasks get fresh child spans). *)
+val finish : span -> unit
+
+(** [with_ ~name f] runs [f] inside a span, closing it on return or
+    exception. Prefer {!start}/{!finish} on paths where the closure
+    allocation matters. *)
+val with_ : name:string -> (unit -> 'a) -> 'a
+
+(** {2 Cross-task context}
+
+    [Pool] captures [current ()] at submission and wraps each task in
+    [with_context], so spans opened inside the task parent to the span that
+    was open where the work was submitted. *)
+
+(** Id of the calling domain's current span; [0] when none is open or
+    observability is off. *)
+val current : unit -> int
+
+(** [with_context parent f] runs [f] with [parent] installed as the calling
+    domain's current span id, restoring the previous context afterwards.
+    [with_context 0 f] is [f ()]. *)
+val with_context : int -> (unit -> 'a) -> 'a
+
+(** {2 Reading} *)
+
+type event = {
+  name : string;
+  id : int;
+  parent : int;  (** 0 = root *)
+  domain : int;  (** id of the domain that ran the span *)
+  start_ns : int;  (** monotonic clock, comparable across domains *)
+  dur_ns : int;
+}
+
+(** Completed events from every domain's ring, oldest-first by start
+    timestamp. Call after parallel sections have joined: a domain mid-write
+    can tear the event it is currently recording. *)
+val events : unit -> event list
+
+(** Total spans recorded since start/[clear], including any that wrapped out
+    of the rings. *)
+val recorded : unit -> int
+
+(** Drop all recorded events (rings stay allocated; span ids keep rising). *)
+val clear : unit -> unit
+
+(** Ring capacity, in events per domain, for existing and future rings.
+    Resets existing rings. Not safe concurrently with recording; call it
+    from setup code. Default 8192. *)
+val set_ring_capacity : int -> unit
+
+val ring_capacity : unit -> int

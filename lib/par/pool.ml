@@ -90,13 +90,21 @@ let run_list t thunks =
   | _ ->
       let thunks = Array.of_list thunks in
       let n = Array.length thunks in
+      (* Tracing context is captured once at submission: spans opened inside
+         a task parent to whatever span was open here, whichever domain the
+         task lands on. 0 (no span / tracing off) makes the wrapper free. *)
+      let span_ctx = Raqo_obs.Trace.current () in
       (* Each slot is written once, by whichever domain ran the task; the
          submitter only reads a slot after the mutex-protected [remaining]
          counter reached zero, which orders the writes before the reads. *)
       let results : ('a, exn) result option array = Array.make n None in
       let remaining = ref n in
       let task i () =
-        let r = match thunks.(i) () with v -> Ok v | exception e -> Error e in
+        let r =
+          match Raqo_obs.Trace.with_context span_ctx thunks.(i) with
+          | v -> Ok v
+          | exception e -> Error e
+        in
         results.(i) <- Some r;
         locked t (fun () ->
             decr remaining;

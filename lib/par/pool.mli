@@ -19,6 +19,10 @@
     - {b Exceptions.} If tasks raise, the whole batch still runs to
       completion, then the exception of the lowest-indexed failed task is
       re-raised in the submitter (deterministic regardless of scheduling).
+    - {b Tracing.} {!run_list} captures the submitter's current
+      {!Raqo_obs.Trace} span at submission and installs it around each task,
+      so spans opened inside tasks parent to the submitting span even when
+      the task runs on another domain. Free when tracing is off.
 
     Tasks must not share unsynchronized mutable state; every parallel entry
     point in this library hands each task its own coster/planner/RNG and

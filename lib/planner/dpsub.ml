@@ -10,10 +10,13 @@ let validate schema relations =
     (fun r -> if not (Schema.mem schema r) then invalid_arg ("Dpsub.optimize: unknown " ^ r))
     relations
 
+let m_expansions = Raqo_obs.Metrics.counter "raqo_dpsub_expansions_total"
+
 (* The reference bushy DP over string lists, kept verbatim as the
    differential-oracle baseline for the mask-based core below. *)
 let optimize_reference (coster : Coster.t) schema relations =
   validate schema relations;
+  let span = Raqo_obs.Trace.start "dpsub/dp-reference" in
   let n = List.length relations in
   let rels = Array.of_list relations in
   let graph = Schema.graph schema in
@@ -97,6 +100,7 @@ let optimize_reference (coster : Coster.t) schema relations =
       done
     end
   done;
+  Raqo_obs.Trace.finish span;
   best.(size - 1)
 
 (* Mask-based bushy DP: adjacency comes precomputed from the interned
@@ -106,6 +110,7 @@ let optimize_reference (coster : Coster.t) schema relations =
 let optimize_masked (m : Coster.masked) ctx =
   let n = Interned.n ctx in
   if n > 16 then invalid_arg "Dpsub.optimize: too many relations for bushy DP";
+  let span = Raqo_obs.Trace.start "dpsub/dp" in
   let adj = Interned.adj ctx in
   let size = 1 lsl n in
   (* nb.(mask) = union of adjacency over the members of [mask], tabulated in
@@ -165,6 +170,7 @@ let optimize_masked (m : Coster.masked) ctx =
         then begin
           match (best.(!sub), best.(rest)) with
           | Some (lt, lc), Some (rt, rc) -> begin
+              if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_expansions;
               match m.Coster.best_join_masked ~left:!sub ~right:rest with
               | Some { impl; resources; cost } ->
                   let total = lc +. rc +. cost in
@@ -183,6 +189,7 @@ let optimize_masked (m : Coster.masked) ctx =
       done
     end
   done;
+  Raqo_obs.Trace.finish span;
   best.(size - 1)
 
 let optimize coster schema relations =

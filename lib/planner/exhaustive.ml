@@ -67,11 +67,21 @@ let fold_shapes cost_tree shapes =
         end)
     None shapes
 
+let m_shapes = Raqo_obs.Metrics.counter "raqo_exhaustive_shapes_total"
+
+let instrumented_fold cost_tree shapes =
+  let span = Raqo_obs.Trace.start "exhaustive/search" in
+  if Raqo_obs.Obs.enabled () then
+    Raqo_obs.Metrics.Counter.add m_shapes (List.length shapes);
+  let best = fold_shapes cost_tree shapes in
+  Raqo_obs.Trace.finish span;
+  best
+
 let optimize coster schema relations =
-  fold_shapes (Coster.cost_tree coster) (all_shapes schema relations)
+  instrumented_fold (Coster.cost_tree coster) (all_shapes schema relations)
 
 let optimize_masked m ctx =
   let schema = Raqo_catalog.Interned.schema ctx in
-  fold_shapes
+  instrumented_fold
     (Coster.cost_tree_masked m ctx)
     (all_shapes schema (Raqo_catalog.Interned.relations ctx))

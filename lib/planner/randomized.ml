@@ -191,9 +191,18 @@ let improve_costed ~params rng schema cost shape0 =
    makes [local_optima_par] equal to [local_optima] for a fixed seed. *)
 let restart_rngs rng n = List.init n (fun _ -> Rng.split rng)
 
+let m_restarts = Raqo_obs.Metrics.counter "raqo_randomized_restarts_total"
+
+(* One span per restart — the unit of work the pool scatters across domains,
+   so a trace shows restart spans fanning out under the submitting planner
+   span (Pool installs the submitter's span as their parent). *)
 let run_restart ~params rng coster schema relations =
+  let span = Raqo_obs.Trace.start "randomized/restart" in
+  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_restarts;
   let shape = random_shape rng schema relations in
-  improve_costed ~params rng schema (Coster.cost_tree coster) shape
+  let result = improve_costed ~params rng schema (Coster.cost_tree coster) shape in
+  Raqo_obs.Trace.finish span;
+  result
 
 let local_optima ?(params = default_params) rng coster schema relations =
   if relations = [] then invalid_arg "Randomized.local_optima: empty relation set";
@@ -230,9 +239,13 @@ let optimize_par ?(params = default_params) pool rng ~coster schema relations =
 module Interned = Raqo_catalog.Interned
 
 let run_restart_masked ~params rng m ctx =
+  let span = Raqo_obs.Trace.start "randomized/restart" in
+  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_restarts;
   let schema = Interned.schema ctx in
   let shape = random_shape rng schema (Interned.relations ctx) in
-  improve_costed ~params rng schema (Coster.cost_tree_masked m ctx) shape
+  let result = improve_costed ~params rng schema (Coster.cost_tree_masked m ctx) shape in
+  Raqo_obs.Trace.finish span;
+  result
 
 let local_optima_masked ?(params = default_params) rng m ctx =
   List.filter_map

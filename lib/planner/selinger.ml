@@ -10,6 +10,21 @@ let validate schema relations =
     (fun r -> if not (Schema.mem schema r) then invalid_arg ("Selinger.optimize: unknown " ^ r))
     relations
 
+(* Observability. True per-level spans are impossible here — both DP cores
+   enumerate subsets in mask order, interleaving levels — so the per-level
+   view is a histogram of the subset size at each coster expansion, next to
+   a whole-DP span and an expansion counter. All gated on Obs.enabled. *)
+let m_expansions = Raqo_obs.Metrics.counter "raqo_selinger_expansions_total"
+
+let m_level =
+  Raqo_obs.Metrics.histogram
+    ~buckets:[| 2.; 4.; 6.; 8.; 10.; 12.; 14.; 16.; 18.; 20. |]
+    "raqo_selinger_level"
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
 (* The reference DP core over string lists, kept verbatim as the
    differential-oracle baseline for the mask-based core below. Parameterized
    by an optional upper bound: partial plans costing >= the bound are dropped
@@ -17,6 +32,7 @@ let validate schema relations =
    number of coster invocations. *)
 let dp ?bound (coster : Coster.t) schema relations =
   validate schema relations;
+  let span = Raqo_obs.Trace.start "selinger/dp-reference" in
   let n = List.length relations in
   let invocations = ref 0 in
   let upper = ref bound in
@@ -86,6 +102,8 @@ let dp ?bound (coster : Coster.t) schema relations =
       done
     end
   done;
+  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.add m_expansions !invocations;
+  Raqo_obs.Trace.finish span;
   (best.(size - 1), !invocations)
 
 (* The mask-based DP core: subsets stay integers end to end, connectivity is
@@ -101,6 +119,7 @@ let dp ?bound (coster : Coster.t) schema relations =
 let dp_masked ?bound (m : Coster.masked) ctx =
   let n = Interned.n ctx in
   if n > 20 then invalid_arg "Selinger.optimize: too many relations for exhaustive DP";
+  let span = Raqo_obs.Trace.start "selinger/dp" in
   let invocations = ref 0 in
   let upper = ref bound in
   let adj = Interned.adj ctx in
@@ -126,6 +145,8 @@ let dp_masked ?bound (m : Coster.masked) ctx =
               (* No cartesian products: r must join something already in. *)
               if adj.(r) land rest <> 0 then begin
                 incr invocations;
+                if Raqo_obs.Obs.enabled () then
+                  Raqo_obs.Metrics.Histogram.observe m_level (float_of_int (popcount mask));
                 match m.Coster.best_join_masked ~left:rest ~right:(1 lsl r) with
                 | None -> ()
                 | Some { impl; resources; cost } ->
@@ -168,6 +189,8 @@ let dp_masked ?bound (m : Coster.masked) ctx =
       done
     end
   done;
+  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.add m_expansions !invocations;
+  Raqo_obs.Trace.finish span;
   (best.(size - 1), !invocations)
 
 let optimize_masked m ctx = fst (dp_masked m ctx)

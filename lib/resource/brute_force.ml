@@ -1,6 +1,15 @@
 module Pool = Raqo_par.Pool
 module Kernel = Raqo_cost.Kernel
 
+(* Observability (recorded only when Raqo_obs.Obs.enabled): how much of the
+   grid the branch-and-bound searches never had to touch. *)
+let m_pruned_boxes = Raqo_obs.Metrics.counter "raqo_resource_pruned_boxes_total"
+let m_pruned_cells = Raqo_obs.Metrics.counter "raqo_resource_pruned_cells_total"
+
+let record_pruned ~n_configs ~evals =
+  if Raqo_obs.Obs.enabled () then
+    Raqo_obs.Metrics.Counter.add m_pruned_cells (n_configs - evals)
+
 (* Shared fold: cheapest config in [configs], ties toward the earlier one,
    plus the evaluation count. Pure in [cost], so chunks of the grid can run
    on different domains and be merged in enumeration order. *)
@@ -153,8 +162,10 @@ let search_pruned ?counters (conditions : Raqo_cluster.Conditions.t) ~bound cost
         end
       end
     end
+    else if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_pruned_boxes
   in
   descend 0 (nc - 1) 0 (ngb - 1);
+  record_pruned ~n_configs:(nc * ngb) ~evals:!evals;
   (match counters with
   | Some k ->
       Counters.record_evaluations k !evals;
@@ -242,8 +253,10 @@ let search_pruned_kernel ?counters (conditions : Raqo_cluster.Conditions.t) ~ker
         end
       end
     end
+    else if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_pruned_boxes
   in
   descend 0 (nc - 1) 0 (ngb - 1);
+  record_pruned ~n_configs:(nc * ngb) ~evals:!evals;
   (match counters with
   | Some k ->
       Counters.record_evaluations k !evals;

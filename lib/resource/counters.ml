@@ -1,49 +1,83 @@
-(* Atomic so that parallel searches (pooled brute force, concurrent
-   randomized restarts, batched workload planning) can share one instrument
-   without losing increments; see Raqo_par.Pool. *)
+(* Each instrument owns private sharded cells (Raqo_obs.Metrics.Counter:
+   lock-free per-domain shards merged on read), so parallel searches — pooled
+   brute force, concurrent randomized restarts, batched workload planning —
+   share one instrument without losing increments or contending on a single
+   cache line; see Raqo_par.Pool.
+
+   When observability is on, every record additionally bumps the process-wide
+   registry mirror below, which is what `raqo metrics`, the fuzz summary and
+   the Prometheus exporter read. When it is off, recording is exactly the one
+   sharded atomic add it always was. *)
+
+module M = Raqo_obs.Metrics
+
 type t = {
-  cost_evaluations : int Atomic.t;
-  cache_hits : int Atomic.t;
-  cache_misses : int Atomic.t;
-  cache_evictions : int Atomic.t;
-  planner_invocations : int Atomic.t;
+  cost_evaluations : M.Counter.t;
+  cache_hits : M.Counter.t;
+  cache_misses : M.Counter.t;
+  cache_evictions : M.Counter.t;
+  planner_invocations : M.Counter.t;
 }
+
+(* Registry mirrors: aggregate over every instrument in the process. *)
+let g_evaluations = M.counter "raqo_cost_evaluations_total"
+let g_hits = M.counter "raqo_plan_cache_hits_total"
+let g_misses = M.counter "raqo_plan_cache_misses_total"
+let g_evictions = M.counter "raqo_plan_cache_evictions_total"
+let g_invocations = M.counter "raqo_planner_invocations_total"
 
 let create () =
   {
-    cost_evaluations = Atomic.make 0;
-    cache_hits = Atomic.make 0;
-    cache_misses = Atomic.make 0;
-    cache_evictions = Atomic.make 0;
-    planner_invocations = Atomic.make 0;
+    cost_evaluations = M.Counter.create ();
+    cache_hits = M.Counter.create ();
+    cache_misses = M.Counter.create ();
+    cache_evictions = M.Counter.create ();
+    planner_invocations = M.Counter.create ();
   }
 
 let reset t =
-  Atomic.set t.cost_evaluations 0;
-  Atomic.set t.cache_hits 0;
-  Atomic.set t.cache_misses 0;
-  Atomic.set t.cache_evictions 0;
-  Atomic.set t.planner_invocations 0
+  M.Counter.reset t.cost_evaluations;
+  M.Counter.reset t.cache_hits;
+  M.Counter.reset t.cache_misses;
+  M.Counter.reset t.cache_evictions;
+  M.Counter.reset t.planner_invocations
 
-let cost_evaluations t = Atomic.get t.cost_evaluations
-let cache_hits t = Atomic.get t.cache_hits
-let cache_misses t = Atomic.get t.cache_misses
-let cache_evictions t = Atomic.get t.cache_evictions
-let planner_invocations t = Atomic.get t.planner_invocations
+let cost_evaluations t = M.Counter.value t.cost_evaluations
+let cache_hits t = M.Counter.value t.cache_hits
+let cache_misses t = M.Counter.value t.cache_misses
+let cache_evictions t = M.Counter.value t.cache_evictions
+let planner_invocations t = M.Counter.value t.planner_invocations
 
-let record_evaluations t n = ignore (Atomic.fetch_and_add t.cost_evaluations n)
+let record_evaluations t n =
+  M.Counter.add t.cost_evaluations n;
+  if Raqo_obs.Obs.enabled () then M.Counter.add g_evaluations n
+
 let record_evaluation t = record_evaluations t 1
-let record_hit t = ignore (Atomic.fetch_and_add t.cache_hits 1)
-let record_miss t = ignore (Atomic.fetch_and_add t.cache_misses 1)
-let record_eviction t = ignore (Atomic.fetch_and_add t.cache_evictions 1)
-let record_invocation t = ignore (Atomic.fetch_and_add t.planner_invocations 1)
 
+let record_hit t =
+  M.Counter.inc t.cache_hits;
+  if Raqo_obs.Obs.enabled () then M.Counter.inc g_hits
+
+let record_miss t =
+  M.Counter.inc t.cache_misses;
+  if Raqo_obs.Obs.enabled () then M.Counter.inc g_misses
+
+let record_eviction t =
+  M.Counter.inc t.cache_evictions;
+  if Raqo_obs.Obs.enabled () then M.Counter.inc g_evictions
+
+let record_invocation t =
+  M.Counter.inc t.planner_invocations;
+  if Raqo_obs.Obs.enabled () then M.Counter.inc g_invocations
+
+(* Accumulation is a bookkeeping move between instruments, not new work: it
+   goes straight to the private cells, never to the registry mirrors. *)
 let add ~into t =
-  record_evaluations into (cost_evaluations t);
-  ignore (Atomic.fetch_and_add into.cache_hits (cache_hits t));
-  ignore (Atomic.fetch_and_add into.cache_misses (cache_misses t));
-  ignore (Atomic.fetch_and_add into.cache_evictions (cache_evictions t));
-  ignore (Atomic.fetch_and_add into.planner_invocations (planner_invocations t))
+  M.Counter.add into.cost_evaluations (cost_evaluations t);
+  M.Counter.add into.cache_hits (cache_hits t);
+  M.Counter.add into.cache_misses (cache_misses t);
+  M.Counter.add into.cache_evictions (cache_evictions t);
+  M.Counter.add into.planner_invocations (planner_invocations t)
 
 let pp fmt t =
   Format.fprintf fmt "evals=%d hits=%d misses=%d evictions=%d invocations=%d"

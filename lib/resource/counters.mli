@@ -2,11 +2,18 @@
     number of resource configurations explored (cost-model evaluations) and
     cache effectiveness, so every search threads one of these.
 
-    All counters are atomic ([Atomic.t] underneath): one instrument can be
-    shared by tasks running on different domains (pooled brute force,
-    parallel randomized restarts) without losing increments. Reads
-    ({!cost_evaluations} etc.) are single-counter snapshots — exact once the
-    parallel section has joined, approximate while it is in flight. *)
+    Counters are {!Raqo_obs.Metrics.Counter} shards underneath (lock-free
+    per-domain cells merged on read): one instrument can be shared by tasks
+    running on different domains (pooled brute force, parallel randomized
+    restarts) without losing increments. Reads ({!cost_evaluations} etc.)
+    are merged snapshots — exact once the parallel section has joined,
+    approximate while it is in flight.
+
+    When {!Raqo_obs.Obs.enabled} is on, every record also feeds the global
+    metrics registry ([raqo_cost_evaluations_total],
+    [raqo_plan_cache_{hits,misses,evictions}_total],
+    [raqo_planner_invocations_total]), so per-instrument views and the
+    process-wide registry stay one source of truth. *)
 
 type t
 

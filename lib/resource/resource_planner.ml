@@ -34,9 +34,34 @@ let pruned t = t.pruned
 let kernel_enabled t = t.use_kernel
 let scratch t = t.scratch
 
+(* Which implementation a search took, split kernel vs scalar so `raqo
+   metrics` shows how often the compiled path actually runs. *)
+let m_kernel_searches = Raqo_obs.Metrics.counter "raqo_resource_search_kernel_total"
+let m_scalar_searches = Raqo_obs.Metrics.counter "raqo_resource_search_scalar_total"
+
+(* Static span names: picked by branch, never built at runtime. *)
+let span_name strategy ~pruned ~kernel =
+  match (strategy, pruned, kernel) with
+  | Hill_climb, _, true -> "resource/hill-climb-kernel"
+  | Hill_climb, _, false -> "resource/hill-climb"
+  | Brute_force, true, true -> "resource/pruned-kernel"
+  | Brute_force, false, true -> "resource/sweep-kernel"
+  | Brute_force, true, false -> "resource/pruned"
+  | Brute_force, false, false -> "resource/brute-force"
+
 let search ?start ?bound ?kernel t cost =
   let kernel = if t.use_kernel then kernel else None in
-  match (t.strategy, kernel) with
+  let span =
+    if not (Raqo_obs.Obs.enabled ()) then Raqo_obs.Trace.none
+    else begin
+      Raqo_obs.Metrics.Counter.inc
+        (match kernel with Some _ -> m_kernel_searches | None -> m_scalar_searches);
+      Raqo_obs.Trace.start
+        (span_name t.strategy ~pruned:t.pruned ~kernel:(Option.is_some kernel))
+    end
+  in
+  let result =
+    match (t.strategy, kernel) with
   | Hill_climb, Some k -> Hill_climb.plan_kernel ~counters:t.counters ?start t.conditions k
   | Hill_climb, None -> Hill_climb.plan ~counters:t.counters ?start t.conditions cost
   | Brute_force, Some k ->
@@ -48,13 +73,16 @@ let search ?start ?bound ?kernel t cost =
         Brute_force.search_pruned_kernel ~counters:t.counters t.conditions ~kernel:k
           ~scratch:t.scratch
       else Brute_force.search_kernel ~counters:t.counters t.conditions ~kernel:k ~scratch:t.scratch
-  | Brute_force, None -> begin
-      match (t.pruned, bound, t.pool) with
-      | true, Some bound, _ ->
-          Brute_force.search_pruned ~counters:t.counters t.conditions ~bound cost
-      | _, _, Some pool -> Brute_force.search_par ~counters:t.counters pool t.conditions cost
-      | _, _, None -> Brute_force.search ~counters:t.counters t.conditions cost
-    end
+    | Brute_force, None -> begin
+        match (t.pruned, bound, t.pool) with
+        | true, Some bound, _ ->
+            Brute_force.search_pruned ~counters:t.counters t.conditions ~bound cost
+        | _, _, Some pool -> Brute_force.search_par ~counters:t.counters pool t.conditions cost
+        | _, _, None -> Brute_force.search ~counters:t.counters t.conditions cost
+      end
+  in
+  Raqo_obs.Trace.finish span;
+  result
 
 let plan ?start ?bound ?kernel t ~key ~data_gb ~cost =
   match t.cache with

@@ -85,8 +85,13 @@ let reoptimize_stage model conditions stage =
       | Some _ | None -> if Float.is_finite c then Some (impl, resources, c) else best)
     None candidates
 
+let m_stages = Raqo_obs.Metrics.counter "raqo_executor_stages_total"
+let m_adaptations = Raqo_obs.Metrics.counter "raqo_executor_adaptations_total"
+let m_failures = Raqo_obs.Metrics.counter "raqo_executor_failures_total"
+
 let run ?(policy = Wait None) ?(submit = 0.0) engine ~model schema ~capacity plan =
   if not (Join_tree.valid plan) then invalid_arg "Executor.run: invalid plan";
+  let span = Raqo_obs.Trace.start "executor/run" in
   let stages = stages_of schema plan in
   let duration impl ~resources stage =
     Operators.join_time engine impl ~small_gb:stage.small_gb ~big_gb:stage.big_gb ~resources
@@ -229,4 +234,13 @@ let run ?(policy = Wait None) ?(submit = 0.0) engine ~model schema ~capacity pla
             end
         end
   in
-  execute 1 submit 0.0 0.0 [] stages
+  let outcome = execute 1 submit 0.0 0.0 [] stages in
+  (if Raqo_obs.Obs.enabled () then
+     match outcome with
+     | Completed { stages; _ } ->
+         Raqo_obs.Metrics.Counter.add m_stages (List.length stages);
+         Raqo_obs.Metrics.Counter.add m_adaptations
+           (List.length (List.filter (fun (s : stage_report) -> s.adapted) stages))
+     | Failed _ -> Raqo_obs.Metrics.Counter.inc m_failures);
+  Raqo_obs.Trace.finish span;
+  outcome

@@ -65,11 +65,16 @@ type planned = {
   planning_ms : float;
 }
 
+let m_workload_queries = Raqo_obs.Metrics.counter "raqo_workload_queries_total"
+
 let plan_one ~planner schema submission =
+  let span = Raqo_obs.Trace.start "workload/plan" in
+  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_workload_queries;
   let qschema = scaled_schema schema submission in
   let plan, planning_ms =
     Raqo_util.Timer.time_ms (fun () -> planner qschema submission.relations)
   in
+  Raqo_obs.Trace.finish span;
   { planned_submission = submission; plan; planning_ms }
 
 let execute engine schema planned =
@@ -89,7 +94,10 @@ let execute engine schema planned =
               failed = true;
             }
         | Some plan -> begin
-            match Simulate.run_joint engine qschema plan with
+            match
+              Raqo_obs.Trace.with_ ~name:"workload/execute" (fun () ->
+                  Simulate.run_joint engine qschema plan)
+            with
             | Error _ ->
                 {
                   submission;

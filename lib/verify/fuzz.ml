@@ -54,10 +54,13 @@ let render r =
        t.Oracle.seed t.Oracle.tables t.Oracle.joins);
   Buffer.contents buf
 
+let m_seeds = Raqo_obs.Metrics.counter "raqo_fuzz_seeds_total"
+
 let run ?tables ?joins ?jobs ?fault ?(progress = fun ~seed:_ ~failed:_ -> ()) ?(start = 1)
     ~seeds () =
   let failures = ref [] in
   for seed = start to start + seeds - 1 do
+    if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_seeds;
     let t = Oracle.instance ?tables ?joins seed in
     match Oracle.check ?jobs ?fault t with
     | [] -> progress ~seed ~failed:false
@@ -68,6 +71,10 @@ let run ?tables ?joins ?jobs ?fault ?(progress = fun ~seed:_ ~failed:_ -> ()) ?(
   List.rev !failures
 
 let main ?tables ?joins ?jobs ?(start = 1) ~seeds () =
+  (* The fuzz CLI always runs with observability on: the closing metrics
+     summary doubles as a smoke test that instrumentation does not disturb
+     the planners the oracle compares. *)
+  Raqo_obs.Obs.set_enabled true;
   let progress ~seed ~failed =
     if failed then Printf.printf "seed %d: FAIL\n%!" seed
     else if seed mod 50 = 0 || seed = start + seeds - 1 then
@@ -77,4 +84,12 @@ let main ?tables ?joins ?jobs ?(start = 1) ~seeds () =
   List.iter (fun r -> print_string (render r)) failures;
   Printf.printf "fuzz: %d seeds, %d failure%s\n" seeds (List.length failures)
     (if List.length failures = 1 then "" else "s");
+  let v name = Raqo_obs.Metrics.Counter.value (Raqo_obs.Metrics.counter name) in
+  Printf.printf
+    "metrics: seeds=%d oracle-arms=%d cost-evaluations=%d cache-hits=%d cache-misses=%d\n"
+    (v "raqo_fuzz_seeds_total")
+    (v "raqo_fuzz_oracle_arms_total")
+    (v "raqo_cost_evaluations_total")
+    (v "raqo_plan_cache_hits_total")
+    (v "raqo_plan_cache_misses_total");
   if failures = [] then 0 else 1

@@ -66,6 +66,10 @@ let tol a b = 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
 let approx_eq a b = Float.abs (a -. b) <= tol a b
 let leq a b = a <= b +. tol a b
 
+(* Arms actually run (size-gated arms like dpsub/exhaustive are skipped on
+   big instances), surfaced by the `raqo fuzz` metrics summary. *)
+let m_arms = Raqo_obs.Metrics.counter "raqo_fuzz_oracle_arms_total"
+
 let check ?(jobs = [ 2; 4 ]) ?(fault = no_fault) t =
   let diags = ref [] in
   let add ds = diags := !diags @ ds in
@@ -76,9 +80,11 @@ let check ?(jobs = [ 2; 4 ]) ?(fault = no_fault) t =
      cross-arm relation is worth stating. *)
   let validate arm = function
     | None ->
+        if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_arms;
         add [ D.v ~invariant:"oracle/no-plan" "%s found no feasible plan" arm ];
         None
     | Some ((tree, cost) as plan) ->
+        if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_arms;
         add
           (List.map (D.tag arm)
              (Invariant.check_joint ~model ~conditions ~schema ~expected:rels (tree, cost)));
