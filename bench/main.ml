@@ -1468,6 +1468,110 @@ let obs_bench () =
     ~headers:[ "workload"; "obs off ms"; "obs on ms"; "on/off" ] rows;
   note "acceptance: obs-off kernel/scaling samples regress <5%% vs BENCH_PR4.json"
 
+(* ------------------------------------------------------------------- memo *)
+
+(* The parallel shared-memo DP: two views of the same machinery. The DP
+   phase alone times optimize_par_masked against sequential optimize_masked
+   with fixed mask costers (the O(3^n) enumeration the memo table
+   parallelizes); end-to-end times Cost_based.optimize_par against
+   Cost_based.optimize with the full RAQO coster stack — interning, forked
+   resource planners, kernels, and caches included. Plans per second is the
+   headline unit. As in the par section, a single-CPU host shows domain
+   overhead rather than speedup; the bit-identical column is the
+   determinism check and must read "yes" at every pool size, and the
+   speedup acceptance gates read these samples on multi-core CI. *)
+let memo_bench () =
+  let m = Lazy.force model in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  (* Min-of-3: the DP is deterministic, so the minimum is the least-noisy
+     estimate of the true cost on a shared runner. *)
+  let min_ms fn =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 3 do
+      let r, ms = Timer.time_ms fn in
+      result := Some r;
+      best := Float.min !best ms
+    done;
+    (Option.get !result, !best)
+  in
+  let random_query n =
+    let rng = Rng.create (600 + n) in
+    let schema = Raqo_catalog.Random_schema.generate rng ~tables:n in
+    (schema, Schema.relation_names schema)
+  in
+  let row phase n pool ms speedup identical =
+    [
+      phase;
+      string_of_int n;
+      pool;
+      f ms;
+      f (1000.0 /. ms);
+      f speedup;
+      (if identical then "yes" else "NO");
+    ]
+  in
+  let dp_rows =
+    List.concat_map
+      (fun n ->
+        let schema, rels = random_query n in
+        let ctx = Raqo_catalog.Interned.make schema rels in
+        let coster () = Raqo_planner.Coster.fixed_masked m ctx (res 10 5.0) in
+        let seq, seq_ms =
+          min_ms (fun () -> Raqo_planner.Dpsub.optimize_masked (coster ()) ctx)
+        in
+        sample (Printf.sprintf "memo:dp:n=%d:seq" n) (seq_ms /. 1000.0);
+        row "dp" n "seq" seq_ms 1.0 true
+        :: List.map
+             (fun jobs ->
+               Raqo_par.Pool.with_pool ~jobs (fun pool ->
+                   let result, ms =
+                     min_ms (fun () ->
+                         Raqo_planner.Dpsub.optimize_par_masked ~coster pool ctx)
+                   in
+                   sample (Printf.sprintf "memo:dp:n=%d:jobs=%d" n jobs) (ms /. 1000.0);
+                   row "dp" n
+                     (Printf.sprintf "%d domains" jobs)
+                     ms (seq_ms /. ms) (result = seq)))
+             jobs_list)
+      [ 12; 14; 16 ]
+  in
+  let e2e_rows =
+    List.concat_map
+      (fun n ->
+        let schema, rels = random_query n in
+        let mk () =
+          Raqo.Cost_based.create ~kind:Raqo.Cost_based.Bushy_dp ~model:m
+            ~conditions:Conditions.default schema
+        in
+        let seq, seq_ms = min_ms (fun () -> Raqo.Cost_based.optimize (mk ()) rels) in
+        sample (Printf.sprintf "memo:e2e:n=%d:seq" n) (seq_ms /. 1000.0);
+        row "end-to-end" n "seq" seq_ms 1.0 true
+        :: List.map
+             (fun jobs ->
+               Raqo_par.Pool.with_pool ~jobs (fun pool ->
+                   let result, ms =
+                     min_ms (fun () -> Raqo.Cost_based.optimize_par (mk ()) pool rels)
+                   in
+                   sample (Printf.sprintf "memo:e2e:n=%d:jobs=%d" n jobs) (ms /. 1000.0);
+                   row "end-to-end" n
+                     (Printf.sprintf "%d domains" jobs)
+                     ms (seq_ms /. ms) (result = seq)))
+             jobs_list)
+      [ 14; 16 ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Parallel shared-memo DPsub on random sparse schemas: DP phase (fixed costers) \
+          and end-to-end joint planning (RAQO costers); host has %d cores"
+         (Domain.recommended_domain_count ()))
+    ~headers:[ "phase"; "n"; "pool"; "ms"; "plans/s"; "speedup"; "bit-identical" ]
+    (dp_rows @ e2e_rows);
+  note "every pool size returns the sequential plan bit-for-bit (memo determinism)";
+  note
+    "acceptance on multi-core CI: >=2x end-to-end and >=3x DP-phase at 4 domains on \
+     >=14-relation queries"
+
 (* ------------------------------------------------------------------ micro *)
 
 let micro () =
@@ -1562,6 +1666,7 @@ let figures =
     ("scaling", "planner scaling: interned mask core and pruned resource search", scaling);
     ("kernel", "compiled cost kernels vs the scalar model", kernel_bench);
     ("obs", "observability overhead: instrumented hot paths off vs on", obs_bench);
+    ("memo", "parallel shared-memo DPsub: domains over interned masks", memo_bench);
   ]
 
 (* Pull "--json FILE" out of the argument list, leaving figure names. *)

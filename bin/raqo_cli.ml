@@ -55,7 +55,9 @@ let jobs_opt_arg =
   Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
          ~doc:"Planning domains. With the randomized planner, restarts run on a pool of \
                $(docv) domains (results are identical to --jobs 1 for a fixed seed); with \
-               workload batches, queries are planned concurrently.")
+               the dpsub planner, DP levels fan out over a shared memo table (also \
+               bit-identical at any pool size); with workload batches, queries are \
+               planned concurrently.")
 
 let no_kernel_arg =
   Arg.(value & flag & info [ "no-kernel" ]
@@ -72,8 +74,11 @@ let plan_cmd =
            ~doc:"TPC-H relations to join (default: customer orders lineitem).")
   in
   let planner_arg =
-    Arg.(value & opt (enum [ ("selinger", `Selinger); ("randomized", `Randomized) ]) `Selinger
-           & info [ "planner" ] ~docv:"PLANNER" ~doc:"Join-order planner.")
+    Arg.(value
+         & opt
+             (enum [ ("selinger", `Selinger); ("randomized", `Randomized); ("dpsub", `Dpsub) ])
+             `Selinger
+         & info [ "planner" ] ~docv:"PLANNER" ~doc:"Join-order planner.")
   in
   let mode_arg =
     Arg.(value & opt (enum [ ("raqo", `Raqo); ("qo", `Qo) ]) `Raqo & info [ "mode" ]
@@ -103,13 +108,19 @@ let plan_cmd =
       match planner with
       | `Selinger -> Raqo.Cost_based.Selinger
       | `Randomized -> Raqo.Cost_based.Fast_randomized
+      | `Dpsub -> Raqo.Cost_based.Bushy_dp
     in
     let conditions = conditions max_containers max_gb in
     match sql with
     | Some sql -> begin
-        match
-          Raqo.Sql_frontend.plan ~kind ~kernel:(not no_kernel) ~model ~conditions
+        let plan_sql pool =
+          Raqo.Sql_frontend.plan ~kind ~kernel:(not no_kernel) ?pool ~model ~conditions
             ~schema ~columns:(Raqo_catalog.Tpch.columns ()) sql
+        in
+        match
+          if jobs > 1 then
+            Raqo_par.Pool.with_pool ~jobs (fun pool -> plan_sql (Some pool))
+          else plan_sql None
         with
         | Ok planned ->
             List.iter
@@ -351,27 +362,46 @@ let trace_cmd =
            ~doc:"Also write the Chrome trace_event JSON to $(docv).")
   in
   let planner_arg =
-    Arg.(value & opt (enum [ ("selinger", `Selinger); ("randomized", `Randomized) ]) `Selinger
-           & info [ "planner" ] ~docv:"PLANNER" ~doc:"Join-order planner.")
+    Arg.(value
+         & opt
+             (enum [ ("selinger", `Selinger); ("randomized", `Randomized); ("dpsub", `Dpsub) ])
+             `Selinger
+         & info [ "planner" ] ~docv:"PLANNER" ~doc:"Join-order planner.")
   in
-  let run relations planner max_containers max_gb jobs no_kernel out =
+  let random_arg =
+    Arg.(value & opt (some int) None & info [ "random" ] ~docv:"N"
+           ~doc:"Ignore the RELATION arguments and plan a seeded random $(docv)-relation \
+                 schema (the same generator the fuzz and memo benches use) — TPC-H tops \
+                 out at 8 relations, so this is how to watch the dpsub levels fan out on \
+                 bigger queries.")
+  in
+  let run relations planner random max_containers max_gb jobs no_kernel out =
     Raqo_obs.Obs.set_enabled true;
     let kind =
       match planner with
       | `Selinger -> Raqo.Cost_based.Selinger
       | `Randomized -> Raqo.Cost_based.Fast_randomized
+      | `Dpsub -> Raqo.Cost_based.Bushy_dp
     in
     (* Brute-force resource search and the paper-space model so the trace
        shows the full nesting: planner span -> resource-search spans ->
        kernel sweeps. (The trained models are extended-space, for which
        [Kernel.make] refuses to compile; see kernel.mli.) *)
     let model = Raqo_cost.Op_cost.with_floor 0.01 Raqo_cost.Op_cost.paper in
+    let schema, relations =
+      match random with
+      | Some n ->
+          let rng = Raqo_util.Rng.create (600 + n) in
+          let s = Raqo_catalog.Random_schema.generate rng ~tables:n in
+          (s, Raqo_catalog.Schema.relation_names s)
+      | None -> (Raqo_catalog.Tpch.schema (), relations)
+    in
     let opt =
       Raqo.Cost_based.create ~kind
         ~resource_strategy:Raqo_resource.Resource_planner.Brute_force
         ~kernel:(not no_kernel) ~model
         ~conditions:(conditions max_containers max_gb)
-        (Raqo_catalog.Tpch.schema ())
+        schema
     in
     let result =
       if jobs > 1 then
@@ -397,8 +427,8 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run one traced joint planning and print a per-span summary table")
-    Term.(const run $ relations_pos $ planner_arg $ containers_arg $ memory_arg
-          $ jobs_opt_arg $ no_kernel_arg $ out_arg)
+    Term.(const run $ relations_pos $ planner_arg $ random_arg $ containers_arg
+          $ memory_arg $ jobs_opt_arg $ no_kernel_arg $ out_arg)
 
 (* --------------------------------------------------------------- metrics *)
 

@@ -11,20 +11,15 @@ type t = {
   resource_planner : Resource_planner.t;
   rng : Raqo_util.Rng.t;
   randomized_params : Raqo_planner.Randomized.params;
-  resource_strategy : Resource_planner.strategy;
-  pruned : bool;
-  cache_enabled : bool;
-  lookup : Raqo_resource.Plan_cache.lookup;
   memoize : bool;
-  kernel : bool;
-  cache_capacity : int option;
+  parallel_memo : bool;
 }
 
 let create ?(kind = Selinger) ?(seed = 42)
     ?(randomized_params = Raqo_planner.Randomized.default_params)
     ?(resource_strategy = Resource_planner.Hill_climb) ?(pruned = false) ?(cache = true)
     ?(lookup = Raqo_resource.Plan_cache.Exact) ?(memoize = false) ?(kernel = true)
-    ?cache_capacity ~model ~conditions schema =
+    ?(parallel_memo = true) ?cache_capacity ~model ~conditions schema =
   {
     kind;
     schema;
@@ -34,13 +29,8 @@ let create ?(kind = Selinger) ?(seed = 42)
         ?cache_capacity conditions;
     rng = Raqo_util.Rng.create seed;
     randomized_params;
-    resource_strategy;
-    pruned;
-    cache_enabled = cache;
-    lookup;
     memoize;
-    kernel;
-    cache_capacity;
+    parallel_memo;
   }
 
 let schema t = t.schema
@@ -125,17 +115,11 @@ let optimize t relations =
       | Some ctx -> run_planner_masked t (masked_coster t ctx) ctx
       | None -> run_planner t (coster t) relations)
 
-(* A fresh coster per restart: the raqo coster's memo tables (statistics and,
-   when enabled, join memoization) are plain hashtables, and the private
-   resource planner keeps the per-restart cache single-domain. The shared
-   atomic counters keep aggregate instrumentation meaningful. *)
-let restart_planner t =
-  let counters = Resource_planner.counters t.resource_planner in
-  fun () ->
-    Resource_planner.create ~strategy:t.resource_strategy ~pruned:t.pruned
-      ~cache:t.cache_enabled ~lookup:t.lookup ~counters ~kernel:t.kernel
-      ?cache_capacity:t.cache_capacity
-      (Resource_planner.conditions t.resource_planner)
+(* A fresh coster per restart/worker: the raqo coster's memo tables
+   (statistics and, when enabled, join memoization) are plain hashtables, and
+   the forked resource planner keeps cache and kernel scratch single-domain.
+   The shared atomic counters keep aggregate instrumentation meaningful. *)
+let restart_planner t = fun () -> Resource_planner.fork t.resource_planner
 
 let restart_coster t =
   let planner = restart_planner t in
@@ -149,7 +133,19 @@ let restart_masked_coster t ctx =
 
 let optimize_par t pool relations =
   match t.kind with
-  | Selinger | Bushy_dp -> optimize t relations
+  | Selinger -> optimize t relations
+  | Bushy_dp when not t.parallel_memo -> optimize t relations
+  | Bushy_dp ->
+      instrumented t (fun () ->
+          match interned_ctx t relations with
+          | Some ctx ->
+              Raqo_planner.Dpsub.optimize_par_masked ~coster:(restart_masked_coster t ctx)
+                pool ctx
+          | None ->
+              (* The string path owns the validation errors for empty /
+                 unknown relation sets; >62-relation queries refuse there
+                 exactly as the sequential DP does. *)
+              run_planner t (coster t) relations)
   | Fast_randomized ->
       instrumented t (fun () ->
           match interned_ctx t relations with

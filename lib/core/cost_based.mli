@@ -7,7 +7,7 @@
 type planner_kind =
   | Selinger  (** System R bottom-up DP over left-deep trees *)
   | Fast_randomized  (** randomized bushy-tree search (Trummer–Koch style) *)
-  | Bushy_dp  (** exact bushy DP over connected subgraphs (DPsub; <= 16 relations) *)
+  | Bushy_dp  (** exact bushy DP over connected subgraphs (DPsub; <= 20 relations) *)
 
 type t
 
@@ -38,6 +38,11 @@ type t
     [cache_capacity] bounds the resource-plan cache with LRU eviction
     ({!Raqo_resource.Plan_cache.create}); omitted keeps it unbounded.
 
+    [parallel_memo] (default [true]) lets {!optimize_par} run the [Bushy_dp]
+    enumeration on the shared-memo parallel DP
+    ({!Raqo_planner.Dpsub.optimize_par_masked}); [false] pins it to the
+    sequential sweep regardless of the pool.
+
     Queries of up to {!Raqo_catalog.Interned.max_relations} relations run on
     the interned, mask-based planner core; larger ones (the randomized
     planner accepts up to 100) fall back to the string-list planners. Both
@@ -52,6 +57,7 @@ val create :
   ?lookup:Raqo_resource.Plan_cache.lookup ->
   ?memoize:bool ->
   ?kernel:bool ->
+  ?parallel_memo:bool ->
   ?cache_capacity:int ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->
@@ -72,13 +78,15 @@ val with_conditions : t -> Raqo_cluster.Conditions.t -> t
 val optimize :
   t -> string list -> (Raqo_plan.Join_tree.joint * float) option
 
-(** [optimize_par t pool relations] is {!optimize} with the randomized
-    planner's restarts fanned out across [pool]'s domains. Each restart gets
-    a fresh coster and a private resource planner sharing [t]'s atomic
-    counters; with the default exact-match cache lookup the result is
-    bit-identical to {!optimize} on an equal-seed optimizer, for any pool
-    size. For the DP kinds ([Selinger], [Bushy_dp]) — single-pass searches
-    with nothing to fan out — this simply calls {!optimize}. *)
+(** [optimize_par t pool relations] is {!optimize} with the search fanned
+    out across [pool]'s domains: the randomized planner's restarts, or — for
+    [Bushy_dp] with [parallel_memo] on — the DP levels of the shared-memo
+    enumeration ({!Raqo_planner.Dpsub.optimize_par_masked}). Each restart or
+    DP worker gets a fresh coster and a forked resource planner sharing
+    [t]'s atomic counters; with the default exact-match cache lookup the
+    result is bit-identical to {!optimize} on an equal-seed optimizer, for
+    any pool size. For [Selinger] — a single-pass left-deep sweep with
+    nothing to fan out — this simply calls {!optimize}. *)
 val optimize_par :
   t -> Raqo_par.Pool.t -> string list -> (Raqo_plan.Join_tree.joint * float) option
 

@@ -6,7 +6,7 @@ type planned = {
 
 let m_queries = Raqo_obs.Metrics.counter "raqo_sql_queries_total"
 
-let plan ?kind ?seed ?kernel ~model ~conditions ~schema ~columns sql =
+let plan ?kind ?seed ?kernel ?parallel_memo ?pool ~model ~conditions ~schema ~columns sql =
   if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_queries;
   match
     Raqo_obs.Trace.with_ ~name:"sql/analyze" (fun () ->
@@ -16,12 +16,14 @@ let plan ?kind ?seed ?kernel ~model ~conditions ~schema ~columns sql =
   | Ok analyzed -> begin
       (* Optimize against the filter-scaled schema the resolver produced. *)
       let opt =
-        Cost_based.create ?kind ?seed ?kernel ~model ~conditions
+        Cost_based.create ?kind ?seed ?kernel ?parallel_memo ~model ~conditions
           analyzed.Raqo_sql.Resolver.schema
       in
       match
         Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
-            Cost_based.optimize opt analyzed.Raqo_sql.Resolver.relations)
+            match pool with
+            | Some pool -> Cost_based.optimize_par opt pool analyzed.Raqo_sql.Resolver.relations
+            | None -> Cost_based.optimize opt analyzed.Raqo_sql.Resolver.relations)
       with
       | Some (plan, est_cost) -> Ok { analyzed; plan; est_cost }
       | None -> Error "no feasible joint plan under the current cluster conditions"

@@ -9,14 +9,19 @@ type planned = {
   est_cost : float;
 }
 
-(** [plan ?kind ?seed ?kernel ~model ~conditions ~schema ~columns sql]
-    parses, resolves, and jointly optimizes [sql]. [kernel] is forwarded to
-    {!Cost_based.create} (the CLI's [--no-kernel] passes [false]). Errors
-    are SQL front-end errors; an infeasible plan reports as an error too. *)
+(** [plan ?kind ?seed ?kernel ?parallel_memo ?pool ~model ~conditions
+    ~schema ~columns sql] parses, resolves, and jointly optimizes [sql].
+    [kernel] and [parallel_memo] are forwarded to {!Cost_based.create} (the
+    CLI's [--no-kernel] passes [kernel:false]). When [pool] is given the
+    optimization step runs {!Cost_based.optimize_par} on it — same plans
+    and costs, fanned out across the pool's domains. Errors are SQL
+    front-end errors; an infeasible plan reports as an error too. *)
 val plan :
   ?kind:Cost_based.planner_kind ->
   ?seed:int ->
   ?kernel:bool ->
+  ?parallel_memo:bool ->
+  ?pool:Raqo_par.Pool.t ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->
   schema:Raqo_catalog.Schema.t ->

@@ -1,0 +1,61 @@
+(* One atomic slot per subset mask. The claim protocol is a single CAS, the
+   publish a plain atomic write; [Claimed] is an immediate constructor so
+   claiming allocates nothing, and [Published] blocks are allocated once by
+   the writer so readers matching on [get] allocate nothing either.
+
+   Counters follow the library-wide pattern: registered globally, recorded
+   only when observability is on, sharded per domain inside
+   [Raqo_obs.Metrics] so hot parallel loops never contend. *)
+
+type 'a slot =
+  | Empty
+  | Claimed
+  | Published of 'a
+
+type 'a t = {
+  slots : 'a slot Atomic.t array;
+  table_bits : int;
+}
+
+let m_hits = Raqo_obs.Metrics.counter "raqo_memo_hits_total"
+let m_claims = Raqo_obs.Metrics.counter "raqo_memo_claims_total"
+let m_conflicts = Raqo_obs.Metrics.counter "raqo_memo_conflicts_total"
+let m_publishes = Raqo_obs.Metrics.counter "raqo_memo_publishes_total"
+
+let max_bits = 25
+
+let create ~bits =
+  if bits < 0 || bits > max_bits then invalid_arg "Memo.create: bits out of range";
+  { slots = Array.init (1 lsl bits) (fun _ -> Atomic.make Empty); table_bits = bits }
+
+let bits t = t.table_bits
+
+let get t mask =
+  let s = Atomic.get t.slots.(mask) in
+  (match s with
+  | Published _ -> if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_hits
+  | Empty | Claimed -> ());
+  s
+
+let find t mask =
+  match get t mask with
+  | Published v -> Some v
+  | Empty | Claimed -> None
+
+let try_claim t mask =
+  let won = Atomic.compare_and_set t.slots.(mask) Empty Claimed in
+  if Raqo_obs.Obs.enabled () then
+    Raqo_obs.Metrics.Counter.inc (if won then m_claims else m_conflicts);
+  won
+
+let publish t mask v =
+  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_publishes;
+  Atomic.set t.slots.(mask) (Published v)
+
+let release t mask = ignore (Atomic.compare_and_set t.slots.(mask) Claimed Empty)
+
+let count p t =
+  Array.fold_left (fun acc s -> if p (Atomic.get s) then acc + 1 else acc) 0 t.slots
+
+let claimed_count t = count (function Claimed -> true | Empty | Published _ -> false) t
+let published_count t = count (function Published _ -> true | Empty | Claimed -> false) t

@@ -1,0 +1,75 @@
+(** A shared memo table for mask-keyed dynamic programming, safe to read and
+    write from every domain of a {!Raqo_par.Pool}.
+
+    The table is a flat array of [2^bits] slots, one per relation-subset
+    mask, each an independent [Atomic.t] — sharding at entry granularity, so
+    two domains working on different subproblems never contend on a lock or
+    even a cache line of control state. A slot moves through at most three
+    states:
+
+    {v Empty --try_claim--> Claimed --publish--> Published v v}
+
+    - {!try_claim} is a single compare-and-set: exactly one domain wins the
+      right to compute a subproblem, so work is never repeated.
+    - {!publish} stores the computed value with a plain atomic write; the
+      claim/level discipline of the caller guarantees a single writer.
+    - {!release} returns a claimed slot to [Empty] — the fault-recovery path
+      when computing a value raises, so an exception never strands a
+      claimed-but-unpublished entry.
+
+    Published values are immutable. Readers use {!get} on hot paths — it
+    returns the slot constructor without allocating (the [Published] block
+    was allocated once, by the writer) — and {!find} where an option is more
+    convenient.
+
+    Determinism contract with level-synchronous callers (e.g.
+    {!Raqo_planner.Dpsub}'s parallel sweep): if every value published at
+    level [k] is a pure function of values published at levels [< k], the
+    table contents after each level barrier are independent of claim order,
+    timing, and domain count.
+
+    Instrumentation: hit/claim/conflict/publish counters are registered in
+    {!Raqo_obs.Metrics} under [raqo_memo_*_total] and recorded only while
+    {!Raqo_obs.Obs.enabled} — with observability off every operation is a
+    single atomic access and allocates nothing. *)
+
+type 'a slot =
+  | Empty  (** never claimed; for connected subproblems: not yet computed *)
+  | Claimed  (** some domain is computing it *)
+  | Published of 'a  (** final value *)
+
+type 'a t
+
+(** [create ~bits] allocates a table of [2^bits] empty slots (one per subset
+    mask of a [bits]-relation query).
+    @raise Invalid_argument when [bits] is negative or over 25 (a 32M-slot
+    table; DP callers cap far below this). *)
+val create : bits:int -> 'a t
+
+(** [bits t] is the creation parameter; masks must be in [0, 2^bits). *)
+val bits : 'a t -> int
+
+(** [find t mask] is the published value, [None] when empty or claimed. *)
+val find : 'a t -> int -> 'a option
+
+(** [get t mask] is the raw slot — the allocation-free read for hot loops. *)
+val get : 'a t -> int -> 'a slot
+
+(** [try_claim t mask] attempts the [Empty -> Claimed] transition; [true]
+    when this caller won the claim. A [false] is recorded as a conflict. *)
+val try_claim : 'a t -> int -> bool
+
+(** [publish t mask v] stores [v], whatever the current state. Callers
+    publish only slots they claimed (or pre-seed before sharing the table). *)
+val publish : 'a t -> int -> 'a -> unit
+
+(** [release t mask] reverts a [Claimed] slot to [Empty]; no-op on other
+    states. Call on the exception path after a failed compute. *)
+val release : 'a t -> int -> unit
+
+(** [claimed_count t] / [published_count t] scan the table — diagnostics and
+    tests, not hot paths. After a parallel section has joined, a zero
+    [claimed_count] certifies no claimed-but-unpublished entries survived. *)
+val claimed_count : 'a t -> int
+
+val published_count : 'a t -> int

@@ -28,27 +28,20 @@ let all_shapes schema relations =
           | [ r ] -> [ Join_tree.Scan r ]
           | _ ->
               (* Canonical splits: the lowest set bit stays on the left, so
-                 each unordered split is enumerated once. *)
-              let low = mask land -mask in
-              let rec submasks sub acc =
-                let acc =
-                  if
-                    sub land low <> 0 && sub <> mask && connected sub
-                    && connected (mask lxor sub)
-                    && joinable sub (mask lxor sub)
-                  then
+                 each unordered split is enumerated once. [fold_splits]
+                 descends and each split's shapes are prepended, so the final
+                 list is in ascending submask order — the order the historical
+                 inline recursion produced, which first-wins tie-breaks in
+                 [fold_shapes] observe. *)
+              Raqo_catalog.Interned.fold_splits mask ~init:[]
+                ~f:(fun acc ~sub ~rest ->
+                  if connected sub && connected rest && joinable sub rest then
                     List.concat_map
                       (fun l ->
-                        List.map
-                          (fun r -> Join_tree.Join ((), l, r))
-                          (shapes (mask lxor sub)))
+                        List.map (fun r -> Join_tree.Join ((), l, r)) (shapes rest))
                       (shapes sub)
                     @ acc
-                  else acc
-                in
-                if sub = 0 then acc else submasks ((sub - 1) land mask) acc
-              in
-              submasks ((mask - 1) land mask) []
+                  else acc)
         in
         Hashtbl.add memo mask result;
         result

@@ -23,6 +23,7 @@ let create ?(backend = Ordered_index.Sorted_array) ?capacity () =
   { indexes = Hashtbl.create 16; backend; capacity; stamps = Hashtbl.create 16; clock = 0 }
 
 let capacity t = t.capacity
+let backend t = t.backend
 
 let touch t key data_gb =
   match t.capacity with

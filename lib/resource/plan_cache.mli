@@ -31,6 +31,9 @@ val create : ?backend:Ordered_index.backend -> ?capacity:int -> unit -> t
 (** [capacity t] is the bound [t] was created with, if any. *)
 val capacity : t -> int option
 
+(** [backend t] is the index backend [t] was created with. *)
+val backend : t -> Ordered_index.backend
+
 (** [find t ~key ~data_gb lookup] queries the index for [key] (e.g.
     ["SMJ/join"]). Updates hit/miss counters in [counters] when given. *)
 val find :

@@ -30,6 +30,22 @@ let create ?(strategy = Hill_climb) ?(pruned = false) ?(cache = true)
 
 let conditions t = t.conditions
 let with_conditions t conditions = { t with conditions }
+
+(* A private copy for another domain (or another restart): same
+   configuration and shared counters, but a fresh cache and — critically —
+   fresh kernel scratch, the only single-writer state in here. *)
+let fork t =
+  {
+    t with
+    cache =
+      (match t.cache with
+      | Some cache ->
+          Some
+            (Plan_cache.create ~backend:(Plan_cache.backend cache)
+               ?capacity:(Plan_cache.capacity cache) ())
+      | None -> None);
+    scratch = Kernel.create_scratch ();
+  }
 let pruned t = t.pruned
 let kernel_enabled t = t.use_kernel
 let scratch t = t.scratch

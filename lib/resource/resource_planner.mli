@@ -66,6 +66,15 @@ val conditions : t -> Raqo_cluster.Conditions.t
     against new cluster conditions (adaptive re-optimization). *)
 val with_conditions : t -> Raqo_cluster.Conditions.t -> t
 
+(** [fork t] is a private copy for another domain or restart: identical
+    configuration (strategy, pruning, lookup, kernel setting, conditions)
+    and shared atomic counters, but a fresh, empty plan cache (same backend
+    and capacity bound) and fresh kernel scratch — the two pieces of
+    single-writer state. With the default exact-match cache lookup a fork
+    returns the same (configuration, cost) answers as the original, so
+    parallel planners hand one fork to each worker. *)
+val fork : t -> t
+
 (** [plan t ~key ~data_gb ~cost] returns the chosen configuration and its
     cost. [key] identifies the (cost model, sub-plan kind) cache index, e.g.
     ["hive/SMJ/join"]; [data_gb] is the data characteristic. On a cache hit

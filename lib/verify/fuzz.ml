@@ -92,4 +92,12 @@ let main ?tables ?joins ?jobs ?(start = 1) ~seeds () =
     (v "raqo_cost_evaluations_total")
     (v "raqo_plan_cache_hits_total")
     (v "raqo_plan_cache_misses_total");
+  (* The parallel shared-memo DP arms: claims = subproblems computed,
+     conflicts = lost claim races (0 under cursor-based work sharing),
+     publishes must equal claims when no arm raised. *)
+  Printf.printf "memo: claims=%d conflicts=%d publishes=%d hits=%d\n"
+    (v "raqo_memo_claims_total")
+    (v "raqo_memo_conflicts_total")
+    (v "raqo_memo_publishes_total")
+    (v "raqo_memo_hits_total");
   if failures = [] then 0 else 1

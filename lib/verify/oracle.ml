@@ -256,7 +256,56 @@ let check ?(jobs = [ 2; 4 ]) ?(fault = no_fault) t =
       let m, mc, s, sc = pair () in
       identical "oracle/mask-randomized" "randomized search (same seed)"
         (Randomized.optimize_masked (Rng.create rand_seed) m ctx, mc ())
-        (Randomized.optimize (Rng.create rand_seed) s schema rels, sc ()));
+        (Randomized.optimize (Rng.create rand_seed) s schema rels, sc ());
+
+      (* ------------------------------------------ parallel shared-memo DP *)
+      (* The level-synchronous parallel DPsub must be bit-identical — plan
+         shape, cost, resource assignment, tie-breaks — to the sequential
+         mask sweep at every pool size, with both the fixed coster (behind
+         the fault seam) and the resource-planning coster with per-worker
+         forked planners. Structural equality [=] is deliberate: costs must
+         match bitwise, not within tolerance. *)
+      let memo_jobs = List.sort_uniq compare (1 :: List.filter (fun j -> j >= 1) jobs) in
+      if n <= 14 then begin
+        let fixed_base = fault ~arm:"memo-dpsub-par" (Coster.fixed model schema fixed_resources) in
+        let seq = Dpsub.optimize_masked (Coster.of_strings ctx fixed_base) ctx in
+        List.iter
+          (fun j ->
+            Pool.with_pool ~jobs:j (fun pool ->
+                let par =
+                  Dpsub.optimize_par_masked
+                    ~coster:(fun () -> Coster.of_strings ctx fixed_base)
+                    pool ctx
+                in
+                if par <> seq then
+                  add
+                    [ D.v ~invariant:"oracle/memo-dpsub-par-vs-seq"
+                        "parallel shared-memo DP (%d jobs) diverged from sequential DPsub" j ];
+                relate "oracle/memo-dpsub-par-vs-exhaustive"
+                  (Printf.sprintf
+                     "parallel shared-memo DP (%d jobs) must equal the exhaustive oracle" j)
+                  approx_eq (cost par) (cost exhaustive)))
+          memo_jobs
+      end;
+      if n <= 10 then begin
+        let rp = Resource_planner.create conditions in
+        let seq = Dpsub.optimize_masked (Coster.raqo_masked model ctx rp) ctx in
+        List.iter
+          (fun j ->
+            Pool.with_pool ~jobs:j (fun pool ->
+                let par =
+                  Dpsub.optimize_par_masked
+                    ~coster:(fun () ->
+                      Coster.raqo_masked model ctx (Resource_planner.fork rp))
+                    pool ctx
+                in
+                if par <> seq then
+                  add
+                    [ D.v ~invariant:"oracle/memo-dpsub-par-raqo-vs-seq"
+                        "parallel shared-memo joint planning (%d jobs) diverged from the \
+                         sequential resource-planning sweep" j ]))
+          memo_jobs
+      end);
 
   (* ------------------------------------------------ pruned resource search *)
   (* Branch-and-bound over the resource grid must return exactly what the

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Fail when the BENCH_*.json artifacts disagree on schema_version.
+
+The bench jobs each overwrite one committed BENCH_*.json in the CI
+workspace, so running this afterwards compares the freshly generated file
+against every other committed artifact. A missing schema_version (the
+pre-versioning format, schema 1) counts as a mismatch: it means a stale
+artifact was committed without regenerating it against the current bench
+harness.
+"""
+
+import glob
+import json
+import sys
+
+
+def main() -> int:
+    paths = sorted(glob.glob("BENCH_PR*.json"))
+    if not paths:
+        print("no BENCH_PR*.json files found", file=sys.stderr)
+        return 1
+    versions = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        versions[path] = doc.get("schema_version")
+        if not isinstance(doc.get("figures"), list) or not doc["figures"]:
+            print(f"{path}: no figures recorded", file=sys.stderr)
+            return 1
+    for path, version in versions.items():
+        print(f"{path}: schema_version={version}")
+    distinct = set(versions.values())
+    if None in distinct:
+        stale = [p for p, v in versions.items() if v is None]
+        print(f"stale pre-versioning artifacts: {', '.join(stale)}", file=sys.stderr)
+        return 1
+    if len(distinct) != 1:
+        print(f"schema_version drift across artifacts: {versions}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

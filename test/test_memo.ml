@@ -1,0 +1,347 @@
+(* The shared-memo parallel DP: the memo table's slot state machine,
+   bit-identity of the parallel sweep against sequential DPsub at every pool
+   size, fault recovery (no stranded claims, pool survives), and the
+   allocation probes behind the perf claims. *)
+
+module Memo = Raqo_memo.Memo
+module Pool = Raqo_par.Pool
+module Interned = Raqo_catalog.Interned
+module Schema = Raqo_catalog.Schema
+module Tpch = Raqo_catalog.Tpch
+module Random_schema = Raqo_catalog.Random_schema
+module Dpsub = Raqo_planner.Dpsub
+module Coster = Raqo_planner.Coster
+module Resources = Raqo_cluster.Resources
+module Conditions = Raqo_cluster.Conditions
+module Resource_planner = Raqo_resource.Resource_planner
+module Rng = Raqo_util.Rng
+module Obs = Raqo_obs.Obs
+module Metrics = Raqo_obs.Metrics
+
+let model = Raqo.Models.hive ()
+let tpch = Tpch.schema ()
+let fixed_res = Resources.make ~containers:10 ~container_gb:5.0
+let pool_sizes = [ 1; 2; 4 ]
+
+(* ----------------------------------------------------- slot state machine *)
+
+let test_slot_state_machine () =
+  let m = Memo.create ~bits:4 in
+  Alcotest.(check int) "bits round-trips" 4 (Memo.bits m);
+  Alcotest.(check bool) "fresh slot is empty" true (Memo.get m 5 = Memo.Empty);
+  Alcotest.(check (option int)) "find on empty" None (Memo.find m 5);
+  Alcotest.(check bool) "first claim wins" true (Memo.try_claim m 5);
+  Alcotest.(check bool) "second claim loses" false (Memo.try_claim m 5);
+  Alcotest.(check (option int)) "claimed is not published" None (Memo.find m 5);
+  Memo.publish m 5 42;
+  Alcotest.(check (option int)) "published value" (Some 42) (Memo.find m 5);
+  Alcotest.(check bool) "get sees the published block" true (Memo.get m 5 = Memo.Published 42);
+  Alcotest.(check bool) "claim on published loses" false (Memo.try_claim m 5);
+  Memo.release m 5;
+  Alcotest.(check (option int)) "release is a no-op on published" (Some 42) (Memo.find m 5);
+  Alcotest.(check bool) "claim another slot" true (Memo.try_claim m 3);
+  Alcotest.(check int) "claimed count" 1 (Memo.claimed_count m);
+  Alcotest.(check int) "published count" 1 (Memo.published_count m);
+  Memo.release m 3;
+  Alcotest.(check int) "release empties the claim" 0 (Memo.claimed_count m);
+  Alcotest.(check bool) "released slot is reclaimable" true (Memo.try_claim m 3)
+
+let test_create_validation () =
+  Alcotest.check_raises "negative bits" (Invalid_argument "Memo.create: bits out of range")
+    (fun () -> ignore (Memo.create ~bits:(-1) : int Memo.t));
+  Alcotest.check_raises "oversized table" (Invalid_argument "Memo.create: bits out of range")
+    (fun () -> ignore (Memo.create ~bits:26 : int Memo.t));
+  let one_slot : int Memo.t = Memo.create ~bits:0 in
+  Alcotest.(check int) "bits 0 is a one-slot table" 0 (Memo.bits one_slot)
+
+(* ------------------------------------------------- parallel == sequential *)
+
+(* Full structural equality — plan shape, implementations, resource
+   assignments, and the raw cost float — is the bit-identity contract. *)
+let check_par_eq_seq msg seq par =
+  Alcotest.(check bool) msg true (par = seq)
+
+let test_par_matches_seq_fixed () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let s = Random_schema.generate rng ~tables:9 in
+      let ctx = Interned.make s (Schema.relation_names s) in
+      let coster () = Coster.fixed_masked model ctx fixed_res in
+      let seq = Dpsub.optimize_masked (coster ()) ctx in
+      List.iter
+        (fun jobs ->
+          Pool.with_pool ~jobs (fun pool ->
+              check_par_eq_seq
+                (Printf.sprintf "fixed coster, seed %d at %d jobs" seed jobs)
+                seq
+                (Dpsub.optimize_par_masked ~coster pool ctx)))
+        pool_sizes)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_par_matches_seq_memoized () =
+  let rng = Rng.create 99 in
+  let s = Random_schema.generate rng ~tables:9 in
+  let ctx = Interned.make s (Schema.relation_names s) in
+  let coster () = Coster.memoize_masked ctx (Coster.fixed_masked model ctx fixed_res) in
+  let seq = Dpsub.optimize_masked (coster ()) ctx in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          check_par_eq_seq
+            (Printf.sprintf "memoized coster at %d jobs" jobs)
+            seq
+            (Dpsub.optimize_par_masked ~coster pool ctx)))
+    pool_sizes
+
+let test_par_matches_seq_raqo () =
+  (* The full joint-optimization coster: each domain plans resources against
+     a fork of one shared planner — same config, shared counters, private
+     exact-lookup cache and kernel scratch — so answers equal a fresh
+     search's. *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let s = Random_schema.generate rng ~tables:6 in
+      let ctx = Interned.make s (Schema.relation_names s) in
+      let rp = Resource_planner.create Conditions.default in
+      let seq = Dpsub.optimize_masked (Coster.raqo_masked model ctx rp) ctx in
+      List.iter
+        (fun jobs ->
+          Pool.with_pool ~jobs (fun pool ->
+              check_par_eq_seq
+                (Printf.sprintf "raqo coster, seed %d at %d jobs" seed jobs)
+                seq
+                (Dpsub.optimize_par_masked
+                   ~coster:(fun () -> Coster.raqo_masked model ctx (Resource_planner.fork rp))
+                   pool ctx)))
+        pool_sizes)
+    [ 7; 8 ]
+
+let test_par_matches_string_api_on_tpch () =
+  (* Through the of_strings adapter, against the public string entry point:
+     the path Cost_based.optimize_par actually exercises. *)
+  let ctx = Interned.make tpch Tpch.all in
+  let base () = Coster.fixed model tpch fixed_res in
+  let seq = Dpsub.optimize (base ()) tpch Tpch.all in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          check_par_eq_seq
+            (Printf.sprintf "TPC-H all at %d jobs" jobs)
+            seq
+            (Dpsub.optimize_par_masked
+               ~coster:(fun () -> Coster.of_strings ctx (base ()))
+               pool ctx)))
+    pool_sizes
+
+(* -------------------------------------------------------------- edge cases *)
+
+let test_single_relation () =
+  let ctx = Interned.make tpch [ "orders" ] in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Dpsub.optimize_par_masked
+          ~coster:(fun () -> Coster.fixed_masked model ctx fixed_res)
+          pool ctx
+      with
+      | Some (Raqo_plan.Join_tree.Scan "orders", cost) ->
+          Alcotest.(check (float 1e-9)) "bare scan is free" 0.0 cost
+      | _ -> Alcotest.fail "bare scan expected")
+
+let test_disconnected_is_none () =
+  (* customer and part share no join edge in TPC-H: the full mask is never
+     connected, no level enumerates it, and both arms agree on None. *)
+  let ctx = Interned.make tpch [ "customer"; "part" ] in
+  Alcotest.(check bool) "query is disconnected" false
+    (Interned.connected ctx (Interned.full_mask ctx));
+  let coster () = Coster.fixed_masked model ctx fixed_res in
+  Alcotest.(check bool) "sequential finds no plan" true
+    (Dpsub.optimize_masked (coster ()) ctx = None);
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check bool) "parallel agrees: no plan" true
+        (Dpsub.optimize_par_masked ~coster pool ctx = None))
+
+let test_mismatched_memo_rejected () =
+  let ctx = Interned.make tpch Tpch.all in
+  let memo = Memo.create ~bits:4 in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.check_raises "wrong-sized memo"
+        (Invalid_argument "Dpsub.optimize_par_masked: memo sized for a different query")
+        (fun () ->
+          ignore
+            (Dpsub.optimize_par_masked ~memo
+               ~coster:(fun () -> Coster.fixed_masked model ctx fixed_res)
+               pool ctx)))
+
+(* ---------------------------------------------------------- fault recovery *)
+
+exception Hiccup
+
+let test_fault_strands_no_claims () =
+  (* A coster raising mid-level must propagate out of the sweep, leave zero
+     claimed-but-unpublished entries behind, and leave the pool usable. *)
+  let ctx = Interned.make tpch Tpch.all in
+  let n = Interned.n ctx in
+  let calls = Atomic.make 0 in
+  let faulty () =
+    let inner = Coster.fixed_masked model ctx fixed_res in
+    {
+      Coster.best_join_masked =
+        (fun ~left ~right ->
+          (* Call 25 lands mid-way through level 3 on this query. *)
+          if Atomic.fetch_and_add calls 1 = 25 then raise Hiccup;
+          inner.Coster.best_join_masked ~left ~right);
+      masked_name = "hiccup";
+    }
+  in
+  let clean () = Coster.fixed_masked model ctx fixed_res in
+  let seq = Dpsub.optimize_masked (clean ()) ctx in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Atomic.set calls 0;
+          let memo = Memo.create ~bits:n in
+          (match Dpsub.optimize_par_masked ~memo ~coster:faulty pool ctx with
+          | _ -> Alcotest.fail "expected Hiccup"
+          | exception Hiccup -> ());
+          Alcotest.(check int)
+            (Printf.sprintf "no stranded claims at %d jobs" jobs)
+            0 (Memo.claimed_count memo);
+          Alcotest.(check bool)
+            (Printf.sprintf "completed levels survive at %d jobs" jobs)
+            true
+            (Memo.published_count memo >= n);
+          check_par_eq_seq
+            (Printf.sprintf "pool still usable after the fault at %d jobs" jobs)
+            seq
+            (Dpsub.optimize_par_masked ~coster:clean pool ctx)))
+    pool_sizes
+
+(* --------------------------------------------------------- instrumentation *)
+
+let counter name = Metrics.Counter.value (Metrics.counter name)
+
+let test_counters_with_obs_on () =
+  let ctx = Interned.make tpch Tpch.all in
+  let n = Interned.n ctx in
+  let before name = counter name in
+  let claims0 = before "raqo_memo_claims_total"
+  and publishes0 = before "raqo_memo_publishes_total"
+  and hits0 = before "raqo_memo_hits_total"
+  and conflicts0 = before "raqo_memo_conflicts_total" in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      Pool.with_pool ~jobs:2 (fun pool ->
+          ignore
+            (Dpsub.optimize_par_masked
+               ~coster:(fun () -> Coster.fixed_masked model ctx fixed_res)
+               pool ctx)));
+  let claims = counter "raqo_memo_claims_total" - claims0 in
+  let publishes = counter "raqo_memo_publishes_total" - publishes0 in
+  Alcotest.(check bool) "subproblems were claimed" true (claims > 0);
+  (* Every claim publishes, plus the n singleton pre-seeds that skip claims. *)
+  Alcotest.(check int) "publishes = claims + singletons" (claims + n) publishes;
+  Alcotest.(check bool) "lower levels were read" true
+    (counter "raqo_memo_hits_total" - hits0 > 0);
+  (* The atomic cursor hands each subset to exactly one worker, so the claim
+     CAS never races. *)
+  Alcotest.(check int) "no claim conflicts" 0
+    (counter "raqo_memo_conflicts_total" - conflicts0)
+
+(* ------------------------------------------------------- allocation probes *)
+
+let test_memo_ops_allocation_free () =
+  (* With observability off, a warm get/claim/release loop over the table
+     must allocate nothing: reads return the writer's block, and every
+     transition is a plain CAS between constant constructors. *)
+  Obs.set_enabled false;
+  let m = Memo.create ~bits:10 in
+  Memo.publish m 5 42;
+  ignore (Memo.try_claim m 6);
+  let sink = ref 0 in
+  let loop () =
+    for mask = 0 to 1023 do
+      match Memo.get m mask with
+      | Memo.Published v -> sink := !sink + v
+      | Memo.Empty | Memo.Claimed -> ()
+    done;
+    ignore (Memo.try_claim m 5);
+    (* conflict path *)
+    Memo.release m 6;
+    ignore (Memo.try_claim m 6)
+  in
+  loop ();
+  let w0 = Gc.minor_words () in
+  loop ();
+  let delta = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm memo loop allocated %.0f minor words" delta)
+    true (delta <= 64.0);
+  Alcotest.(check int) "loop really ran" 84 !sink
+
+let test_kernel_sweep_allocation_free_in_pool () =
+  (* The per-domain half of the acceptance probe: a warm compiled-kernel
+     sweep stays allocation-free when it runs on a pool worker, exactly as
+     the parallel DP's forked resource planners run it. Gc.minor_words is
+     per-domain in OCaml 5, so the probe must execute inside the task. *)
+  Obs.set_enabled false;
+  let floored = Raqo_cost.Op_cost.with_floor 0.01 Raqo_cost.Op_cost.paper in
+  let c =
+    Conditions.make ~min_containers:1 ~max_containers:60 ~container_step:1 ~min_gb:1.0
+      ~max_gb:60.0 ~gb_step:1.0 ()
+  in
+  let probe () =
+    let k =
+      Option.get (Raqo_cost.Kernel.make floored Raqo_plan.Join_impl.Bhj ~small_gb:12.5)
+    in
+    let s = Raqo_cost.Kernel.create_scratch () in
+    Raqo_cost.Kernel.ensure s (Conditions.n_configs c);
+    let buf = Raqo_cost.Kernel.buffer s in
+    Raqo_cost.Kernel.sweep k c buf;
+    let w0 = Gc.minor_words () in
+    Raqo_cost.Kernel.sweep k c buf;
+    Gc.minor_words () -. w0
+  in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      List.iter
+        (fun delta ->
+          Alcotest.(check bool)
+            (Printf.sprintf "warm sweep on a worker allocated %.0f minor words" delta)
+            true (delta <= 64.0))
+        (Pool.parallel_map pool (fun () -> probe ()) [ (); () ]))
+
+let () =
+  Alcotest.run "raqo_memo"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "slot state machine" `Quick test_slot_state_machine;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "parallel dp",
+        [
+          Alcotest.test_case "par == seq, fixed costers" `Quick test_par_matches_seq_fixed;
+          Alcotest.test_case "par == seq, memoized costers" `Quick
+            test_par_matches_seq_memoized;
+          Alcotest.test_case "par == seq, raqo costers" `Quick test_par_matches_seq_raqo;
+          Alcotest.test_case "par == string API on TPC-H" `Quick
+            test_par_matches_string_api_on_tpch;
+          Alcotest.test_case "single relation" `Quick test_single_relation;
+          Alcotest.test_case "disconnected query" `Quick test_disconnected_is_none;
+          Alcotest.test_case "mismatched memo rejected" `Quick test_mismatched_memo_rejected;
+        ] );
+      ( "faults",
+        [ Alcotest.test_case "mid-level fault strands no claims" `Quick
+            test_fault_strands_no_claims ] );
+      ( "instrumentation",
+        [ Alcotest.test_case "memo counters under obs" `Quick test_counters_with_obs_on ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "memo ops allocation-free" `Quick test_memo_ops_allocation_free;
+          Alcotest.test_case "kernel sweep allocation-free on a worker" `Quick
+            test_kernel_sweep_allocation_free_in_pool;
+        ] );
+    ]

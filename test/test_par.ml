@@ -62,6 +62,22 @@ let test_exception_propagation () =
       | exception Boom i -> Alcotest.(check int) "lowest-indexed failure wins" 2 i);
       Alcotest.(check int) "the whole batch still ran" 8 (Atomic.get ran))
 
+let test_pool_usable_after_exception () =
+  (* A failed batch must not poison the pool: the same pool keeps serving
+     full, ordered batches afterwards. The parallel DP relies on this when a
+     coster raises mid-level (see test_memo.ml for the memo-side invariant). *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      (match
+         Pool.parallel_map pool
+           (fun i -> if i = 4 then raise (Boom i) else i)
+           (List.init 9 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "failure index" 4 i);
+      let xs = List.init 20 Fun.id in
+      Alcotest.(check (list int)) "pool still serves batches" (List.map succ xs)
+        (Pool.parallel_map pool succ xs))
+
 let test_nested_use () =
   (* A task submitting its own batch to the same pool must not deadlock: the
      submitter helps drain the queue while it waits. *)
@@ -360,6 +376,8 @@ let () =
           Alcotest.test_case "reduce" `Quick test_reduce;
           Alcotest.test_case "empty and single batches" `Quick test_empty_and_single;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "usable after a failed batch" `Quick
+            test_pool_usable_after_exception;
           Alcotest.test_case "nested use" `Quick test_nested_use;
           Alcotest.test_case "use after shutdown" `Quick test_use_after_shutdown;
           Alcotest.test_case "chunks" `Quick test_chunks;

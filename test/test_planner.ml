@@ -359,7 +359,7 @@ let test_dpsub_single_relation () =
 
 let test_dpsub_rejects_oversize () =
   let rng = Rng.create 77 in
-  let big = Raqo_catalog.Random_schema.generate rng ~tables:17 in
+  let big = Raqo_catalog.Random_schema.generate rng ~tables:(Raqo_planner.Dpsub.max_relations + 1) in
   Alcotest.check_raises "too many"
     (Invalid_argument "Dpsub.optimize: too many relations for bushy DP") (fun () ->
       ignore
@@ -489,6 +489,80 @@ let test_interned_validation () =
     (fun () -> ignore (Interned.make schema []));
   Alcotest.check_raises "unknown" (Invalid_argument "Interned.make: unknown zz") (fun () ->
       ignore (Interned.make schema [ "zz" ]))
+
+(* The extracted enumeration helpers against brute-force references: both the
+   set of values and the visiting order are part of the contract. *)
+let test_interned_subsets_of_size () =
+  for n = 0 to 12 do
+    for size = 0 to n + 1 do
+      let reference =
+        (* The documented contract: no subsets enumerated at size 0. *)
+        if size = 0 then []
+        else
+          List.filter
+            (fun m -> Interned.popcount m = size)
+            (List.init (1 lsl n) Fun.id)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "n=%d size=%d: ascending and complete" n size)
+        reference
+        (Interned.subsets_of_size ~n ~size)
+    done
+  done;
+  Alcotest.(check (list int)) "size 0 is empty" [] (Interned.subsets_of_size ~n:5 ~size:0);
+  Alcotest.(check (list int)) "size > n is empty" [] (Interned.subsets_of_size ~n:3 ~size:4);
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Interned.iter_subsets_of_size: bad n") (fun () ->
+      ignore (Interned.subsets_of_size ~n:(-1) ~size:1));
+  Alcotest.check_raises "n above the cap"
+    (Invalid_argument "Interned.iter_subsets_of_size: bad n") (fun () ->
+      ignore (Interned.subsets_of_size ~n:(Interned.max_relations + 1) ~size:1))
+
+let test_interned_fold_splits () =
+  (* The historical inline loop the planners used, kept as the oracle. *)
+  let reference mask =
+    let low = mask land (-mask) in
+    let acc = ref [] in
+    let sub = ref ((mask - 1) land mask) in
+    while !sub <> 0 do
+      if !sub land low <> 0 then acc := (!sub, mask lxor !sub) :: !acc;
+      sub := (!sub - 1) land mask
+    done;
+    List.rev !acc
+  in
+  let masks =
+    [ 1; 3; 5; 6 lor 1; 0b10110; 0b1111111; 0b1010101010; (1 lsl 12) - 1 ]
+  in
+  List.iter
+    (fun mask ->
+      let got =
+        List.rev
+          (Interned.fold_splits mask ~init:[] ~f:(fun acc ~sub ~rest ->
+               (sub, rest) :: acc))
+      in
+      let want = reference mask in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "splits of %#x in reference order" mask)
+        want got;
+      let k = Interned.popcount mask in
+      Alcotest.(check int)
+        (Printf.sprintf "split count of %#x" mask)
+        ((1 lsl (k - 1)) - 1)
+        (List.length got);
+      List.iter
+        (fun (sub, rest) ->
+          Alcotest.(check bool) "partitions the mask" true
+            (sub lor rest = mask && sub land rest = 0 && sub <> 0 && rest <> 0);
+          Alcotest.(check bool) "sub holds the lowest bit" true
+            (sub land (mask land -mask) <> 0))
+        got;
+      (* iter_splits is the same walk, for effects. *)
+      let via_iter = ref [] in
+      Interned.iter_splits mask (fun ~sub ~rest -> via_iter := (sub, rest) :: !via_iter);
+      Alcotest.(check (list (pair int int))) "iter_splits agrees" want (List.rev !via_iter))
+    masks;
+  Alcotest.check_raises "empty mask" (Invalid_argument "Interned.fold_splits: empty mask")
+    (fun () -> Interned.iter_splits 0 (fun ~sub:_ ~rest:_ -> ()))
 
 (* Both arms share one underlying coster, so these tests check the interning
    machinery itself: identical plans, costs, and invocation counts. *)
@@ -672,6 +746,10 @@ let () =
           Alcotest.test_case "connectivity matches the join graph" `Quick
             test_interned_connected_matches_graph;
           Alcotest.test_case "input validation" `Quick test_interned_validation;
+          Alcotest.test_case "subsets_of_size matches brute force" `Quick
+            test_interned_subsets_of_size;
+          Alcotest.test_case "fold_splits matches the inline loop" `Quick
+            test_interned_fold_splits;
           Alcotest.test_case "masked Selinger bit-identical" `Quick
             test_masked_selinger_bit_identical;
           Alcotest.test_case "masked pruned Selinger bit-identical" `Quick
