@@ -66,6 +66,55 @@ let no_kernel_arg =
                costs, and counters are identical either way (the kernels are bit-exact); \
                this is a debugging escape hatch.")
 
+(* --adaptive / --est-error: runtime adaptive re-optimization. *)
+
+let est_error_conv =
+  Arg.conv
+    ( (fun s ->
+        match Raqo_execsim.Estimation_error.of_string s with
+        | Ok t -> Ok t
+        | Error m -> Error (`Msg m)),
+      fun fmt t -> Format.pp_print_string fmt (Raqo_execsim.Estimation_error.to_string t) )
+
+let est_error_arg =
+  Arg.(value & opt est_error_conv Raqo_execsim.Estimation_error.exact
+       & info [ "est-error" ] ~docv:"DIST:SEED"
+           ~doc:"Seeded cardinality-estimation error the planner sees (the simulator keeps \
+                 the truth): none (default), or lognormal, skew, correlated as \
+                 DIST:SEED or DIST=MAG:SEED — e.g. lognormal:42, skew=0.5:7.")
+
+let adaptive_arg =
+  Arg.(value & flag & info [ "adaptive" ]
+         ~doc:"Execute the plan adaptively: materialize at stage boundaries, observe true \
+               intermediate sizes, and re-plan the remaining join graph whenever an \
+               observation contradicts its estimate (see --est-error). Prints the static \
+               and adaptive simulated outcomes side by side; adaptive is never worse.")
+
+let print_adaptive_report (r : Raqo_adaptive.Adaptive_exec.report) =
+  let module A = Raqo_adaptive.Adaptive_exec in
+  Printf.printf "static plan (from estimates): %s\n"
+    (Format.asprintf "%a" A.pp_outcome r.A.static_outcome);
+  Printf.printf "adaptive execution:           %s\n"
+    (Format.asprintf "%a" A.pp_outcome r.A.adaptive_outcome);
+  Printf.printf "re-plans: %d  switches: %d  failed re-plans: %d  switch cost: %.2f s\n"
+    r.A.replans r.A.switches r.A.failed_replans r.A.replan_cost_s;
+  (match (r.A.static_outcome, r.A.adaptive_outcome) with
+  | A.Done { seconds = s; _ }, A.Done { seconds = a; _ } when s > 0.0 && a < s ->
+      Printf.printf "adaptive saved %.1f s (%.1f%%)\n" (s -. a) (100.0 *. (s -. a) /. s)
+  | A.Oom _, A.Done _ -> print_endline "adaptive rescued a run the static plan fails (OOM)"
+  | _ -> ());
+  print_endline "stages (adaptive run):";
+  List.iter
+    (fun (s : A.stage) ->
+      Printf.printf "  %2d  %-4s %-12s %8.1f s  est %11.3e rows, observed %11.3e%s%s\n"
+        s.A.index
+        (Raqo_plan.Join_impl.to_string s.A.impl)
+        (Raqo_cluster.Resources.to_string s.A.resources)
+        s.A.seconds s.A.est_rows s.A.observed_rows
+        (if s.A.replanned then "  [re-planned" else "")
+        (if s.A.switched then ", switched]" else if s.A.replanned then "]" else ""))
+    r.A.stages
+
 (* ------------------------------------------------------------------ plan *)
 
 let plan_cmd =
@@ -100,7 +149,8 @@ let plan_cmd =
                  e.g. \"select * from orders, lineitem where o_orderkey = l_orderkey and \
                  o_totalprice < 172000\".")
   in
-  let run relations planner mode max_containers max_gb nc gb sql jobs no_kernel trace =
+  let run relations planner mode max_containers max_gb nc gb sql jobs no_kernel engine
+      adaptive est_error trace =
     with_trace trace @@ fun () ->
     let schema = Raqo_catalog.Tpch.schema () in
     let model = Raqo.Models.hive () in
@@ -114,8 +164,9 @@ let plan_cmd =
     match sql with
     | Some sql -> begin
         let plan_sql pool =
-          Raqo.Sql_frontend.plan ~kind ~kernel:(not no_kernel) ?pool ~model ~conditions
-            ~schema ~columns:(Raqo_catalog.Tpch.columns ()) sql
+          Raqo.Sql_frontend.plan ~kind ~kernel:(not no_kernel) ?pool
+            ?adaptive:(if adaptive then Some (engine, est_error) else None)
+            ~model ~conditions ~schema ~columns:(Raqo_catalog.Tpch.columns ()) sql
         in
         match
           if jobs > 1 then
@@ -131,7 +182,12 @@ let plan_cmd =
             print_string
               (Raqo.Explain.joint model
                  planned.Raqo.Sql_frontend.analyzed.Raqo_sql.Resolver.schema
-                 planned.Raqo.Sql_frontend.plan)
+                 planned.Raqo.Sql_frontend.plan);
+            (match planned.Raqo.Sql_frontend.adaptive with
+            | Some report ->
+                print_newline ();
+                print_adaptive_report report
+            | None -> ())
         | Error msg ->
             Printf.eprintf "error: %s\n" msg;
             exit 1
@@ -141,6 +197,32 @@ let plan_cmd =
         | exception Invalid_argument msg ->
             Printf.eprintf "error: %s\n" msg;
             exit 1
+        | _ when adaptive -> begin
+            (* The TPC-H catalog is the ground truth; the planner sees it
+               only through the requested estimation error. *)
+            let estimates = Raqo_execsim.Estimation_error.perturb est_error schema in
+            let opt =
+              Raqo.Cost_based.create ~kind ~kernel:(not no_kernel) ~model ~conditions
+                estimates
+            in
+            let result =
+              if jobs > 1 then
+                Raqo_par.Pool.with_pool ~jobs (fun pool ->
+                    Raqo.Cost_based.optimize_adaptive ~pool ~engine ~truth:schema opt
+                      relations)
+              else Raqo.Cost_based.optimize_adaptive ~engine ~truth:schema opt relations
+            in
+            match result with
+            | Some (report, _est_cost) ->
+                print_string
+                  (Raqo.Explain.joint model estimates
+                     report.Raqo_adaptive.Adaptive_exec.static_plan);
+                print_newline ();
+                print_adaptive_report report
+            | None ->
+                print_endline "no feasible plan";
+                exit 2
+          end
         | _ ->
             let opt =
               Raqo.Cost_based.create ~kind ~kernel:(not no_kernel) ~model ~conditions
@@ -171,7 +253,8 @@ let plan_cmd =
   in
   let term =
     Term.(const run $ relations_arg $ planner_arg $ mode_arg $ containers_arg $ memory_arg
-          $ fixed_containers $ fixed_gb $ sql_arg $ jobs_opt_arg $ no_kernel_arg $ trace_arg)
+          $ fixed_containers $ fixed_gb $ sql_arg $ jobs_opt_arg $ no_kernel_arg
+          $ engine_arg $ adaptive_arg $ est_error_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Jointly optimize a TPC-H query's plan and resources") term
 
@@ -338,13 +421,23 @@ let fuzz_cmd =
            ~doc:"Maximum pool size for the parallel-vs-sequential oracle arms; pool sizes \
                  in {2, 4, $(docv)} up to $(docv) are exercised (1 disables them).")
   in
-  let run seeds start tables joins max_jobs trace =
+  let fuzz_adaptive_arg =
+    Arg.(value & flag & info [ "adaptive" ]
+           ~doc:"Fuzz the runtime-adaptive executor instead: for each seed, plan from \
+                 error-perturbed estimates across every error distribution and check the \
+                 zero-error-identity and never-worse oracles; failures shrink to a minimal \
+                 query plus a single failing DIST=MAG:SEED error pattern.")
+  in
+  let run seeds start tables joins max_jobs adaptive trace =
     let jobs =
       List.sort_uniq compare (List.filter (fun j -> j >= 2 && j <= max_jobs) [ 2; 4; max_jobs ])
     in
     (* Compute the exit code inside [with_trace] so the trace is flushed
        before the process exits. *)
-    let code = with_trace trace (fun () -> Raqo_verify.Fuzz.main ~tables ~joins ~jobs ~start ~seeds ()) in
+    let code =
+      with_trace trace (fun () ->
+          Raqo_verify.Fuzz.main ~tables ~joins ~jobs ~adaptive ~start ~seeds ())
+    in
     exit code
   in
   Cmd.v
@@ -352,7 +445,7 @@ let fuzz_cmd =
        ~doc:"Fuzz the planners against the invariant checker and cross-planner oracle, \
              shrinking any failure to a minimal printed repro")
     Term.(const run $ seeds_arg $ start_arg $ tables_arg $ joins_arg $ fuzz_jobs_arg
-          $ trace_arg)
+          $ fuzz_adaptive_arg $ trace_arg)
 
 (* ----------------------------------------------------------------- trace *)
 
@@ -375,7 +468,8 @@ let trace_cmd =
                  out at 8 relations, so this is how to watch the dpsub levels fan out on \
                  bigger queries.")
   in
-  let run relations planner random max_containers max_gb jobs no_kernel out =
+  let run relations planner random max_containers max_gb jobs no_kernel engine adaptive
+      est_error out =
     Raqo_obs.Obs.set_enabled true;
     let kind =
       match planner with
@@ -388,13 +482,18 @@ let trace_cmd =
        kernel sweeps. (The trained models are extended-space, for which
        [Kernel.make] refuses to compile; see kernel.mli.) *)
     let model = Raqo_cost.Op_cost.with_floor 0.01 Raqo_cost.Op_cost.paper in
-    let schema, relations =
+    let truth, relations =
       match random with
       | Some n ->
           let rng = Raqo_util.Rng.create (600 + n) in
           let s = Raqo_catalog.Random_schema.generate rng ~tables:n in
           (s, Raqo_catalog.Schema.relation_names s)
       | None -> (Raqo_catalog.Tpch.schema (), relations)
+    in
+    (* Under --adaptive the planner sees only the perturbed estimates; the
+       adaptive executor's re-plan spans then join the summary table. *)
+    let schema =
+      if adaptive then Raqo_execsim.Estimation_error.perturb est_error truth else truth
     in
     let opt =
       Raqo.Cost_based.create ~kind
@@ -413,9 +512,18 @@ let trace_cmd =
     | None ->
         print_endline "no feasible plan";
         exit 2
-    | Some (_, cost) ->
+    | Some (plan, cost) ->
         Printf.printf "joint plan for [%s]: est cost %.3g\n\n" (String.concat " " relations)
           cost;
+        if adaptive then begin
+          let report =
+            Raqo_adaptive.Adaptive_exec.run ~engine ~model
+              ~conditions:(conditions max_containers max_gb)
+              ~truth ~estimates:schema plan
+          in
+          print_adaptive_report report;
+          print_newline ()
+        end;
         print_string (Raqo_obs.Export.span_summary (Raqo_obs.Trace.events ()));
         (match out with
         | Some path ->
@@ -428,7 +536,8 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Run one traced joint planning and print a per-span summary table")
     Term.(const run $ relations_pos $ planner_arg $ random_arg $ containers_arg
-          $ memory_arg $ jobs_opt_arg $ no_kernel_arg $ out_arg)
+          $ memory_arg $ jobs_opt_arg $ no_kernel_arg $ engine_arg $ adaptive_arg
+          $ est_error_arg $ out_arg)
 
 (* --------------------------------------------------------------- metrics *)
 

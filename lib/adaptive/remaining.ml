@@ -1,0 +1,95 @@
+module Schema = Raqo_catalog.Schema
+module Relation = Raqo_catalog.Relation
+module Join_graph = Raqo_catalog.Join_graph
+module Join_tree = Raqo_plan.Join_tree
+
+type leaf = { name : string; bases : string list }
+
+type t = { schema : Schema.t; leaves : leaf list; tree : Join_tree.joint }
+
+let leaf_of_bases bases =
+  match bases with
+  | [] -> invalid_arg "Remaining.leaf_of_bases: empty base set"
+  | [ r ] -> { name = r; bases }
+  | _ -> { name = String.concat "+" (List.sort compare bases); bases }
+
+(* Statistics for one leaf: a materialized intermediate carries its *true*
+   (observed) cardinality and width; an un-executed base keeps whatever the
+   estimate schema claims about it. *)
+let leaf_relation ~truth ~estimates leaf =
+  match leaf.bases with
+  | [ r ] -> Schema.find estimates r
+  | bases ->
+      Relation.make ~name:leaf.name ~rows:(Schema.join_rows truth bases)
+        ~row_bytes:(Schema.join_row_bytes truth bases)
+
+let of_leaves ~truth ~estimates leaves =
+  let relations = List.map (leaf_relation ~truth ~estimates) leaves in
+  let graph = Schema.graph estimates in
+  (* Cross-leaf edges: the product of every surviving estimate-side edge
+     between the two base sets — the independence assumption restricted to
+     the remaining query, which is exactly what the original estimate of the
+     union would have multiplied in. *)
+  let rec cross acc = function
+    | [] -> acc
+    | a :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc b ->
+              match Join_graph.edges_between graph a.bases b.bases with
+              | [] -> acc
+              | edges ->
+                  let selectivity =
+                    List.fold_left
+                      (fun s (e : Join_graph.edge) -> s *. e.selectivity)
+                      1.0 edges
+                  in
+                  { Join_graph.left = a.name; right = b.name; selectivity } :: acc)
+            acc rest
+        in
+        cross acc rest
+  in
+  Schema.make relations (Join_graph.make (List.rev (cross [] leaves)))
+
+let collapse ~truth ~estimates plan ~executed =
+  if executed < 0 then invalid_arg "Remaining.collapse: negative executed count";
+  if executed >= Join_tree.n_joins plan then None
+  else begin
+    (* Stages run bottom-up, left before right — post-order. A subtree is
+       fully executed iff its root join's post-order index is below
+       [executed]: children always precede their parent. *)
+    let rec go tree idx =
+      match tree with
+      | Join_tree.Scan r -> (`Leaf [ r ], idx)
+      | Join_tree.Join (annot, l, r) ->
+          let ln, idx = go l idx in
+          let rn, idx = go r idx in
+          let mine = idx in
+          let idx = idx + 1 in
+          if mine < executed then begin
+            match (ln, rn) with
+            | `Leaf lb, `Leaf rb -> (`Leaf (lb @ rb), idx)
+            | _ ->
+                (* Unreachable: post-order indices of a subtree are
+                   contiguous, so an executed parent implies executed
+                   children. *)
+                assert false
+          end
+          else (`Node (annot, ln, rn), idx)
+    in
+    let top, _ = go plan 0 in
+    let leaves = ref [] in
+    let rec rebuild = function
+      | `Leaf bases ->
+          let leaf = leaf_of_bases bases in
+          leaves := leaf :: !leaves;
+          Join_tree.Scan leaf.name
+      | `Node (annot, l, r) ->
+          let l = rebuild l in
+          let r = rebuild r in
+          Join_tree.Join (annot, l, r)
+    in
+    let tree = rebuild top in
+    let leaves = List.rev !leaves in
+    Some { schema = of_leaves ~truth ~estimates leaves; leaves; tree }
+  end

@@ -1,0 +1,51 @@
+(** The *remaining* join graph at a stage boundary: executed subtrees of a
+    joint plan collapse into pseudo-relations whose statistics come from the
+    ground truth (they were just materialized and measured), while
+    not-yet-joined base relations keep their (possibly erroneous) estimates.
+    The kernel-backed planner then re-optimizes this smaller query exactly
+    like any other — DPsub over its interned masks.
+
+    Collapsing is exact for the cost model: a pseudo-relation's row count is
+    [Schema.join_rows] of its base set and cross-leaf selectivities multiply
+    the surviving edges, so joining collapsed leaves estimates the same
+    cardinalities as the original join expression over their union. *)
+
+type leaf = {
+  name : string;  (** pseudo-relation name ("a+b") or the base name itself *)
+  bases : string list;  (** underlying base relations, tree order *)
+}
+
+type t = {
+  schema : Raqo_catalog.Schema.t;
+      (** collapsed schema: truth statistics on materialized leaves,
+          estimate statistics on un-executed bases, estimate selectivities
+          on every surviving cross edge *)
+  leaves : leaf list;  (** left-to-right leaves of the remaining plan *)
+  tree : Raqo_plan.Join_tree.joint;  (** incumbent remaining plan over leaf names *)
+}
+
+(** [of_leaves ~truth ~estimates leaves] builds the collapsed schema alone,
+    for callers that carry their own remaining tree.
+    @raise Invalid_argument on duplicate leaf names or unknown bases. *)
+val of_leaves :
+  truth:Raqo_catalog.Schema.t ->
+  estimates:Raqo_catalog.Schema.t ->
+  leaf list ->
+  Raqo_catalog.Schema.t
+
+(** [leaf_of_bases bases] names a leaf: the base itself for singletons,
+    the bases joined with ["+"] otherwise. *)
+val leaf_of_bases : string list -> leaf
+
+(** [collapse ~truth ~estimates plan ~executed] collapses the first
+    [executed] joins of [plan] (in the executor's bottom-up, left-then-right
+    stage order) into pseudo-leaves. [None] when nothing remains
+    ([executed >= n_joins]). [executed = 0] yields the plan unchanged over
+    its base relations.
+    @raise Invalid_argument on negative [executed]. *)
+val collapse :
+  truth:Raqo_catalog.Schema.t ->
+  estimates:Raqo_catalog.Schema.t ->
+  Raqo_plan.Join_tree.joint ->
+  executed:int ->
+  t option

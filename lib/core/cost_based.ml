@@ -13,6 +13,7 @@ type t = {
   randomized_params : Raqo_planner.Randomized.params;
   memoize : bool;
   parallel_memo : bool;
+  kernel : bool;
 }
 
 let create ?(kind = Selinger) ?(seed = 42)
@@ -31,6 +32,7 @@ let create ?(kind = Selinger) ?(seed = 42)
     randomized_params;
     memoize;
     parallel_memo;
+    kernel;
   }
 
 let schema t = t.schema
@@ -157,6 +159,26 @@ let optimize_par t pool relations =
           | None ->
               Raqo_planner.Randomized.optimize_par ~params:t.randomized_params pool t.rng
                 ~coster:(restart_coster t) t.schema relations)
+
+(* Adaptive RAQO: [t] is the optimizer a user would build over the (possibly
+   erroneous) estimate schema; [truth] is what execution actually encounters.
+   Plan statically from the estimates, then execute with boundary
+   re-optimization against the truth. The static plan, its estimated cost,
+   and both simulated outcomes travel in the report. *)
+let optimize_adaptive ?pool ?replan_cost_s ~engine ~truth t relations =
+  let static =
+    match pool with
+    | Some pool -> optimize_par t pool relations
+    | None -> optimize t relations
+  in
+  Option.map
+    (fun (plan, est_cost) ->
+      let report =
+        Raqo_adaptive.Adaptive_exec.run ?pool ?replan_cost_s ~kernel:t.kernel ~engine
+          ~model:t.model ~conditions:(conditions t) ~truth ~estimates:t.schema plan
+      in
+      (report, est_cost))
+    static
 
 let optimize_qo t ~resources relations =
   instrumented t (fun () ->

@@ -90,6 +90,26 @@ val optimize :
 val optimize_par :
   t -> Raqo_par.Pool.t -> string list -> (Raqo_plan.Join_tree.joint * float) option
 
+(** [optimize_adaptive ?pool ?replan_cost_s ~engine ~truth t relations]
+    plans statically from [t]'s schema (the estimates — build [t] over an
+    {!Raqo_execsim.Estimation_error}-perturbed schema to model misestimation)
+    and then simulates the plan against [truth] twice: as-is, and with
+    {!Raqo_adaptive.Adaptive_exec} re-optimizing the remaining join graph at
+    every stage boundary whose observed cardinality contradicts its
+    estimate. Returns the adaptive report with the static plan's estimated
+    cost; [None] when no feasible static plan exists. [pool] fans out both
+    the static optimization and every mid-flight re-plan. The report
+    guarantees [adaptive.seconds <= static.seconds] (bitwise, re-planning
+    cost included) and bit-identity under zero estimation error. *)
+val optimize_adaptive :
+  ?pool:Raqo_par.Pool.t ->
+  ?replan_cost_s:float ->
+  engine:Raqo_execsim.Engine.t ->
+  truth:Raqo_catalog.Schema.t ->
+  t ->
+  string list ->
+  (Raqo_adaptive.Adaptive_exec.report * float) option
+
 (** [optimize_qo t ~resources relations] is the conventional two-step
     baseline: query planning only, every join costed at the given fixed
     resource configuration. *)

@@ -2,11 +2,13 @@ type planned = {
   analyzed : Raqo_sql.Resolver.analyzed;
   plan : Raqo_plan.Join_tree.joint;
   est_cost : float;
+  adaptive : Raqo_adaptive.Adaptive_exec.report option;
 }
 
 let m_queries = Raqo_obs.Metrics.counter "raqo_sql_queries_total"
 
-let plan ?kind ?seed ?kernel ?parallel_memo ?pool ~model ~conditions ~schema ~columns sql =
+let plan ?kind ?seed ?kernel ?parallel_memo ?pool ?adaptive ~model ~conditions ~schema
+    ~columns sql =
   if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_queries;
   match
     Raqo_obs.Trace.with_ ~name:"sql/analyze" (fun () ->
@@ -14,19 +16,49 @@ let plan ?kind ?seed ?kernel ?parallel_memo ?pool ~model ~conditions ~schema ~co
   with
   | Error e -> Error e
   | Ok analyzed -> begin
-      (* Optimize against the filter-scaled schema the resolver produced. *)
-      let opt =
-        Cost_based.create ?kind ?seed ?kernel ?parallel_memo ~model ~conditions
-          analyzed.Raqo_sql.Resolver.schema
-      in
-      match
-        Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
-            match pool with
-            | Some pool -> Cost_based.optimize_par opt pool analyzed.Raqo_sql.Resolver.relations
-            | None -> Cost_based.optimize opt analyzed.Raqo_sql.Resolver.relations)
-      with
-      | Some (plan, est_cost) -> Ok { analyzed; plan; est_cost }
-      | None -> Error "no feasible joint plan under the current cluster conditions"
+      match adaptive with
+      | None -> begin
+          (* Optimize against the filter-scaled schema the resolver produced. *)
+          let opt =
+            Cost_based.create ?kind ?seed ?kernel ?parallel_memo ~model ~conditions
+              analyzed.Raqo_sql.Resolver.schema
+          in
+          match
+            Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
+                match pool with
+                | Some pool ->
+                    Cost_based.optimize_par opt pool analyzed.Raqo_sql.Resolver.relations
+                | None -> Cost_based.optimize opt analyzed.Raqo_sql.Resolver.relations)
+          with
+          | Some (plan, est_cost) -> Ok { analyzed; plan; est_cost; adaptive = None }
+          | None -> Error "no feasible joint plan under the current cluster conditions"
+        end
+      | Some (engine, error) -> begin
+          (* Adaptive mode: the resolver's filter-scaled schema is the ground
+             truth; the planner only sees it through the seeded estimation
+             error. Plan statically from the estimates, then execute with
+             boundary re-optimization against the truth. *)
+          let truth = analyzed.Raqo_sql.Resolver.schema in
+          let estimates = Raqo_execsim.Estimation_error.perturb error truth in
+          let opt =
+            Cost_based.create ?kind ?seed ?kernel ?parallel_memo ~model ~conditions
+              estimates
+          in
+          match
+            Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
+                Cost_based.optimize_adaptive ?pool ~engine ~truth opt
+                  analyzed.Raqo_sql.Resolver.relations)
+          with
+          | Some (report, est_cost) ->
+              Ok
+                {
+                  analyzed;
+                  plan = report.Raqo_adaptive.Adaptive_exec.static_plan;
+                  est_cost;
+                  adaptive = Some report;
+                }
+          | None -> Error "no feasible joint plan under the current cluster conditions"
+        end
     end
 
 let plan_tpch ?kind ?(scale_factor = 100.0) sql =

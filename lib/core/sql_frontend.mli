@@ -5,23 +5,31 @@
 
 type planned = {
   analyzed : Raqo_sql.Resolver.analyzed;  (** resolution & selectivities *)
-  plan : Raqo_plan.Join_tree.joint;
+  plan : Raqo_plan.Join_tree.joint;  (** the static plan (from the estimates) *)
   est_cost : float;
+  adaptive : Raqo_adaptive.Adaptive_exec.report option;
+      (** present iff [?adaptive] was requested: the static-vs-adaptive
+          execution report against the resolver's (ground-truth) schema *)
 }
 
-(** [plan ?kind ?seed ?kernel ?parallel_memo ?pool ~model ~conditions
-    ~schema ~columns sql] parses, resolves, and jointly optimizes [sql].
-    [kernel] and [parallel_memo] are forwarded to {!Cost_based.create} (the
-    CLI's [--no-kernel] passes [kernel:false]). When [pool] is given the
-    optimization step runs {!Cost_based.optimize_par} on it — same plans
-    and costs, fanned out across the pool's domains. Errors are SQL
-    front-end errors; an infeasible plan reports as an error too. *)
+(** [plan ?kind ?seed ?kernel ?parallel_memo ?pool ?adaptive ~model
+    ~conditions ~schema ~columns sql] parses, resolves, and jointly
+    optimizes [sql]. [kernel] and [parallel_memo] are forwarded to
+    {!Cost_based.create} (the CLI's [--no-kernel] passes [kernel:false]).
+    When [pool] is given the optimization step runs
+    {!Cost_based.optimize_par} on it — same plans and costs, fanned out
+    across the pool's domains. [adaptive:(engine, error)] treats the
+    resolver's filter-scaled schema as ground truth, plans from an
+    [error]-perturbed copy, and runs {!Cost_based.optimize_adaptive} on
+    [engine] — the report lands in the result's [adaptive] field. Errors
+    are SQL front-end errors; an infeasible plan reports as an error too. *)
 val plan :
   ?kind:Cost_based.planner_kind ->
   ?seed:int ->
   ?kernel:bool ->
   ?parallel_memo:bool ->
   ?pool:Raqo_par.Pool.t ->
+  ?adaptive:Raqo_execsim.Engine.t * Raqo_execsim.Estimation_error.t ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->
   schema:Raqo_catalog.Schema.t ->

@@ -1,0 +1,103 @@
+module Schema = Raqo_catalog.Schema
+module Relation = Raqo_catalog.Relation
+module Join_graph = Raqo_catalog.Join_graph
+module Rng = Raqo_util.Rng
+
+type dist = Exact | Lognormal of float | Skew of float | Correlated of float
+type t = { dist : dist; seed : int }
+
+let exact = { dist = Exact; seed = 0 }
+
+let make dist ~seed =
+  (match dist with
+  | Exact -> ()
+  | Lognormal m | Skew m | Correlated m ->
+      if not (Float.is_finite m) || m < 0.0 then
+        invalid_arg "Estimation_error.make: magnitude must be finite and non-negative");
+  { dist; seed }
+
+let default_magnitude = function
+  | "lognormal" -> Some 0.6
+  | "skew" | "correlated" -> Some 0.8
+  | _ -> None
+
+(* Perturb every base cardinality by an independent multiplicative factor,
+   in schema relation order so the draw sequence is part of the contract. *)
+let scale_rows schema factor_of =
+  List.fold_left
+    (fun acc (r : Relation.t) -> Schema.with_relation acc (Relation.scale r (factor_of r)))
+    schema (Schema.relations schema)
+
+let perturb t schema =
+  match t.dist with
+  | Exact -> schema
+  | Lognormal sigma ->
+      let rng = Rng.create t.seed in
+      scale_rows schema (fun _ -> Rng.lognormal rng ~mu:0.0 ~sigma)
+  | Skew mag ->
+      let rng = Rng.create t.seed in
+      scale_rows schema (fun _ -> exp (-.Float.abs (Rng.gaussian rng ~mean:0.0 ~sigma:mag)))
+  | Correlated mag ->
+      (* One shared draw ties the per-edge errors together: plans that chain
+         many correlated predicates accumulate a systematic underestimate,
+         which is exactly the failure mode that flips BHJ/SMJ choices. *)
+      let rng = Rng.create t.seed in
+      let shared = Float.abs (Rng.gaussian rng ~mean:0.0 ~sigma:1.0) in
+      let edges =
+        List.map
+          (fun (e : Join_graph.edge) ->
+            let local = Float.abs (Rng.gaussian rng ~mean:0.0 ~sigma:1.0) in
+            let factor = exp (-.(mag /. 2.0) *. (shared +. local)) in
+            { e with Join_graph.selectivity = e.selectivity *. factor })
+          (Join_graph.edges (Schema.graph schema))
+      in
+      Schema.make (Schema.relations schema) (Join_graph.make edges)
+
+let dist_name t =
+  match t.dist with
+  | Exact -> "exact"
+  | Lognormal _ -> "lognormal"
+  | Skew _ -> "skew"
+  | Correlated _ -> "correlated"
+
+let to_string t =
+  match t.dist with
+  | Exact -> "none"
+  | Lognormal m | Skew m | Correlated m ->
+      Printf.sprintf "%s=%g:%d" (dist_name t) m t.seed
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "none" | "exact" -> Ok exact
+  | s -> begin
+      let name_mag, seed_str =
+        match String.index_opt s ':' with
+        | Some i ->
+            (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+        | None -> (s, None)
+      in
+      let name, mag_str =
+        match String.index_opt name_mag '=' with
+        | Some i ->
+            ( String.sub name_mag 0 i,
+              Some (String.sub name_mag (i + 1) (String.length name_mag - i - 1)) )
+        | None -> (name_mag, None)
+      in
+      let mag =
+        match mag_str with
+        | Some m -> float_of_string_opt m
+        | None -> default_magnitude name
+      in
+      let seed = Option.bind seed_str int_of_string_opt in
+      match (name, mag, seed) with
+      | _, _, None -> Error (Printf.sprintf "est-error %S: expected DIST[=MAG]:SEED" s)
+      | _, None, _ -> Error (Printf.sprintf "est-error %S: bad magnitude" s)
+      | "lognormal", Some m, Some seed -> Ok (make (Lognormal m) ~seed)
+      | "skew", Some m, Some seed -> Ok (make (Skew m) ~seed)
+      | "correlated", Some m, Some seed -> Ok (make (Correlated m) ~seed)
+      | name, _, _ ->
+          Error
+            (Printf.sprintf
+               "est-error %S: unknown distribution %S (lognormal, skew, correlated, none)" s
+               name)
+    end

@@ -1,0 +1,56 @@
+(** Seeded cardinality-estimation error models: what the optimizer *thinks*
+    the data looks like, versus the ground truth the simulator executes
+    against. [perturb] derives the erroneous estimate schema from a true
+    schema; the adaptive executor ({!Raqo_adaptive.Adaptive_exec}) plans on
+    the estimates and discovers the truth one materialized stage at a time.
+
+    Every distribution is driven by a splitmix64 stream from [seed], so a
+    (distribution, seed) pair names one exact error pattern — the fuzz
+    harness prints it in repros and replays it bit-identically. *)
+
+type dist =
+  | Exact
+      (** no error: [perturb] returns the truth schema physically unchanged,
+          so estimate-vs-truth comparisons are bit-equal — the adaptive
+          executor's zero-error identity hinges on this *)
+  | Lognormal of float
+      (** multiplicative log-normal noise on every base cardinality:
+          [rows *= exp (N (0, sigma))] — the classic symmetric misestimate *)
+  | Skew of float
+      (** one-sided underestimation: [rows *= exp (-|N (0, mag)|)] — stale
+          statistics make every table look smaller than it is, luring the
+          planner toward broadcast joins that blow up at runtime *)
+  | Correlated of float
+      (** correlated-predicate error: every join-edge selectivity is scaled
+          down by [exp (-(mag/2) (|shared| + |local|))] with one shared
+          normal draw across edges — the independence assumption
+          underestimates join outputs, and the errors compound along a
+          plan's spine *)
+
+type t = { dist : dist; seed : int }
+
+val exact : t
+
+val make : dist -> seed:int -> t
+
+(** Magnitude used by {!of_string} when the spec omits one:
+    lognormal 0.6, skew 0.8, correlated 0.8. *)
+val default_magnitude : string -> float option
+
+(** [perturb t schema] derives the estimate schema the planner sees.
+    [Exact] returns [schema] itself (physical identity); the seeded
+    distributions rebuild relations (and, for [Correlated], join-edge
+    selectivities) deterministically from [t.seed]. The join graph's shape
+    (which pairs join) never changes — only statistics do. *)
+val perturb : t -> Raqo_catalog.Schema.t -> Raqo_catalog.Schema.t
+
+(** [of_string s] parses a CLI spec: ["none"]/["exact"], or
+    ["DIST:SEED"] / ["DIST=MAG:SEED"] with [DIST] one of [lognormal],
+    [skew], [correlated] — e.g. ["lognormal:42"], ["skew=0.5:7"]. *)
+val of_string : string -> (t, string) result
+
+(** [to_string t] round-trips through {!of_string}. *)
+val to_string : t -> string
+
+(** [dist_name t] is just the distribution constructor, e.g. ["lognormal"]. *)
+val dist_name : t -> string

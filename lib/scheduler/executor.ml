@@ -5,8 +5,9 @@ module Conditions = Raqo_cluster.Conditions
 module Operators = Raqo_execsim.Operators
 module Simulate = Raqo_execsim.Simulate
 module Op_cost = Raqo_cost.Op_cost
+module Remaining = Raqo_adaptive.Remaining
 
-type policy = Wait of float option | Fail | Downscale | Reoptimize
+type policy = Wait of float option | Fail | Downscale | Reoptimize | Replan_remaining
 
 type stage_report = {
   index : int;
@@ -85,18 +86,50 @@ let reoptimize_stage model conditions stage =
       | Some _ | None -> if Float.is_finite c then Some (impl, resources, c) else best)
     None candidates
 
+(* Re-plan the entire remaining join graph under the current conditions:
+   collapse executed subtrees into measured pseudo-relations
+   ({!Raqo_adaptive.Remaining}) and run the joint bushy DP over what is
+   left. [None] when nothing remains, only one leaf remains, the remainder
+   outgrows the DP, or no feasible joint plan exists — callers fall back to
+   the per-stage [Reoptimize] repair. *)
+let replan_remaining model conditions schema plan ~executed =
+  match Remaining.collapse ~truth:schema ~estimates:schema plan ~executed with
+  | None -> None
+  | Some rem ->
+      let names =
+        List.map (fun (l : Remaining.leaf) -> l.Remaining.name) rem.Remaining.leaves
+      in
+      if List.length names < 2 then None
+      else begin
+        let opt =
+          Raqo.Cost_based.create ~kind:Raqo.Cost_based.Bushy_dp ~model ~conditions
+            rem.Remaining.schema
+        in
+        match Raqo.Cost_based.optimize opt names with
+        | Some (plan', _) -> Some (rem.Remaining.schema, plan')
+        | None -> None
+        | exception _ -> None
+      end
+
 let m_stages = Raqo_obs.Metrics.counter "raqo_executor_stages_total"
 let m_adaptations = Raqo_obs.Metrics.counter "raqo_executor_adaptations_total"
 let m_failures = Raqo_obs.Metrics.counter "raqo_executor_failures_total"
+let m_replans = Raqo_obs.Metrics.counter "raqo_executor_replans_total"
 
 let run ?(policy = Wait None) ?(submit = 0.0) engine ~model schema ~capacity plan =
   if not (Join_tree.valid plan) then invalid_arg "Executor.run: invalid plan";
   let span = Raqo_obs.Trace.start "executor/run" in
-  let stages = stages_of schema plan in
   let duration impl ~resources stage =
     Operators.join_time engine impl ~small_gb:stage.small_gb ~big_gb:stage.big_gb ~resources
   in
-  let rec execute index now total_wait gb_seconds reports = function
+  (* [cur_schema]/[cur_plan] track the plan actually being executed — under
+     [Replan_remaining] they are replaced mid-flight by the collapsed
+     remainder and its re-planned tree, with [executed] counting the stages
+     of [cur_plan] already run. [retried] breaks the loop where a freshly
+     re-planned stage is still blocked: the second attempt at the same index
+     repairs per-stage instead of re-planning again. *)
+  let rec execute cur_schema cur_plan executed retried index now total_wait gb_seconds
+      reports = function
     | [] ->
         Completed
           { finish = now; total_wait; gb_seconds; stages = List.rev reports }
@@ -120,7 +153,8 @@ let run ?(policy = Wait None) ?(submit = 0.0) engine ~model schema ~capacity pla
                   adapted;
                 }
               in
-              execute (index + 1) (now +. seconds) (total_wait +. waited)
+              execute cur_schema cur_plan (executed + 1) false (index + 1) (now +. seconds)
+                (total_wait +. waited)
                 (gb_seconds +. Resources.gb_seconds resources seconds)
                 (report :: reports) rest
           | None ->
@@ -134,9 +168,37 @@ let run ?(policy = Wait None) ?(submit = 0.0) engine ~model schema ~capacity pla
                       (Resources.to_string resources);
                 }
         in
+        let reoptimize_here () =
+          match reoptimize_stage model conditions stage with
+          | Some (impl, resources, _) ->
+              (* The model may still disagree with the simulator near the
+                 OOM cliff; fall back to the simulator's choice. *)
+              let impl, resources =
+                if duration impl ~resources stage <> None then (impl, resources)
+                else begin
+                  match
+                    Operators.best_impl engine ~small_gb:stage.small_gb
+                      ~big_gb:stage.big_gb
+                      ~resources:(Conditions.clamp conditions resources)
+                  with
+                  | Some (i, _) -> (i, Conditions.clamp conditions resources)
+                  | None -> (impl, resources)
+                end
+              in
+              launch ~impl ~resources ~waited:0.0 ~adapted:true
+          | None ->
+              Failed
+                {
+                  at_time = now;
+                  stage = index;
+                  reason = "no feasible operator under current conditions";
+                }
+        in
         if planned_runs then
+          (* [retried] here means this stage was just installed by a
+             remaining-graph re-plan — report it as adapted. *)
           launch ~impl:stage.planned_impl ~resources:stage.planned_resources ~waited:0.0
-            ~adapted:false
+            ~adapted:retried
         else begin
           match policy with
           | Fail ->
@@ -169,7 +231,8 @@ let run ?(policy = Wait None) ?(submit = 0.0) engine ~model schema ~capacity pla
                           adapted = false;
                         }
                       in
-                      execute (index + 1) (t' +. seconds) (total_wait +. waited)
+                      execute cur_schema cur_plan (executed + 1) false (index + 1)
+                        (t' +. seconds) (total_wait +. waited)
                         (gb_seconds +. Resources.gb_seconds stage.planned_resources seconds)
                         (report :: reports) rest
                   | None ->
@@ -206,35 +269,25 @@ let run ?(policy = Wait None) ?(submit = 0.0) engine ~model schema ~capacity pla
                 end
               in
               launch ~impl ~resources:clamped ~waited:0.0 ~adapted:true
-          | Reoptimize -> begin
-              match reoptimize_stage model conditions stage with
-              | Some (impl, resources, _) ->
-                  (* The model may still disagree with the simulator near the
-                     OOM cliff; fall back to the simulator's choice. *)
-                  let impl, resources =
-                    if duration impl ~resources stage <> None then (impl, resources)
-                    else begin
-                      match
-                        Operators.best_impl engine ~small_gb:stage.small_gb
-                          ~big_gb:stage.big_gb
-                          ~resources:(Conditions.clamp conditions resources)
-                      with
-                      | Some (i, _) -> (i, Conditions.clamp conditions resources)
-                      | None -> (impl, resources)
-                    end
-                  in
-                  launch ~impl ~resources ~waited:0.0 ~adapted:true
-              | None ->
-                  Failed
-                    {
-                      at_time = now;
-                      stage = index;
-                      reason = "no feasible operator under current conditions";
-                    }
+          | Reoptimize -> reoptimize_here ()
+          | Replan_remaining when retried -> reoptimize_here ()
+          | Replan_remaining -> begin
+              if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_replans;
+              match
+                Raqo_obs.Trace.with_ ~name:"executor/replan" (fun () ->
+                    replan_remaining model conditions cur_schema cur_plan ~executed)
+              with
+              | Some (schema', plan') ->
+                  (* Restart on the re-planned remainder; the global stage
+                     index keeps counting, and a still-blocked first stage
+                     falls through to the per-stage repair ([retried]). *)
+                  execute schema' plan' 0 true index now total_wait gb_seconds reports
+                    (stages_of schema' plan')
+              | None -> reoptimize_here ()
             end
         end
   in
-  let outcome = execute 1 submit 0.0 0.0 [] stages in
+  let outcome = execute schema plan 0 false 1 submit 0.0 0.0 [] (stages_of schema plan) in
   (if Raqo_obs.Obs.enabled () then
      match outcome with
      | Completed { stages; _ } ->

@@ -22,6 +22,15 @@ type policy =
   | Reoptimize
       (** re-consult the optimizer: re-pick every remaining stage's operator
           and resources under the current conditions (adaptive RAQO) *)
+  | Replan_remaining
+      (** re-plan the *entire remaining join graph* under the current
+          conditions: executed subtrees collapse into measured
+          pseudo-relations ({!Raqo_adaptive.Remaining}) and the joint bushy
+          DP re-optimizes what is left — join order, operators, and
+          resources together. Falls back to [Reoptimize]'s per-stage repair
+          when the remainder cannot be re-planned (a single leaf, a graph
+          beyond the DP's cap, or no feasible joint plan) or when the
+          freshly re-planned stage is itself still blocked. *)
 
 type stage_report = {
   index : int;  (** execution order, 1-based *)

@@ -1,9 +1,11 @@
 module Schema = Raqo_catalog.Schema
+module Estimation_error = Raqo_execsim.Estimation_error
 module D = Diagnostic
 
 type report = {
   instance : Oracle.instance;
   minimized : string list;
+  minimized_dist : string option;
   diagnostics : D.t list;
 }
 
@@ -11,11 +13,11 @@ type report = {
    drop one relation; keep a drop when the smaller query is still connected
    (otherwise no planner accepts it) and still fails the oracle. Terminates:
    every accepted drop shrinks the set. *)
-let shrink ?jobs ?fault (t : Oracle.instance) =
+let shrink_with check (t : Oracle.instance) =
   let still_fails rels =
     rels <> []
     && Schema.joinable t.Oracle.schema rels
-    && Oracle.check ?jobs ?fault (Oracle.with_relations t rels) <> []
+    && check (Oracle.with_relations t rels) <> []
   in
   let rec pass rels =
     let rec try_drop kept = function
@@ -29,11 +31,40 @@ let shrink ?jobs ?fault (t : Oracle.instance) =
     | None -> rels
   in
   let minimized = pass t.Oracle.relations in
-  (minimized, Oracle.check ?jobs ?fault (Oracle.with_relations t minimized))
+  (minimized, check (Oracle.with_relations t minimized))
+
+let shrink ?jobs ?fault (t : Oracle.instance) =
+  shrink_with (fun t -> Oracle.check ?jobs ?fault t) t
+
+(* Adaptive shrinking minimizes along two dimensions: first the relation
+   set (checking all error distributions), then the error-seed dimension —
+   isolate a single distribution that still fails on the minimized query, so
+   the repro names one exact (distribution, seed) error pattern. *)
+let shrink_adaptive ?jobs ?fault (t : Oracle.instance) =
+  let minimized, diagnostics =
+    shrink_with (fun t -> Oracle.check_adaptive ?jobs ?fault t) t
+  in
+  let small = Oracle.with_relations t minimized in
+  let dist =
+    List.find_opt
+      (fun d -> Oracle.check_adaptive ?jobs ~dists:[ d ] ?fault small <> [])
+      Oracle.adaptive_dists
+  in
+  match dist with
+  | None -> (minimized, None, diagnostics)
+  | Some d ->
+      let error = Estimation_error.make d ~seed:(Oracle.adaptive_error_seed t.Oracle.seed) in
+      ( minimized,
+        Some (Estimation_error.to_string error),
+        Oracle.check_adaptive ?jobs ~dists:[ d ] ?fault small )
 
 let report ?jobs ?fault (t : Oracle.instance) =
   let minimized, diagnostics = shrink ?jobs ?fault t in
-  { instance = t; minimized; diagnostics }
+  { instance = t; minimized; minimized_dist = None; diagnostics }
+
+let report_adaptive ?jobs ?fault (t : Oracle.instance) =
+  let minimized, minimized_dist, diagnostics = shrink_adaptive ?jobs ?fault t in
+  { instance = t; minimized; minimized_dist; diagnostics }
 
 let render r =
   let t = r.instance in
@@ -45,32 +76,41 @@ let render r =
     (Printf.sprintf "  query:     %s\n" (String.concat " " t.Oracle.relations));
   Buffer.add_string buf
     (Printf.sprintf "  minimized: %s\n" (String.concat " " r.minimized));
+  (match r.minimized_dist with
+  | Some d -> Buffer.add_string buf (Printf.sprintf "  est-error: %s\n" d)
+  | None -> ());
   Buffer.add_string buf "  violated:\n";
   List.iter
     (fun d -> Buffer.add_string buf (Printf.sprintf "    %s\n" (D.to_string d)))
     r.diagnostics;
   Buffer.add_string buf
-    (Printf.sprintf "  repro: raqo fuzz --seeds 1 --start %d --tables %d --joins %d\n"
+    (Printf.sprintf "  repro: raqo fuzz%s --seeds 1 --start %d --tables %d --joins %d\n"
+       (if r.minimized_dist <> None then " --adaptive" else "")
        t.Oracle.seed t.Oracle.tables t.Oracle.joins);
   Buffer.contents buf
 
 let m_seeds = Raqo_obs.Metrics.counter "raqo_fuzz_seeds_total"
 
-let run ?tables ?joins ?jobs ?fault ?(progress = fun ~seed:_ ~failed:_ -> ()) ?(start = 1)
-    ~seeds () =
+let run ?tables ?joins ?jobs ?fault ?(adaptive = false)
+    ?(progress = fun ~seed:_ ~failed:_ -> ()) ?(start = 1) ~seeds () =
   let failures = ref [] in
   for seed = start to start + seeds - 1 do
     if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_seeds;
     let t = Oracle.instance ?tables ?joins seed in
-    match Oracle.check ?jobs ?fault t with
+    let diags =
+      if adaptive then Oracle.check_adaptive ?jobs t else Oracle.check ?jobs ?fault t
+    in
+    match diags with
     | [] -> progress ~seed ~failed:false
     | _ :: _ ->
         progress ~seed ~failed:true;
-        failures := report ?jobs ?fault t :: !failures
+        failures :=
+          (if adaptive then report_adaptive ?jobs t else report ?jobs ?fault t)
+          :: !failures
   done;
   List.rev !failures
 
-let main ?tables ?joins ?jobs ?(start = 1) ~seeds () =
+let main ?tables ?joins ?jobs ?(adaptive = false) ?(start = 1) ~seeds () =
   (* The fuzz CLI always runs with observability on: the closing metrics
      summary doubles as a smoke test that instrumentation does not disturb
      the planners the oracle compares. *)
@@ -80,9 +120,11 @@ let main ?tables ?joins ?jobs ?(start = 1) ~seeds () =
     else if seed mod 50 = 0 || seed = start + seeds - 1 then
       Printf.printf "seed %d: ok\n%!" seed
   in
-  let failures = run ?tables ?joins ?jobs ~progress ~start ~seeds () in
+  let failures = run ?tables ?joins ?jobs ~adaptive ~progress ~start ~seeds () in
   List.iter (fun r -> print_string (render r)) failures;
-  Printf.printf "fuzz: %d seeds, %d failure%s\n" seeds (List.length failures)
+  Printf.printf "fuzz%s: %d seeds, %d failure%s\n"
+    (if adaptive then " (adaptive)" else "")
+    seeds (List.length failures)
     (if List.length failures = 1 then "" else "s");
   let v name = Raqo_obs.Metrics.Counter.value (Raqo_obs.Metrics.counter name) in
   Printf.printf
@@ -100,4 +142,9 @@ let main ?tables ?joins ?jobs ?(start = 1) ~seeds () =
     (v "raqo_memo_conflicts_total")
     (v "raqo_memo_publishes_total")
     (v "raqo_memo_hits_total");
+  if adaptive then
+    Printf.printf "adaptive: replans=%d switches=%d failed-replans=%d\n"
+      (v "raqo_adaptive_replans_total")
+      (v "raqo_adaptive_switches_total")
+      (v "raqo_adaptive_failed_replans_total");
   if failures = [] then 0 else 1

@@ -17,6 +17,10 @@ module Heuristics = Raqo_planner.Heuristics
 module Resource_planner = Raqo_resource.Resource_planner
 module Plan_cache = Raqo_resource.Plan_cache
 module Pool = Raqo_par.Pool
+module Engine = Raqo_execsim.Engine
+module Simulate = Raqo_execsim.Simulate
+module Estimation_error = Raqo_execsim.Estimation_error
+module Adaptive_exec = Raqo_adaptive.Adaptive_exec
 module D = Diagnostic
 
 type instance = {
@@ -506,4 +510,160 @@ let check ?(jobs = [ 2; 4 ]) ?(fault = no_fault) t =
             probes)
         (Plan_cache.keys cache));
 
+  !diags
+
+(* ------------------------------------------- adaptive re-optimization arm *)
+
+type masked_fault = Coster.masked -> Coster.masked
+
+let no_masked_fault : masked_fault = fun c -> c
+
+let adaptive_dists : Estimation_error.dist list =
+  [
+    Estimation_error.Exact;
+    Estimation_error.Lognormal 0.6;
+    Estimation_error.Skew 0.8;
+    Estimation_error.Correlated 0.8;
+  ]
+
+(* The error stream is decoupled from the instance stream so the same seed
+   never feeds both the schema generator and the perturbation. *)
+let adaptive_error_seed seed = (seed * 37) + 11
+
+let check_adaptive ?(jobs = [ 2; 4 ]) ?(dists = adaptive_dists) ?(fault = no_masked_fault) t
+    =
+  let diags = ref [] in
+  let add ds = diags := !diags @ ds in
+  let truth = t.schema and rels = t.relations in
+  let n = List.length rels in
+  let latency = Adaptive_exec.latency in
+  (* Static plans come from the *estimates* — the optimizer never sees the
+     truth; only the adaptive executor's materialization boundaries do. *)
+  let planners =
+    ("selinger",
+     fun estimates rp -> Selinger.optimize (Coster.raqo model estimates rp) estimates rels)
+    :: (if n <= 10 then
+          [
+            ("dpsub",
+             fun estimates rp ->
+               Dpsub.optimize (Coster.raqo model estimates rp) estimates rels);
+          ]
+        else [])
+  in
+  List.iter
+    (fun dist ->
+      let error = Estimation_error.make dist ~seed:(adaptive_error_seed t.seed) in
+      let estimates = Estimation_error.perturb error truth in
+      List.iter
+        (fun (pname, optimize) ->
+          let engines =
+            Engine.hive :: (if pname = "dpsub" then [ Engine.spark ] else [])
+          in
+          List.iter
+            (fun (engine : Engine.t) ->
+              let arm =
+                Printf.sprintf "adaptive/%s/%s/%s" pname engine.Engine.name
+                  (Estimation_error.dist_name error)
+              in
+              match optimize estimates (Resource_planner.create conditions) with
+              | None -> () (* no feasible static plan: nothing to execute *)
+              | Some (plan, _est_cost) ->
+                  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_arms;
+                  let report =
+                    Adaptive_exec.run ~fault ~engine ~model ~conditions ~truth ~estimates
+                      plan
+                  in
+                  (* The report's static path must be bit-identical to the
+                     independent tree simulator — the differential anchor
+                     every other relation leans on. *)
+                  (match
+                     (report.Adaptive_exec.static_outcome, Simulate.run_joint engine truth plan)
+                   with
+                  | Adaptive_exec.Done { seconds; gb_seconds }, Ok run ->
+                      if
+                        not
+                          (Float.equal seconds run.Simulate.seconds
+                          && Float.equal gb_seconds run.Simulate.gb_seconds)
+                      then
+                        add
+                          [ D.v ~invariant:"oracle/adaptive-static-vs-simulate"
+                              "%s: static path diverged from Simulate.run_joint (%h vs %h s)"
+                              arm seconds run.Simulate.seconds ]
+                  | Adaptive_exec.Oom _, Error _ -> ()
+                  | Adaptive_exec.Done _, Error reason ->
+                      add
+                        [ D.v ~invariant:"oracle/adaptive-static-vs-simulate"
+                            "%s: static path completed but the simulator failed (%s)" arm
+                            reason ]
+                  | Adaptive_exec.Oom _, Ok _ ->
+                      add
+                        [ D.v ~invariant:"oracle/adaptive-static-vs-simulate"
+                            "%s: static path failed but the simulator completed" arm ]);
+                  (* Zero-error identity: no estimation error means no replan
+                     fires and the adaptive run is bit-identical to static. *)
+                  if dist = Estimation_error.Exact then begin
+                    if report.Adaptive_exec.replans <> 0 then
+                      add
+                        [ D.v ~invariant:"oracle/adaptive-exact-replans"
+                            "%s: %d re-plans fired under zero estimation error" arm
+                            report.Adaptive_exec.replans ];
+                    if report.Adaptive_exec.adaptive_plan <> report.Adaptive_exec.static_plan
+                    then
+                      add
+                        [ D.v ~invariant:"oracle/adaptive-exact-plan"
+                            "%s: adaptive plan differs from static under zero error" arm ];
+                    if
+                      report.Adaptive_exec.adaptive_outcome
+                      <> report.Adaptive_exec.static_outcome
+                    then
+                      add
+                        [ D.v ~invariant:"oracle/adaptive-exact-outcome"
+                            "%s: adaptive outcome not bit-identical to static under zero \
+                             error"
+                            arm ]
+                  end;
+                  (* Never-worse, as plain floats — no tolerance. *)
+                  if
+                    not
+                      (latency report.Adaptive_exec.adaptive_outcome
+                      <= latency report.Adaptive_exec.static_outcome)
+                  then
+                    add
+                      [ D.v ~invariant:"oracle/adaptive-never-worse"
+                          "%s: adaptive latency %h exceeds static %h (replans=%d switches=%d)"
+                          arm
+                          (latency report.Adaptive_exec.adaptive_outcome)
+                          (latency report.Adaptive_exec.static_outcome)
+                          report.Adaptive_exec.replans report.Adaptive_exec.switches ];
+                  (match
+                     ( report.Adaptive_exec.static_outcome,
+                       report.Adaptive_exec.adaptive_outcome )
+                   with
+                  | Adaptive_exec.Done _, Adaptive_exec.Oom _ ->
+                      add
+                        [ D.v ~invariant:"oracle/adaptive-oom-regression"
+                            "%s: adaptive run failed where the static run completed" arm ]
+                  | _ -> ());
+                  (* Pool bit-identity: the shared-memo parallel re-planner
+                     must reproduce the sequential report exactly, at every
+                     pool size. One planner/engine cell keeps the arm cheap. *)
+                  if pname = "dpsub" && engine.Engine.name = "hive" then
+                    List.iter
+                      (fun j ->
+                        if j > 1 then
+                          Pool.with_pool ~jobs:j (fun pool ->
+                              let par =
+                                Adaptive_exec.run ~pool ~fault ~engine ~model ~conditions
+                                  ~truth ~estimates plan
+                              in
+                              if par <> report then
+                                add
+                                  [ D.v ~invariant:"oracle/adaptive-par-vs-seq"
+                                      "%s: adaptive report with a %d-domain pool diverged \
+                                       from sequential"
+                                      arm j ]))
+                      jobs)
+            engines)
+        planners)
+    dists;
   !diags

@@ -66,3 +66,38 @@ val model : Raqo_cost.Op_cost.t
     sizes for the parallel arms (default [[2; 4]]; values [<= 1] are
     skipped). *)
 val check : ?jobs:int list -> ?fault:fault -> instance -> Diagnostic.t list
+
+(** A fault seam for the adaptive arm: wraps every *re-planning* coster
+    inside {!Raqo_adaptive.Adaptive_exec.run}. A wrapper that raises forces
+    the fallback path (the incumbent remainder keeps running), under which
+    every adaptive invariant below must still hold. *)
+type masked_fault = Raqo_planner.Coster.masked -> Raqo_planner.Coster.masked
+
+val no_masked_fault : masked_fault
+
+(** The error distributions the adaptive arm sweeps: exact (zero error),
+    lognormal 0.6, skew 0.8, correlated 0.8. *)
+val adaptive_dists : Raqo_execsim.Estimation_error.dist list
+
+(** [adaptive_error_seed seed] derives the perturbation seed the adaptive
+    arm uses for instance [seed] (printed in fuzz repros). *)
+val adaptive_error_seed : int -> int
+
+(** [check_adaptive ?jobs ?dists ?fault t] runs the runtime-adaptive
+    re-optimization arm: for every error distribution, a static plan is
+    optimized from the perturbed estimate schema (Selinger always, bushy DP
+    for queries of [<= 10] relations) and executed against the ground truth
+    by {!Raqo_adaptive.Adaptive_exec}, on Hive (and Spark for the DP arm).
+    Asserted, all bitwise:
+    - the report's static path equals {!Raqo_execsim.Simulate.run_joint};
+    - zero error ([Exact]) fires no re-plan and leaves plan and outcome
+      bit-identical to static;
+    - adaptive latency [<=] static latency as plain floats (re-planning cost
+      included), and a completed static run is never turned into a failure;
+    - the report is bit-identical at every pool size in [jobs]. *)
+val check_adaptive :
+  ?jobs:int list ->
+  ?dists:Raqo_execsim.Estimation_error.dist list ->
+  ?fault:masked_fault ->
+  instance ->
+  Diagnostic.t list

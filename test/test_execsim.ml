@@ -432,6 +432,83 @@ let test_task_sim_rejects_negative_noise () =
         (Task_sim.simulate ~noise_sigma:(-0.1) (Rng.create 1) hive Join_impl.Smj ~small_gb:1.0
            ~big_gb:77.0 ~resources:(res 10 3.0)))
 
+let test_task_sim_single_container () =
+  (* One container degenerates to fully sequential waves: every task is its
+     own wave, and with zero noise the makespan is exactly the summed work,
+     so the task-level time still reproduces the closed form. *)
+  let rng = Rng.create 6 in
+  match
+    Task_sim.simulate ~noise_sigma:0.0 rng hive Join_impl.Smj ~small_gb:3.0 ~big_gb:77.0
+      ~resources:(res 1 6.0)
+  with
+  | Some report ->
+      Alcotest.(check int) "every task is a wave" report.Task_sim.tasks
+        report.Task_sim.waves;
+      Alcotest.(check (float 1e-6)) "matches analytical" report.Task_sim.analytical_seconds
+        report.Task_sim.seconds;
+      Alcotest.(check (float 1e-9)) "no stragglers possible" 1.0
+        report.Task_sim.straggler_factor
+  | None -> Alcotest.fail "feasible"
+
+let test_simulate_floors_zero_row_intermediates () =
+  (* A near-zero-selectivity edge annihilates the intermediate (1e12 pairs x
+     1e-30 ~ 0 rows), but the cardinality model floors every join output at
+     one row, so downstream stages see a positive size and the whole-plan
+     simulation stays finite — the adaptive executor relies on this when a
+     mid-flight observation collapses. *)
+  let rel name rows = Raqo_catalog.Relation.make ~name ~rows ~row_bytes:100.0 in
+  let edge l r s = { Raqo_catalog.Join_graph.left = l; right = r; selectivity = s } in
+  let s =
+    Raqo_catalog.Schema.make
+      [ rel "x" 1e6; rel "y" 1e6; rel "z" 1e6 ]
+      (Raqo_catalog.Join_graph.make [ edge "x" "y" 1e-30; edge "y" "z" 1e-6 ])
+  in
+  Alcotest.(check (float 1e-9)) "floored at one row" 1.0
+    (Raqo_catalog.Schema.join_rows s [ "x"; "y" ]);
+  let r = res 10 3.0 in
+  let plan =
+    Join_tree.Join
+      ( (Join_impl.Smj, r),
+        Join_tree.Join ((Join_impl.Smj, r), Join_tree.Scan "x", Join_tree.Scan "y"),
+        Join_tree.Scan "z" )
+  in
+  match Simulate.run_joint hive s plan with
+  | Ok run ->
+      Alcotest.(check bool) "finite positive time" true
+        (Float.is_finite run.Simulate.seconds && run.Simulate.seconds > 0.0)
+  | Error e -> Alcotest.failf "zero-row intermediate broke the simulation: %s" e
+
+let test_spark_amortization_uses_stage_containers () =
+  (* Container-reuse amortization subtracts the *current* stage's launch
+     overhead (task_overhead x its own container count), not the first
+     stage's — the exact semantics the adaptive executor replicates when a
+     re-planned stage runs under different resources than stage one. *)
+  let s = schema () in
+  let r1 = res 20 6.0 and r2 = res 8 6.0 in
+  let spark = Engine.spark in
+  let plan =
+    Join_tree.Join
+      ( (Join_impl.Smj, r2),
+        Join_tree.Join ((Join_impl.Smj, r1), Join_tree.Scan "orders", Join_tree.Scan "lineitem"),
+        Join_tree.Scan "customer" )
+  in
+  match Simulate.run_joint spark s plan with
+  | Ok both ->
+      let stage small big r =
+        match Operators.join_time spark Join_impl.Smj ~small_gb:small ~big_gb:big ~resources:r with
+        | Some t -> t
+        | None -> Alcotest.fail "feasible"
+      in
+      let gb names = Raqo_catalog.Schema.join_size_gb s names in
+      let j1 = stage (gb [ "orders" ]) (gb [ "lineitem" ]) r1 in
+      let j2 = stage (gb [ "customer" ]) (gb [ "orders"; "lineitem" ]) r2 in
+      let amortized =
+        j2 -. spark.Engine.startup_s -. (spark.Engine.task_overhead_s *. 8.0)
+      in
+      Alcotest.(check (float 1e-6)) "second stage amortizes its own launch"
+        (j1 +. amortized) both.Simulate.seconds
+  | Error e -> Alcotest.fail e
+
 let prop_task_sim_never_beats_balanced =
   (* List scheduling can never beat a perfectly balanced split of the drawn
      task durations. *)
@@ -502,6 +579,8 @@ let () =
           Alcotest.test_case "OOM propagates" `Quick test_task_sim_respects_oom;
           Alcotest.test_case "deterministic per seed" `Quick test_task_sim_deterministic_per_seed;
           Alcotest.test_case "rejects negative noise" `Quick test_task_sim_rejects_negative_noise;
+          Alcotest.test_case "single container degenerates to waves" `Quick
+            test_task_sim_single_container;
         ]
         @ qsuite [ prop_task_sim_never_beats_balanced ] );
       ( "simulate",
@@ -516,6 +595,10 @@ let () =
           Alcotest.test_case "spark reuses containers across stages" `Quick
             test_spark_container_reuse;
           Alcotest.test_case "hive pays per stage" `Quick test_hive_no_container_reuse;
+          Alcotest.test_case "zero-row intermediates floored" `Quick
+            test_simulate_floors_zero_row_intermediates;
+          Alcotest.test_case "spark amortization keys on stage containers" `Quick
+            test_spark_amortization_uses_stage_containers;
           Alcotest.test_case "join_inputs ordering" `Quick test_join_inputs_ordered;
         ] );
     ]

@@ -174,6 +174,60 @@ let test_mid_query_dip_with_wait () =
     end
   | Executor.Failed { reason; _ } -> Alcotest.failf "unexpected failure: %s" reason
 
+let test_replan_remaining_adapts () =
+  (* The whole remaining join graph is re-planned under the tight
+     conditions: join order, operators, and resources together. The
+     installed plan must run inside the dip. *)
+  match run ~policy:Executor.Replan_remaining ~capacity:(Capacity.constant tight) bhj_plan with
+  | Executor.Completed { stages; _ } ->
+      let s = List.hd stages in
+      Alcotest.(check bool) "adapted" true s.Executor.adapted;
+      Alcotest.(check bool) "within tight bounds" true
+        (Capacity.fits tight s.Executor.resources)
+  | Executor.Failed { reason; _ } -> Alcotest.failf "unexpected failure: %s" reason
+
+let test_replan_remaining_mid_query_dip () =
+  (* The dip hits at the boundary between stages: the executed first join
+     collapses into a measured pseudo-relation and the remainder is
+     re-planned jointly — every post-dip stage runs within the reduced
+     conditions, and the job never waits. *)
+  let plan =
+    Join_tree.Join
+      ( (Join_impl.Smj, res 40 3.0),
+        Join_tree.Join ((Join_impl.Smj, res 40 3.0), Join_tree.Scan "orders", Join_tree.Scan "lineitem"),
+        Join_tree.Scan "customer" )
+  in
+  let tiny = Conditions.make ~max_containers:10 ~max_gb:3.0 () in
+  let capacity = Capacity.dip ~normal:roomy ~reduced:tiny ~from_t:1.0 ~until_t:1e6 in
+  match run ~policy:Executor.Replan_remaining ~capacity plan with
+  | Executor.Completed { stages; total_wait; _ } ->
+      Alcotest.(check (float 1e-9)) "never waits" 0.0 total_wait;
+      Alcotest.(check bool) "first stage unadapted" true
+        (not (List.hd stages).Executor.adapted);
+      List.iteri
+        (fun i s ->
+          if i > 0 then
+            Alcotest.(check bool)
+              (Printf.sprintf "stage %d within the dip" (i + 1))
+              true
+              (Capacity.fits tiny s.Executor.resources))
+        stages
+  | Executor.Failed { reason; _ } -> Alcotest.failf "unexpected failure: %s" reason
+
+let test_replan_remaining_no_worse_than_reoptimize_here () =
+  (* Re-planning the remainder searches a superset of per-stage repair's
+     space (it may also reorder joins), so on this single-join plan the two
+     coincide and neither can lose. *)
+  match
+    ( run ~policy:Executor.Replan_remaining ~capacity:(Capacity.constant tight) bhj_plan,
+      run ~policy:Executor.Reoptimize ~capacity:(Capacity.constant tight) bhj_plan )
+  with
+  | Executor.Completed { finish = a; _ }, Executor.Completed { finish = b; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "replan %.0f <= reoptimize %.0f" a b)
+        true (a <= b +. 1e-6)
+  | _ -> Alcotest.fail "both should complete"
+
 let test_executor_rejects_invalid_plan () =
   let bad = Join_tree.Join ((Join_impl.Smj, res 1 1.0), Join_tree.Scan "orders", Join_tree.Scan "orders") in
   Alcotest.check_raises "invalid" (Invalid_argument "Executor.run: invalid plan") (fun () ->
@@ -192,14 +246,15 @@ let test_gb_seconds_accumulates () =
 
 let prop_policies_always_terminate =
   QCheck.Test.make ~name:"every policy yields an outcome on random dips" ~count:25
-    QCheck.(triple (int_range 1 100) (int_range 1 8) (int_range 0 3))
+    QCheck.(triple (int_range 1 100) (int_range 1 8) (int_range 0 4))
     (fun (from_t, max_c, policy_id) ->
       let policy =
         match policy_id with
         | 0 -> Executor.Wait (Some 1000.0)
         | 1 -> Executor.Fail
         | 2 -> Executor.Downscale
-        | _ -> Executor.Reoptimize
+        | 3 -> Executor.Reoptimize
+        | _ -> Executor.Replan_remaining
       in
       let reduced = Conditions.make ~max_containers:max_c ~max_gb:2.0 () in
       let capacity =
@@ -318,6 +373,11 @@ let () =
             test_multi_stage_plan_executes_in_order;
           Alcotest.test_case "mid-query dip adapts later stages" `Quick
             test_mid_query_dip_with_wait;
+          Alcotest.test_case "Replan_remaining adapts" `Quick test_replan_remaining_adapts;
+          Alcotest.test_case "Replan_remaining re-plans after a mid-query dip" `Quick
+            test_replan_remaining_mid_query_dip;
+          Alcotest.test_case "Replan_remaining <= Reoptimize here" `Quick
+            test_replan_remaining_no_worse_than_reoptimize_here;
           Alcotest.test_case "rejects invalid plans" `Quick test_executor_rejects_invalid_plan;
           Alcotest.test_case "usage accounting" `Quick test_gb_seconds_accumulates;
         ]
