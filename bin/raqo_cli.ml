@@ -7,7 +7,11 @@
      queue   — simulate a contended cluster queue and print wait statistics
      fuzz    — differential fuzzing of the planners against each other
      trace   — run a traced joint planning and summarize its spans
-     metrics — run the evaluation queries and dump the metrics registry *)
+     metrics — run the evaluation queries and dump the metrics registry
+     serve   — resident optimizer: line-delimited JSON requests over stdio/TCP
+
+   Unknown subcommands are rejected up front with the command listing and
+   exit code 2 (same contract as the bench runner's unknown sections). *)
 
 open Cmdliner
 
@@ -563,10 +567,33 @@ let metrics_cmd =
     List.iter
       (fun (_, relations) -> ignore (Raqo.Cost_based.optimize opt relations))
       Raqo_catalog.Tpch.evaluation_queries;
+    (* Also drive the resident server against the process-wide registry, so
+       the dump covers the serve path: shared-plan-cache hits/misses/
+       evictions and the admission counters. A tiny queue forces a few typed
+       rejections; the drained requests come from the standard trace mix. *)
+    let server_config =
+      {
+        Raqo_server.Engine.default_config with
+        jobs = 1;
+        queue_capacity = 8;
+        kernel = not no_kernel;
+        conditions = conditions max_containers max_gb;
+      }
+    in
+    let server =
+      Raqo_server.Engine.create ~config:server_config
+        ~registry:Raqo_obs.Metrics.default ()
+    in
+    let requests = List.map snd (Raqo_server.Trace_gen.generate ~requests:12 ()) in
+    List.iter (fun req -> ignore (Raqo_server.Engine.submit server req)) requests;
+    ignore (Raqo_server.Engine.drain server);
+    Raqo_server.Engine.shutdown server;
     if prometheus then print_string (Raqo_obs.Export.prometheus ())
     else begin
-      Printf.printf "metrics after planning %d TPC-H evaluation queries:\n\n"
-        (List.length Raqo_catalog.Tpch.evaluation_queries);
+      Printf.printf
+        "metrics after planning %d TPC-H evaluation queries and serving %d requests:\n\n"
+        (List.length Raqo_catalog.Tpch.evaluation_queries)
+        (List.length requests);
       print_string (Raqo_obs.Export.metrics_table ())
     end
   in
@@ -575,6 +602,110 @@ let metrics_cmd =
        ~doc:"Plan the TPC-H evaluation queries with observability on and dump the \
              metrics registry")
     Term.(const run $ containers_arg $ memory_arg $ no_kernel_arg $ prometheus_arg)
+
+(* ----------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Listen on 127.0.0.1:$(docv) (TCP, one connection at a time; 0 picks an \
+                 ephemeral port, logged to stderr). Default: serve stdin/stdout.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N"
+           ~doc:"Admission bound: requests beyond $(docv) pending are rejected with a \
+                 typed 'overloaded' response instead of queueing unboundedly.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N"
+           ~doc:"Requests planned concurrently per wave on the domain pool.")
+  in
+  let cache_capacity_arg =
+    Arg.(value & opt int 4096 & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Shared plan-cache entry bound (LRU, split across shards); 0 = unbounded.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N"
+           ~doc:"Stripe count of the shared plan cache.")
+  in
+  let max_connections_arg =
+    Arg.(value & opt (some int) None & info [ "max-connections" ] ~docv:"N"
+           ~doc:"With --port: exit after serving $(docv) connections (smoke tests).")
+  in
+  let gen_trace_arg =
+    Arg.(value & opt (some int) None & info [ "gen-trace" ] ~docv:"N"
+           ~doc:"Instead of serving, print $(docv) heavy-tailed trace requests (one JSON \
+                 per line, ready to pipe back into 'raqo serve') and exit.")
+  in
+  let arrival_rate_arg =
+    Arg.(value & opt float 2.0 & info [ "arrival-rate" ] ~docv:"R"
+           ~doc:"With --gen-trace: Poisson arrival rate (requests/second) of the trace.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Trace generator seed.")
+  in
+  let oneshot_arg =
+    Arg.(value & flag & info [ "oneshot" ]
+           ~doc:"Plan each stdin request on a fresh single-job engine (cold cache, fresh \
+                 registry) — the reference the smoke test diffs served responses against; \
+                 byte-identical answers are the contract.")
+  in
+  let run port jobs queue_capacity batch cache_capacity shards no_kernel max_containers
+      max_gb max_connections gen_trace arrival_rate seed oneshot trace =
+    match gen_trace with
+    | Some n ->
+        List.iter
+          (fun (_arrival, req) ->
+            print_endline (Raqo_server.Protocol.request_to_json req))
+          (Raqo_server.Trace_gen.generate ~seed ~arrival_rate ~requests:n ())
+    | None ->
+        let config =
+          {
+            Raqo_server.Engine.jobs;
+            queue_capacity;
+            batch;
+            cache_capacity = (if cache_capacity <= 0 then None else Some cache_capacity);
+            cache_shards = shards;
+            kernel = not no_kernel;
+            scale_factor = 100.0;
+            conditions = conditions max_containers max_gb;
+          }
+        in
+        if oneshot then begin
+          let rec loop () =
+            match In_channel.input_line In_channel.stdin with
+            | None -> ()
+            | Some line when String.trim line = "" -> loop ()
+            | Some line ->
+                let response =
+                  match Raqo_server.Protocol.parse_request line with
+                  | Error message ->
+                      Raqo_server.Protocol.Rejected
+                        { id = None; reason = Raqo_server.Protocol.Bad_request; message }
+                  | Ok req -> Raqo_server.Engine.oneshot ~config req
+                in
+                print_endline (Raqo_server.Protocol.response_to_json response);
+                loop ()
+          in
+          loop ()
+        end
+        else
+          with_trace trace @@ fun () ->
+          let engine = Raqo_server.Engine.create ~config () in
+          Fun.protect
+            ~finally:(fun () -> Raqo_server.Engine.shutdown engine)
+            (fun () ->
+              match port with
+              | Some port -> Raqo_server.Serve.serve_tcp ?max_connections engine ~port
+              | None -> Raqo_server.Serve.serve_stdio engine)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Resident optimizer: plan line-delimited JSON requests over stdio or TCP, \
+             with a sharded cross-query plan cache and bounded-queue admission control")
+    Term.(const run $ port_arg $ jobs_opt_arg $ queue_arg $ batch_arg $ cache_capacity_arg
+          $ shards_arg $ no_kernel_arg $ containers_arg $ memory_arg $ max_connections_arg
+          $ gen_trace_arg $ arrival_rate_arg $ seed_arg $ oneshot_arg $ trace_arg)
 
 (* -------------------------------------------------------------- workload *)
 
@@ -625,23 +756,38 @@ let workload_cmd =
     Term.(const run $ n_arg $ seed_arg $ containers_arg $ memory_arg $ jobs_opt_arg
           $ trace_arg)
 
+let commands =
+  [
+    plan_cmd;
+    switch_cmd;
+    tree_cmd;
+    queue_cmd;
+    pareto_cmd;
+    robust_cmd;
+    workload_cmd;
+    fuzz_cmd;
+    trace_cmd;
+    metrics_cmd;
+    serve_cmd;
+  ]
+
 let () =
+  (* Reject unknown subcommands up front with the listing and exit 2 —
+     cmdliner's own unknown-command path exits 124, and a typo'd subcommand
+     silently matching nothing is how stale scripts rot. *)
+  (match Array.to_list Sys.argv with
+  | _ :: name :: _
+    when String.length name > 0
+         && name.[0] <> '-'
+         && (not (List.mem name [ "help" ]))
+         && not (List.exists (fun c -> Cmd.name c = name) commands) ->
+      Printf.eprintf "raqo: unknown command %S. Available commands:\n" name;
+      List.iter (fun c -> Printf.eprintf "  %s\n" (Cmd.name c)) commands;
+      Printf.eprintf "Run 'raqo --help' for details.\n";
+      exit 2
+  | _ -> ());
   let info =
     Cmd.info "raqo" ~version:"1.0.0"
       ~doc:"Resource and query optimization (RAQO) for big data systems"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            plan_cmd;
-            switch_cmd;
-            tree_cmd;
-            queue_cmd;
-            pareto_cmd;
-            robust_cmd;
-            workload_cmd;
-            fuzz_cmd;
-            trace_cmd;
-            metrics_cmd;
-          ]))
+  exit (Cmd.eval (Cmd.group info commands))

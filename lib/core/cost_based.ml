@@ -14,25 +14,33 @@ type t = {
   memoize : bool;
   parallel_memo : bool;
   kernel : bool;
+  (* Instrumentation handles resolved once at creation against the metrics
+     registry this optimizer was built with — the process-wide default, or a
+     per-server registry so two resident servers share no mutable state. *)
+  m_plans : Raqo_obs.Metrics.Counter.t;
+  m_plan_seconds : Raqo_obs.Metrics.Histogram.t;
 }
 
 let create ?(kind = Selinger) ?(seed = 42)
     ?(randomized_params = Raqo_planner.Randomized.default_params)
     ?(resource_strategy = Resource_planner.Hill_climb) ?(pruned = false) ?(cache = true)
     ?(lookup = Raqo_resource.Plan_cache.Exact) ?(memoize = false) ?(kernel = true)
-    ?(parallel_memo = true) ?cache_capacity ~model ~conditions schema =
+    ?(parallel_memo = true) ?cache_capacity ?shared_cache
+    ?(metrics = Raqo_obs.Metrics.default) ~model ~conditions schema =
   {
     kind;
     schema;
     model;
     resource_planner =
       Resource_planner.create ~strategy:resource_strategy ~pruned ~cache ~lookup ~kernel
-        ?cache_capacity conditions;
+        ?cache_capacity ?shared_cache ~registry:metrics conditions;
     rng = Raqo_util.Rng.create seed;
     randomized_params;
     memoize;
     parallel_memo;
     kernel;
+    m_plans = Raqo_obs.Metrics.counter_in metrics "raqo_plans_total";
+    m_plan_seconds = Raqo_obs.Metrics.histogram_in metrics "raqo_plan_seconds";
   }
 
 let schema t = t.schema
@@ -70,9 +78,6 @@ let run_planner_masked t m ctx =
   | Fast_randomized ->
       Raqo_planner.Randomized.optimize_masked ~params:t.randomized_params t.rng m ctx
 
-let m_plans = Raqo_obs.Metrics.counter "raqo_plans_total"
-let m_plan_seconds = Raqo_obs.Metrics.histogram "raqo_plan_seconds"
-
 let kind_span = function
   | Selinger -> "plan/selinger"
   | Bushy_dp -> "plan/bushy-dp"
@@ -89,8 +94,8 @@ let instrumented t f =
     match f () with
     | result ->
         Raqo_obs.Trace.finish span;
-        Raqo_obs.Metrics.Counter.inc m_plans;
-        Raqo_obs.Metrics.Histogram.observe m_plan_seconds
+        Raqo_obs.Metrics.Counter.inc t.m_plans;
+        Raqo_obs.Metrics.Histogram.observe t.m_plan_seconds
           (float_of_int (Raqo_obs.Obs.now_ns () - t0) /. 1e9);
         result
     | exception e ->

@@ -43,6 +43,16 @@ type t
     ({!Raqo_planner.Dpsub.optimize_par_masked}); [false] pins it to the
     sequential sweep regardless of the pool.
 
+    [shared_cache] plugs the embedded resource planner into a striped,
+    thread-safe cross-query plan cache instead of a private one (see
+    {!Raqo_resource.Shared_plan_cache}): every fork handed to parallel
+    workers keeps the same handle, so concurrent optimizers warm each other.
+    [metrics] directs all of this optimizer's registry instrumentation —
+    plan counters, latency histograms, resource-planner counter mirrors — at
+    a caller-owned registry (default: the process-wide one); a resident
+    server passes its own so two servers, or a server and the CLI, never
+    share mutable state.
+
     Queries of up to {!Raqo_catalog.Interned.max_relations} relations run on
     the interned, mask-based planner core; larger ones (the randomized
     planner accepts up to 100) fall back to the string-list planners. Both
@@ -59,6 +69,8 @@ val create :
   ?kernel:bool ->
   ?parallel_memo:bool ->
   ?cache_capacity:int ->
+  ?shared_cache:Raqo_resource.Shared_plan_cache.t ->
+  ?metrics:Raqo_obs.Metrics.registry ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->
   Raqo_catalog.Schema.t ->

@@ -5,11 +5,13 @@ type planned = {
   adaptive : Raqo_adaptive.Adaptive_exec.report option;
 }
 
-let m_queries = Raqo_obs.Metrics.counter "raqo_sql_queries_total"
-
-let plan ?kind ?seed ?kernel ?parallel_memo ?pool ?adaptive ~model ~conditions ~schema
-    ~columns sql =
-  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_queries;
+let plan ?kind ?seed ?kernel ?parallel_memo ?pool ?adaptive ?shared_cache
+    ?(metrics = Raqo_obs.Metrics.default) ~model ~conditions ~schema ~columns sql =
+  (* Registry lookup per query, not per cost evaluation: cheap enough here,
+     and it keeps the counter in the caller's registry (a resident server
+     threads its own). *)
+  if Raqo_obs.Obs.enabled () then
+    Raqo_obs.Metrics.Counter.inc (Raqo_obs.Metrics.counter_in metrics "raqo_sql_queries_total");
   match
     Raqo_obs.Trace.with_ ~name:"sql/analyze" (fun () ->
         Raqo_sql.Resolver.analyze schema columns sql)
@@ -20,8 +22,8 @@ let plan ?kind ?seed ?kernel ?parallel_memo ?pool ?adaptive ~model ~conditions ~
       | None -> begin
           (* Optimize against the filter-scaled schema the resolver produced. *)
           let opt =
-            Cost_based.create ?kind ?seed ?kernel ?parallel_memo ~model ~conditions
-              analyzed.Raqo_sql.Resolver.schema
+            Cost_based.create ?kind ?seed ?kernel ?parallel_memo ?shared_cache ~metrics
+              ~model ~conditions analyzed.Raqo_sql.Resolver.schema
           in
           match
             Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
@@ -41,8 +43,8 @@ let plan ?kind ?seed ?kernel ?parallel_memo ?pool ?adaptive ~model ~conditions ~
           let truth = analyzed.Raqo_sql.Resolver.schema in
           let estimates = Raqo_execsim.Estimation_error.perturb error truth in
           let opt =
-            Cost_based.create ?kind ?seed ?kernel ?parallel_memo ~model ~conditions
-              estimates
+            Cost_based.create ?kind ?seed ?kernel ?parallel_memo ?shared_cache ~metrics
+              ~model ~conditions estimates
           in
           match
             Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->

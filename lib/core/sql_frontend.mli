@@ -22,7 +22,11 @@ type planned = {
     resolver's filter-scaled schema as ground truth, plans from an
     [error]-perturbed copy, and runs {!Cost_based.optimize_adaptive} on
     [engine] — the report lands in the result's [adaptive] field. Errors
-    are SQL front-end errors; an infeasible plan reports as an error too. *)
+    are SQL front-end errors; an infeasible plan reports as an error too.
+    [shared_cache] and [metrics] are forwarded to {!Cost_based.create}: a
+    resident server passes its striped cross-query plan cache and its own
+    metrics registry, so concurrent requests warm each other while distinct
+    servers share no mutable state. *)
 val plan :
   ?kind:Cost_based.planner_kind ->
   ?seed:int ->
@@ -30,6 +34,8 @@ val plan :
   ?parallel_memo:bool ->
   ?pool:Raqo_par.Pool.t ->
   ?adaptive:Raqo_execsim.Engine.t * Raqo_execsim.Estimation_error.t ->
+  ?shared_cache:Raqo_resource.Shared_plan_cache.t ->
+  ?metrics:Raqo_obs.Metrics.registry ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->
   schema:Raqo_catalog.Schema.t ->

@@ -54,7 +54,7 @@ let fmt_float v =
     shortest 1
   end
 
-let prometheus () =
+let prometheus ?registry () =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (name, snap) ->
@@ -74,7 +74,7 @@ let prometheus () =
           Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" name count;
           Printf.bprintf buf "%s_sum %s\n" name (fmt_float sum);
           Printf.bprintf buf "%s_count %d\n" name count)
-    (Metrics.snapshot ());
+    (Metrics.snapshot ?registry ());
   Buffer.contents buf
 
 let parse_prometheus text =
@@ -125,7 +125,7 @@ let span_summary events =
     ~headers:[ "span"; "count"; "total ms"; "mean ms"; "min ms"; "max ms" ]
     rows
 
-let metrics_table () =
+let metrics_table ?registry () =
   let rows =
     List.map
       (fun (name, snap) ->
@@ -141,6 +141,6 @@ let metrics_table () =
                 (Raqo_util.Table_fmt.fseries sum)
                 (Raqo_util.Table_fmt.fseries mean);
             ])
-      (Metrics.snapshot ())
+      (Metrics.snapshot ?registry ())
   in
   Raqo_util.Table_fmt.render ~headers:[ "metric"; "kind"; "value" ] rows

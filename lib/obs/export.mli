@@ -12,10 +12,16 @@ val chrome_json : Trace.event list -> string
 (** [write_chrome_trace path] dumps the current rings to [path]. *)
 val write_chrome_trace : string -> unit
 
-(** Prometheus text exposition of {!Metrics.snapshot}: [# TYPE] comments,
-    histogram [_bucket{le="..."}] series (cumulative, with [+Inf]), [_sum]
-    and [_count]. Floats are printed round-trippably. *)
-val prometheus : unit -> string
+(** [fmt_float v] is the shortest decimal representation of [v] that reads
+    back bit-identical through [float_of_string] — the encoding every
+    exporter here (and the server protocol) uses for floats. *)
+val fmt_float : float -> string
+
+(** Prometheus text exposition of {!Metrics.snapshot} for [registry]
+    (default: the process-wide registry): [# TYPE] comments, histogram
+    [_bucket{le="..."}] series (cumulative, with [+Inf]), [_sum] and
+    [_count]. Floats are printed round-trippably. *)
+val prometheus : ?registry:Metrics.registry -> unit -> string
 
 (** [parse_prometheus text] reads back the sample lines of an exposition:
     [(name-with-labels, value)] pairs in file order, comments and blank
@@ -26,5 +32,6 @@ val parse_prometheus : string -> (string * float) list
     total first. The [raqo trace] summary. *)
 val span_summary : Trace.event list -> string
 
-(** Registry contents as an aligned table. *)
-val metrics_table : unit -> string
+(** Registry contents as an aligned table (default: the process-wide
+    registry). *)
+val metrics_table : ?registry:Metrics.registry -> unit -> string

@@ -99,42 +99,48 @@ type metric =
   | Gauge_m of Gauge.t
   | Histogram_m of Histogram.t
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
-let registry_mutex = Mutex.create ()
+(* A registry is a first-class value so a resident server can own its own
+   name -> metric table: two servers (or a server and the CLI's default
+   registry) then share no mutable state at all. The process-wide default
+   below keeps every historical [counter name] call site unchanged. *)
+type registry = { table : (string, metric) Hashtbl.t; mutex : Mutex.t }
 
-let locked f =
-  Mutex.lock registry_mutex;
+let create_registry () = { table = Hashtbl.create 64; mutex = Mutex.create () }
+let default = create_registry ()
+
+let locked r f =
+  Mutex.lock r.mutex;
   match f () with
   | v ->
-      Mutex.unlock registry_mutex;
+      Mutex.unlock r.mutex;
       v
   | exception e ->
-      Mutex.unlock registry_mutex;
+      Mutex.unlock r.mutex;
       raise e
 
-let get_or_create name ~make ~cast =
-  locked (fun () ->
-      match Hashtbl.find_opt registry name with
+let get_or_create r name ~make ~cast =
+  locked r (fun () ->
+      match Hashtbl.find_opt r.table name with
       | Some m -> cast m
       | None ->
           let m = make () in
-          Hashtbl.add registry name m;
+          Hashtbl.add r.table name m;
           cast m)
 
 let kind_error name = invalid_arg ("Metrics: " ^ name ^ " already registered with another kind")
 
-let counter name =
-  get_or_create name
+let counter_in r name =
+  get_or_create r name
     ~make:(fun () -> Counter_m (Counter.create ()))
     ~cast:(function Counter_m c -> c | _ -> kind_error name)
 
-let gauge name =
-  get_or_create name
+let gauge_in r name =
+  get_or_create r name
     ~make:(fun () -> Gauge_m (Gauge.create ()))
     ~cast:(function Gauge_m g -> g | _ -> kind_error name)
 
-let histogram ?buckets name =
-  get_or_create name
+let histogram_in ?buckets r name =
+  get_or_create r name
     ~make:(fun () -> Histogram_m (Histogram.create ?buckets ()))
     ~cast:(function
       | Histogram_m h ->
@@ -143,6 +149,10 @@ let histogram ?buckets name =
               invalid_arg ("Metrics: " ^ name ^ " already registered with other buckets")
           | _ -> h)
       | _ -> kind_error name)
+
+let counter name = counter_in default name
+let gauge name = gauge_in default name
+let histogram ?buckets name = histogram_in ?buckets default name
 
 type snapshot =
   | Counter_value of int
@@ -154,8 +164,10 @@ type snapshot =
       count : int;
     }
 
-let snapshot () =
-  let entries = locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry []) in
+let snapshot ?(registry = default) () =
+  let entries =
+    locked registry (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry.table [])
+  in
   entries
   |> List.map (fun (name, m) ->
          let snap =
@@ -174,8 +186,10 @@ let snapshot () =
          (name, snap))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let reset () =
-  let entries = locked (fun () -> Hashtbl.fold (fun _ v acc -> v :: acc) registry []) in
+let reset ?(registry = default) () =
+  let entries =
+    locked registry (fun () -> Hashtbl.fold (fun _ v acc -> v :: acc) registry.table [])
+  in
   List.iter
     (function
       | Counter_m c -> Counter.reset c

@@ -60,11 +60,29 @@ module Histogram : sig
   val reset : t -> unit
 end
 
-(** {2 Registry}
+(** {2 Registries}
 
-    One global name -> metric table. [counter]/[gauge]/[histogram] get or
-    create; asking for an existing name with a different kind (or different
-    histogram buckets) raises [Invalid_argument]. *)
+    A registry is a name -> metric table. The process-wide {!default} backs
+    the historical [counter]/[gauge]/[histogram] entry points; components
+    that must not share mutable state with the rest of the process (one
+    resident optimizer server per {!registry}) create their own with
+    {!create_registry} and resolve handles through [counter_in] & friends.
+    Get-or-create semantics either way; asking for an existing name with a
+    different kind (or different histogram buckets) raises
+    [Invalid_argument]. *)
+
+type registry
+
+(** The process-wide registry every bare [counter]/[gauge]/[histogram] call
+    resolves against. *)
+val default : registry
+
+(** [create_registry ()] is a fresh, empty, independently locked registry. *)
+val create_registry : unit -> registry
+
+val counter_in : registry -> string -> Counter.t
+val gauge_in : registry -> string -> Gauge.t
+val histogram_in : ?buckets:float array -> registry -> string -> Histogram.t
 
 val counter : string -> Counter.t
 val gauge : string -> Gauge.t
@@ -80,8 +98,10 @@ type snapshot =
       count : int;
     }
 
-(** All registered metrics, sorted by name. *)
-val snapshot : unit -> (string * snapshot) list
+(** All metrics registered in [registry] (default: {!default}), sorted by
+    name. *)
+val snapshot : ?registry:registry -> unit -> (string * snapshot) list
 
-(** Zero every registered metric (registration survives; handles stay valid). *)
-val reset : unit -> unit
+(** Zero every metric registered in [registry] (default: {!default});
+    registration survives and handles stay valid. *)
+val reset : ?registry:registry -> unit -> unit

@@ -9,15 +9,17 @@
     are merged snapshots — exact once the parallel section has joined,
     approximate while it is in flight.
 
-    When {!Raqo_obs.Obs.enabled} is on, every record also feeds the global
-    metrics registry ([raqo_cost_evaluations_total],
+    When {!Raqo_obs.Obs.enabled} is on, every record also feeds a metrics
+    registry ([raqo_cost_evaluations_total],
     [raqo_plan_cache_{hits,misses,evictions}_total],
     [raqo_planner_invocations_total]), so per-instrument views and the
-    process-wide registry stay one source of truth. *)
+    registry stay one source of truth. The mirror handles are resolved once
+    at {!create} from [?registry] — the process-wide default unless a
+    resident server threads its own. *)
 
 type t
 
-val create : unit -> t
+val create : ?registry:Raqo_obs.Metrics.registry -> unit -> t
 val reset : t -> unit
 
 (** {2 Reading} *)

@@ -2,11 +2,16 @@ module Kernel = Raqo_cost.Kernel
 
 type strategy = Brute_force | Hill_climb
 
+(* The cache behind [plan]: either the historical private Plan_cache (one
+   per planner, single-writer) or a handle to a striped cross-query cache a
+   resident server shares between all its concurrent planners. *)
+type cache_handle = Private of Plan_cache.t | Shared of Shared_plan_cache.t
+
 type t = {
   conditions : Raqo_cluster.Conditions.t;
   strategy : strategy;
   pruned : bool;
-  cache : Plan_cache.t option;
+  cache : cache_handle option;
   lookup : Plan_cache.lookup;
   counters : Counters.t;
   pool : Raqo_par.Pool.t option;
@@ -15,14 +20,20 @@ type t = {
 }
 
 let create ?(strategy = Hill_climb) ?(pruned = false) ?(cache = true)
-    ?(lookup = Plan_cache.Exact) ?counters ?pool ?(kernel = true) ?cache_capacity conditions =
+    ?(lookup = Plan_cache.Exact) ?counters ?pool ?(kernel = true) ?cache_capacity
+    ?shared_cache ?registry conditions =
   {
     conditions;
     strategy;
     pruned;
-    cache = (if cache then Some (Plan_cache.create ?capacity:cache_capacity ()) else None);
+    cache =
+      (match shared_cache with
+      | Some shared -> Some (Shared shared)
+      | None ->
+          if cache then Some (Private (Plan_cache.create ?capacity:cache_capacity ()))
+          else None);
     lookup;
-    counters = (match counters with Some k -> k | None -> Counters.create ());
+    counters = (match counters with Some k -> k | None -> Counters.create ?registry ());
     pool;
     use_kernel = kernel;
     scratch = Kernel.create_scratch ();
@@ -32,18 +43,21 @@ let conditions t = t.conditions
 let with_conditions t conditions = { t with conditions }
 
 (* A private copy for another domain (or another restart): same
-   configuration and shared counters, but a fresh cache and — critically —
-   fresh kernel scratch, the only single-writer state in here. *)
+   configuration and shared counters, but fresh single-writer state — a new
+   private cache and, critically, fresh kernel scratch. A shared striped
+   cache is synchronized and cross-query by design, so forks keep the same
+   handle: that sharing is the point of a resident server. *)
 let fork t =
   {
     t with
     cache =
       (match t.cache with
-      | Some cache ->
+      | Some (Private cache) ->
           Some
-            (Plan_cache.create ~backend:(Plan_cache.backend cache)
-               ?capacity:(Plan_cache.capacity cache) ())
-      | None -> None);
+            (Private
+               (Plan_cache.create ~backend:(Plan_cache.backend cache)
+                  ?capacity:(Plan_cache.capacity cache) ()))
+      | (Some (Shared _) | None) as cache -> cache);
     scratch = Kernel.create_scratch ();
   }
 let pruned t = t.pruned
@@ -103,8 +117,22 @@ let search ?start ?bound ?kernel t cost =
 let plan ?start ?bound ?kernel t ~key ~data_gb ~cost =
   match t.cache with
   | None -> search ?start ?bound ?kernel t cost
-  | Some cache -> begin
-      match Plan_cache.find ~counters:t.counters cache ~key ~data_gb t.lookup with
+  | Some handle -> begin
+      (* The shared handle records hits/misses in the planner's own counters
+         too (the striped cache's internal counters are the cross-planner
+         aggregate), so per-request instrumentation reads the same either
+         way. *)
+      let found =
+        match handle with
+        | Private cache -> Plan_cache.find ~counters:t.counters cache ~key ~data_gb t.lookup
+        | Shared shared ->
+            let r = Shared_plan_cache.find shared ~key ~data_gb t.lookup in
+            (match r with
+            | Some _ -> Counters.record_hit t.counters
+            | None -> Counters.record_miss t.counters);
+            r
+      in
+      match found with
       | Some cached ->
           let cached = Raqo_cluster.Conditions.clamp t.conditions cached in
           Counters.record_evaluation t.counters;
@@ -116,21 +144,27 @@ let plan ?start ?bound ?kernel t ~key ~data_gb ~cost =
           (cached, c)
       | None ->
           let resources, best = search ?start ?bound ?kernel t cost in
-          Plan_cache.insert ~counters:t.counters cache ~key ~data_gb resources;
+          (match handle with
+          | Private cache -> Plan_cache.insert ~counters:t.counters cache ~key ~data_gb resources
+          | Shared shared -> Shared_plan_cache.insert shared ~key ~data_gb resources);
           (resources, best)
     end
 
 let counters t = t.counters
 let reset_counters t = Counters.reset t.counters
-let cache t = t.cache
+let cache t = match t.cache with Some (Private cache) -> Some cache | Some (Shared _) | None -> None
+let shared_cache t = match t.cache with Some (Shared s) -> Some s | Some (Private _) | None -> None
 let lookup t = t.lookup
 
+(* Clearing is scoped to state this planner owns: a shared cross-query cache
+   belongs to the server, so per-query resets must not wipe it. *)
 let clear_cache t =
   match t.cache with
-  | Some cache -> Plan_cache.clear cache
-  | None -> ()
+  | Some (Private cache) -> Plan_cache.clear cache
+  | Some (Shared _) | None -> ()
 
 let cache_size t =
   match t.cache with
-  | Some cache -> Plan_cache.size cache
+  | Some (Private cache) -> Plan_cache.size cache
+  | Some (Shared shared) -> Shared_plan_cache.size shared
   | None -> 0

@@ -34,7 +34,14 @@ type t
     only shapes the scalar fallback.
 
     [cache_capacity] bounds the plan cache with LRU eviction (see
-    {!Plan_cache.create}); omitted means unbounded, the paper's behaviour. *)
+    {!Plan_cache.create}); omitted means unbounded, the paper's behaviour.
+
+    [shared_cache] replaces the private per-planner cache with a handle to a
+    striped, thread-safe cross-query cache ({!Shared_plan_cache}) owned by a
+    resident server: {!fork} then shares the handle instead of starting
+    empty, and [cache]/[cache_capacity] are ignored. [registry] directs the
+    planner's counter mirrors at a per-server metrics registry when
+    [counters] is not supplied (see {!Counters.create}). *)
 val create :
   ?strategy:strategy ->
   ?pruned:bool ->
@@ -44,6 +51,8 @@ val create :
   ?pool:Raqo_par.Pool.t ->
   ?kernel:bool ->
   ?cache_capacity:int ->
+  ?shared_cache:Shared_plan_cache.t ->
+  ?registry:Raqo_obs.Metrics.registry ->
   Raqo_cluster.Conditions.t ->
   t
 
@@ -70,9 +79,11 @@ val with_conditions : t -> Raqo_cluster.Conditions.t -> t
     configuration (strategy, pruning, lookup, kernel setting, conditions)
     and shared atomic counters, but a fresh, empty plan cache (same backend
     and capacity bound) and fresh kernel scratch — the two pieces of
-    single-writer state. With the default exact-match cache lookup a fork
-    returns the same (configuration, cost) answers as the original, so
-    parallel planners hand one fork to each worker. *)
+    single-writer state. A planner created over a [shared_cache] keeps the
+    same (synchronized) handle across forks — cross-query, cross-domain
+    reuse is what the shared cache is for. With the default exact-match
+    cache lookup a fork returns the same (configuration, cost) answers as
+    the original, so parallel planners hand one fork to each worker. *)
 val fork : t -> t
 
 (** [plan t ~key ~data_gb ~cost] returns the chosen configuration and its
@@ -114,16 +125,23 @@ val counters : t -> Counters.t
 (** [reset_counters t] zeroes instrumentation (the cache is preserved). *)
 val reset_counters : t -> unit
 
-(** [clear_cache t] empties the resource-plan cache (between queries, as the
-    evaluation does unless measuring across-query caching). *)
+(** [clear_cache t] empties the private resource-plan cache (between
+    queries, as the evaluation does unless measuring across-query caching).
+    A shared handle is left untouched: the cross-query cache belongs to its
+    server, not to any one planner. *)
 val clear_cache : t -> unit
 
 val cache_size : t -> int
 
-(** [cache t] exposes the underlying resource-plan cache ([None] when caching
-    is disabled) so the verification layer can audit lookup answers against
-    the stored entries. Read-only use only. *)
+(** [cache t] exposes the underlying private resource-plan cache ([None]
+    when caching is disabled or the planner uses a shared handle) so the
+    verification layer can audit lookup answers against the stored entries.
+    Read-only use only. *)
 val cache : t -> Plan_cache.t option
+
+(** [shared_cache t] is the striped cross-query cache handle, when this
+    planner was created with one. *)
+val shared_cache : t -> Shared_plan_cache.t option
 
 (** [lookup t] is the lookup policy this planner queries its cache with. *)
 val lookup : t -> Plan_cache.lookup

@@ -1,0 +1,295 @@
+module M = Raqo_obs.Metrics
+
+type config = {
+  jobs : int;
+  queue_capacity : int;
+  batch : int;
+  cache_capacity : int option;
+  cache_shards : int;
+  kernel : bool;
+  scale_factor : float;
+  conditions : Raqo_cluster.Conditions.t;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    queue_capacity = 64;
+    batch = 8;
+    cache_capacity = Some 4096;
+    cache_shards = 8;
+    kernel = true;
+    scale_factor = 100.0;
+    conditions = Raqo_cluster.Conditions.default;
+  }
+
+type t = {
+  config : config;
+  schema : Raqo_catalog.Schema.t;
+  columns : Raqo_catalog.Column.catalog;
+  registry : M.registry;
+  cache : Raqo_resource.Shared_plan_cache.t;
+  pool : Raqo_par.Pool.t;
+  queue : Protocol.request Queue.t;
+  queue_mutex : Mutex.t;
+  (* Private cells are the source of truth (always recorded, lock-free);
+     the registry carries gated mirrors, per the repo's counters pattern. *)
+  admitted : M.Counter.t;
+  rejected : M.Counter.t;
+  responses : M.Counter.t;
+  latency : M.Histogram.t;
+  g_admitted : M.Counter.t;
+  g_rejected : M.Counter.t;
+  g_responses : M.Counter.t;
+  g_queue_depth : M.Gauge.t;
+  g_latency : M.Histogram.t;
+  g_sql_queries : M.Counter.t;
+}
+
+let create ?(config = default_config) ?registry () =
+  if config.jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
+  if config.queue_capacity < 1 then invalid_arg "Engine.create: queue_capacity must be >= 1";
+  if config.batch < 1 then invalid_arg "Engine.create: batch must be >= 1";
+  let registry = match registry with Some r -> r | None -> M.create_registry () in
+  let cache =
+    Raqo_resource.Shared_plan_cache.create ~shards:config.cache_shards
+      ?capacity:config.cache_capacity ~registry ()
+  in
+  {
+    config;
+    schema = Raqo_catalog.Tpch.schema ~scale_factor:config.scale_factor ();
+    columns = Raqo_catalog.Tpch.columns ~scale_factor:config.scale_factor ();
+    registry;
+    cache;
+    pool = Raqo_par.Pool.create ~jobs:config.jobs ();
+    queue = Queue.create ();
+    queue_mutex = Mutex.create ();
+    admitted = M.Counter.create ();
+    rejected = M.Counter.create ();
+    responses = M.Counter.create ();
+    latency = M.Histogram.create ();
+    g_admitted = M.counter_in registry "raqo_server_admitted_total";
+    g_rejected = M.counter_in registry "raqo_server_rejected_total";
+    g_responses = M.counter_in registry "raqo_server_responses_total";
+    g_queue_depth = M.gauge_in registry "raqo_server_queue_depth";
+    g_latency = M.histogram_in registry "raqo_server_latency_seconds";
+    g_sql_queries = M.counter_in registry "raqo_sql_queries_total";
+  }
+
+let config t = t.config
+let registry t = t.registry
+let cache t = t.cache
+let pool t = t.pool
+let admitted t = M.Counter.value t.admitted
+let rejected t = M.Counter.value t.rejected
+let responses t = M.Counter.value t.responses
+let latency_histogram t = t.latency
+let shutdown t = Raqo_par.Pool.shutdown t.pool
+
+(* ---------- planning one request ---------- *)
+
+let model_and_engine = function
+  | "spark" -> (Raqo.Models.spark (), Raqo_execsim.Engine.spark)
+  | _ -> (Raqo.Models.hive (), Raqo_execsim.Engine.hive)
+
+let rec has_dup = function
+  | [] -> false
+  | x :: rest -> List.mem x rest || has_dup rest
+
+(* Resolve the request's payload to (schema to plan against, relations).
+   This is exactly the front half of {!Raqo.Sql_frontend.plan}; keeping the
+   sequence identical is what makes served responses bit-equal to the
+   one-shot pipeline. *)
+let resolve t (req : Protocol.request) =
+  match req.payload with
+  | Protocol.Sql sql -> begin
+      if Raqo_obs.Obs.enabled () then M.Counter.inc t.g_sql_queries;
+      match
+        Raqo_obs.Trace.with_ ~name:"sql/analyze" (fun () ->
+            Raqo_sql.Resolver.analyze t.schema t.columns sql)
+      with
+      | Ok a -> Ok (a.Raqo_sql.Resolver.schema, a.Raqo_sql.Resolver.relations)
+      | Error e -> Error e
+    end
+  | Protocol.Relations rels -> (
+      if List.length rels < 2 then Error "need at least two relations to join"
+      else if has_dup rels then Error "duplicate relation in \"relations\""
+      else
+        match
+          List.find_opt (fun r -> not (Raqo_catalog.Schema.mem t.schema r)) rels
+        with
+        | Some r -> Error (Printf.sprintf "unknown relation %S" r)
+        | None ->
+            if not (Raqo_catalog.Schema.joinable t.schema rels) then
+              Error "relations do not form a connected join graph"
+            else Ok (t.schema, rels))
+
+let planned (req : Protocol.request) plan cost adaptive =
+  let resources =
+    Raqo_plan.Join_tree.annotations plan
+    |> List.map (fun (_impl, r) ->
+           (r.Raqo_cluster.Resources.containers, r.Raqo_cluster.Resources.container_gb))
+  in
+  Protocol.Planned
+    {
+      id = req.id;
+      plan = Format.asprintf "%a" Raqo_plan.Join_tree.pp_joint plan;
+      cost;
+      resources;
+      adaptive;
+    }
+
+let summarize_outcome = function
+  | Raqo_adaptive.Adaptive_exec.Done { seconds; _ } -> Protocol.Finished seconds
+  | Raqo_adaptive.Adaptive_exec.Oom { stage; _ } -> Protocol.Oom stage
+
+let infeasible (req : Protocol.request) =
+  Protocol.Rejected
+    {
+      id = Some req.id;
+      reason = Protocol.Infeasible;
+      message = "no feasible joint plan under the current cluster conditions";
+    }
+
+let plan_request ?pool t (req : Protocol.request) : Protocol.response =
+  match resolve t req with
+  | Error message ->
+      Protocol.Rejected { id = Some req.id; reason = Protocol.Bad_request; message }
+  | Ok (schema, relations) -> begin
+      let model, sim_engine = model_and_engine req.engine in
+      let optimizer schema =
+        Raqo.Cost_based.create ~kind:req.planner ~seed:req.seed ~kernel:t.config.kernel
+          ~shared_cache:t.cache ~metrics:t.registry ~model
+          ~conditions:t.config.conditions schema
+      in
+      try
+        match req.mode with
+        | Protocol.Qo resources -> begin
+            match Raqo.Cost_based.optimize_qo (optimizer schema) ~resources relations with
+            | Some (plan, cost) -> planned req plan cost None
+            | None -> infeasible req
+          end
+        | Protocol.Raqo when not req.adaptive -> begin
+            let opt = optimizer schema in
+            match
+              Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
+                  match pool with
+                  | Some pool -> Raqo.Cost_based.optimize_par opt pool relations
+                  | None -> Raqo.Cost_based.optimize opt relations)
+            with
+            | Some (plan, cost) -> planned req plan cost None
+            | None -> infeasible req
+          end
+        | Protocol.Raqo -> begin
+            (* Adaptive: the catalog is ground truth; the planner sees it
+               through the request's seeded estimation error. *)
+            let truth = schema in
+            let estimates = Raqo_execsim.Estimation_error.perturb req.est_error truth in
+            let opt = optimizer estimates in
+            match
+              Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
+                  Raqo.Cost_based.optimize_adaptive ?pool ~engine:sim_engine ~truth opt
+                    relations)
+            with
+            | Some (report, cost) ->
+                let summary =
+                  {
+                    Protocol.static_outcome =
+                      summarize_outcome report.Raqo_adaptive.Adaptive_exec.static_outcome;
+                    adaptive_outcome =
+                      summarize_outcome report.Raqo_adaptive.Adaptive_exec.adaptive_outcome;
+                    replans = report.Raqo_adaptive.Adaptive_exec.replans;
+                    switches = report.Raqo_adaptive.Adaptive_exec.switches;
+                  }
+                in
+                planned req report.Raqo_adaptive.Adaptive_exec.static_plan cost (Some summary)
+            | None -> infeasible req
+          end
+      with exn ->
+        Protocol.Rejected
+          {
+            id = Some req.id;
+            reason = Protocol.Internal;
+            message = Printexc.to_string exn;
+          }
+    end
+
+let oneshot ?(config = { default_config with jobs = 1 }) req =
+  let t = create ~config:{ config with jobs = 1 } () in
+  let response = plan_request t req in
+  shutdown t;
+  response
+
+(* ---------- admission control ---------- *)
+
+let obs_on () = Raqo_obs.Obs.enabled ()
+
+let queue_depth t =
+  Mutex.lock t.queue_mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.queue_mutex;
+  n
+
+let submit t (req : Protocol.request) : Protocol.response option =
+  Mutex.lock t.queue_mutex;
+  let decision =
+    if Queue.length t.queue >= t.config.queue_capacity then `Reject
+    else begin
+      Queue.add req t.queue;
+      `Admit (Queue.length t.queue)
+    end
+  in
+  Mutex.unlock t.queue_mutex;
+  match decision with
+  | `Admit depth ->
+      M.Counter.inc t.admitted;
+      if obs_on () then begin
+        M.Counter.inc t.g_admitted;
+        M.Gauge.set t.g_queue_depth (float_of_int depth)
+      end;
+      None
+  | `Reject ->
+      M.Counter.inc t.rejected;
+      if obs_on () then M.Counter.inc t.g_rejected;
+      Some
+        (Protocol.Rejected
+           {
+             id = Some req.id;
+             reason = Protocol.Overloaded;
+             message =
+               Printf.sprintf "admission queue full (%d pending); retry later"
+                 t.config.queue_capacity;
+           })
+
+let drain_batch t =
+  Mutex.lock t.queue_mutex;
+  let n = min t.config.batch (Queue.length t.queue) in
+  let batch = List.init n (fun _ -> Queue.pop t.queue) in
+  let depth = Queue.length t.queue in
+  Mutex.unlock t.queue_mutex;
+  if obs_on () then M.Gauge.set t.g_queue_depth (float_of_int depth);
+  batch
+
+let process_wave t =
+  match drain_batch t with
+  | [] -> []
+  | batch ->
+      let respond req =
+        let t0 = Unix.gettimeofday () in
+        let response = plan_request t req in
+        let dt = Unix.gettimeofday () -. t0 in
+        M.Histogram.observe t.latency dt;
+        M.Counter.inc t.responses;
+        if obs_on () then begin
+          M.Histogram.observe t.g_latency dt;
+          M.Counter.inc t.g_responses
+        end;
+        (req, response)
+      in
+      (* One pool task per request: requests inside a wave plan concurrently,
+         each on its own optimizer (private scratch, shared striped cache),
+         results back in submission order. *)
+      Raqo_par.Pool.run_list t.pool (List.map (fun req () -> respond req) batch)
+
+let rec drain t =
+  match process_wave t with [] -> [] | wave -> wave @ drain t

@@ -1,0 +1,87 @@
+(** The resident optimizer: one value of {!t} owns everything a planner
+    process would otherwise re-build per query — the interned TPC-H catalog,
+    the trained cost model (warm compiled kernels), a striped cross-query
+    {!Raqo_resource.Shared_plan_cache}, a private metrics
+    {!Raqo_obs.Metrics.registry}, and a {!Raqo_par.Pool} of planning domains.
+    Nothing is ambient: two engines (two servers, or a server and the CLI)
+    share no mutable state.
+
+    Admission control: {!submit} either enqueues a request into a bounded
+    FIFO or immediately returns a typed [Overloaded] rejection — the queue
+    never grows past [queue_capacity], so an overloaded server sheds load
+    instead of accumulating unbounded latency. {!process_wave} drains up to
+    [batch] requests and plans them concurrently on the pool (one optimizer
+    per request, all warming the same shared cache), returning responses in
+    submission order.
+
+    Bit-identity: {!plan_request} runs the same resolve/optimize sequence as
+    {!Raqo.Sql_frontend.plan}, and the shared cache's exact-match hits return
+    the same resource plans a fresh search would find — so a served response
+    equals {!oneshot} on the same request, byte for byte. *)
+
+type config = {
+  jobs : int;  (** pool parallelism (1 = sequential, no domains spawned) *)
+  queue_capacity : int;  (** admission bound; beyond it requests are rejected *)
+  batch : int;  (** max requests planned per {!process_wave} *)
+  cache_capacity : int option;  (** shared-cache LRU bound ([None] unbounded) *)
+  cache_shards : int;
+  kernel : bool;  (** compiled cost kernels (the CLI's [--no-kernel] gates it) *)
+  scale_factor : float;  (** TPC-H catalog scale *)
+  conditions : Raqo_cluster.Conditions.t;
+}
+
+(** jobs 1, queue 64, batch 8, cache 4096 over 8 shards, kernel on, SF 100,
+    default conditions. *)
+val default_config : config
+
+type t
+
+(** [create ()] builds a resident engine. [registry] overrides the default
+    fresh per-engine metrics registry — `raqo metrics` passes the
+    process-wide one so server counters show up in its dump; servers keep
+    the fresh default for isolation. *)
+val create : ?config:config -> ?registry:Raqo_obs.Metrics.registry -> unit -> t
+val config : t -> config
+val registry : t -> Raqo_obs.Metrics.registry
+val cache : t -> Raqo_resource.Shared_plan_cache.t
+val pool : t -> Raqo_par.Pool.t
+
+(** Joins the pool's domains. The engine stays usable for {!plan_request}
+    (sequentially); {!process_wave} on a shut-down engine raises. *)
+val shutdown : t -> unit
+
+(** [plan_request ?pool t req] plans one request synchronously, bypassing
+    admission. [pool] fans the {e single} request's search out (randomized
+    restarts / parallel DP); the serve loop instead parallelizes {e across}
+    requests and leaves it unset. Never raises: planner exceptions come back
+    as [Rejected {reason = Internal; _}]. *)
+val plan_request : ?pool:Raqo_par.Pool.t -> t -> Protocol.request -> Protocol.response
+
+(** [oneshot req] plans on a fresh single-job engine (fresh cache, fresh
+    registry) and tears it down — the reference answer the smoke test diffs
+    served responses against. [config]'s [jobs] is forced to 1. *)
+val oneshot : ?config:config -> Protocol.request -> Protocol.response
+
+(** [submit t req] admits [req] into the bounded queue ([None]) or rejects it
+    ([Some (Rejected {reason = Overloaded; _})]). Thread-safe. *)
+val submit : t -> Protocol.request -> Protocol.response option
+
+val queue_depth : t -> int
+
+(** [process_wave t] drains up to [config.batch] queued requests and plans
+    them concurrently on the pool; [(request, response)] pairs come back in
+    submission order. Empty list when the queue is empty. *)
+val process_wave : t -> (Protocol.request * Protocol.response) list
+
+(** [drain t] runs {!process_wave} until the queue is empty. *)
+val drain : t -> (Protocol.request * Protocol.response) list
+
+(** Lifetime counters (always recorded, independent of observability mode;
+    the registry carries the obs-gated mirrors
+    [raqo_server_{admitted,rejected,responses}_total], gauge
+    [raqo_server_queue_depth], histogram [raqo_server_latency_seconds]). *)
+val admitted : t -> int
+
+val rejected : t -> int
+val responses : t -> int
+val latency_histogram : t -> Raqo_obs.Metrics.Histogram.t

@@ -1,0 +1,240 @@
+type payload = Sql of string | Relations of string list
+type mode = Raqo | Qo of Raqo_cluster.Resources.t
+
+type request = {
+  id : string;
+  payload : payload;
+  planner : Raqo.Cost_based.planner_kind;
+  mode : mode;
+  seed : int;
+  adaptive : bool;
+  est_error : Raqo_execsim.Estimation_error.t;
+  engine : string;
+}
+
+type outcome_summary = Finished of float | Oom of int
+
+type adaptive_summary = {
+  static_outcome : outcome_summary;
+  adaptive_outcome : outcome_summary;
+  replans : int;
+  switches : int;
+}
+
+type reject_reason = Bad_request | Overloaded | Infeasible | Internal
+
+type response =
+  | Planned of {
+      id : string;
+      plan : string;
+      cost : float;
+      resources : (int * float) list;
+      adaptive : adaptive_summary option;
+    }
+  | Rejected of { id : string option; reason : reject_reason; message : string }
+
+let reason_name = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Infeasible -> "infeasible"
+  | Internal -> "internal"
+
+let planner_of_string = function
+  | "selinger" -> Ok Raqo.Cost_based.Selinger
+  | "fast_randomized" -> Ok Raqo.Cost_based.Fast_randomized
+  | "bushy_dp" -> Ok Raqo.Cost_based.Bushy_dp
+  | s -> Error (Printf.sprintf "unknown planner %S (want selinger|fast_randomized|bushy_dp)" s)
+
+let planner_name = function
+  | Raqo.Cost_based.Selinger -> "selinger"
+  | Raqo.Cost_based.Fast_randomized -> "fast_randomized"
+  | Raqo.Cost_based.Bushy_dp -> "bushy_dp"
+
+(* Strict field whitelist: a typo'd option silently falling back to a default
+   would make "bit-identical to the CLI" vacuously true for the wrong plan. *)
+let known_keys =
+  [ "id"; "sql"; "relations"; "planner"; "mode"; "containers"; "gb"; "seed";
+    "adaptive"; "est_error"; "engine" ]
+
+let ( let* ) = Result.bind
+
+let field_opt json key ~cast ~what =
+  match Json.member key json with
+  | None -> Ok None
+  | Some v -> (
+      match cast v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S must be %s" key what))
+
+let parse_request line =
+  let* json = Json.parse line in
+  (match json with Json.Obj _ -> Ok () | _ -> Error "request must be a JSON object")
+  |> fun check_obj ->
+  let* () = check_obj in
+  let* () =
+    match List.filter (fun k -> not (List.mem k known_keys)) (Json.keys json) with
+    | [] -> Ok ()
+    | ks -> Error (Printf.sprintf "unknown field(s): %s" (String.concat ", " ks))
+  in
+  let* id =
+    match Json.member "id" json with
+    | Some (Json.Str s) when s <> "" -> Ok s
+    | Some _ -> Error "field \"id\" must be a non-empty string"
+    | None -> Error "missing required field \"id\""
+  in
+  let* payload =
+    match (Json.member "sql" json, Json.member "relations" json) with
+    | Some (Json.Str sql), None -> Ok (Sql sql)
+    | None, Some (Json.List xs) ->
+        let rels = List.filter_map Json.to_str xs in
+        if List.length rels <> List.length xs then
+          Error "field \"relations\" must be a list of strings"
+        else if rels = [] then Error "field \"relations\" must be non-empty"
+        else Ok (Relations rels)
+    | None, Some _ -> Error "field \"relations\" must be a list of strings"
+    | Some _, None -> Error "field \"sql\" must be a string"
+    | Some _, Some _ -> Error "give exactly one of \"sql\" or \"relations\""
+    | None, None -> Error "give exactly one of \"sql\" or \"relations\""
+  in
+  let* planner_s = field_opt json "planner" ~cast:Json.to_str ~what:"a string" in
+  let* planner = planner_of_string (Option.value planner_s ~default:"selinger") in
+  let* mode_s = field_opt json "mode" ~cast:Json.to_str ~what:"a string" in
+  let* containers = field_opt json "containers" ~cast:Json.to_int ~what:"an integer" in
+  let* gb = field_opt json "gb" ~cast:Json.to_float ~what:"a number" in
+  let* mode =
+    match (Option.value mode_s ~default:"raqo", containers, gb) with
+    | "raqo", None, None -> Ok Raqo
+    | "raqo", _, _ -> Error "\"containers\"/\"gb\" only apply to mode \"qo\""
+    | "qo", Some c, Some g -> (
+        match Raqo_cluster.Resources.make ~containers:c ~container_gb:g with
+        | r -> Ok (Qo r)
+        | exception Invalid_argument m -> Error m)
+    | "qo", _, _ -> Error "mode \"qo\" requires \"containers\" and \"gb\""
+    | s, _, _ -> Error (Printf.sprintf "unknown mode %S (want raqo|qo)" s)
+  in
+  let* seed = field_opt json "seed" ~cast:Json.to_int ~what:"an integer" in
+  let* adaptive = field_opt json "adaptive" ~cast:Json.to_bool ~what:"a boolean" in
+  let adaptive = Option.value adaptive ~default:false in
+  let* est_error_s = field_opt json "est_error" ~cast:Json.to_str ~what:"a string" in
+  let* () =
+    if est_error_s <> None && not adaptive then
+      Error "\"est_error\" requires \"adaptive\":true"
+    else Ok ()
+  in
+  let* est_error =
+    match est_error_s with
+    | None -> Ok Raqo_execsim.Estimation_error.exact
+    | Some s -> Raqo_execsim.Estimation_error.of_string s
+  in
+  let* engine = field_opt json "engine" ~cast:Json.to_str ~what:"a string" in
+  let* engine =
+    match Option.value engine ~default:"hive" with
+    | ("hive" | "spark") as e -> Ok e
+    | s -> Error (Printf.sprintf "unknown engine %S (want hive|spark)" s)
+  in
+  let* () =
+    match (mode, adaptive) with
+    | Qo _, true -> Error "\"adaptive\" does not apply to mode \"qo\""
+    | _ -> Ok ()
+  in
+  Ok
+    {
+      id;
+      payload;
+      planner;
+      mode;
+      seed = Option.value seed ~default:42;
+      adaptive;
+      est_error;
+      engine;
+    }
+
+(* ---------- encoding ---------- *)
+
+let request_to_json (r : request) =
+  let payload_fields =
+    match r.payload with
+    | Sql sql -> [ ("sql", Json.Str sql) ]
+    | Relations rels -> [ ("relations", Json.List (List.map (fun s -> Json.Str s) rels)) ]
+  in
+  let mode_fields =
+    match r.mode with
+    | Raqo -> [ ("mode", Json.Str "raqo") ]
+    | Qo res ->
+        [
+          ("mode", Json.Str "qo");
+          ("containers", Json.Num (float_of_int res.Raqo_cluster.Resources.containers));
+          ("gb", Json.Num res.Raqo_cluster.Resources.container_gb);
+        ]
+  in
+  Json.to_string
+    (Json.Obj
+       ([ ("id", Json.Str r.id) ]
+       @ payload_fields
+       @ [ ("planner", Json.Str (planner_name r.planner)) ]
+       @ mode_fields
+       @ [ ("seed", Json.Num (float_of_int r.seed)) ]
+       @ (if r.adaptive then
+            [
+              ("adaptive", Json.Bool true);
+              ( "est_error",
+                Json.Str (Raqo_execsim.Estimation_error.to_string r.est_error) );
+            ]
+          else [])
+       @ [ ("engine", Json.Str r.engine) ]))
+
+let outcome_json = function
+  | Finished s -> Json.Obj [ ("outcome", Json.Str "done"); ("seconds", Json.Num s) ]
+  | Oom stage ->
+      Json.Obj [ ("outcome", Json.Str "oom"); ("stage", Json.Num (float_of_int stage)) ]
+
+let response_to_json = function
+  | Planned { id; plan; cost; resources; adaptive } ->
+      let resources_json =
+        Json.List
+          (List.map
+             (fun (c, g) ->
+               Json.Obj [ ("containers", Json.Num (float_of_int c)); ("gb", Json.Num g) ])
+             resources)
+      in
+      let adaptive_fields =
+        match adaptive with
+        | None -> []
+        | Some a ->
+            [
+              ( "adaptive",
+                Json.Obj
+                  [
+                    ("static", outcome_json a.static_outcome);
+                    ("adaptive", outcome_json a.adaptive_outcome);
+                    ("replans", Json.Num (float_of_int a.replans));
+                    ("switches", Json.Num (float_of_int a.switches));
+                  ] );
+            ]
+      in
+      Json.to_string
+        (Json.Obj
+           ([
+              ("id", Json.Str id);
+              ("status", Json.Str "ok");
+              ("plan", Json.Str plan);
+              ("cost", Json.Num cost);
+              ("resources", resources_json);
+            ]
+           @ adaptive_fields))
+  | Rejected { id; reason; message } ->
+      let id_field = match id with None -> [] | Some id -> [ ("id", Json.Str id) ] in
+      Json.to_string
+        (Json.Obj
+           (id_field
+           @ [
+               ("status", Json.Str "error");
+               ("reason", Json.Str (reason_name reason));
+               ("message", Json.Str message);
+             ]))
+
+let response_id = function
+  | Planned { id; _ } -> Some id
+  | Rejected { id; _ } -> id
+
+let is_ok = function Planned _ -> true | Rejected _ -> false

@@ -1,0 +1,81 @@
+(** The line protocol of the resident optimizer: one JSON object per line in,
+    one JSON object per line out, in request order. The wire format is strict
+    — unknown fields are rejected, not ignored — because a silently-dropped
+    option would undermine the served-vs-oneshot bit-identity contract.
+
+    Request fields ([id] and exactly one of [sql]/[relations] required, the
+    rest optional):
+
+    {v
+    {"id":"q1","sql":"select * from orders, lineitem where ...",
+     "planner":"selinger|fast_randomized|bushy_dp",   // default selinger
+     "mode":"raqo|qo",                                 // default raqo
+     "containers":40,"gb":4.0,                         // qo mode only
+     "seed":42, "adaptive":false, "est_error":"none",  // see Estimation_error.of_string
+     "engine":"hive|spark"}                            // default hive
+    v}
+
+    Responses: [{"id":...,"status":"ok","plan":...,"cost":...,"resources":
+    [{"containers":..,"gb":..},...]}] plus an ["adaptive"] summary when
+    requested, or [{"id":...,"status":"error","reason":
+    "bad_request|overloaded|infeasible|internal","message":...}]. *)
+
+type payload = Sql of string | Relations of string list
+
+type mode =
+  | Raqo  (** joint query/resource optimization (the paper's planner) *)
+  | Qo of Raqo_cluster.Resources.t  (** query-only baseline at fixed resources *)
+
+type request = {
+  id : string;
+  payload : payload;
+  planner : Raqo.Cost_based.planner_kind;
+  mode : mode;
+  seed : int;
+  adaptive : bool;  (** run the boundary re-optimizing executor too *)
+  est_error : Raqo_execsim.Estimation_error.t;  (** planner-visible misestimation *)
+  engine : string;  (** ["hive"] or ["spark"]: cost model + simulator profile *)
+}
+
+type outcome_summary = Finished of float  (** seconds *) | Oom of int  (** failing stage *)
+
+type adaptive_summary = {
+  static_outcome : outcome_summary;
+  adaptive_outcome : outcome_summary;
+  replans : int;
+  switches : int;
+}
+
+type reject_reason =
+  | Bad_request  (** unparseable or invalid request line *)
+  | Overloaded  (** admission queue full — retry later (backpressure) *)
+  | Infeasible  (** no joint plan fits the cluster conditions *)
+  | Internal  (** planner raised; the server survives *)
+
+type response =
+  | Planned of {
+      id : string;
+      plan : string;  (** rendered joint plan, e.g. [((a BHJ b) SMJ c)] *)
+      cost : float;  (** estimated cost (seconds) — bit-exact wire float *)
+      resources : (int * float) list;  (** (containers, GB) per join, bottom-up *)
+      adaptive : adaptive_summary option;
+    }
+  | Rejected of { id : string option; reason : reject_reason; message : string }
+
+val reason_name : reject_reason -> string
+val planner_of_string : string -> (Raqo.Cost_based.planner_kind, string) result
+val planner_name : Raqo.Cost_based.planner_kind -> string
+
+(** [parse_request line] parses one request line, strictly. *)
+val parse_request : string -> (request, string) result
+
+(** [request_to_json r] renders [r] as one line (no newline); round-trips
+    through {!parse_request} — the trace generator writes traces with it. *)
+val request_to_json : request -> string
+
+(** [response_to_json r] renders one response line (no newline). Floats use
+    the shortest round-trip encoding, so equal plans yield equal bytes. *)
+val response_to_json : response -> string
+
+val response_id : response -> string option
+val is_ok : response -> bool

@@ -1068,6 +1068,143 @@ let test_planner_cache_capacity_plumbed () =
   Alcotest.(check int) "cache stays bounded" 2 (Resource_planner.cache_size planner);
   Alcotest.(check int) "evictions recorded" 2 (Counters.cache_evictions counters)
 
+(* ---------------------------------------------------- Shared plan cache *)
+
+module Shared_plan_cache = Raqo_resource.Shared_plan_cache
+
+let test_shared_cache_basics () =
+  let c = Shared_plan_cache.create ~shards:4 ~capacity:10 () in
+  Alcotest.(check int) "shards" 4 (Shared_plan_cache.shard_count c);
+  (* ceil (10 / 4) = 3 per shard *)
+  Alcotest.(check (option int)) "per-shard bound" (Some 3)
+    (Shared_plan_cache.per_shard_capacity c);
+  Shared_plan_cache.insert c ~key:"SMJ/a" ~data_gb:1.0 (res 4 2.0);
+  Shared_plan_cache.insert c ~key:"SMJ/a" ~data_gb:2.0 (res 8 2.0);
+  Alcotest.(check (option (module Resources))) "exact hit" (Some (res 4 2.0))
+    (Shared_plan_cache.find c ~key:"SMJ/a" ~data_gb:1.0 Plan_cache.Exact);
+  Alcotest.(check (option (module Resources))) "range lookups see the whole key"
+    (Some (res 8 2.0))
+    (Shared_plan_cache.find c ~key:"SMJ/a" ~data_gb:2.2
+       (Plan_cache.Nearest_neighbor 1.0));
+  Alcotest.(check (option (module Resources))) "miss" None
+    (Shared_plan_cache.find c ~key:"SMJ/b" ~data_gb:1.0 Plan_cache.Exact);
+  Alcotest.(check int) "hits" 2 (Shared_plan_cache.hits c);
+  Alcotest.(check int) "misses" 1 (Shared_plan_cache.misses c);
+  Alcotest.(check int) "inserts" 2 (Shared_plan_cache.inserts c);
+  Alcotest.(check int) "size" 2 (Shared_plan_cache.size c);
+  Shared_plan_cache.clear c;
+  Alcotest.(check int) "clear empties" 0 (Shared_plan_cache.size c);
+  Alcotest.(check int) "counters survive clear" 2 (Shared_plan_cache.inserts c)
+
+(* One domain's deterministic workload over its own key space: find-then-
+   insert-on-miss, re-probing a sliding window so hits and misses both
+   occur. Returns (finds, hits) so the caller can check counter sums. *)
+let shared_cache_workload cache d ops =
+  let finds = ref 0 and hits = ref 0 in
+  for i = 0 to ops - 1 do
+    let key = Printf.sprintf "d%d/k%d" d (i mod 7) in
+    let data_gb = float_of_int (i mod 23) in
+    incr finds;
+    (match Shared_plan_cache.find cache ~key ~data_gb Plan_cache.Exact with
+    | Some _ -> incr hits
+    | None -> Shared_plan_cache.insert cache ~key ~data_gb (res (1 + (i mod 8)) 2.0))
+  done;
+  (!finds, !hits)
+
+let run_shared_cache_domains cache ~domains ~ops =
+  let spawned =
+    List.init (domains - 1) (fun d ->
+        Domain.spawn (fun () -> shared_cache_workload cache (d + 1) ops))
+  in
+  let first = shared_cache_workload cache 0 ops in
+  first :: List.map Domain.join spawned
+
+let test_shared_cache_concurrent_no_lost_entries () =
+  (* Unbounded cache, disjoint key spaces: every domain's entries must all
+     survive, and hit/miss totals must equal a sequential replay's (the
+     domains cannot interact without evictions). *)
+  let domains = 4 and ops = 400 in
+  let cache = Shared_plan_cache.create ~shards:4 () in
+  let results = run_shared_cache_domains cache ~domains ~ops in
+  let total_finds = List.fold_left (fun a (f, _) -> a + f) 0 results in
+  let total_hits = List.fold_left (fun a (_, h) -> a + h) 0 results in
+  Alcotest.(check int) "hits + misses = finds" total_finds
+    (Shared_plan_cache.hits cache + Shared_plan_cache.misses cache);
+  Alcotest.(check int) "hits counter agrees" total_hits (Shared_plan_cache.hits cache);
+  Alcotest.(check int) "no entry lost" (Shared_plan_cache.inserts cache)
+    (Shared_plan_cache.size cache);
+  Alcotest.(check int) "no evictions unbounded" 0 (Shared_plan_cache.evictions cache);
+  (* Sequential replay on a fresh cache: identical totals. *)
+  let seq = Shared_plan_cache.create ~shards:4 () in
+  let seq_results = List.init domains (fun d -> shared_cache_workload seq d ops) in
+  Alcotest.(check bool) "per-domain (finds,hits) match sequential" true
+    (List.sort compare results = List.sort compare seq_results);
+  Alcotest.(check int) "hits match sequential" (Shared_plan_cache.hits seq)
+    (Shared_plan_cache.hits cache);
+  Alcotest.(check int) "misses match sequential" (Shared_plan_cache.misses seq)
+    (Shared_plan_cache.misses cache);
+  Alcotest.(check int) "inserts match sequential" (Shared_plan_cache.inserts seq)
+    (Shared_plan_cache.inserts cache);
+  Alcotest.(check (list string)) "same keys as sequential" (Shared_plan_cache.keys seq)
+    (Shared_plan_cache.keys cache)
+
+let test_shared_cache_concurrent_lru_bound () =
+  (* Bounded cache under cross-domain contention: the per-shard LRU bound
+     must hold at every moment (checked after the storm and from a
+     concurrent observer), and the entry count must reconcile with the
+     insert and eviction counters exactly. *)
+  let domains = 4 and ops = 600 in
+  let cache = Shared_plan_cache.create ~shards:4 ~capacity:16 () in
+  let bound = Option.get (Shared_plan_cache.per_shard_capacity cache) in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let observer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Array.iter
+            (fun s -> if s > bound then Atomic.incr violations)
+            (Shared_plan_cache.shard_sizes cache)
+        done)
+  in
+  ignore (run_shared_cache_domains cache ~domains ~ops);
+  Atomic.set stop true;
+  Domain.join observer;
+  Alcotest.(check int) "bound never observed exceeded" 0 (Atomic.get violations);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "final shard size within bound" true (s <= bound))
+    (Shared_plan_cache.shard_sizes cache);
+  (* Disjoint (key, data_gb) spaces mean no overwrites, so every insert
+     grew a shard by one and every eviction shrank one: exact accounting. *)
+  Alcotest.(check int) "size = inserts - evictions"
+    (Shared_plan_cache.inserts cache - Shared_plan_cache.evictions cache)
+    (Shared_plan_cache.size cache);
+  Alcotest.(check bool) "evictions actually happened" true
+    (Shared_plan_cache.evictions cache > 0);
+  Alcotest.(check int) "find totals still exact" (domains * ops)
+    (Shared_plan_cache.hits cache + Shared_plan_cache.misses cache)
+
+let test_shared_cache_registry_mirrors () =
+  (* With observability on, the cache's registry carries equal totals under
+     the raqo_shared_plan_cache_* names. *)
+  let registry = Raqo_obs.Metrics.create_registry () in
+  let cache = Shared_plan_cache.create ~shards:2 ~capacity:4 ~registry () in
+  Raqo_obs.Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Raqo_obs.Obs.set_enabled false)
+    (fun () ->
+      ignore (shared_cache_workload cache 0 100);
+      let counter name =
+        Raqo_obs.Metrics.Counter.value (Raqo_obs.Metrics.counter_in registry name)
+      in
+      Alcotest.(check int) "hits mirrored" (Shared_plan_cache.hits cache)
+        (counter "raqo_shared_plan_cache_hits_total");
+      Alcotest.(check int) "misses mirrored" (Shared_plan_cache.misses cache)
+        (counter "raqo_shared_plan_cache_misses_total");
+      Alcotest.(check int) "inserts mirrored" (Shared_plan_cache.inserts cache)
+        (counter "raqo_shared_plan_cache_inserts_total");
+      Alcotest.(check int) "evictions mirrored" (Shared_plan_cache.evictions cache)
+        (counter "raqo_shared_plan_cache_evictions_total"))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1191,6 +1328,16 @@ let () =
           Alcotest.test_case "eviction counters" `Quick test_cache_eviction_counters;
         ]
         @ qsuite [ prop_cache_capacity_never_exceeded ] );
+      ( "shared_plan_cache",
+        [
+          Alcotest.test_case "striping & counters (sequential)" `Quick
+            test_shared_cache_basics;
+          Alcotest.test_case "4 domains, no lost entries, sequential totals" `Quick
+            test_shared_cache_concurrent_no_lost_entries;
+          Alcotest.test_case "4 domains, per-shard LRU bound holds" `Quick
+            test_shared_cache_concurrent_lru_bound;
+          Alcotest.test_case "registry mirrors" `Quick test_shared_cache_registry_mirrors;
+        ] );
       ( "ordered_index_remove",
         [
           Alcotest.test_case "remove on both backends" `Quick test_index_remove_basic;

@@ -1,0 +1,381 @@
+(* Tests for Raqo_server: the JSON layer, the strict line protocol, the
+   resident engine's admission control, and served-vs-oneshot bit-identity. *)
+
+module Json = Raqo_server.Json
+module Protocol = Raqo_server.Protocol
+module Engine = Raqo_server.Engine
+module Serve = Raqo_server.Serve
+module Trace_gen = Raqo_server.Trace_gen
+
+(* [contains s sub]: naive substring check (no extra deps in tests). *)
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let sql3 =
+  "select * from customer, orders, lineitem where c_custkey = o_custkey and \
+   o_orderkey = l_orderkey"
+
+let small_config =
+  { Engine.default_config with jobs = 2; queue_capacity = 16; batch = 4 }
+
+let with_engine ?(config = small_config) f =
+  let t = Engine.create ~config () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown t) (fun () -> f t)
+
+let req_line ?(id = "r1") ?(extra = "") sql =
+  Printf.sprintf "{\"id\":%S,\"sql\":%S%s}" id sql extra
+
+(* ------------------------------------------------------------------ Json *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("n", Json.Num 1.5);
+        ("i", Json.Num 42.0);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Num 0.1; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_float_bits () =
+  (* The wire float must round-trip bitwise: shortest-decimal encoding. *)
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Num f)) with
+      | Ok (Json.Num f') ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bits of %h" f)
+            true
+            (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f'))
+      | _ -> Alcotest.fail "expected a number")
+    [ 0.1; 1.0 /. 3.0; 1234.56789e10; -0.0; 4.2e-300 ]
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "{\"a\":}"; "[1,]"; "{\"a\":1} trailing"; "nul"; "\"unterminated" ]
+
+(* -------------------------------------------------------------- Protocol *)
+
+let parse_ok line =
+  match Protocol.parse_request line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse_request %S: %s" line e
+
+let parse_err line =
+  match Protocol.parse_request line with
+  | Ok _ -> Alcotest.failf "parse_request accepted %S" line
+  | Error e -> e
+
+let test_protocol_defaults () =
+  let r = parse_ok (req_line sql3) in
+  Alcotest.(check string) "id" "r1" r.Protocol.id;
+  Alcotest.(check int) "seed" 42 r.Protocol.seed;
+  Alcotest.(check bool) "adaptive off" false r.Protocol.adaptive;
+  Alcotest.(check string) "planner" "selinger" (Protocol.planner_name r.Protocol.planner);
+  (match r.Protocol.mode with
+  | Protocol.Raqo -> ()
+  | Protocol.Qo _ -> Alcotest.fail "default mode should be raqo");
+  match r.Protocol.payload with
+  | Protocol.Sql s -> Alcotest.(check string) "sql" sql3 s
+  | Protocol.Relations _ -> Alcotest.fail "expected sql payload"
+
+let test_protocol_strict () =
+  let e = parse_err (req_line sql3 ~extra:",\"plannre\":\"selinger\"") in
+  Alcotest.(check bool) "names the typo" true (contains e "plannre");
+  ignore (parse_err "{\"sql\":\"select * from orders, lineitem\"}");
+  ignore (parse_err "{\"id\":\"x\"}");
+  ignore (parse_err "{\"id\":\"x\",\"sql\":\"a\",\"relations\":[\"b\"]}");
+  ignore (parse_err (req_line sql3 ~extra:",\"mode\":\"qo\""));
+  ignore (parse_err (req_line sql3 ~extra:",\"containers\":4,\"gb\":2"));
+  ignore (parse_err (req_line sql3 ~extra:",\"est_error\":\"skew\""));
+  ignore (parse_err (req_line sql3 ~extra:",\"planner\":\"greedy\""));
+  ignore (parse_err "not json at all")
+
+let test_protocol_request_roundtrip () =
+  let reqs =
+    [
+      parse_ok (req_line sql3);
+      parse_ok
+        (req_line sql3
+           ~extra:",\"mode\":\"qo\",\"containers\":12,\"gb\":3.5,\"planner\":\"bushy_dp\"");
+      parse_ok
+        "{\"id\":\"a1\",\"relations\":[\"orders\",\"lineitem\"],\"adaptive\":true,\
+         \"est_error\":\"skew=0.5:7\",\"seed\":9,\"engine\":\"spark\"}";
+    ]
+  in
+  List.iter
+    (fun r ->
+      let r' = parse_ok (Protocol.request_to_json r) in
+      Alcotest.(check bool) "request round-trips" true (r = r'))
+    reqs
+
+(* ---------------------------------------------------------------- Engine *)
+
+let ok_response = function
+  | Protocol.Planned { plan; cost; resources; adaptive; _ } ->
+      (plan, cost, resources, adaptive)
+  | Protocol.Rejected { reason; message; _ } ->
+      Alcotest.failf "rejected (%s): %s" (Protocol.reason_name reason) message
+
+let test_engine_matches_sql_frontend () =
+  (* The tentpole contract: a served plan is bit-identical (plan string,
+     cost float, resources) to the one-shot Sql_frontend pipeline. *)
+  with_engine (fun t ->
+      let req = parse_ok (req_line sql3) in
+      let plan_s, cost, resources, _ = ok_response (Engine.plan_request t req) in
+      match
+        Raqo.Sql_frontend.plan ~kind:Raqo.Cost_based.Selinger ~seed:42
+          ~model:(Raqo.Models.hive ()) ~conditions:Raqo_cluster.Conditions.default
+          ~schema:(Raqo_catalog.Tpch.schema ())
+          ~columns:(Raqo_catalog.Tpch.columns ())
+          sql3
+      with
+      | Error e -> Alcotest.failf "frontend failed: %s" e
+      | Ok planned ->
+          let expected_plan =
+            Format.asprintf "%a" Raqo_plan.Join_tree.pp_joint planned.Raqo.Sql_frontend.plan
+          in
+          Alcotest.(check string) "plan" expected_plan plan_s;
+          Alcotest.(check bool) "cost bits" true
+            (Int64.equal
+               (Int64.bits_of_float planned.Raqo.Sql_frontend.est_cost)
+               (Int64.bits_of_float cost));
+          Alcotest.(check int) "one resource tuple per join" 2 (List.length resources))
+
+let test_engine_served_equals_oneshot () =
+  (* Same requests through a warm shared-cache engine and through fresh
+     one-shot engines: identical response lines, including repeats (which
+     hit the cache on the served side). *)
+  with_engine (fun t ->
+      let trace = Trace_gen.generate ~seed:3 ~requests:12 () in
+      List.iter
+        (fun (_arrival, req) ->
+          let served =
+            Protocol.response_to_json (Engine.plan_request t req)
+          in
+          let alone = Protocol.response_to_json (Engine.oneshot req) in
+          Alcotest.(check string)
+            (Printf.sprintf "request %s" req.Protocol.id)
+            alone served)
+        trace;
+      Alcotest.(check bool) "warm engine actually hit its cache" true
+        (Raqo_resource.Shared_plan_cache.hits (Engine.cache t) > 0))
+
+let test_engine_error_responses () =
+  with_engine (fun t ->
+      (match Engine.plan_request t (parse_ok (req_line "select * from")) with
+      | Protocol.Rejected { reason = Protocol.Bad_request; id = Some "r1"; _ } -> ()
+      | _ -> Alcotest.fail "expected bad_request for broken SQL");
+      (match
+         Engine.plan_request t
+           (parse_ok "{\"id\":\"u\",\"relations\":[\"orders\",\"nope\"]}")
+       with
+      | Protocol.Rejected { reason = Protocol.Bad_request; _ } -> ()
+      | _ -> Alcotest.fail "expected bad_request for unknown relation");
+      match
+        Engine.plan_request t
+          (parse_ok "{\"id\":\"v\",\"relations\":[\"customer\",\"part\"]}")
+      with
+      | Protocol.Rejected { reason = Protocol.Bad_request; _ } -> ()
+      | _ -> Alcotest.fail "expected bad_request for a disconnected join graph")
+
+let test_engine_qo_and_adaptive () =
+  with_engine (fun t ->
+      let _, _, qo_resources, _ =
+        ok_response
+          (Engine.plan_request t
+             (parse_ok (req_line sql3 ~extra:",\"mode\":\"qo\",\"containers\":20,\"gb\":4")))
+      in
+      List.iter
+        (fun (c, g) ->
+          Alcotest.(check int) "qo containers fixed" 20 c;
+          Alcotest.(check (float 0.0)) "qo gb fixed" 4.0 g)
+        qo_resources;
+      let _, _, _, adaptive =
+        ok_response
+          (Engine.plan_request t
+             (parse_ok (req_line sql3 ~extra:",\"adaptive\":true,\"est_error\":\"skew=0.6:5\"")))
+      in
+      match adaptive with
+      | None -> Alcotest.fail "expected an adaptive summary"
+      | Some a -> (
+          match (a.Protocol.static_outcome, a.Protocol.adaptive_outcome) with
+          | Protocol.Finished s, Protocol.Finished s' ->
+              Alcotest.(check bool) "never worse" true (s' <= s)
+          | Protocol.Finished _, Protocol.Oom _ ->
+              Alcotest.fail "adaptive OOMed where the static plan finished"
+          | Protocol.Oom _, _ -> ()))
+
+let test_admission_bounded () =
+  let config = { Engine.default_config with jobs = 2; queue_capacity = 4; batch = 3 } in
+  with_engine ~config (fun t ->
+      let req i = parse_ok (req_line sql3 ~id:(Printf.sprintf "q%d" i)) in
+      let rejections =
+        List.filter_map (fun i -> Engine.submit t (req i)) (List.init 10 (fun i -> i))
+      in
+      Alcotest.(check int) "queue bounded at capacity" 4 (Engine.queue_depth t);
+      Alcotest.(check int) "typed rejections for the overflow" 6 (List.length rejections);
+      List.iter
+        (fun r ->
+          match r with
+          | Protocol.Rejected { reason = Protocol.Overloaded; _ } -> ()
+          | _ -> Alcotest.fail "overflow must reject as overloaded")
+        rejections;
+      Alcotest.(check int) "admitted counter" 4 (Engine.admitted t);
+      Alcotest.(check int) "rejected counter" 6 (Engine.rejected t);
+      let wave = Engine.process_wave t in
+      Alcotest.(check int) "wave bounded by batch" 3 (List.length wave);
+      let rest = Engine.drain t in
+      Alcotest.(check int) "drain finishes the queue" 1 (List.length rest);
+      Alcotest.(check int) "responses counter" 4 (Engine.responses t);
+      List.iter
+        (fun (req, resp) ->
+          Alcotest.(check (option string))
+            "response id matches" (Some req.Protocol.id) (Protocol.response_id resp))
+        (wave @ rest))
+
+(* ----------------------------------------------------------------- Serve *)
+
+let test_serve_lines_end_to_end () =
+  with_engine (fun t ->
+      let lines =
+        [
+          req_line sql3 ~id:"a";
+          "this is not json";
+          "";
+          req_line "select * from orders, lineitem where o_orderkey = l_orderkey" ~id:"b";
+        ]
+      in
+      let out = Serve.serve_lines t lines in
+      Alcotest.(check int) "three responses (blank line ignored)" 3 (List.length out);
+      let parsed =
+        List.map
+          (fun l -> match Json.parse l with Ok v -> v | Error e -> Alcotest.fail e)
+          out
+      in
+      let status v = Json.member "status" v |> Option.get |> Json.to_str |> Option.get in
+      (* The malformed line answers first (immediate rejection), then the
+         admitted requests in order. *)
+      Alcotest.(check (list string))
+        "statuses" [ "error"; "ok"; "ok" ] (List.map status parsed);
+      let ids = List.filter_map (fun v -> Option.bind (Json.member "id" v) Json.to_str) parsed in
+      Alcotest.(check (list string)) "admitted ids in order" [ "a"; "b" ] ids)
+
+let test_serve_lines_deterministic_across_engines () =
+  let lines =
+    List.map
+      (fun (_a, req) -> Protocol.request_to_json req)
+      (Trace_gen.generate ~seed:11 ~requests:10 ())
+  in
+  let serve () = with_engine (fun t -> Serve.serve_lines t lines) in
+  let a = serve () and b = serve () in
+  Alcotest.(check (list string)) "two engines, identical bytes" a b
+
+let test_serve_tcp_roundtrip () =
+  (* One real socket round-trip: a client connects, sends two requests,
+     reads two responses, closes; the server exits after max_connections. *)
+  with_engine (fun t ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> Alcotest.fail "no port"
+      in
+      Unix.close sock;
+      let server = Domain.spawn (fun () -> Serve.serve_tcp ~max_connections:1 t ~port) in
+      let rec connect tries =
+        let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        match Unix.connect c (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+        | () -> c
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when tries > 0 ->
+            Unix.close c;
+            Unix.sleepf 0.05;
+            connect (tries - 1)
+      in
+      let c = connect 100 in
+      let payload = req_line sql3 ~id:"tcp1" ^ "\n" ^ req_line sql3 ~id:"tcp2" ^ "\n" in
+      ignore (Unix.write_substring c payload 0 (String.length payload));
+      Unix.shutdown c Unix.SHUTDOWN_SEND;
+      let ic = Unix.in_channel_of_descr c in
+      let l1 = input_line ic in
+      let l2 = input_line ic in
+      Unix.close c;
+      Domain.join server;
+      let expected =
+        Protocol.response_to_json (Engine.oneshot (parse_ok (req_line sql3 ~id:"tcp1")))
+      in
+      Alcotest.(check string) "tcp response 1 is the oneshot answer" expected l1;
+      Alcotest.(check bool) "tcp response 2 carries its id" true
+        (contains l2 "\"id\":\"tcp2\""))
+
+(* ------------------------------------------------------------- Trace_gen *)
+
+let test_trace_roundtrip () =
+  let trace = Trace_gen.generate ~seed:5 ~requests:25 () in
+  Alcotest.(check int) "count" 25 (List.length trace);
+  let arrivals = List.map fst trace in
+  Alcotest.(check bool) "arrivals nondecreasing" true
+    (List.for_all2 (fun a b -> a <= b) (List.filteri (fun i _ -> i < 24) arrivals)
+       (List.tl arrivals));
+  let lines = Trace_gen.to_lines trace in
+  let back =
+    List.map
+      (fun l ->
+        match Trace_gen.parse_line l with Ok x -> x | Error e -> Alcotest.fail e)
+      lines
+  in
+  Alcotest.(check bool) "to_lines/parse_line round-trips" true (trace = back);
+  let again = Trace_gen.generate ~seed:5 ~requests:25 () in
+  Alcotest.(check bool) "deterministic in seed" true (trace = again)
+
+let () =
+  Alcotest.run "raqo_server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float bit round-trip" `Quick test_json_float_bits;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "defaults" `Quick test_protocol_defaults;
+          Alcotest.test_case "strict parsing" `Quick test_protocol_strict;
+          Alcotest.test_case "request round-trip" `Quick test_protocol_request_roundtrip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "matches the sql frontend bitwise" `Quick
+            test_engine_matches_sql_frontend;
+          Alcotest.test_case "served equals oneshot" `Quick
+            test_engine_served_equals_oneshot;
+          Alcotest.test_case "typed error responses" `Quick test_engine_error_responses;
+          Alcotest.test_case "qo mode and adaptive summary" `Quick
+            test_engine_qo_and_adaptive;
+          Alcotest.test_case "bounded admission, typed shedding" `Quick
+            test_admission_bounded;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "line loop end to end" `Quick test_serve_lines_end_to_end;
+          Alcotest.test_case "deterministic across engines" `Quick
+            test_serve_lines_deterministic_across_engines;
+          Alcotest.test_case "tcp round-trip" `Quick test_serve_tcp_roundtrip;
+        ] );
+      ( "trace_gen",
+        [ Alcotest.test_case "round-trip & determinism" `Quick test_trace_roundtrip ] );
+    ]
