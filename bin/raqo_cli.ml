@@ -70,6 +70,26 @@ let no_kernel_arg =
                costs, and counters are identical either way (the kernels are bit-exact); \
                this is a debugging escape hatch.")
 
+let no_rewrite_arg =
+  Arg.(value & flag & info [ "no-rewrite" ]
+         ~doc:"Disable the logical rewrite pass (predicate pushdown, FK/constant relation \
+               absorption, projection narrowing) that shrinks the join set before \
+               enumeration. Rewritten plans are never costlier than unrewritten ones; \
+               this flag exists to compare against the pre-rewrite search.")
+
+let print_rewrite_report (r : Raqo_rewrite.Rewrite.report) =
+  if r.Raqo_rewrite.Rewrite.changed then begin
+    Printf.printf "rewrite:";
+    List.iter
+      (fun (rule, n) -> Printf.printf " %s=%d" rule n)
+      (Raqo_rewrite.Rewrite.fired r);
+    Printf.printf " (relations removed: %d)\n" r.Raqo_rewrite.Rewrite.removed;
+    List.iter
+      (fun (gone, into) -> Printf.printf "  absorbed %s into %s\n" gone into)
+      r.Raqo_rewrite.Rewrite.absorbed
+  end
+  else print_endline "rewrite: no rules fired"
+
 (* --adaptive / --est-error: runtime adaptive re-optimization. *)
 
 let est_error_conv =
@@ -153,8 +173,8 @@ let plan_cmd =
                  e.g. \"select * from orders, lineitem where o_orderkey = l_orderkey and \
                  o_totalprice < 172000\".")
   in
-  let run relations planner mode max_containers max_gb nc gb sql jobs no_kernel engine
-      adaptive est_error trace =
+  let run relations planner mode max_containers max_gb nc gb sql jobs no_kernel no_rewrite
+      engine adaptive est_error trace =
     with_trace trace @@ fun () ->
     let schema = Raqo_catalog.Tpch.schema () in
     let model = Raqo.Models.hive () in
@@ -168,7 +188,8 @@ let plan_cmd =
     match sql with
     | Some sql -> begin
         let plan_sql pool =
-          Raqo.Sql_frontend.plan ~kind ~kernel:(not no_kernel) ?pool
+          Raqo.Sql_frontend.plan ~kind ~kernel:(not no_kernel) ~rewrite:(not no_rewrite)
+            ?pool
             ?adaptive:(if adaptive then Some (engine, est_error) else None)
             ~model ~conditions ~schema ~columns:(Raqo_catalog.Tpch.columns ()) sql
         in
@@ -183,6 +204,9 @@ let plan_cmd =
                 if s < 1.0 then
                   Printf.printf "filter selectivity on %s: %.4f\n" table s)
               planned.Raqo.Sql_frontend.analyzed.Raqo_sql.Resolver.table_selectivity;
+            (match planned.Raqo.Sql_frontend.rewrite with
+            | Some r when r.Raqo_rewrite.Rewrite.changed -> print_rewrite_report r
+            | _ -> ());
             print_string
               (Raqo.Explain.joint model
                  planned.Raqo.Sql_frontend.analyzed.Raqo_sql.Resolver.schema
@@ -206,8 +230,8 @@ let plan_cmd =
                only through the requested estimation error. *)
             let estimates = Raqo_execsim.Estimation_error.perturb est_error schema in
             let opt =
-              Raqo.Cost_based.create ~kind ~kernel:(not no_kernel) ~model ~conditions
-                estimates
+              Raqo.Cost_based.create ~kind ~kernel:(not no_kernel)
+                ~rewrite:(not no_rewrite) ~model ~conditions estimates
             in
             let result =
               if jobs > 1 then
@@ -229,8 +253,8 @@ let plan_cmd =
           end
         | _ ->
             let opt =
-              Raqo.Cost_based.create ~kind ~kernel:(not no_kernel) ~model ~conditions
-                schema
+              Raqo.Cost_based.create ~kind ~kernel:(not no_kernel)
+                ~rewrite:(not no_rewrite) ~model ~conditions schema
             in
             let result =
               match mode with
@@ -258,7 +282,7 @@ let plan_cmd =
   let term =
     Term.(const run $ relations_arg $ planner_arg $ mode_arg $ containers_arg $ memory_arg
           $ fixed_containers $ fixed_gb $ sql_arg $ jobs_opt_arg $ no_kernel_arg
-          $ engine_arg $ adaptive_arg $ est_error_arg $ trace_arg)
+          $ no_rewrite_arg $ engine_arg $ adaptive_arg $ est_error_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Jointly optimize a TPC-H query's plan and resources") term
 
@@ -472,8 +496,8 @@ let trace_cmd =
                  out at 8 relations, so this is how to watch the dpsub levels fan out on \
                  bigger queries.")
   in
-  let run relations planner random max_containers max_gb jobs no_kernel engine adaptive
-      est_error out =
+  let run relations planner random max_containers max_gb jobs no_kernel no_rewrite engine
+      adaptive est_error out =
     Raqo_obs.Obs.set_enabled true;
     let kind =
       match planner with
@@ -499,10 +523,20 @@ let trace_cmd =
     let schema =
       if adaptive then Raqo_execsim.Estimation_error.perturb est_error truth else truth
     in
+    (* Random schemas carry no SQL projections, so give the rewriter the
+       count-star hint (nothing projected): FK-leaf and constant-bound
+       absorption plus width narrowing all become applicable, which is
+       exactly what the rewrite walkthrough wants to watch. TPC-H relation
+       lists keep the no-op hints — every relation counts as referenced. *)
+    let rewrite_hints =
+      match random with
+      | Some _ -> { Raqo_rewrite.Rewrite.filters = []; referenced = Some [] }
+      | None -> Raqo_rewrite.Rewrite.no_hints
+    in
     let opt =
       Raqo.Cost_based.create ~kind
         ~resource_strategy:Raqo_resource.Resource_planner.Brute_force
-        ~kernel:(not no_kernel) ~model
+        ~kernel:(not no_kernel) ~rewrite:(not no_rewrite) ~rewrite_hints ~model
         ~conditions:(conditions max_containers max_gb)
         schema
     in
@@ -517,8 +551,12 @@ let trace_cmd =
         print_endline "no feasible plan";
         exit 2
     | Some (plan, cost) ->
-        Printf.printf "joint plan for [%s]: est cost %.3g\n\n" (String.concat " " relations)
+        Printf.printf "joint plan for [%s]: est cost %.3g\n" (String.concat " " relations)
           cost;
+        (match Raqo.Cost_based.rewrite_report opt with
+        | Some r -> print_rewrite_report r
+        | None -> ());
+        print_newline ();
         if adaptive then begin
           let report =
             Raqo_adaptive.Adaptive_exec.run ~engine ~model
@@ -540,8 +578,8 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Run one traced joint planning and print a per-span summary table")
     Term.(const run $ relations_pos $ planner_arg $ random_arg $ containers_arg
-          $ memory_arg $ jobs_opt_arg $ no_kernel_arg $ engine_arg $ adaptive_arg
-          $ est_error_arg $ out_arg)
+          $ memory_arg $ jobs_opt_arg $ no_kernel_arg $ no_rewrite_arg $ engine_arg
+          $ adaptive_arg $ est_error_arg $ out_arg)
 
 (* --------------------------------------------------------------- metrics *)
 
@@ -650,8 +688,8 @@ let serve_cmd =
                  registry) — the reference the smoke test diffs served responses against; \
                  byte-identical answers are the contract.")
   in
-  let run port jobs queue_capacity batch cache_capacity shards no_kernel max_containers
-      max_gb max_connections gen_trace arrival_rate seed oneshot trace =
+  let run port jobs queue_capacity batch cache_capacity shards no_kernel no_rewrite
+      max_containers max_gb max_connections gen_trace arrival_rate seed oneshot trace =
     match gen_trace with
     | Some n ->
         List.iter
@@ -667,6 +705,7 @@ let serve_cmd =
             cache_capacity = (if cache_capacity <= 0 then None else Some cache_capacity);
             cache_shards = shards;
             kernel = not no_kernel;
+            rewrite = not no_rewrite;
             scale_factor = 100.0;
             conditions = conditions max_containers max_gb;
           }
@@ -678,11 +717,14 @@ let serve_cmd =
             | Some line when String.trim line = "" -> loop ()
             | Some line ->
                 let response =
-                  match Raqo_server.Protocol.parse_request line with
+                  match Raqo_server.Protocol.parse_line line with
                   | Error message ->
                       Raqo_server.Protocol.Rejected
                         { id = None; reason = Raqo_server.Protocol.Bad_request; message }
-                  | Ok req -> Raqo_server.Engine.oneshot ~config req
+                  | Ok (Raqo_server.Protocol.Health { id }) ->
+                      Raqo_server.Engine.oneshot_health ~config ~id ()
+                  | Ok (Raqo_server.Protocol.Request req) ->
+                      Raqo_server.Engine.oneshot ~config req
                 in
                 print_endline (Raqo_server.Protocol.response_to_json response);
                 loop ()
@@ -704,8 +746,9 @@ let serve_cmd =
        ~doc:"Resident optimizer: plan line-delimited JSON requests over stdio or TCP, \
              with a sharded cross-query plan cache and bounded-queue admission control")
     Term.(const run $ port_arg $ jobs_opt_arg $ queue_arg $ batch_arg $ cache_capacity_arg
-          $ shards_arg $ no_kernel_arg $ containers_arg $ memory_arg $ max_connections_arg
-          $ gen_trace_arg $ arrival_rate_arg $ seed_arg $ oneshot_arg $ trace_arg)
+          $ shards_arg $ no_kernel_arg $ no_rewrite_arg $ containers_arg $ memory_arg
+          $ max_connections_arg $ gen_trace_arg $ arrival_rate_arg $ seed_arg $ oneshot_arg
+          $ trace_arg)
 
 (* -------------------------------------------------------------- workload *)
 
@@ -786,6 +829,45 @@ let () =
       Printf.eprintf "Run 'raqo --help' for details.\n";
       exit 2
   | _ -> ());
+  (* Same contract for enumerated option values: an unknown --planner or
+     --est-error exits 2 with the valid choices, instead of cmdliner's
+     generic usage error (exit 124). Both --flag VALUE and --flag=VALUE
+     spellings are caught. *)
+  let option_values flag =
+    let prefix = flag ^ "=" in
+    let plen = String.length prefix in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | a :: rest when a = flag -> (
+          match rest with v :: rest' -> go (v :: acc) rest' | [] -> List.rev acc)
+      | a :: rest when String.length a > plen && String.sub a 0 plen = prefix ->
+          go (String.sub a plen (String.length a - plen) :: acc) rest
+      | _ :: rest -> go acc rest
+    in
+    go [] (Array.to_list Sys.argv)
+  in
+  let reject_invalid flag ~valid ~choices =
+    List.iter
+      (fun v ->
+        if not (valid v) then begin
+          Printf.eprintf "raqo: invalid value %S for %s. Valid choices:\n" v flag;
+          List.iter (fun c -> Printf.eprintf "  %s\n" c) choices;
+          exit 2
+        end)
+      (option_values flag)
+  in
+  reject_invalid "--planner"
+    ~valid:(fun v -> List.mem v [ "selinger"; "randomized"; "dpsub" ])
+    ~choices:[ "selinger"; "randomized"; "dpsub" ];
+  reject_invalid "--est-error"
+    ~valid:(fun v -> Result.is_ok (Raqo_execsim.Estimation_error.of_string v))
+    ~choices:
+      [
+        "none (exact estimates, the default)";
+        "lognormal:SEED        e.g. lognormal:42";
+        "skew=MAG:SEED         e.g. skew=0.5:7";
+        "correlated:SEED       (DIST:SEED or DIST=MAG:SEED forms)";
+      ];
   let info =
     Cmd.info "raqo" ~version:"1.0.0"
       ~doc:"Resource and query optimization (RAQO) for big data systems"

@@ -1,6 +1,7 @@
 module Coster = Raqo_planner.Coster
 module Resource_planner = Raqo_resource.Resource_planner
 module Interned = Raqo_catalog.Interned
+module Rewrite = Raqo_rewrite.Rewrite
 
 type planner_kind = Selinger | Fast_randomized | Bushy_dp
 
@@ -14,6 +15,8 @@ type t = {
   memoize : bool;
   parallel_memo : bool;
   kernel : bool;
+  rewrite : Rewrite.t option;
+  rewrite_hints : Rewrite.hints;
   (* Instrumentation handles resolved once at creation against the metrics
      registry this optimizer was built with — the process-wide default, or a
      per-server registry so two resident servers share no mutable state. *)
@@ -25,8 +28,9 @@ let create ?(kind = Selinger) ?(seed = 42)
     ?(randomized_params = Raqo_planner.Randomized.default_params)
     ?(resource_strategy = Resource_planner.Hill_climb) ?(pruned = false) ?(cache = true)
     ?(lookup = Raqo_resource.Plan_cache.Exact) ?(memoize = false) ?(kernel = true)
-    ?(parallel_memo = true) ?cache_capacity ?shared_cache
-    ?(metrics = Raqo_obs.Metrics.default) ~model ~conditions schema =
+    ?(parallel_memo = true) ?cache_capacity ?shared_cache ?(rewrite = true)
+    ?(rewrite_hints = Rewrite.no_hints) ?(metrics = Raqo_obs.Metrics.default) ~model
+    ~conditions schema =
   {
     kind;
     schema;
@@ -39,6 +43,8 @@ let create ?(kind = Selinger) ?(seed = 42)
     memoize;
     parallel_memo;
     kernel;
+    rewrite = (if rewrite then Some (Rewrite.create ~registry:metrics schema) else None);
+    rewrite_hints;
     m_plans = Raqo_obs.Metrics.counter_in metrics "raqo_plans_total";
     m_plan_seconds = Raqo_obs.Metrics.histogram_in metrics "raqo_plan_seconds";
   }
@@ -116,8 +122,38 @@ let masked_coster t ctx = wrap_masked t ctx (Coster.raqo_masked t.model ctx t.re
 let masked_coster_qo t ctx ~resources =
   wrap_masked t ctx (Coster.fixed_masked t.model ctx resources)
 
+(* Logical rewrite pass: when a rule fires, the planner below sees the
+   rewritten stats and the surviving relations via a record copy — the
+   resource planner, caches and counters stay shared with [t]. A no-op
+   rewrite returns the inputs physically unchanged, so zero-applicable
+   queries plan bit-identically to [~rewrite:false]. *)
+let rewrite_query t relations =
+  match t.rewrite with
+  | None -> (t, relations)
+  | Some eng ->
+      let changed =
+        if not (Raqo_obs.Obs.enabled ()) then
+          Rewrite.apply eng ~hints:t.rewrite_hints relations
+        else begin
+          let span = Raqo_obs.Trace.start "plan/rewrite" in
+          match Rewrite.apply eng ~hints:t.rewrite_hints relations with
+          | changed ->
+              Raqo_obs.Trace.finish span;
+              changed
+          | exception e ->
+              Raqo_obs.Trace.finish span;
+              raise e
+        end
+      in
+      if changed then
+        ({ t with schema = Rewrite.schema_out eng }, Rewrite.relations_out eng)
+      else (t, relations)
+
+let rewrite_report t = Option.map Rewrite.last t.rewrite
+
 let optimize t relations =
   instrumented t (fun () ->
+      let t, relations = rewrite_query t relations in
       match interned_ctx t relations with
       | Some ctx -> run_planner_masked t (masked_coster t ctx) ctx
       | None -> run_planner t (coster t) relations)
@@ -144,6 +180,7 @@ let optimize_par t pool relations =
   | Bushy_dp when not t.parallel_memo -> optimize t relations
   | Bushy_dp ->
       instrumented t (fun () ->
+          let t, relations = rewrite_query t relations in
           match interned_ctx t relations with
           | Some ctx ->
               Raqo_planner.Dpsub.optimize_par_masked ~coster:(restart_masked_coster t ctx)
@@ -155,6 +192,7 @@ let optimize_par t pool relations =
               run_planner t (coster t) relations)
   | Fast_randomized ->
       instrumented t (fun () ->
+          let t, relations = rewrite_query t relations in
           match interned_ctx t relations with
           | Some ctx ->
               Raqo_planner.Randomized.optimize_par_masked ~params:t.randomized_params pool

@@ -47,6 +47,17 @@ type t
     thread-safe cross-query plan cache instead of a private one (see
     {!Raqo_resource.Shared_plan_cache}): every fork handed to parallel
     workers keeps the same handle, so concurrent optimizers warm each other.
+
+    [rewrite] (default [true]) runs the {!Raqo_rewrite.Rewrite} logical
+    memo over every query before enumeration in {!optimize},
+    {!optimize_par} and (through them) {!optimize_adaptive}: predicate
+    pushdown, constant/FK absorption and projection narrowing, driven by
+    [rewrite_hints]. With the default hints (no filters, everything
+    referenced) no rule can fire and planning is bit-identical to
+    [~rewrite:false]; when rules fire, the rewritten plan's cost is never
+    worse than the unrewritten one's. [--no-rewrite] in the CLI maps to
+    [~rewrite:false].
+
     [metrics] directs all of this optimizer's registry instrumentation —
     plan counters, latency histograms, resource-planner counter mirrors — at
     a caller-owned registry (default: the process-wide one); a resident
@@ -70,6 +81,8 @@ val create :
   ?parallel_memo:bool ->
   ?cache_capacity:int ->
   ?shared_cache:Raqo_resource.Shared_plan_cache.t ->
+  ?rewrite:bool ->
+  ?rewrite_hints:Raqo_rewrite.Rewrite.hints ->
   ?metrics:Raqo_obs.Metrics.registry ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->
@@ -145,6 +158,11 @@ val coster : t -> Raqo_planner.Coster.t
 (** [coster_qo t ~resources] is the fixed-resource coster behind
     {!optimize_qo}. *)
 val coster_qo : t -> resources:Raqo_cluster.Resources.t -> Raqo_planner.Coster.t
+
+(** [rewrite_report t] is the per-rule fired counts and group merges of the
+    most recent rewrite pass ({!Raqo_rewrite.Rewrite.last}); [None] when the
+    optimizer was built with [~rewrite:false]. *)
+val rewrite_report : t -> Raqo_rewrite.Rewrite.report option
 
 (** [counters t] exposes resource-planning instrumentation (configurations
     explored, cache hits) accumulated across optimizations. *)

@@ -10,6 +10,9 @@ type planned = {
   adaptive : Raqo_adaptive.Adaptive_exec.report option;
       (** present iff [?adaptive] was requested: the static-vs-adaptive
           execution report against the resolver's (ground-truth) schema *)
+  rewrite : Raqo_rewrite.Rewrite.report option;
+      (** per-rule fired counts of the logical rewrite pass; [None] with
+          [~rewrite:false], [changed = false] when no rule applied *)
 }
 
 (** [plan ?kind ?seed ?kernel ?parallel_memo ?pool ?adaptive ~model
@@ -26,7 +29,15 @@ type planned = {
     [shared_cache] and [metrics] are forwarded to {!Cost_based.create}: a
     resident server passes its striped cross-query plan cache and its own
     metrics registry, so concurrent requests warm each other while distinct
-    servers share no mutable state. *)
+    servers share no mutable state.
+
+    [rewrite] (default [true]) runs the logical rewrite memo before
+    enumeration: the resolver's per-table filter selectivities become
+    pushdown hints (replaying the historical scan-scaling fold bitwise, so
+    filter-only queries plan identically either way) and the projection
+    list becomes the referenced-table hint, enabling FK/constant absorption
+    and width narrowing for queries that do not read every table. The
+    CLI's [--no-rewrite] passes [rewrite:false]. *)
 val plan :
   ?kind:Cost_based.planner_kind ->
   ?seed:int ->
@@ -35,6 +46,7 @@ val plan :
   ?pool:Raqo_par.Pool.t ->
   ?adaptive:Raqo_execsim.Engine.t * Raqo_execsim.Estimation_error.t ->
   ?shared_cache:Raqo_resource.Shared_plan_cache.t ->
+  ?rewrite:bool ->
   ?metrics:Raqo_obs.Metrics.registry ->
   model:Raqo_cost.Op_cost.t ->
   conditions:Raqo_cluster.Conditions.t ->

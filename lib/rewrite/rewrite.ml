@@ -1,0 +1,363 @@
+module Schema = Raqo_catalog.Schema
+module Relation = Raqo_catalog.Relation
+module Join_graph = Raqo_catalog.Join_graph
+module Metrics = Raqo_obs.Metrics
+module Obs = Raqo_obs.Obs
+
+type hints = { filters : (string * float) list; referenced : string list option }
+
+let no_hints = { filters = []; referenced = None }
+let projected_row_bytes = 16.0
+
+type report = {
+  pushdown : int;
+  constant : int;
+  fk : int;
+  project : int;
+  removed : int;
+  changed : bool;
+  absorbed : (string * string) list;
+}
+
+type t = {
+  schema : Schema.t;
+  names : string array;
+  index : (string, int) Hashtbl.t;
+  base_rows : float array;
+  base_widths : float array;
+  e_left : int array;
+  e_right : int array;
+  e_sel : float array;
+  (* Per-query scratch, reset by [apply]. All flat arrays so the no-op
+     decision path allocates nothing. *)
+  present : bool array;
+  referenced : bool array;
+  removed : bool array;
+  dirty : bool array;
+  q_rows : float array;
+  q_widths : float array;
+  absorbed_into : int array;
+  stack : int array;
+  visited : bool array;
+  mutable live : int;
+  (* Single edge-scan outputs (degree / selectivity product / lowest live
+     neighbour) live in fields instead of a returned tuple. *)
+  mutable sc_deg : int;
+  mutable sc_prod : float;
+  mutable sc_nb : int;
+  (* Per-apply report fields. *)
+  mutable r_pushdown : int;
+  mutable r_constant : int;
+  mutable r_fk : int;
+  mutable r_project : int;
+  mutable out_changed : bool;
+  mutable out_schema : Schema.t;
+  mutable out_relations : string list;
+  c_applies : Metrics.Counter.t;
+  c_noops : Metrics.Counter.t;
+  c_pushdown : Metrics.Counter.t;
+  c_constant : Metrics.Counter.t;
+  c_fk : Metrics.Counter.t;
+  c_project : Metrics.Counter.t;
+  c_removed : Metrics.Counter.t;
+}
+
+let create ?(registry = Metrics.default) schema =
+  let relations = Array.of_list (Schema.relations schema) in
+  let n = Array.length relations in
+  let names = Array.map (fun (r : Relation.t) -> r.name) relations in
+  let index = Hashtbl.create (2 * max 1 n) in
+  Array.iteri (fun i name -> Hashtbl.replace index name i) names;
+  let edges = Array.of_list (Join_graph.edges (Schema.graph schema)) in
+  let m = Array.length edges in
+  let counter name = Metrics.counter_in registry name in
+  {
+    schema;
+    names;
+    index;
+    base_rows = Array.map (fun (r : Relation.t) -> r.rows) relations;
+    base_widths = Array.map (fun (r : Relation.t) -> r.row_bytes) relations;
+    e_left = Array.init m (fun k -> Hashtbl.find index edges.(k).Join_graph.left);
+    e_right = Array.init m (fun k -> Hashtbl.find index edges.(k).Join_graph.right);
+    e_sel = Array.init m (fun k -> edges.(k).Join_graph.selectivity);
+    present = Array.make (max 1 n) false;
+    referenced = Array.make (max 1 n) false;
+    removed = Array.make (max 1 n) false;
+    dirty = Array.make (max 1 n) false;
+    q_rows = Array.make (max 1 n) 0.0;
+    q_widths = Array.make (max 1 n) 0.0;
+    absorbed_into = Array.make (max 1 n) (-1);
+    stack = Array.make (max 1 n) 0;
+    visited = Array.make (max 1 n) false;
+    live = 0;
+    sc_deg = 0;
+    sc_prod = 1.0;
+    sc_nb = -1;
+    r_pushdown = 0;
+    r_constant = 0;
+    r_fk = 0;
+    r_project = 0;
+    out_changed = false;
+    out_schema = schema;
+    out_relations = [];
+    c_applies = counter "raqo_rewrite_applies_total";
+    c_noops = counter "raqo_rewrite_noops_total";
+    c_pushdown = counter "raqo_rewrite_pushdown_fired_total";
+    c_constant = counter "raqo_rewrite_constant_fired_total";
+    c_fk = counter "raqo_rewrite_fk_fired_total";
+    c_project = counter "raqo_rewrite_project_fired_total";
+    c_removed = counter "raqo_rewrite_relations_removed_total";
+  }
+
+let schema t = t.schema
+let schema_out t = t.out_schema
+let relations_out t = t.out_relations
+let alive t i = t.present.(i) && not t.removed.(i)
+
+(* Admit the query: every name known, no duplicates (a duplicate FROM entry
+   is the resolver's self-join shape — rewriting it is not ours to do). *)
+let rec admit t = function
+  | [] -> true
+  | name :: rest ->
+      Hashtbl.mem t.index name
+      &&
+      let i = Hashtbl.find t.index name in
+      (not t.present.(i))
+      &&
+      (t.present.(i) <- true;
+       t.q_rows.(i) <- t.base_rows.(i);
+       t.q_widths.(i) <- t.base_widths.(i);
+       t.live <- t.live + 1;
+       admit t rest)
+
+let rec mark_referenced t = function
+  | [] -> ()
+  | name :: rest ->
+      (if Hashtbl.mem t.index name then
+         let i = Hashtbl.find t.index name in
+         if t.present.(i) then t.referenced.(i) <- true);
+      mark_referenced t rest
+
+(* Exactly the resolver's scan-scaling fold, so a filter-only rewrite is
+   bit-identical to planning the resolver-scaled schema directly. *)
+let rec pushdown t = function
+  | [] -> ()
+  | (name, sel) :: rest ->
+      (if sel < 1.0 && Hashtbl.mem t.index name then
+         let i = Hashtbl.find t.index name in
+         if t.present.(i) then begin
+           t.q_rows.(i) <- t.q_rows.(i) *. Float.max (1.0 /. t.q_rows.(i)) sel;
+           t.dirty.(i) <- true;
+           t.r_pushdown <- t.r_pushdown + 1
+         end);
+      pushdown t rest
+
+let rec first_unreferenced t i n =
+  if i >= n then -1
+  else if alive t i && not t.referenced.(i) then i
+  else first_unreferenced t (i + 1) n
+
+let rec first_live_except t skip i n =
+  if i >= n then -1
+  else if i <> skip && alive t i then i
+  else first_live_except t skip (i + 1) n
+
+(* Degree, selectivity product and lowest live neighbour of [i] over the
+   in-query live edges, left in sc_deg / sc_prod / sc_nb. *)
+let scan_edges_at t i =
+  t.sc_deg <- 0;
+  t.sc_prod <- 1.0;
+  t.sc_nb <- -1;
+  for k = 0 to Array.length t.e_sel - 1 do
+    let a = t.e_left.(k) and b = t.e_right.(k) in
+    let other = if a = i then b else if b = i then a else -1 in
+    if other >= 0 && alive t other then begin
+      t.sc_deg <- t.sc_deg + 1;
+      t.sc_prod <- t.sc_prod *. t.e_sel.(k);
+      if t.sc_nb < 0 || other < t.sc_nb then t.sc_nb <- other
+    end
+  done
+
+(* BFS over live relations, optionally pretending [skip] is gone. Returns
+   true when every live relation (minus [skip]) is reachable. *)
+let connected_without t ~skip =
+  let n = Array.length t.names in
+  let target = if skip >= 0 then t.live - 1 else t.live in
+  if target <= 1 then true
+  else begin
+    Array.fill t.visited 0 n false;
+    let start = first_live_except t skip 0 n in
+    t.visited.(start) <- true;
+    t.stack.(0) <- start;
+    t.sc_deg <- 1 (* reuse as stack pointer *);
+    t.sc_nb <- 1 (* reuse as visited count *);
+    while t.sc_deg > 0 do
+      t.sc_deg <- t.sc_deg - 1;
+      let u = t.stack.(t.sc_deg) in
+      for k = 0 to Array.length t.e_sel - 1 do
+        let a = t.e_left.(k) and b = t.e_right.(k) in
+        let v = if a = u then b else if b = u then a else -1 in
+        if v >= 0 && v <> skip && alive t v && not t.visited.(v) then begin
+          t.visited.(v) <- true;
+          t.stack.(t.sc_deg) <- v;
+          t.sc_deg <- t.sc_deg + 1;
+          t.sc_nb <- t.sc_nb + 1
+        end
+      done
+    done;
+    t.sc_nb = target
+  end
+
+let absorb t i target =
+  t.q_rows.(target) <- t.q_rows.(target) *. (t.q_rows.(i) *. t.sc_prod);
+  (if t.q_rows.(target) <= 0.0 then (* guard float underflow of long folds *)
+     t.q_rows.(target) <- 1e-300);
+  t.dirty.(target) <- true;
+  t.removed.(i) <- true;
+  t.absorbed_into.(i) <- target;
+  t.live <- t.live - 1
+
+(* One constant-absorption pass in index order; true when anything fired. *)
+let rec const_pass t i n fired =
+  if i >= n then fired
+  else if
+    alive t i
+    && (not t.referenced.(i))
+    && t.q_rows.(i) <= 1.0
+    && t.live > 2
+    && connected_without t ~skip:i
+  then begin
+    scan_edges_at t i;
+    absorb t i t.sc_nb;
+    t.r_constant <- t.r_constant + 1;
+    const_pass t (i + 1) n true
+  end
+  else const_pass t (i + 1) n fired
+
+(* One FK-leaf pass: degree-1 unreferenced [i] whose edge can never grow
+   the result (rows * sel <= 1). Removing a leaf keeps connectivity. *)
+let rec fk_pass t i n fired =
+  if i >= n then fired
+  else if alive t i && (not t.referenced.(i)) && t.live > 2 then begin
+    scan_edges_at t i;
+    if t.sc_deg = 1 && t.q_rows.(i) *. t.sc_prod <= 1.0 then begin
+      absorb t i t.sc_nb;
+      t.r_fk <- t.r_fk + 1;
+      fk_pass t (i + 1) n true
+    end
+    else fk_pass t (i + 1) n fired
+  end
+  else fk_pass t (i + 1) n fired
+
+let rec saturate t n =
+  let fired = const_pass t 0 n false in
+  let fired = fk_pass t 0 n fired in
+  if fired then saturate t n
+
+let rec project_pass t i n =
+  if i < n then begin
+    (if alive t i && (not t.referenced.(i)) && t.q_widths.(i) > projected_row_bytes
+     then begin
+       t.q_widths.(i) <- projected_row_bytes;
+       t.dirty.(i) <- true;
+       t.r_project <- t.r_project + 1
+     end);
+    project_pass t (i + 1) n
+  end
+
+let rebuild t relations =
+  let n = Array.length t.names in
+  let schema' = ref t.schema in
+  for i = 0 to n - 1 do
+    if t.present.(i) && (not t.removed.(i)) && t.dirty.(i) then
+      schema' :=
+        Schema.with_relation !schema'
+          (Relation.make ~name:t.names.(i) ~rows:t.q_rows.(i)
+             ~row_bytes:t.q_widths.(i))
+  done;
+  t.out_schema <- !schema';
+  t.out_relations <-
+    List.filter (fun name -> not t.removed.(Hashtbl.find t.index name)) relations;
+  t.out_changed <- true
+
+let finish_noop t relations =
+  t.out_changed <- false;
+  t.out_schema <- t.schema;
+  t.out_relations <- relations;
+  if Obs.enabled () then Metrics.Counter.inc t.c_noops;
+  false
+
+let apply t ~(hints : hints) relations =
+  let n = Array.length t.names in
+  Array.fill t.present 0 n false;
+  Array.fill t.referenced 0 n false;
+  Array.fill t.removed 0 n false;
+  Array.fill t.dirty 0 n false;
+  Array.fill t.absorbed_into 0 n (-1);
+  t.live <- 0;
+  t.r_pushdown <- 0;
+  t.r_constant <- 0;
+  t.r_fk <- 0;
+  t.r_project <- 0;
+  if Obs.enabled () then Metrics.Counter.inc t.c_applies;
+  if not (admit t relations) then finish_noop t relations
+  else if t.live = 0 then finish_noop t relations
+  else if not (connected_without t ~skip:(-1)) then finish_noop t relations
+  else begin
+    (match hints.referenced with
+    | None ->
+        for i = 0 to n - 1 do
+          t.referenced.(i) <- t.present.(i)
+        done
+    | Some names -> mark_referenced t names);
+    (* Fast exit: nothing filtered and nothing unreferenced means no rule
+       can fire; this path has touched only preallocated scratch. *)
+    if
+      (match hints.filters with [] -> true | _ :: _ -> false)
+      && first_unreferenced t 0 n < 0
+    then finish_noop t relations
+    else begin
+      pushdown t hints.filters;
+      saturate t n;
+      project_pass t 0 n;
+      let fired = t.r_pushdown + t.r_constant + t.r_fk + t.r_project in
+      if fired = 0 then finish_noop t relations
+      else begin
+        rebuild t relations;
+        if Obs.enabled () then begin
+          Metrics.Counter.add t.c_pushdown t.r_pushdown;
+          Metrics.Counter.add t.c_constant t.r_constant;
+          Metrics.Counter.add t.c_fk t.r_fk;
+          Metrics.Counter.add t.c_project t.r_project;
+          Metrics.Counter.add t.c_removed (t.r_constant + t.r_fk)
+        end;
+        true
+      end
+    end
+  end
+
+let last t =
+  let absorbed = ref [] in
+  for i = Array.length t.names - 1 downto 0 do
+    let into = t.absorbed_into.(i) in
+    if into >= 0 then absorbed := (t.names.(i), t.names.(into)) :: !absorbed
+  done;
+  {
+    pushdown = t.r_pushdown;
+    constant = t.r_constant;
+    fk = t.r_fk;
+    project = t.r_project;
+    removed = t.r_constant + t.r_fk;
+    changed = t.out_changed;
+    absorbed = !absorbed;
+  }
+
+let fired r =
+  List.filter
+    (fun (_, c) -> c > 0)
+    [
+      ("pushdown", r.pushdown);
+      ("constant", r.constant);
+      ("fk", r.fk);
+      ("project", r.project);
+    ]

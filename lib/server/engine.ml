@@ -7,6 +7,7 @@ type config = {
   cache_capacity : int option;
   cache_shards : int;
   kernel : bool;
+  rewrite : bool;
   scale_factor : float;
   conditions : Raqo_cluster.Conditions.t;
 }
@@ -19,6 +20,7 @@ let default_config =
     cache_capacity = Some 4096;
     cache_shards = 8;
     kernel = true;
+    rewrite = true;
     scale_factor = 100.0;
     conditions = Raqo_cluster.Conditions.default;
   }
@@ -96,10 +98,19 @@ let rec has_dup = function
   | [] -> false
   | x :: rest -> List.mem x rest || has_dup rest
 
-(* Resolve the request's payload to (schema to plan against, relations).
-   This is exactly the front half of {!Raqo.Sql_frontend.plan}; keeping the
-   sequence identical is what makes served responses bit-equal to the
-   one-shot pipeline. *)
+(* What [plan_request] needs from the payload: the schema the optimizer is
+   created over (pre-rewrite), the adaptive ground truth (filter-scaled),
+   the relations, and the rewrite hints. Exactly the front half of
+   {!Raqo.Sql_frontend.plan}; keeping the sequence identical is what makes
+   served responses bit-equal to the one-shot pipeline. *)
+type resolved = {
+  plan_schema : Raqo_catalog.Schema.t;
+  truth_schema : Raqo_catalog.Schema.t;
+  relations : string list;
+  referenced : string list option;
+  filters : (string * float) list;
+}
+
 let resolve t (req : Protocol.request) =
   match req.payload with
   | Protocol.Sql sql -> begin
@@ -108,7 +119,29 @@ let resolve t (req : Protocol.request) =
         Raqo_obs.Trace.with_ ~name:"sql/analyze" (fun () ->
             Raqo_sql.Resolver.analyze t.schema t.columns sql)
       with
-      | Ok a -> Ok (a.Raqo_sql.Resolver.schema, a.Raqo_sql.Resolver.relations)
+      | Ok a ->
+          (* With the rewriter on the optimizer plans over the raw catalog
+             and replays the resolver's filter fold through the pushdown
+             rule (bitwise-identical stats); off keeps the historical
+             resolver-scaled schema. *)
+          if t.config.rewrite then
+            Ok
+              {
+                plan_schema = t.schema;
+                truth_schema = a.Raqo_sql.Resolver.schema;
+                relations = a.Raqo_sql.Resolver.relations;
+                referenced = a.Raqo_sql.Resolver.projected_tables;
+                filters = a.Raqo_sql.Resolver.table_selectivity;
+              }
+          else
+            Ok
+              {
+                plan_schema = a.Raqo_sql.Resolver.schema;
+                truth_schema = a.Raqo_sql.Resolver.schema;
+                relations = a.Raqo_sql.Resolver.relations;
+                referenced = None;
+                filters = [];
+              }
       | Error e -> Error e
     end
   | Protocol.Relations rels -> (
@@ -122,9 +155,17 @@ let resolve t (req : Protocol.request) =
         | None ->
             if not (Raqo_catalog.Schema.joinable t.schema rels) then
               Error "relations do not form a connected join graph"
-            else Ok (t.schema, rels))
+            else
+              Ok
+                {
+                  plan_schema = t.schema;
+                  truth_schema = t.schema;
+                  relations = rels;
+                  referenced = None;
+                  filters = [];
+                })
 
-let planned (req : Protocol.request) plan cost adaptive =
+let planned (req : Protocol.request) plan cost adaptive rewrite =
   let resources =
     Raqo_plan.Join_tree.annotations plan
     |> List.map (fun (_impl, r) ->
@@ -137,7 +178,20 @@ let planned (req : Protocol.request) plan cost adaptive =
       cost;
       resources;
       adaptive;
+      rewrite;
     }
+
+(* Present only when a rule fired, so zero-rewrite responses are
+   byte-identical to a [~rewrite:false] engine's. *)
+let rewrite_summary opt =
+  match Raqo.Cost_based.rewrite_report opt with
+  | Some r when r.Raqo_rewrite.Rewrite.changed ->
+      Some
+        {
+          Protocol.fired = Raqo_rewrite.Rewrite.fired r;
+          removed = r.Raqo_rewrite.Rewrite.removed;
+        }
+  | Some _ | None -> None
 
 let summarize_outcome = function
   | Raqo_adaptive.Adaptive_exec.Done { seconds; _ } -> Protocol.Finished seconds
@@ -155,41 +209,56 @@ let plan_request ?pool t (req : Protocol.request) : Protocol.response =
   match resolve t req with
   | Error message ->
       Protocol.Rejected { id = Some req.id; reason = Protocol.Bad_request; message }
-  | Ok (schema, relations) -> begin
+  | Ok r -> begin
       let model, sim_engine = model_and_engine req.engine in
-      let optimizer schema =
+      let optimizer ~hints schema =
         Raqo.Cost_based.create ~kind:req.planner ~seed:req.seed ~kernel:t.config.kernel
-          ~shared_cache:t.cache ~metrics:t.registry ~model
-          ~conditions:t.config.conditions schema
+          ~shared_cache:t.cache ~rewrite:t.config.rewrite ~rewrite_hints:hints
+          ~metrics:t.registry ~model ~conditions:t.config.conditions schema
       in
       try
         match req.mode with
         | Protocol.Qo resources -> begin
-            match Raqo.Cost_based.optimize_qo (optimizer schema) ~resources relations with
-            | Some (plan, cost) -> planned req plan cost None
+            (* The two-step baseline does not rewrite: it plans the
+               resolver-scaled schema exactly as before. *)
+            let opt =
+              optimizer ~hints:Raqo_rewrite.Rewrite.no_hints r.truth_schema
+            in
+            match Raqo.Cost_based.optimize_qo opt ~resources r.relations with
+            | Some (plan, cost) -> planned req plan cost None None
             | None -> infeasible req
           end
         | Protocol.Raqo when not req.adaptive -> begin
-            let opt = optimizer schema in
+            let opt =
+              optimizer
+                ~hints:
+                  { Raqo_rewrite.Rewrite.filters = r.filters; referenced = r.referenced }
+                r.plan_schema
+            in
             match
               Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
                   match pool with
-                  | Some pool -> Raqo.Cost_based.optimize_par opt pool relations
-                  | None -> Raqo.Cost_based.optimize opt relations)
+                  | Some pool -> Raqo.Cost_based.optimize_par opt pool r.relations
+                  | None -> Raqo.Cost_based.optimize opt r.relations)
             with
-            | Some (plan, cost) -> planned req plan cost None
+            | Some (plan, cost) -> planned req plan cost None (rewrite_summary opt)
             | None -> infeasible req
           end
         | Protocol.Raqo -> begin
-            (* Adaptive: the catalog is ground truth; the planner sees it
-               through the request's seeded estimation error. *)
-            let truth = schema in
+            (* Adaptive: the (filter-scaled) catalog is ground truth; the
+               planner sees it through the request's seeded estimation
+               error, with the projection hints still enabling absorption. *)
+            let truth = r.truth_schema in
             let estimates = Raqo_execsim.Estimation_error.perturb req.est_error truth in
-            let opt = optimizer estimates in
+            let opt =
+              optimizer
+                ~hints:{ Raqo_rewrite.Rewrite.filters = []; referenced = r.referenced }
+                estimates
+            in
             match
               Raqo_obs.Trace.with_ ~name:"sql/optimize" (fun () ->
                   Raqo.Cost_based.optimize_adaptive ?pool ~engine:sim_engine ~truth opt
-                    relations)
+                    r.relations)
             with
             | Some (report, cost) ->
                 let summary =
@@ -202,7 +271,8 @@ let plan_request ?pool t (req : Protocol.request) : Protocol.response =
                     switches = report.Raqo_adaptive.Adaptive_exec.switches;
                   }
                 in
-                planned req report.Raqo_adaptive.Adaptive_exec.static_plan cost (Some summary)
+                planned req report.Raqo_adaptive.Adaptive_exec.static_plan cost
+                  (Some summary) (rewrite_summary opt)
             | None -> infeasible req
           end
       with exn ->
@@ -229,6 +299,28 @@ let queue_depth t =
   let n = Queue.length t.queue in
   Mutex.unlock t.queue_mutex;
   n
+
+(* Readiness probe: answered at admission time, never queued, and carries no
+   wall-clock field so probe responses are deterministic. *)
+let health t ~id =
+  Protocol.Health_ok
+    {
+      id;
+      queue_depth = queue_depth t;
+      shards = t.config.cache_shards;
+      jobs = t.config.jobs;
+      ready = true;
+    }
+
+let oneshot_health ?(config = { default_config with jobs = 1 }) ~id () =
+  Protocol.Health_ok
+    {
+      id;
+      queue_depth = 0;
+      shards = config.cache_shards;
+      jobs = config.jobs;
+      ready = true;
+    }
 
 let submit t (req : Protocol.request) : Protocol.response option =
   Mutex.lock t.queue_mutex;

@@ -26,12 +26,19 @@ type config = {
   cache_capacity : int option;  (** shared-cache LRU bound ([None] unbounded) *)
   cache_shards : int;
   kernel : bool;  (** compiled cost kernels (the CLI's [--no-kernel] gates it) *)
+  rewrite : bool;
+      (** logical rewrite pass before enumeration: SQL filter selectivities
+          become pushdown hints (replaying the resolver's scan scaling
+          bitwise) and the projection list enables FK/constant absorption
+          and width narrowing; responses gain a ["rewrite"] summary when a
+          rule fired. Off plans the resolver-scaled schema exactly as
+          before. *)
   scale_factor : float;  (** TPC-H catalog scale *)
   conditions : Raqo_cluster.Conditions.t;
 }
 
-(** jobs 1, queue 64, batch 8, cache 4096 over 8 shards, kernel on, SF 100,
-    default conditions. *)
+(** jobs 1, queue 64, batch 8, cache 4096 over 8 shards, kernel on, rewrite
+    on, SF 100, default conditions. *)
 val default_config : config
 
 type t
@@ -67,6 +74,16 @@ val oneshot : ?config:config -> Protocol.request -> Protocol.response
 val submit : t -> Protocol.request -> Protocol.response option
 
 val queue_depth : t -> int
+
+(** [health t ~id] is the immediate [Health_ok] answer to an
+    [{"op":"health"}] probe: current queue depth, cache shards, pool jobs,
+    [ready = true]. Never queued — it must answer even under overload — and
+    carries no wall-clock field, so probe responses are deterministic. *)
+val health : t -> id:string option -> Protocol.response
+
+(** [oneshot_health ~id ()] is {!health} for the engine-less
+    [raqo serve --oneshot] path: depth 0 and [config]'s shards/jobs. *)
+val oneshot_health : ?config:config -> id:string option -> unit -> Protocol.response
 
 (** [process_wave t] drains up to [config.batch] queued requests and plans
     them concurrently on the pool; [(request, response)] pairs come back in

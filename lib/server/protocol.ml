@@ -22,6 +22,7 @@ type adaptive_summary = {
 }
 
 type reject_reason = Bad_request | Overloaded | Infeasible | Internal
+type rewrite_summary = { fired : (string * int) list; removed : int }
 
 type response =
   | Planned of {
@@ -30,8 +31,18 @@ type response =
       cost : float;
       resources : (int * float) list;
       adaptive : adaptive_summary option;
+      rewrite : rewrite_summary option;
     }
   | Rejected of { id : string option; reason : reject_reason; message : string }
+  | Health_ok of {
+      id : string option;
+      queue_depth : int;
+      shards : int;
+      jobs : int;
+      ready : bool;
+    }
+
+type line = Health of { id : string option } | Request of request
 
 let reason_name = function
   | Bad_request -> "bad_request"
@@ -149,6 +160,35 @@ let parse_request line =
       engine;
     }
 
+(* A health probe is its own tiny grammar ([op] plus an optional [id]), kept
+   out of [parse_request] so request parsing — and every caller pinning its
+   error catalogue — is untouched. *)
+let parse_line s =
+  let* json = Json.parse s in
+  match Json.member "op" json with
+  | None -> (
+      match parse_request s with Ok req -> Ok (Request req) | Error e -> Error e)
+  | Some (Json.Str "health") ->
+      let* () =
+        match
+          List.filter (fun k -> k <> "op" && k <> "id") (Json.keys json)
+        with
+        | [] -> Ok ()
+        | ks ->
+            Error
+              (Printf.sprintf "\"op\":\"health\" takes no field(s): %s"
+                 (String.concat ", " ks))
+      in
+      let* id =
+        match Json.member "id" json with
+        | None -> Ok None
+        | Some (Json.Str s) when s <> "" -> Ok (Some s)
+        | Some _ -> Error "field \"id\" must be a non-empty string"
+      in
+      Ok (Health { id })
+  | Some (Json.Str s) -> Error (Printf.sprintf "unknown op %S (want health)" s)
+  | Some _ -> Error "field \"op\" must be a string"
+
 (* ---------- encoding ---------- *)
 
 let request_to_json (r : request) =
@@ -189,7 +229,7 @@ let outcome_json = function
       Json.Obj [ ("outcome", Json.Str "oom"); ("stage", Json.Num (float_of_int stage)) ]
 
 let response_to_json = function
-  | Planned { id; plan; cost; resources; adaptive } ->
+  | Planned { id; plan; cost; resources; adaptive; rewrite } ->
       let resources_json =
         Json.List
           (List.map
@@ -212,6 +252,19 @@ let response_to_json = function
                   ] );
             ]
       in
+      (* Absent unless a rule fired, so zero-rewrite responses keep their
+         historical bytes (the served-vs-oneshot smoke depends on it). *)
+      let rewrite_fields =
+        match rewrite with
+        | None -> []
+        | Some r ->
+            [
+              ( "rewrite",
+                Json.Obj
+                  (List.map (fun (rule, n) -> (rule, Json.Num (float_of_int n))) r.fired
+                  @ [ ("removed", Json.Num (float_of_int r.removed)) ]) );
+            ]
+      in
       Json.to_string
         (Json.Obj
            ([
@@ -221,7 +274,20 @@ let response_to_json = function
               ("cost", Json.Num cost);
               ("resources", resources_json);
             ]
-           @ adaptive_fields))
+           @ adaptive_fields @ rewrite_fields))
+  | Health_ok { id; queue_depth; shards; jobs; ready } ->
+      let id_field = match id with None -> [] | Some id -> [ ("id", Json.Str id) ] in
+      Json.to_string
+        (Json.Obj
+           (id_field
+           @ [
+               ("status", Json.Str "ok");
+               ("op", Json.Str "health");
+               ("queue_depth", Json.Num (float_of_int queue_depth));
+               ("shards", Json.Num (float_of_int shards));
+               ("jobs", Json.Num (float_of_int jobs));
+               ("ready", Json.Bool ready);
+             ]))
   | Rejected { id; reason; message } ->
       let id_field = match id with None -> [] | Some id -> [ ("id", Json.Str id) ] in
       Json.to_string
@@ -236,5 +302,6 @@ let response_to_json = function
 let response_id = function
   | Planned { id; _ } -> Some id
   | Rejected { id; _ } -> id
+  | Health_ok { id; _ } -> id
 
-let is_ok = function Planned _ -> true | Rejected _ -> false
+let is_ok = function Planned _ | Health_ok _ -> true | Rejected _ -> false

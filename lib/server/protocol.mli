@@ -17,8 +17,16 @@
 
     Responses: [{"id":...,"status":"ok","plan":...,"cost":...,"resources":
     [{"containers":..,"gb":..},...]}] plus an ["adaptive"] summary when
-    requested, or [{"id":...,"status":"error","reason":
-    "bad_request|overloaded|infeasible|internal","message":...}]. *)
+    requested and a ["rewrite"] summary (per-rule fired counts + relations
+    removed) when a logical rewrite changed the query, or
+    [{"id":...,"status":"error","reason":
+    "bad_request|overloaded|infeasible|internal","message":...}].
+
+    Health probes: [{"op":"health"}] (optional ["id"]) answers immediately —
+    without queueing — with [{"status":"ok","op":"health","queue_depth":N,
+    "shards":N,"jobs":N,"ready":true}]: readiness with no wall-clock field,
+    so probe responses are deterministic. Parse request-or-probe lines with
+    {!parse_line}. *)
 
 type payload = Sql of string | Relations of string list
 
@@ -52,6 +60,11 @@ type reject_reason =
   | Infeasible  (** no joint plan fits the cluster conditions *)
   | Internal  (** planner raised; the server survives *)
 
+type rewrite_summary = {
+  fired : (string * int) list;  (** nonzero per-rule fired counts, rule order *)
+  removed : int;  (** relations absorbed out of the join *)
+}
+
 type response =
   | Planned of {
       id : string;
@@ -59,15 +72,31 @@ type response =
       cost : float;  (** estimated cost (seconds) — bit-exact wire float *)
       resources : (int * float) list;  (** (containers, GB) per join, bottom-up *)
       adaptive : adaptive_summary option;
+      rewrite : rewrite_summary option;
+          (** present iff a logical rewrite rule fired on this query *)
     }
   | Rejected of { id : string option; reason : reject_reason; message : string }
+  | Health_ok of {
+      id : string option;
+      queue_depth : int;
+      shards : int;  (** shared plan-cache stripes *)
+      jobs : int;  (** pool parallelism *)
+      ready : bool;
+    }
+
+(** One wire line: a health probe or a plan request. *)
+type line = Health of { id : string option } | Request of request
 
 val reason_name : reject_reason -> string
 val planner_of_string : string -> (Raqo.Cost_based.planner_kind, string) result
 val planner_name : Raqo.Cost_based.planner_kind -> string
 
-(** [parse_request line] parses one request line, strictly. *)
+(** [parse_request line] parses one request line, strictly. A health probe
+    is not a request; use {!parse_line} where probes are legal. *)
 val parse_request : string -> (request, string) result
+
+(** [parse_line line] parses a request or an [{"op":"health"}] probe. *)
+val parse_line : string -> (line, string) result
 
 (** [request_to_json r] renders [r] as one line (no newline); round-trips
     through {!parse_request} — the trace generator writes traces with it. *)

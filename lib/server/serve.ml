@@ -68,13 +68,16 @@ let at_eof r = r.eof && r.pending = ""
 let bad_request message =
   Protocol.Rejected { id = None; reason = Protocol.Bad_request; message }
 
-(* Parse and admit one line; [Some response] must be answered immediately. *)
+(* Parse and admit one line; [Some response] must be answered immediately.
+   Health probes bypass the queue entirely — a readiness check must answer
+   even when the admission queue is full. *)
 let admit engine line =
   if String.trim line = "" then None
   else
-    match Protocol.parse_request line with
+    match Protocol.parse_line line with
     | Error message -> Some (bad_request message)
-    | Ok req -> Engine.submit engine req
+    | Ok (Protocol.Health { id }) -> Some (Engine.health engine ~id)
+    | Ok (Protocol.Request req) -> Engine.submit engine req
 
 let run engine ~in_fd ~out_fd =
   let r = reader in_fd in

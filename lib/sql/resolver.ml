@@ -8,6 +8,7 @@ type analyzed = {
   schema : Schema.t;
   join_predicates : (string * string) list;
   table_selectivity : (string * float) list;
+  projected_tables : string list option;
 }
 
 let ( let* ) r f = Result.bind r f
@@ -136,9 +137,21 @@ let resolve_predicate schema columns alias_map from_tables p =
 let analyze schema columns sql =
   let* statement = Parser.parse sql in
   let* from_tables, alias_map = resolve_tables schema statement.Ast.tables in
-  (* Projections must resolve (we only use them for validation). *)
-  let* _ =
+  let* projected =
     collect (resolve_column columns alias_map from_tables) statement.Ast.projections
+  in
+  (* Which FROM tables the output actually reads: [None] for SELECT *
+     (everything), otherwise the tables owning a projected column, in FROM
+     order — the logical rewriter may absorb or narrow the others. *)
+  let projected_tables =
+    match statement.Ast.projections with
+    | [] -> None
+    | _ :: _ ->
+        Some
+          (List.filter
+             (fun table ->
+               List.exists (fun (c : Column.t) -> c.Column.table = table) projected)
+             from_tables)
   in
   let* contributions =
     collect (resolve_predicate schema columns alias_map from_tables) statement.Ast.where
@@ -203,4 +216,5 @@ let analyze schema columns sql =
         schema = scaled_schema;
         join_predicates;
         table_selectivity;
+        projected_tables;
       }

@@ -12,6 +12,9 @@ type analyzed = {
   join_predicates : (string * string) list;  (** resolved equi-join pairs *)
   table_selectivity : (string * float) list;
       (** per-table product of filter selectivities (1.0 when unfiltered) *)
+  projected_tables : string list option;
+      (** FROM tables the projection list reads, in FROM order; [None] for
+          SELECT * (every table referenced) *)
 }
 
 (** [analyze schema columns sql] parses and resolves [sql]. Errors cover:

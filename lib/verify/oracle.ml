@@ -21,6 +21,8 @@ module Engine = Raqo_execsim.Engine
 module Simulate = Raqo_execsim.Simulate
 module Estimation_error = Raqo_execsim.Estimation_error
 module Adaptive_exec = Raqo_adaptive.Adaptive_exec
+module Rewrite = Raqo_rewrite.Rewrite
+module Cost_based = Raqo.Cost_based
 module D = Diagnostic
 
 type instance = {
@@ -509,6 +511,116 @@ let check ?(jobs = [ 2; 4 ]) ?(fault = no_fault) t =
                 [ Plan_cache.Exact; Plan_cache.Nearest_neighbor 0.5; Plan_cache.Weighted_average 0.5 ])
             probes)
         (Plan_cache.keys cache));
+
+  (* ---------------------------------------------------- logical rewrite arms *)
+  (* The rewrite memo's contract, per seed. No-op hints (no filters,
+     everything referenced) must leave both outputs physically untouched —
+     [==], not structural equality — because the zero-rewrite fast path
+     promises no rebuild. Count-star hints (nothing projected) let FK-leaf
+     and constant absorption plus width narrowing fire; the rewritten query
+     must stay a connected subset of the original, and the exact planners'
+     optimum over it must not exceed the original's — as plain floats, no
+     tolerance, because every rule is cost-equivalent-or-better under the
+     floored model. *)
+  let rw = Rewrite.create schema in
+  if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_arms;
+  if Rewrite.apply rw ~hints:Rewrite.no_hints rels then
+    add [ D.v ~invariant:"oracle/rewrite-noop-changed" "no-op hints reported a rewrite" ]
+  else begin
+    if not (Rewrite.schema_out rw == schema) then
+      add [ D.v ~invariant:"oracle/rewrite-noop-schema" "no-op hints rebuilt the schema" ];
+    if not (Rewrite.relations_out rw == rels) then
+      add
+        [ D.v ~invariant:"oracle/rewrite-noop-relations"
+            "no-op hints rebuilt the relation list" ]
+  end;
+  let count_star = { Rewrite.filters = []; referenced = Some [] } in
+  let rw_changed = Rewrite.apply rw ~hints:count_star rels in
+  let schema' = Rewrite.schema_out rw and rels' = Rewrite.relations_out rw in
+  let rw_report = Rewrite.last rw in
+  if rw_changed then begin
+    if not (List.for_all (fun r -> List.mem r rels) rels') then
+      add
+        [ D.v ~invariant:"oracle/rewrite-subset"
+            "rewritten query references a relation outside the original" ];
+    if n >= 2 && List.length rels' < 2 then
+      add
+        [ D.v ~invariant:"oracle/rewrite-degenerate"
+            "rewrite absorbed the query below two relations" ];
+    if not (Schema.joinable schema' rels') then
+      add
+        [ D.v ~invariant:"oracle/rewrite-disconnected"
+            "rewrite disconnected the join graph" ];
+    if rw_report.Rewrite.removed <> n - List.length rels' then
+      add
+        [ D.v ~invariant:"oracle/rewrite-removed-count"
+            "rewrite report counts %d removals, relation list shrank by %d"
+            rw_report.Rewrite.removed
+            (n - List.length rels') ]
+  end
+  else if not (schema' == schema && rels' == rels) then
+    add
+      [ D.v ~invariant:"oracle/rewrite-unchanged-rebuild"
+          "unchanged rewrite rebuilt its outputs" ];
+  let rw_sel =
+    Selinger.optimize
+      (fault ~arm:"rewrite-selinger" (Coster.fixed model schema' fixed_resources))
+      schema' rels'
+  in
+  relate "oracle/rewrite-selinger-never-worse"
+    "rewritten left-deep optimum must be <= the original (plain floats)"
+    (fun a b -> a <= b)
+    (cost rw_sel) (cost sel);
+  if n <= 14 then begin
+    let rw_dp =
+      Dpsub.optimize
+        (fault ~arm:"rewrite-dpsub" (Coster.fixed model schema' fixed_resources))
+        schema' rels'
+    in
+    relate "oracle/rewrite-dpsub-never-worse"
+      "rewritten bushy optimum must be <= the original (plain floats)"
+      (fun a b -> a <= b)
+      (cost rw_dp) (cost dpsub)
+  end;
+
+  (* Cost_based threading: with no-op hints, rewrite-on is bit-identical to
+     rewrite-off; with count-star hints the brute-force joint optimum is
+     never worse; and the rewritten shared-memo parallel DP reproduces the
+     sequential sweep bitwise at every pool size. *)
+  let cb_run ?(hints = Rewrite.no_hints) ~rewrite kind pool_jobs =
+    let t =
+      Cost_based.create ~kind ~kernel:false
+        ~resource_strategy:Resource_planner.Brute_force ~rewrite ~rewrite_hints:hints
+        ~model ~conditions schema
+    in
+    match pool_jobs with
+    | None -> Cost_based.optimize t rels
+    | Some j -> Pool.with_pool ~jobs:j (fun pool -> Cost_based.optimize_par t pool rels)
+  in
+  let cb_off = cb_run ~rewrite:false Cost_based.Selinger None in
+  let cb_on = cb_run ~rewrite:true Cost_based.Selinger None in
+  if cb_on <> cb_off then
+    add
+      [ D.v ~invariant:"oracle/rewrite-default-identity"
+          "rewrite-on with no-op hints diverged from rewrite-off (Selinger joint)" ];
+  let cb_hinted = cb_run ~hints:count_star ~rewrite:true Cost_based.Selinger None in
+  relate "oracle/rewrite-joint-never-worse"
+    "hinted joint optimum must be <= the unrewritten joint optimum (plain floats)"
+    (fun a b -> a <= b)
+    (cost cb_hinted) (cost cb_off);
+  if n <= 10 then begin
+    let seq = cb_run ~hints:count_star ~rewrite:true Cost_based.Bushy_dp None in
+    List.iter
+      (fun j ->
+        if j > 1 then begin
+          let par = cb_run ~hints:count_star ~rewrite:true Cost_based.Bushy_dp (Some j) in
+          if par <> seq then
+            add
+              [ D.v ~invariant:"oracle/rewrite-par-vs-seq"
+                  "rewritten shared-memo DP (%d jobs) diverged from sequential" j ]
+        end)
+      jobs
+  end;
 
   !diags
 

@@ -128,6 +128,7 @@ let ok_response = function
       (plan, cost, resources, adaptive)
   | Protocol.Rejected { reason; message; _ } ->
       Alcotest.failf "rejected (%s): %s" (Protocol.reason_name reason) message
+  | Protocol.Health_ok _ -> Alcotest.fail "unexpected health response"
 
 let test_engine_matches_sql_frontend () =
   (* The tentpole contract: a served plan is bit-identical (plan string,
@@ -322,6 +323,107 @@ let test_serve_tcp_roundtrip () =
       Alcotest.(check bool) "tcp response 2 carries its id" true
         (contains l2 "\"id\":\"tcp2\""))
 
+(* ---------------------------------------------------------------- Health *)
+
+let test_parse_health_line () =
+  (match Protocol.parse_line "{\"op\":\"health\"}" with
+  | Ok (Protocol.Health { id = None }) -> ()
+  | _ -> Alcotest.fail "expected an id-less health probe");
+  (match Protocol.parse_line "{\"op\":\"health\",\"id\":\"h1\"}" with
+  | Ok (Protocol.Health { id = Some "h1" }) -> ()
+  | _ -> Alcotest.fail "expected a health probe with id h1");
+  (match Protocol.parse_line "{\"op\":\"health\",\"sql\":\"select\"}" with
+  | Error m -> Alcotest.(check bool) "names the stray field" true (contains m "sql")
+  | Ok _ -> Alcotest.fail "health must reject extra fields");
+  (match Protocol.parse_line "{\"op\":\"drain\"}" with
+  | Error m -> Alcotest.(check bool) "unknown op named" true (contains m "drain")
+  | Ok _ -> Alcotest.fail "unknown op must be rejected");
+  (* Lines without "op" fall through to request parsing unchanged. *)
+  match Protocol.parse_line (req_line sql3) with
+  | Ok (Protocol.Request r) -> Alcotest.(check string) "request id" "r1" r.Protocol.id
+  | _ -> Alcotest.fail "op-less line must parse as a request"
+
+let test_health_bypasses_admission () =
+  (* Fill the queue past capacity, then probe: the health answer must come
+     back ready even though every further request is shed. *)
+  let config = { Engine.default_config with jobs = 1; queue_capacity = 2 } in
+  with_engine ~config (fun t ->
+      List.iter
+        (fun i -> ignore (Engine.submit t (parse_ok (req_line sql3 ~id:(Printf.sprintf "q%d" i)))))
+        [ 1; 2; 3; 4 ];
+      Alcotest.(check int) "queue is full" 2 (Engine.queue_depth t);
+      (match Engine.health t ~id:(Some "probe") with
+      | Protocol.Health_ok { id = Some "probe"; queue_depth = 2; ready = true; _ } -> ()
+      | _ -> Alcotest.fail "expected a ready health answer under overload");
+      ignore (Engine.drain t))
+
+let test_serve_lines_health () =
+  with_engine (fun t ->
+      let out =
+        Serve.serve_lines t
+          [ "{\"op\":\"health\",\"id\":\"h\"}"; req_line sql3 ~id:"a" ]
+      in
+      Alcotest.(check int) "two responses" 2 (List.length out);
+      let health = List.hd out in
+      Alcotest.(check bool) "health answers first (no queueing)" true
+        (contains health "\"op\":\"health\"" && contains health "\"id\":\"h\"");
+      Alcotest.(check bool) "reports readiness" true (contains health "\"ready\":true"))
+
+let test_oneshot_health_deterministic () =
+  let a = Protocol.response_to_json (Engine.oneshot_health ~id:(Some "h") ()) in
+  let b = Protocol.response_to_json (Engine.oneshot_health ~id:(Some "h") ()) in
+  Alcotest.(check string) "byte-identical across calls" a b;
+  Alcotest.(check bool) "depth zero" true (contains a "\"queue_depth\":0")
+
+(* --------------------------------------------------------------- Rewrite *)
+
+let projected_sql =
+  "select o_orderkey from customer, orders, lineitem where c_custkey = o_custkey and \
+   o_orderkey = l_orderkey"
+
+let test_rewrite_summary_in_response () =
+  with_engine (fun t ->
+      (* Projected SQL leaves customer and lineitem join-only: the rewrite
+         summary must surface, and the JSON must carry the "rewrite" field. *)
+      let resp = Engine.plan_request t (parse_ok (req_line projected_sql ~id:"rw")) in
+      (match resp with
+      | Protocol.Planned { rewrite = Some r; _ } ->
+          Alcotest.(check bool) "a rule fired" true (r.Protocol.fired <> [])
+      | Protocol.Planned { rewrite = None; _ } ->
+          Alcotest.fail "expected a rewrite summary on projected SQL"
+      | _ -> Alcotest.fail "expected a plan");
+      Alcotest.(check bool) "wire field present" true
+        (contains (Protocol.response_to_json resp) "\"rewrite\":{");
+      (* select * keeps every relation referenced: pushdown-only queries and
+         hint-free relation lists stay summary-free, preserving historical
+         response bytes. *)
+      let plain =
+        Engine.plan_request t (parse_ok "{\"id\":\"p\",\"relations\":[\"orders\",\"lineitem\"]}")
+      in
+      match plain with
+      | Protocol.Planned { rewrite = None; _ } -> ()
+      | Protocol.Planned { rewrite = Some _; _ } ->
+          Alcotest.fail "relation-list requests must carry no rewrite summary"
+      | _ -> Alcotest.fail "expected a plan")
+
+let test_rewrite_served_equals_oneshot () =
+  with_engine (fun t ->
+      let req = parse_ok (req_line projected_sql ~id:"rw2") in
+      let served = Protocol.response_to_json (Engine.plan_request t req) in
+      let alone = Protocol.response_to_json (Engine.oneshot req) in
+      Alcotest.(check string) "rewritten responses byte-identical" alone served;
+      (* And rewrite off on both sides is equally self-consistent. *)
+      let config = { small_config with Engine.rewrite = false } in
+      let off = Engine.create ~config () in
+      Fun.protect
+        ~finally:(fun () -> Engine.shutdown off)
+        (fun () ->
+          let served_off = Protocol.response_to_json (Engine.plan_request off req) in
+          let alone_off = Protocol.response_to_json (Engine.oneshot ~config req) in
+          Alcotest.(check string) "rewrite-off byte-identical" alone_off served_off;
+          Alcotest.(check bool) "rewrite-off carries no summary" false
+            (contains served_off "\"rewrite\":{")))
+
 (* ------------------------------------------------------------- Trace_gen *)
 
 let test_trace_roundtrip () =
@@ -375,6 +477,20 @@ let () =
           Alcotest.test_case "deterministic across engines" `Quick
             test_serve_lines_deterministic_across_engines;
           Alcotest.test_case "tcp round-trip" `Quick test_serve_tcp_roundtrip;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "parse_line grammar" `Quick test_parse_health_line;
+          Alcotest.test_case "bypasses admission" `Quick test_health_bypasses_admission;
+          Alcotest.test_case "serve_lines answers probes" `Quick test_serve_lines_health;
+          Alcotest.test_case "oneshot health deterministic" `Quick
+            test_oneshot_health_deterministic;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "summary in response" `Quick test_rewrite_summary_in_response;
+          Alcotest.test_case "served equals oneshot" `Quick
+            test_rewrite_served_equals_oneshot;
         ] );
       ( "trace_gen",
         [ Alcotest.test_case "round-trip & determinism" `Quick test_trace_roundtrip ] );
