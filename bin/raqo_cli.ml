@@ -5,6 +5,8 @@
      switch  — locate the BHJ/SMJ switch point for a resource configuration
      tree    — print the default or trained join-implementation decision tree
      queue   — simulate a contended cluster queue and print wait statistics
+     allocate — split a global container budget across concurrent queries
+                on the Pareto frontier of makespan, dollars, SLO violations
      fuzz    — differential fuzzing of the planners against each other
      trace   — run a traced joint planning and summarize its spans
      metrics — run the evaluation queries and dump the metrics registry
@@ -670,6 +672,12 @@ let serve_cmd =
     Arg.(value & opt (some int) None & info [ "max-connections" ] ~docv:"N"
            ~doc:"With --port: exit after serving $(docv) connections (smoke tests).")
   in
+  let tenant_quota_arg =
+    Arg.(value & opt (some int) None & info [ "tenant-quota" ] ~docv:"N"
+           ~doc:"Per-tenant queue-depth bound: a tenant with $(docv) requests already \
+                 pending gets a typed 'overloaded' rejection naming it, even while the \
+                 global queue has room. Default: no per-tenant quota.")
+  in
   let gen_trace_arg =
     Arg.(value & opt (some int) None & info [ "gen-trace" ] ~docv:"N"
            ~doc:"Instead of serving, print $(docv) heavy-tailed trace requests (one JSON \
@@ -688,8 +696,9 @@ let serve_cmd =
                  registry) — the reference the smoke test diffs served responses against; \
                  byte-identical answers are the contract.")
   in
-  let run port jobs queue_capacity batch cache_capacity shards no_kernel no_rewrite
-      max_containers max_gb max_connections gen_trace arrival_rate seed oneshot trace =
+  let run port jobs queue_capacity tenant_quota batch cache_capacity shards no_kernel
+      no_rewrite max_containers max_gb max_connections gen_trace arrival_rate seed
+      oneshot trace =
     match gen_trace with
     | Some n ->
         List.iter
@@ -701,6 +710,7 @@ let serve_cmd =
           {
             Raqo_server.Engine.jobs;
             queue_capacity;
+            tenant_quota;
             batch;
             cache_capacity = (if cache_capacity <= 0 then None else Some cache_capacity);
             cache_shards = shards;
@@ -723,6 +733,8 @@ let serve_cmd =
                         { id = None; reason = Raqo_server.Protocol.Bad_request; message }
                   | Ok (Raqo_server.Protocol.Health { id }) ->
                       Raqo_server.Engine.oneshot_health ~config ~id ()
+                  | Ok (Raqo_server.Protocol.Allocate areq) ->
+                      Raqo_server.Engine.oneshot_allocate ~config areq
                   | Ok (Raqo_server.Protocol.Request req) ->
                       Raqo_server.Engine.oneshot ~config req
                 in
@@ -745,10 +757,10 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Resident optimizer: plan line-delimited JSON requests over stdio or TCP, \
              with a sharded cross-query plan cache and bounded-queue admission control")
-    Term.(const run $ port_arg $ jobs_opt_arg $ queue_arg $ batch_arg $ cache_capacity_arg
-          $ shards_arg $ no_kernel_arg $ no_rewrite_arg $ containers_arg $ memory_arg
-          $ max_connections_arg $ gen_trace_arg $ arrival_rate_arg $ seed_arg $ oneshot_arg
-          $ trace_arg)
+    Term.(const run $ port_arg $ jobs_opt_arg $ queue_arg $ tenant_quota_arg $ batch_arg
+          $ cache_capacity_arg $ shards_arg $ no_kernel_arg $ no_rewrite_arg
+          $ containers_arg $ memory_arg $ max_connections_arg $ gen_trace_arg
+          $ arrival_rate_arg $ seed_arg $ oneshot_arg $ trace_arg)
 
 (* -------------------------------------------------------------- workload *)
 
@@ -799,6 +811,259 @@ let workload_cmd =
     Term.(const run $ n_arg $ seed_arg $ containers_arg $ memory_arg $ jobs_opt_arg
           $ trace_arg)
 
+(* -------------------------------------------------------------- allocate *)
+
+let allocate_cmd =
+  let module Allocator = Raqo_alloc.Allocator in
+  let module Surface = Raqo_alloc.Surface in
+  let module Pricing = Raqo_cluster.Pricing in
+  let n_arg =
+    Arg.(value & opt int 8 & info [ "queries" ] ~docv:"N"
+           ~doc:"Concurrent queries in the workload (cycled from the TPC-H evaluation \
+                 set).")
+  in
+  let budget_arg =
+    Arg.(value & opt int 24 & info [ "budget" ] ~docv:"N"
+           ~doc:"Global container budget the joint allocation must fit in.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for arrivals, spot swings, and the randomized search.")
+  in
+  let objective_arg =
+    Arg.(value
+         & opt (enum [ ("makespan", `Makespan); ("cost", `Cost); ("balanced", `Balanced) ])
+             `Balanced
+         & info [ "objective" ] ~docv:"OBJ"
+             ~doc:"Which frontier point to recommend: makespan, cost, or balanced. The \
+                   whole frontier is always printed.")
+  in
+  let fairness_arg =
+    Arg.(value & opt float 0.0 & info [ "fairness" ] ~docv:"F"
+           ~doc:"Weighted-tenant fairness floor in [0,1]: each query is guaranteed \
+                 $(docv) times its weight share of the budget; 0 (default) lets the \
+                 frontier starve queries freely.")
+  in
+  let search_arg =
+    Arg.(value
+         & opt (enum [ ("exact", `Exact); ("randomized", `Randomized); ("auto", `Auto) ])
+             `Auto
+         & info [ "search" ] ~docv:"MODE"
+             ~doc:"Frontier search: exact Pareto DP, seeded randomized local search, or \
+                   auto (exact when the DP is small enough).")
+  in
+  let slo_arg =
+    Arg.(value & opt (some float) None & info [ "slo" ] ~docv:"SECONDS"
+           ~doc:"Apply a per-query latency SLO: the frontier's third objective counts \
+                 queries finishing slower than $(docv). Default: no SLOs.")
+  in
+  let tenants_arg =
+    Arg.(value & opt int 2 & info [ "tenants" ] ~docv:"N"
+           ~doc:"Spread queries round-robin over $(docv) tenants t0..t(N-1) with weights \
+                 1..N (heavier tenants get larger fairness floors).")
+  in
+  let arrival_rate_arg =
+    Arg.(value & opt float 0.01 & info [ "arrival-rate" ] ~docv:"R"
+           ~doc:"Heavy-tailed (Poisson) arrival rate, queries/second.")
+  in
+  let spot_arg =
+    Arg.(value & flag & info [ "spot" ]
+           ~doc:"Price GB-time on a seeded spot schedule (piecewise-constant multipliers \
+                 in [0.5,2.0) over the first two hours) instead of the flat on-demand \
+                 rate — shifting work across price segments now trades makespan against \
+                 dollars.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the frontier and baselines as JSON to $(docv).")
+  in
+  let run n budget seed objective fairness search slo tenants arrival_rate spot json_path
+      max_containers max_gb jobs no_kernel trace =
+    with_trace trace @@ fun () ->
+    (* The argv prescan already rejected out-of-range literals; this backstop
+       covers values smuggled past it (e.g. via a response file). *)
+    if fairness < 0.0 || fairness > 1.0 then begin
+      Printf.eprintf "raqo: invalid value %g for --fairness (want a number in [0,1])\n"
+        fairness;
+      exit 2
+    end;
+    if n < 1 || budget < 1 || tenants < 1 || arrival_rate <= 0.0 then begin
+      Printf.eprintf
+        "raqo: --queries, --budget, --tenants must be >= 1 and --arrival-rate > 0\n";
+      exit 2
+    end;
+    let schema = Raqo_catalog.Tpch.schema () in
+    let model = Raqo.Models.hive () in
+    let conditions = conditions max_containers max_gb in
+    let rng = Raqo_util.Rng.create seed in
+    let arrivals = Raqo_alloc.Workload.arrivals rng ~n ~rate:arrival_rate ~capacity:budget in
+    let pool_queries = Array.of_list Raqo_catalog.Tpch.evaluation_queries in
+    let specs =
+      List.init n (fun i ->
+          let qname, rels = pool_queries.(i mod Array.length pool_queries) in
+          {
+            Raqo_alloc.Workload.name = Printf.sprintf "q%d:%s" (i + 1) qname;
+            relations = rels;
+            tenant = Printf.sprintf "t%d" (i mod tenants);
+            weight = float_of_int (1 + (i mod tenants));
+            arrival = arrivals.(i);
+            slo;
+          })
+    in
+    let plan rels =
+      (* Fresh optimizer per query: private scratch, so pooled planning is
+         race-free and bit-identical to sequential. *)
+      let opt = Raqo.Cost_based.create ~kernel:(not no_kernel) ~model ~conditions schema in
+      Option.map fst (Raqo.Cost_based.optimize opt rels)
+    in
+    let queries =
+      let build pool =
+        Raqo_alloc.Workload.queries ?pool ~use_kernel:(not no_kernel) ~model ~conditions
+          ~schema ~plan specs
+      in
+      if jobs > 1 then Raqo_par.Pool.with_pool ~jobs (fun pool -> build (Some pool))
+      else build None
+    in
+    if Array.length queries = 0 then begin
+      print_endline "no feasible queries under the given cluster conditions";
+      exit 2
+    end;
+    let pricing =
+      if spot then
+        Pricing.spot
+          ~swings:
+            (Pricing.random_swings (Raqo_util.Rng.create (seed + 1)) ~horizon:7200.0
+               ~segments:6)
+          Pricing.default
+      else Pricing.flat Pricing.default
+    in
+    let want =
+      match search with
+      | `Exact -> Allocator.Want_exact
+      | `Randomized -> Allocator.Want_randomized
+      | `Auto -> Allocator.Auto
+    in
+    let outcome = Allocator.search ~want ~pricing ~seed ~budget ~fairness queries in
+    let chosen =
+      let best score =
+        match outcome.Allocator.frontier with
+        | [] -> outcome.Allocator.equal_split
+        | p :: rest ->
+            List.fold_left (fun acc q -> if score q < score acc then q else acc) p rest
+      in
+      match objective with
+      | `Makespan -> best (fun (p : Allocator.point) -> p.Allocator.makespan)
+      | `Cost -> best (fun (p : Allocator.point) -> p.Allocator.dollars)
+      | `Balanced ->
+          best (fun (p : Allocator.point) ->
+              p.Allocator.makespan +. (1000.0 *. p.Allocator.dollars)
+              +. (1000.0 *. float_of_int p.Allocator.violations))
+    in
+    let independent = Allocator.independent ~pricing ~budget queries in
+    let objective_name =
+      match objective with
+      | `Makespan -> "makespan"
+      | `Cost -> "cost"
+      | `Balanced -> "balanced"
+    in
+    let alloc_string (p : Allocator.point) =
+      "["
+      ^ String.concat " " (Array.to_list (Array.map string_of_int p.Allocator.alloc))
+      ^ "]"
+    in
+    Printf.printf
+      "workload: %d queries over %d tenants, budget %d containers, fairness %.2f%s\n"
+      (Array.length queries) tenants budget fairness
+      (if spot then ", spot pricing" else "");
+    Printf.printf "search: %s (%d allocations evaluated)\n\n"
+      (Allocator.mode_name outcome.Allocator.mode)
+      outcome.Allocator.evaluated;
+    Printf.printf "Pareto frontier (%d points):\n"
+      (List.length outcome.Allocator.frontier);
+    Printf.printf "   #   makespan     dollars  slo-viol  allocation\n";
+    List.iteri
+      (fun i (p : Allocator.point) ->
+        Printf.printf "  %2d %8.1f s  $%9.4f  %8d  %s%s\n" (i + 1) p.Allocator.makespan
+          p.Allocator.dollars p.Allocator.violations (alloc_string p)
+          (if p == chosen then "   <- chosen (" ^ objective_name ^ ")" else ""))
+      outcome.Allocator.frontier;
+    let print_point name (p : Allocator.point) =
+      Printf.printf "  %-28s %8.1f s  $%9.4f  %8d  %s\n" name p.Allocator.makespan
+        p.Allocator.dollars p.Allocator.violations (alloc_string p)
+    in
+    Printf.printf "\nbaselines:\n";
+    print_point "equal split" outcome.Allocator.equal_split;
+    print_point "independent (FIFO, greedy)" independent;
+    (* Reference corner just past the worst of everything on the table, so
+       every point contributes volume and the ratios are comparable. *)
+    let all_points =
+      independent :: outcome.Allocator.equal_split :: outcome.Allocator.frontier
+    in
+    let worst f = List.fold_left (fun acc p -> Float.max acc (f p)) 0.0 all_points in
+    let ref_makespan = 1.01 *. worst (fun (p : Allocator.point) -> p.Allocator.makespan)
+    and ref_dollars = 1.01 *. worst (fun (p : Allocator.point) -> p.Allocator.dollars) in
+    Printf.printf
+      "\nhypervolume (worst-corner ref): frontier %.3g, equal split %.3g, independent %.3g\n"
+      (Allocator.hypervolume ~ref_makespan ~ref_dollars outcome.Allocator.frontier)
+      (Allocator.hypervolume ~ref_makespan ~ref_dollars [ outcome.Allocator.equal_split ])
+      (Allocator.hypervolume ~ref_makespan ~ref_dollars [ independent ]);
+    Printf.printf "\nchosen allocation (%s):\n" objective_name;
+    Printf.printf "  query                    tenant  weight  arrival  containers   latency\n";
+    Array.iteri
+      (fun i (q : Allocator.query) ->
+        let cap = chosen.Allocator.alloc.(i) in
+        Printf.printf "  %-24s %-7s %6.1f %7.1fs  %10d %8.1fs%s\n" q.Allocator.name
+          q.Allocator.tenant q.Allocator.weight q.Allocator.arrival cap
+          (Surface.latency_at q.Allocator.surface cap)
+          (match q.Allocator.slo with
+          | Some s when Surface.latency_at q.Allocator.surface cap > s -> "  [SLO MISS]"
+          | _ -> ""))
+      queries;
+    match json_path with
+    | None -> ()
+    | Some path ->
+        let module Json = Raqo_server.Json in
+        let point_json (p : Allocator.point) =
+          Json.Obj
+            [
+              ("makespan", Json.Num p.Allocator.makespan);
+              ("dollars", Json.Num p.Allocator.dollars);
+              ("violations", Json.Num (float_of_int p.Allocator.violations));
+              ( "containers",
+                Json.List
+                  (Array.to_list
+                     (Array.map (fun c -> Json.Num (float_of_int c)) p.Allocator.alloc))
+              );
+            ]
+        in
+        let doc =
+          Json.Obj
+            [
+              ("queries", Json.Num (float_of_int (Array.length queries)));
+              ("budget", Json.Num (float_of_int budget));
+              ("fairness", Json.Num fairness);
+              ("search", Json.Str (Allocator.mode_name outcome.Allocator.mode));
+              ("objective", Json.Str objective_name);
+              ( "frontier",
+                Json.List (List.map point_json outcome.Allocator.frontier) );
+              ("chosen", point_json chosen);
+              ("equal_split", point_json outcome.Allocator.equal_split);
+              ("independent", point_json independent);
+            ]
+        in
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Json.to_string doc);
+            output_char oc '\n');
+        Printf.printf "\nwrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "allocate"
+       ~doc:"Globally allocate a container budget across concurrent queries on the \
+             Pareto frontier of makespan, dollars, and SLO violations")
+    Term.(const run $ n_arg $ budget_arg $ seed_arg $ objective_arg $ fairness_arg
+          $ search_arg $ slo_arg $ tenants_arg $ arrival_rate_arg $ spot_arg $ json_arg
+          $ containers_arg $ memory_arg $ jobs_opt_arg $ no_kernel_arg $ trace_arg)
+
 let commands =
   [
     plan_cmd;
@@ -808,6 +1073,7 @@ let commands =
     pareto_cmd;
     robust_cmd;
     workload_cmd;
+    allocate_cmd;
     fuzz_cmd;
     trace_cmd;
     metrics_cmd;
@@ -859,6 +1125,18 @@ let () =
   reject_invalid "--planner"
     ~valid:(fun v -> List.mem v [ "selinger"; "randomized"; "dpsub" ])
     ~choices:[ "selinger"; "randomized"; "dpsub" ];
+  reject_invalid "--objective"
+    ~valid:(fun v -> List.mem v [ "makespan"; "cost"; "balanced" ])
+    ~choices:[ "makespan"; "cost"; "balanced" ];
+  reject_invalid "--search"
+    ~valid:(fun v -> List.mem v [ "exact"; "randomized"; "auto" ])
+    ~choices:[ "exact"; "randomized"; "auto" ];
+  reject_invalid "--fairness"
+    ~valid:(fun v ->
+      match float_of_string_opt v with
+      | Some f -> f >= 0.0 && f <= 1.0
+      | None -> false)
+    ~choices:[ "a number in [0,1], e.g. 0.5" ];
   reject_invalid "--est-error"
     ~valid:(fun v -> Result.is_ok (Raqo_execsim.Estimation_error.of_string v))
     ~choices:

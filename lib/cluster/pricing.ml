@@ -6,3 +6,60 @@ let gb_seconds_cost t gbs = gbs /. 3600.0 *. t.dollars_per_gb_hour
 
 let run_cost t ~resources ~seconds =
   gb_seconds_cost t (Resources.gb_seconds resources seconds)
+
+(* ---------- spot-price schedules ---------- *)
+
+type schedule = { base : t; swings : (float * float) array }
+
+let flat base = { base; swings = [||] }
+
+let spot ?(swings = []) base =
+  let arr = Array.of_list swings in
+  Array.iteri
+    (fun i (at, m) ->
+      if m <= 0.0 then invalid_arg "Pricing.spot: multiplier must be positive";
+      if at < 0.0 then invalid_arg "Pricing.spot: swing time must be >= 0";
+      if i > 0 && fst arr.(i - 1) >= at then
+        invalid_arg "Pricing.spot: swing times must be strictly increasing")
+    arr;
+  { base; swings = arr }
+
+let random_swings rng ~horizon ~segments =
+  if segments <= 0 then []
+  else
+    List.init segments (fun i ->
+        let at = float_of_int (i + 1) *. horizon /. float_of_int (segments + 1) in
+        let m = Raqo_util.Rng.float_in_range rng ~lo:0.5 ~hi:2.0 in
+        (at, m))
+
+let multiplier_at s time =
+  let m = ref 1.0 in
+  (try
+     Array.iter
+       (fun (at, mult) -> if at <= time then m := mult else raise Exit)
+       s.swings
+   with Exit -> ());
+  !m
+
+(* Piecewise-constant integral of the multiplier over [start, finish],
+   divided by the duration. A zero-duration window prices at the rate in
+   force at [start]; a price step exactly at a window boundary has already
+   taken effect there (segments are closed on the left). *)
+let average_multiplier s ~start ~finish =
+  if finish < start then invalid_arg "Pricing.average_multiplier: finish < start";
+  if finish = start then multiplier_at s start
+  else begin
+    let acc = ref 0.0 and t = ref start in
+    Array.iter
+      (fun (at, _) ->
+        if at > !t && at < finish then begin
+          acc := !acc +. ((at -. !t) *. multiplier_at s !t);
+          t := at
+        end)
+      s.swings;
+    acc := !acc +. ((finish -. !t) *. multiplier_at s !t);
+    !acc /. (finish -. start)
+  end
+
+let spot_cost s ~gb_seconds ~start ~finish =
+  gb_seconds_cost s.base gb_seconds *. average_multiplier s ~start ~finish

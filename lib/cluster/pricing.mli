@@ -16,3 +16,41 @@ val run_cost : t -> resources:Resources.t -> seconds:float -> float
 
 (** [gb_seconds_cost t gbs] prices raw GB·s usage. *)
 val gb_seconds_cost : t -> float -> float
+
+(** {1 Spot-price schedules}
+
+    A piecewise-constant multiplier over the base rate, modelling spot-market
+    price swings during a workload's execution window. Segments are closed on
+    the left: a swing at time [s] is the rate in force from [s] (inclusive)
+    until the next swing. *)
+
+type schedule
+(** A base rate plus an ordered list of [(time, multiplier)] swings. *)
+
+(** [flat base] never swings: every window prices at [base]. *)
+val flat : t -> schedule
+
+(** [spot ?swings base] builds a schedule. Swing times must be [>= 0] and
+    strictly increasing; multipliers must be positive. The multiplier before
+    the first swing is [1.0].
+    @raise Invalid_argument on unordered or nonpositive inputs. *)
+val spot : ?swings:(float * float) list -> t -> schedule
+
+(** [random_swings rng ~horizon ~segments] draws a deterministic schedule of
+    [segments] swings evenly spaced over [horizon] with multipliers uniform
+    in [\[0.5, 2.0)] — the synthetic spot market the allocator scenarios
+    use. *)
+val random_swings : Raqo_util.Rng.t -> horizon:float -> segments:int -> (float * float) list
+
+(** [multiplier_at s time] is the multiplier in force at [time]. *)
+val multiplier_at : schedule -> float -> float
+
+(** [average_multiplier s ~start ~finish] is the time-averaged multiplier
+    over the window; a zero-duration window averages to the multiplier at
+    [start].
+    @raise Invalid_argument when [finish < start]. *)
+val average_multiplier : schedule -> start:float -> finish:float -> float
+
+(** [spot_cost s ~gb_seconds ~start ~finish] prices [gb_seconds] of usage
+    spread uniformly over the window, under the schedule's swings. *)
+val spot_cost : schedule -> gb_seconds:float -> start:float -> finish:float -> float

@@ -3,6 +3,7 @@ module M = Raqo_obs.Metrics
 type config = {
   jobs : int;
   queue_capacity : int;
+  tenant_quota : int option;
   batch : int;
   cache_capacity : int option;
   cache_shards : int;
@@ -16,6 +17,7 @@ let default_config =
   {
     jobs = 1;
     queue_capacity = 64;
+    tenant_quota = None;
     batch = 8;
     cache_capacity = Some 4096;
     cache_shards = 8;
@@ -24,6 +26,14 @@ let default_config =
     scale_factor = 100.0;
     conditions = Raqo_cluster.Conditions.default;
   }
+
+(* Per-tenant admission accounting, guarded by [queue_mutex] like the queue
+   itself (the counts must agree with what the queue holds). *)
+type tstats = {
+  mutable t_queued : int;  (** requests currently in the admission queue *)
+  mutable t_planned : int;
+  mutable t_rejected : int;
+}
 
 type t = {
   config : config;
@@ -34,6 +44,7 @@ type t = {
   pool : Raqo_par.Pool.t;
   queue : Protocol.request Queue.t;
   queue_mutex : Mutex.t;
+  tenants : (string, tstats) Hashtbl.t;
   (* Private cells are the source of truth (always recorded, lock-free);
      the registry carries gated mirrors, per the repo's counters pattern. *)
   admitted : M.Counter.t;
@@ -52,6 +63,9 @@ let create ?(config = default_config) ?registry () =
   if config.jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
   if config.queue_capacity < 1 then invalid_arg "Engine.create: queue_capacity must be >= 1";
   if config.batch < 1 then invalid_arg "Engine.create: batch must be >= 1";
+  (match config.tenant_quota with
+  | Some q when q < 1 -> invalid_arg "Engine.create: tenant_quota must be >= 1"
+  | _ -> ());
   let registry = match registry with Some r -> r | None -> M.create_registry () in
   let cache =
     Raqo_resource.Shared_plan_cache.create ~shards:config.cache_shards
@@ -66,6 +80,7 @@ let create ?(config = default_config) ?registry () =
     pool = Raqo_par.Pool.create ~jobs:config.jobs ();
     queue = Queue.create ();
     queue_mutex = Mutex.create ();
+    tenants = Hashtbl.create 8;
     admitted = M.Counter.create ();
     rejected = M.Counter.create ();
     responses = M.Counter.create ();
@@ -111,8 +126,8 @@ type resolved = {
   filters : (string * float) list;
 }
 
-let resolve t (req : Protocol.request) =
-  match req.payload with
+let resolve t (payload : Protocol.payload) =
+  match payload with
   | Protocol.Sql sql -> begin
       if Raqo_obs.Obs.enabled () then M.Counter.inc t.g_sql_queries;
       match
@@ -206,7 +221,7 @@ let infeasible (req : Protocol.request) =
     }
 
 let plan_request ?pool t (req : Protocol.request) : Protocol.response =
-  match resolve t req with
+  match resolve t req.payload with
   | Error message ->
       Protocol.Rejected { id = Some req.id; reason = Protocol.Bad_request; message }
   | Ok r -> begin
@@ -290,9 +305,178 @@ let oneshot ?(config = { default_config with jobs = 1 }) req =
   shutdown t;
   response
 
+(* ---------- workload allocation ---------- *)
+
+module Allocator = Raqo_alloc.Allocator
+module Surface = Raqo_alloc.Surface
+
+(* Deterministic pick off the frontier: [Makespan] takes its head (the
+   frontier is makespan-ascending), [Dollars] the cheapest point, [Balanced]
+   a fixed scalarization; strict [<] breaks ties toward the frontier order,
+   so equal engines choose equal points. *)
+let choose objective (outcome : Allocator.outcome) =
+  let best score =
+    match outcome.Allocator.frontier with
+    | [] -> outcome.Allocator.equal_split
+    | p :: rest ->
+        List.fold_left (fun acc q -> if score q < score acc then q else acc) p rest
+  in
+  match objective with
+  | Protocol.Makespan -> best (fun (p : Allocator.point) -> p.makespan)
+  | Protocol.Dollars -> best (fun (p : Allocator.point) -> p.dollars)
+  | Protocol.Balanced ->
+      best (fun (p : Allocator.point) ->
+          p.makespan +. (1000.0 *. p.dollars) +. (1000.0 *. float_of_int p.violations))
+
+let allocate t (areq : Protocol.alloc_request) : Protocol.response =
+  let reject reason message = Protocol.Rejected { id = Some areq.id; reason; message } in
+  let rec resolve_all acc = function
+    | [] -> Ok (List.rev acc)
+    | (q : Protocol.alloc_query) :: rest -> (
+        match resolve t q.payload with
+        | Ok r -> resolve_all ((q, r) :: acc) rest
+        | Error e -> Error (Printf.sprintf "query %S: %s" q.qid e))
+  in
+  match resolve_all [] areq.queries with
+  | Error message -> reject Protocol.Bad_request message
+  | Ok resolved -> (
+      let model, _sim_engine = model_and_engine areq.engine in
+      (* Member queries plan the resolver-scaled schema without the rewrite
+         pass: the surface prices plans off the same stats the planner
+         costed, and a rewrite would shift those stats under the surface. *)
+      let plan_one ((q : Protocol.alloc_query), (r : resolved)) =
+        let opt =
+          Raqo.Cost_based.create ~kind:areq.planner ~seed:areq.seed
+            ~kernel:t.config.kernel ~shared_cache:t.cache ~rewrite:false
+            ~metrics:t.registry ~model ~conditions:t.config.conditions
+            r.truth_schema
+        in
+        match
+          Raqo_obs.Trace.with_ ~name:"alloc/plan" (fun () ->
+              Raqo.Cost_based.optimize opt r.relations)
+        with
+        | None -> Error q.qid
+        | Some (plan, _cost) ->
+            let surface =
+              Surface.build ~use_kernel:t.config.kernel ~model
+                ~conditions:t.config.conditions ~schema:r.truth_schema ~name:q.qid
+                plan
+            in
+            let tenant =
+              match (q.tenant, areq.tenant) with
+              | Some tn, _ | None, Some tn -> tn
+              | None, None -> "default"
+            in
+            Ok
+              ( Allocator.query ~tenant ~weight:q.weight ~arrival:q.arrival
+                  ?slo:q.slo ~name:q.qid surface,
+                Format.asprintf "%a" Raqo_plan.Join_tree.pp_joint plan )
+      in
+      try
+        let results =
+          Raqo_obs.Trace.with_ ~name:"alloc/planning" (fun () ->
+              if Raqo_par.Pool.size t.pool > 1 then
+                Raqo_par.Pool.parallel_map t.pool plan_one resolved
+              else List.map plan_one resolved)
+        in
+        match
+          List.find_map (function Error qid -> Some qid | Ok _ -> None) results
+        with
+        | Some qid ->
+            reject Protocol.Infeasible
+              (Printf.sprintf
+                 "query %S has no feasible joint plan under the current cluster \
+                  conditions"
+                 qid)
+        | None ->
+            let entries =
+              List.filter_map (function Ok x -> Some x | Error _ -> None) results
+            in
+            let queries = Array.of_list (List.map fst entries) in
+            let plans = List.map snd entries in
+            let want =
+              match Allocator.want_of_string areq.search with
+              | Some w -> w
+              | None -> Allocator.Auto
+            in
+            let outcome =
+              Allocator.search ~want ~seed:areq.seed ~budget:areq.budget
+                ~fairness:areq.fairness queries
+            in
+            let point (p : Allocator.point) =
+              {
+                Protocol.containers = Array.to_list p.alloc;
+                makespan = p.makespan;
+                dollars = p.dollars;
+                violations = p.violations;
+              }
+            in
+            let chosen = choose areq.objective outcome in
+            let per_query =
+              List.mapi
+                (fun i plan ->
+                  let q = queries.(i) in
+                  let cap = chosen.Allocator.alloc.(i) in
+                  ( q.Allocator.name,
+                    cap,
+                    Surface.latency_at q.Allocator.surface cap,
+                    plan ))
+                plans
+            in
+            Protocol.Allocated
+              {
+                id = areq.id;
+                search = Allocator.mode_name outcome.Allocator.mode;
+                budget = areq.budget;
+                frontier = List.map point outcome.Allocator.frontier;
+                chosen = point chosen;
+                equal_split = point outcome.Allocator.equal_split;
+                queries = per_query;
+              }
+      with
+      | Invalid_argument m -> reject Protocol.Bad_request m
+      | exn -> reject Protocol.Internal (Printexc.to_string exn))
+
+let oneshot_allocate ?(config = { default_config with jobs = 1 }) areq =
+  let t = create ~config:{ config with jobs = 1 } () in
+  let response = allocate t areq in
+  shutdown t;
+  response
+
 (* ---------- admission control ---------- *)
 
 let obs_on () = Raqo_obs.Obs.enabled ()
+
+(* ---------- per-tenant accounting ---------- *)
+
+let tenant_label (tenant : string option) = Option.value tenant ~default:"default"
+
+(* Call with [queue_mutex] held. *)
+let tstats_for t tenant =
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some s -> s
+  | None ->
+      let s = { t_queued = 0; t_planned = 0; t_rejected = 0 } in
+      Hashtbl.add t.tenants tenant s;
+      s
+
+(* Registry mirror with the tenant embedded as a Prometheus label:
+   [Export.prometheus] prints counter names verbatim, so the label renders
+   as valid exposition-format output. Find-or-create per event is cheap —
+   the registry interns by name. *)
+let tenant_counter t event tenant =
+  M.counter_in t.registry
+    (Printf.sprintf "raqo_server_tenant_%s_total{tenant=%S}" event tenant)
+
+let tenant_stats t =
+  Mutex.lock t.queue_mutex;
+  let xs =
+    Hashtbl.fold
+      (fun tenant s acc -> (tenant, (s.t_queued, s.t_planned, s.t_rejected)) :: acc)
+      t.tenants []
+  in
+  Mutex.unlock t.queue_mutex;
+  List.sort compare xs
 
 let queue_depth t =
   Mutex.lock t.queue_mutex;
@@ -323,40 +507,56 @@ let oneshot_health ?(config = { default_config with jobs = 1 }) ~id () =
     }
 
 let submit t (req : Protocol.request) : Protocol.response option =
+  let tenant = tenant_label req.tenant in
   Mutex.lock t.queue_mutex;
+  let stats = tstats_for t tenant in
   let decision =
-    if Queue.length t.queue >= t.config.queue_capacity then `Reject
-    else begin
-      Queue.add req t.queue;
-      `Admit (Queue.length t.queue)
-    end
+    if Queue.length t.queue >= t.config.queue_capacity then
+      `Reject
+        (Printf.sprintf "admission queue full (%d pending); retry later"
+           t.config.queue_capacity)
+    else
+      match t.config.tenant_quota with
+      | Some quota when stats.t_queued >= quota ->
+          `Reject
+            (Printf.sprintf
+               "tenant %S queue quota full (%d pending); retry later" tenant quota)
+      | _ ->
+          Queue.add req t.queue;
+          stats.t_queued <- stats.t_queued + 1;
+          `Admit (Queue.length t.queue)
   in
+  (if match decision with `Reject _ -> true | `Admit _ -> false then
+     stats.t_rejected <- stats.t_rejected + 1);
   Mutex.unlock t.queue_mutex;
   match decision with
   | `Admit depth ->
       M.Counter.inc t.admitted;
       if obs_on () then begin
         M.Counter.inc t.g_admitted;
+        M.Counter.inc (tenant_counter t "admitted" tenant);
         M.Gauge.set t.g_queue_depth (float_of_int depth)
       end;
       None
-  | `Reject ->
+  | `Reject message ->
       M.Counter.inc t.rejected;
-      if obs_on () then M.Counter.inc t.g_rejected;
+      if obs_on () then begin
+        M.Counter.inc t.g_rejected;
+        M.Counter.inc (tenant_counter t "rejected" tenant)
+      end;
       Some
-        (Protocol.Rejected
-           {
-             id = Some req.id;
-             reason = Protocol.Overloaded;
-             message =
-               Printf.sprintf "admission queue full (%d pending); retry later"
-                 t.config.queue_capacity;
-           })
+        (Protocol.Rejected { id = Some req.id; reason = Protocol.Overloaded; message })
 
 let drain_batch t =
   Mutex.lock t.queue_mutex;
   let n = min t.config.batch (Queue.length t.queue) in
-  let batch = List.init n (fun _ -> Queue.pop t.queue) in
+  let batch =
+    List.init n (fun _ ->
+        let req = Queue.pop t.queue in
+        let stats = tstats_for t (tenant_label req.Protocol.tenant) in
+        stats.t_queued <- stats.t_queued - 1;
+        req)
+  in
   let depth = Queue.length t.queue in
   Mutex.unlock t.queue_mutex;
   if obs_on () then M.Gauge.set t.g_queue_depth (float_of_int depth);
@@ -381,7 +581,27 @@ let process_wave t =
       (* One pool task per request: requests inside a wave plan concurrently,
          each on its own optimizer (private scratch, shared striped cache),
          results back in submission order. *)
-      Raqo_par.Pool.run_list t.pool (List.map (fun req () -> respond req) batch)
+      let wave =
+        Raqo_par.Pool.run_list t.pool (List.map (fun req () -> respond req) batch)
+      in
+      (* Per-tenant outcome accounting happens back on the driver thread, so
+         the stats table stays under the one lock discipline. *)
+      Mutex.lock t.queue_mutex;
+      List.iter
+        (fun ((req : Protocol.request), response) ->
+          let stats = tstats_for t (tenant_label req.tenant) in
+          if Protocol.is_ok response then stats.t_planned <- stats.t_planned + 1
+          else stats.t_rejected <- stats.t_rejected + 1)
+        wave;
+      Mutex.unlock t.queue_mutex;
+      if obs_on () then
+        List.iter
+          (fun ((req : Protocol.request), response) ->
+            let tenant = tenant_label req.tenant in
+            let event = if Protocol.is_ok response then "planned" else "rejected" in
+            M.Counter.inc (tenant_counter t event tenant))
+          wave;
+      wave
 
 let rec drain t =
   match process_wave t with [] -> [] | wave -> wave @ drain t

@@ -22,6 +22,11 @@
 type config = {
   jobs : int;  (** pool parallelism (1 = sequential, no domains spawned) *)
   queue_capacity : int;  (** admission bound; beyond it requests are rejected *)
+  tenant_quota : int option;
+      (** per-tenant queue-depth bound: a tenant with this many requests
+          already queued gets a typed [Overloaded] rejection naming it, even
+          while the global queue has room — one noisy tenant cannot starve
+          the rest. [None] (default) disables the quota. *)
   batch : int;  (** max requests planned per {!process_wave} *)
   cache_capacity : int option;  (** shared-cache LRU bound ([None] unbounded) *)
   cache_shards : int;
@@ -69,6 +74,21 @@ val plan_request : ?pool:Raqo_par.Pool.t -> t -> Protocol.request -> Protocol.re
     served responses against. [config]'s [jobs] is forced to 1. *)
 val oneshot : ?config:config -> Protocol.request -> Protocol.response
 
+(** [allocate t areq] answers an [{"op":"allocate"}] request synchronously:
+    jointly plans every member query (across the pool when [jobs > 1] —
+    surfaces are independent, so any pool size is bit-identical), builds its
+    latency/cost response surface, and searches joint allocations under the
+    global container budget ({!Raqo_alloc.Allocator.search}). Member queries
+    plan without the rewrite pass so surface stats match planner stats. Never
+    raises: unresolvable queries come back [Bad_request], infeasible ones
+    [Infeasible], allocator/planner exceptions [Internal]. Fully
+    deterministic — a served response equals {!oneshot_allocate}, byte for
+    byte. *)
+val allocate : t -> Protocol.alloc_request -> Protocol.response
+
+(** [oneshot_allocate areq] is {!allocate} on a fresh single-job engine. *)
+val oneshot_allocate : ?config:config -> Protocol.alloc_request -> Protocol.response
+
 (** [submit t req] admits [req] into the bounded queue ([None]) or rejects it
     ([Some (Rejected {reason = Overloaded; _})]). Thread-safe. *)
 val submit : t -> Protocol.request -> Protocol.response option
@@ -102,3 +122,9 @@ val admitted : t -> int
 val rejected : t -> int
 val responses : t -> int
 val latency_histogram : t -> Raqo_obs.Metrics.Histogram.t
+
+(** [tenant_stats t] is per-tenant [(tenant, (queued, planned, rejected))],
+    sorted by tenant name. Requests that name no tenant account under
+    ["default"]. The registry carries obs-gated mirrors
+    [raqo_server_tenant_{admitted,planned,rejected}_total{tenant="..."}]. *)
+val tenant_stats : t -> (string * (int * int * int)) list

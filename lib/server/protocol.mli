@@ -26,7 +26,19 @@
     without queueing — with [{"status":"ok","op":"health","queue_depth":N,
     "shards":N,"jobs":N,"ready":true}]: readiness with no wall-clock field,
     so probe responses are deterministic. Parse request-or-probe lines with
-    {!parse_line}. *)
+    {!parse_line}.
+
+    Workload allocation: [{"op":"allocate","id":...,"budget":N,"queries":
+    [{"id":...,"relations":[...] or "sql":...,"tenant":...,"weight":...,
+    "arrival":...,"slo":...},...],"planner":...,"objective":
+    "makespan|cost|balanced","fairness":0..1,"search":"exact|randomized|auto",
+    "seed":...,"engine":...,"tenant":...}] plans every member query jointly,
+    builds its latency/cost response surface, and answers with the Pareto
+    frontier of joint allocations under the global container [budget]:
+    [{"id":...,"status":"ok","op":"allocate","search":<mode that ran>,
+    "budget":N,"frontier":[{"makespan":..,"dollars":..,"violations":..,
+    "containers":[..]},...],"chosen":...,"equal_split":...,"queries":
+    [{"id":..,"containers":..,"latency":..,"plan":..},...]}]. *)
 
 type payload = Sql of string | Relations of string list
 
@@ -43,6 +55,7 @@ type request = {
   adaptive : bool;  (** run the boundary re-optimizing executor too *)
   est_error : Raqo_execsim.Estimation_error.t;  (** planner-visible misestimation *)
   engine : string;  (** ["hive"] or ["spark"]: cost model + simulator profile *)
+  tenant : string option;  (** admission-accounting label; [None] = "default" *)
 }
 
 type outcome_summary = Finished of float  (** seconds *) | Oom of int  (** failing stage *)
@@ -65,6 +78,45 @@ type rewrite_summary = {
   removed : int;  (** relations absorbed out of the join *)
 }
 
+(** What an allocate request minimizes when picking its [chosen] point off
+    the frontier (the whole frontier is always returned). *)
+type objective = Makespan | Dollars | Balanced
+
+val objective_of_string : string -> (objective, string) result
+val objective_name : objective -> string
+
+(** Valid ["search"] values: ["exact"], ["randomized"], ["auto"]. *)
+val search_names : string list
+
+type alloc_query = {
+  qid : string;
+  payload : payload;
+  tenant : string option;
+  weight : float;  (** fairness share, > 0 (default 1.0) *)
+  arrival : float;  (** seconds, >= 0 (default 0.0) *)
+  slo : float option;  (** latency bound in seconds, > 0 *)
+}
+
+type alloc_request = {
+  id : string;
+  queries : alloc_query list;  (** non-empty, unique ids *)
+  budget : int;  (** global container budget, >= 1 *)
+  planner : Raqo.Cost_based.planner_kind;
+  objective : objective;
+  fairness : float;  (** floor knob in [0,1] (default 0.0) *)
+  search : string;  (** one of {!search_names} (default ["auto"]) *)
+  seed : int;
+  engine : string;
+  tenant : string option;  (** default tenant for queries that name none *)
+}
+
+type alloc_point = {
+  containers : int list;  (** per query, request order *)
+  makespan : float;
+  dollars : float;
+  violations : int;
+}
+
 type response =
   | Planned of {
       id : string;
@@ -83,9 +135,22 @@ type response =
       jobs : int;  (** pool parallelism *)
       ready : bool;
     }
+  | Allocated of {
+      id : string;
+      search : string;  (** the mode that actually ran (auto may fall back) *)
+      budget : int;
+      frontier : alloc_point list;  (** non-dominated, best makespan first *)
+      chosen : alloc_point;  (** per the request's objective *)
+      equal_split : alloc_point;  (** naive baseline for comparison *)
+      queries : (string * int * float * string) list;
+          (** (qid, chosen containers, latency at that cap, plan) *)
+    }
 
-(** One wire line: a health probe or a plan request. *)
-type line = Health of { id : string option } | Request of request
+(** One wire line: a health probe, a plan request, or an allocate request. *)
+type line =
+  | Health of { id : string option }
+  | Request of request
+  | Allocate of alloc_request
 
 val reason_name : reject_reason -> string
 val planner_of_string : string -> (Raqo.Cost_based.planner_kind, string) result

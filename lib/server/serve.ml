@@ -70,13 +70,17 @@ let bad_request message =
 
 (* Parse and admit one line; [Some response] must be answered immediately.
    Health probes bypass the queue entirely — a readiness check must answer
-   even when the admission queue is full. *)
+   even when the admission queue is full. Allocate requests are planned
+   synchronously at admission: a global allocation is one indivisible
+   decision over its whole query batch, so it never enters the per-request
+   queue. *)
 let admit engine line =
   if String.trim line = "" then None
   else
     match Protocol.parse_line line with
     | Error message -> Some (bad_request message)
     | Ok (Protocol.Health { id }) -> Some (Engine.health engine ~id)
+    | Ok (Protocol.Allocate areq) -> Some (Engine.allocate engine areq)
     | Ok (Protocol.Request req) -> Engine.submit engine req
 
 let run engine ~in_fd ~out_fd =

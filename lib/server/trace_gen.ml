@@ -53,6 +53,7 @@ let request_of rng i : Protocol.request =
     adaptive = false;
     est_error = Raqo_execsim.Estimation_error.exact;
     engine = "hive";
+    tenant = None;
   }
 
 let generate ?(seed = 7) ?(arrival_rate = 2.0) ~requests () =

@@ -33,8 +33,15 @@ let shrink_with check (t : Oracle.instance) =
   let minimized = pass t.Oracle.relations in
   (minimized, check (Oracle.with_relations t minimized))
 
+(* The default (non-adaptive) oracle: the cross-planner arms plus the
+   workload-allocator arm. [check_alloc] derives its workload from the
+   instance's schema, not its relation list, so it shrinks trivially — but
+   running it here keeps any allocator diagnostic reproducible from the
+   minimized report. *)
+let check_full ?jobs ?fault t = Oracle.check ?jobs ?fault t @ Oracle.check_alloc ?jobs t
+
 let shrink ?jobs ?fault (t : Oracle.instance) =
-  shrink_with (fun t -> Oracle.check ?jobs ?fault t) t
+  shrink_with (fun t -> check_full ?jobs ?fault t) t
 
 (* Adaptive shrinking minimizes along two dimensions: first the relation
    set (checking all error distributions), then the error-seed dimension —
@@ -98,7 +105,7 @@ let run ?tables ?joins ?jobs ?fault ?(adaptive = false)
     if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_seeds;
     let t = Oracle.instance ?tables ?joins seed in
     let diags =
-      if adaptive then Oracle.check_adaptive ?jobs t else Oracle.check ?jobs ?fault t
+      if adaptive then Oracle.check_adaptive ?jobs t else check_full ?jobs ?fault t
     in
     match diags with
     | [] -> progress ~seed ~failed:false
@@ -142,6 +149,13 @@ let main ?tables ?joins ?jobs ?(adaptive = false) ?(start = 1) ~seeds () =
     (v "raqo_memo_conflicts_total")
     (v "raqo_memo_publishes_total")
     (v "raqo_memo_hits_total");
+  if not adaptive then
+    Printf.printf "alloc: surfaces=%d evaluations=%d frontier-points=%d exact-states=%d moves=%d\n"
+      (v "raqo_alloc_surfaces_total")
+      (v "raqo_alloc_evaluations_total")
+      (v "raqo_alloc_frontier_points_total")
+      (v "raqo_alloc_exact_states_total")
+      (v "raqo_alloc_moves_total");
   if adaptive then
     Printf.printf "adaptive: replans=%d switches=%d failed-replans=%d\n"
       (v "raqo_adaptive_replans_total")

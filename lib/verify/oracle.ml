@@ -779,3 +779,223 @@ let check_adaptive ?(jobs = [ 2; 4 ]) ?(dists = adaptive_dists) ?(fault = no_mas
         planners)
     dists;
   !diags
+
+(* ------------------------------------------- workload allocator arm *)
+
+module Surface = Raqo_alloc.Surface
+module Allocator = Raqo_alloc.Allocator
+module Alloc_workload = Raqo_alloc.Workload
+module Pricing = Raqo_cluster.Pricing
+
+(* Decoupled from both the instance stream and the adaptive error stream. *)
+let alloc_seed seed = (seed * 69_069) + 5
+
+let alloc_queries = 4
+let alloc_budget = 16
+let alloc_fairness = 0.5
+
+(* Derives a small workload from the instance: the instance's own query plus
+   three more connected queries over the same schema, heavy-tailed arrivals,
+   alternating tenants/weights, and SLOs pinned just above each query's best
+   latency so the violations axis is live but not saturated. *)
+let alloc_workload t =
+  let rng = Rng.create (alloc_seed t.seed) in
+  let arrivals =
+    Alloc_workload.arrivals (Rng.split rng) ~n:alloc_queries ~rate:0.5
+      ~capacity:alloc_budget
+  in
+  let joins = min t.joins (t.tables - 1) in
+  let plan rels =
+    let opt =
+      Cost_based.create ~resource_strategy:Resource_planner.Brute_force ~model
+        ~conditions t.schema
+    in
+    Cost_based.optimize opt rels
+  in
+  List.init alloc_queries (fun i ->
+      if i = 0 then t.relations else Random_schema.query rng t.schema ~joins)
+  |> List.mapi (fun i rels ->
+         match plan rels with
+         | None -> None
+         | Some (joint, cost) ->
+             let name = Printf.sprintf "q%d" i in
+             let surface =
+               Surface.build ~model ~conditions ~schema:t.schema ~name joint
+             in
+             let best = Surface.latency_at surface (Surface.max_cap surface) in
+             Some
+               ( joint,
+                 cost,
+                 {
+                   Allocator.name;
+                   tenant = Printf.sprintf "t%d" (i mod 2);
+                   weight = 1.0 +. float_of_int (i mod 2);
+                   arrival = arrivals.(i);
+                   slo = (if i mod 2 = 0 then Some (best *. 1.25) else None);
+                   surface;
+                 } ))
+  |> List.filter_map Fun.id
+
+let check_alloc ?(jobs = [ 2; 4 ]) t =
+  let diags = ref [] in
+  let add ds = diags := !diags @ ds in
+  let arm () = if Raqo_obs.Obs.enabled () then Raqo_obs.Metrics.Counter.inc m_arms in
+  let planned = alloc_workload t in
+  let queries = Array.of_list (List.map (fun (_, _, q) -> q) planned) in
+  let pricing =
+    let rng = Rng.create (alloc_seed t.seed + 1) in
+    Pricing.spot
+      ~swings:(Pricing.random_swings rng ~horizon:1000.0 ~segments:3)
+      Pricing.default
+  in
+
+  (* Surfaces: monotone nonincreasing, finite, and — because the joint plans
+     come from brute-force resource search over the same grid — the full-cap
+     latency re-derives the planner's estimated cost. *)
+  arm ();
+  List.iter
+    (fun (_joint, cost, (q : Allocator.query)) ->
+      let lats = Surface.latencies q.Allocator.surface in
+      Array.iteri
+        (fun i l ->
+          if not (Float.is_finite l) then
+            add
+              [ D.v ~invariant:"alloc/surface-finite" "%s: non-finite latency at cap index %d"
+                  q.Allocator.name i ];
+          if i > 0 && l > lats.(i - 1) then
+            add
+              [ D.v ~invariant:"alloc/surface-monotone"
+                  "%s: latency increases with the container cap (%h -> %h)"
+                  q.Allocator.name lats.(i - 1) l ])
+        lats;
+      let full = lats.(Array.length lats - 1) in
+      if not (approx_eq full cost) then
+        add
+          [ D.v ~invariant:"alloc/surface-vs-plan-cost"
+              "%s: full-cap surface latency must re-derive the joint plan cost (%.6f vs %.6f)"
+              q.Allocator.name full cost ])
+    planned;
+
+  if Array.length queries > 0 then begin
+    let floors = Allocator.floors ~budget:alloc_budget ~fairness:alloc_fairness queries in
+    let check_points arm_name (outcome : Allocator.outcome) =
+      List.iter
+        (fun (p : Allocator.point) ->
+          if Array.fold_left ( + ) 0 p.Allocator.alloc > alloc_budget then
+            add
+              [ D.v ~invariant:"alloc/frontier-budget" "%s: frontier point over budget (%d > %d)"
+                  arm_name
+                  (Array.fold_left ( + ) 0 p.Allocator.alloc)
+                  alloc_budget ];
+          Array.iteri
+            (fun i c ->
+              if c < floors.(i) then
+                add
+                  [ D.v ~invariant:"alloc/frontier-fairness"
+                      "%s: query %d below its fairness floor (%d < %d)" arm_name i c floors.(i) ])
+            p.Allocator.alloc;
+          let re = Allocator.evaluate ~pricing queries p.Allocator.alloc in
+          if
+            not
+              (Float.equal re.Allocator.makespan p.Allocator.makespan
+              && Float.equal re.Allocator.dollars p.Allocator.dollars
+              && re.Allocator.violations = p.Allocator.violations)
+          then
+            add
+              [ D.v ~invariant:"alloc/frontier-reprice"
+                  "%s: stored objective vector diverges from re-evaluation" arm_name ];
+          List.iter
+            (fun (q : Allocator.point) ->
+              if q != p && Allocator.dominates q p then
+                add
+                  [ D.v ~invariant:"alloc/frontier-dominated"
+                      "%s: reported frontier point is dominated" arm_name ])
+            outcome.Allocator.frontier)
+        outcome.Allocator.frontier;
+      match outcome.Allocator.frontier with
+      | [] -> add [ D.v ~invariant:"alloc/frontier-empty" "%s: empty frontier" arm_name ]
+      | best :: _ ->
+          (* Frontier is sorted by makespan: the head is the global makespan
+             optimum, which may never exceed the naive equal split. *)
+          if not (best.Allocator.makespan <= outcome.Allocator.equal_split.Allocator.makespan)
+          then
+            add
+              [ D.v ~invariant:"alloc/never-worse-than-equal-split"
+                  "%s: best makespan %h exceeds the equal split's %h" arm_name
+                  best.Allocator.makespan outcome.Allocator.equal_split.Allocator.makespan ]
+    in
+    arm ();
+    let exact =
+      Allocator.exact ~pricing ~budget:alloc_budget ~fairness:alloc_fairness queries
+    in
+    (match exact with
+    | None ->
+        add
+          [ D.v ~invariant:"alloc/exact-too-large"
+              "exact DP overflowed its state bound on an oracle-sized workload" ]
+    | Some o -> check_points "alloc-exact" o);
+    arm ();
+    let seed = alloc_seed t.seed + 2 in
+    let rand =
+      Allocator.randomized ~pricing ~seed ~budget:alloc_budget ~fairness:alloc_fairness
+        queries
+    in
+    check_points "alloc-randomized" rand;
+    let rand2 =
+      Allocator.randomized ~pricing ~seed ~budget:alloc_budget ~fairness:alloc_fairness
+        queries
+    in
+    if rand.Allocator.frontier <> rand2.Allocator.frontier then
+      add
+        [ D.v ~invariant:"alloc/randomized-deterministic"
+            "equal-seed randomized searches diverged" ];
+    (* Differential: the exact frontier covers every randomized point — the
+       DP enumerates the full grid space the local search walks, and both
+       price allocations through the same evaluator. *)
+    (match exact with
+    | None -> ()
+    | Some e ->
+        List.iter
+          (fun (r : Allocator.point) ->
+            if
+              not
+                (List.exists
+                   (fun (p : Allocator.point) -> Allocator.covers p r)
+                   e.Allocator.frontier)
+            then
+              add
+                [ D.v ~invariant:"alloc/exact-dominates-randomized"
+                    "randomized frontier point (m=%h $=%h v=%d) not covered by the exact DP"
+                    r.Allocator.makespan r.Allocator.dollars r.Allocator.violations ])
+          rand.Allocator.frontier);
+    (* Pool bit-identity: surfaces are per-query independent, so building
+       them across a domain pool must reproduce the sequential curves
+       bit-for-bit at every pool size. *)
+    List.iter
+      (fun j ->
+        if j > 1 then begin
+          arm ();
+          Pool.with_pool ~jobs:j (fun pool ->
+              let par =
+                Pool.parallel_map pool
+                  (fun (joint, _, (q : Allocator.query)) ->
+                    Surface.build ~model ~conditions ~schema:t.schema
+                      ~name:q.Allocator.name joint)
+                  planned
+              in
+              List.iter2
+                (fun (_, _, (q : Allocator.query)) surface ->
+                  if
+                    Surface.latencies surface <> Surface.latencies q.Allocator.surface
+                    || Surface.gb_seconds_curve surface
+                       <> Surface.gb_seconds_curve q.Allocator.surface
+                  then
+                    add
+                      [ D.v ~invariant:"alloc/par-vs-seq"
+                          "%s: surface built on a %d-domain pool diverged from sequential"
+                          q.Allocator.name j ])
+                planned par)
+        end)
+      jobs
+  end;
+  !diags

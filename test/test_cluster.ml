@@ -119,6 +119,77 @@ let test_pricing_gb_seconds () =
   let p = { Pricing.dollars_per_gb_hour = 3.6 } in
   check_float "1 GB for 1000s at 3.6/h" 1.0 (Pricing.gb_seconds_cost p 1000.0)
 
+(* ------------------------------------------------- Pricing spot schedules *)
+
+let test_pricing_flat_never_swings () =
+  let s = Pricing.flat Pricing.default in
+  check_float "multiplier everywhere 1" 1.0 (Pricing.multiplier_at s 12345.6);
+  check_float "spot equals base"
+    (Pricing.gb_seconds_cost Pricing.default 500.0)
+    (Pricing.spot_cost s ~gb_seconds:500.0 ~start:3.0 ~finish:73.0)
+
+let test_pricing_spot_zero_duration () =
+  (* A zero-duration job averages to the instantaneous rate — and segments
+     are closed on the left, so at the swing instant the new rate is
+     already in force. *)
+  let s = Pricing.spot ~swings:[ (10.0, 2.0) ] Pricing.default in
+  check_float "before the swing" 1.0 (Pricing.average_multiplier s ~start:5.0 ~finish:5.0);
+  check_float "exactly at the swing" 2.0
+    (Pricing.average_multiplier s ~start:10.0 ~finish:10.0);
+  check_float "after the swing" 2.0
+    (Pricing.average_multiplier s ~start:11.0 ~finish:11.0);
+  check_float "zero-duration cost still prices usage"
+    (2.0 *. Pricing.gb_seconds_cost Pricing.default 100.0)
+    (Pricing.spot_cost s ~gb_seconds:100.0 ~start:10.0 ~finish:10.0)
+
+let test_pricing_spot_step_at_boundary () =
+  (* A price step landing exactly on a stage boundary: the window ending at
+     the step never sees the new rate (zero measure), the window starting
+     there is entirely post-step. *)
+  let s = Pricing.spot ~swings:[ (10.0, 2.0) ] Pricing.default in
+  check_float "window ending at the step" 1.0
+    (Pricing.average_multiplier s ~start:0.0 ~finish:10.0);
+  check_float "window starting at the step" 2.0
+    (Pricing.average_multiplier s ~start:10.0 ~finish:20.0);
+  check_float "window straddling the step" 1.5
+    (Pricing.average_multiplier s ~start:5.0 ~finish:15.0)
+
+let test_pricing_spot_multi_segment_integral () =
+  let s = Pricing.spot ~swings:[ (10.0, 2.0); (20.0, 0.5) ] Pricing.default in
+  (* [0,30] = 10s at 1.0 + 10s at 2.0 + 10s at 0.5. *)
+  check_float "piecewise integral" (35.0 /. 30.0)
+    (Pricing.average_multiplier s ~start:0.0 ~finish:30.0);
+  check_float "tail segment extends forever" 0.5
+    (Pricing.average_multiplier s ~start:40.0 ~finish:90.0)
+
+let test_pricing_spot_validation () =
+  Alcotest.check_raises "nonpositive multiplier"
+    (Invalid_argument "Pricing.spot: multiplier must be positive") (fun () ->
+      ignore (Pricing.spot ~swings:[ (1.0, 0.0) ] Pricing.default));
+  Alcotest.check_raises "negative swing time"
+    (Invalid_argument "Pricing.spot: swing time must be >= 0") (fun () ->
+      ignore (Pricing.spot ~swings:[ (-1.0, 2.0) ] Pricing.default));
+  Alcotest.check_raises "unordered swings"
+    (Invalid_argument "Pricing.spot: swing times must be strictly increasing") (fun () ->
+      ignore (Pricing.spot ~swings:[ (5.0, 2.0); (5.0, 0.5) ] Pricing.default));
+  Alcotest.check_raises "backwards window"
+    (Invalid_argument "Pricing.average_multiplier: finish < start") (fun () ->
+      ignore
+        (Pricing.average_multiplier (Pricing.flat Pricing.default) ~start:2.0
+           ~finish:1.0))
+
+let test_pricing_random_swings_deterministic () =
+  let draw seed = Pricing.random_swings (Rng.create seed) ~horizon:1000.0 ~segments:4 in
+  Alcotest.(check bool) "same seed, same swings" true (draw 7 = draw 7);
+  Alcotest.(check bool) "different seed, different swings" true (draw 7 <> draw 8);
+  List.iter
+    (fun (at, m) ->
+      Alcotest.(check bool) "time in horizon" true (at >= 0.0 && at <= 1000.0);
+      Alcotest.(check bool) "multiplier in [0.5,2)" true (m >= 0.5 && m < 2.0))
+    (draw 7);
+  (* And the schedule they build is valid (strictly increasing times). *)
+  ignore (Pricing.spot ~swings:(draw 7) Pricing.default)
+
 (* ------------------------------------------------------------ Queue_sim *)
 
 let test_queue_empty_cluster_no_wait () =
@@ -195,6 +266,16 @@ let test_queue_generate_bounds () =
     | [ _ ] | [] -> true
   in
   Alcotest.(check bool) "arrivals ordered" true (nondecreasing arrivals)
+
+let test_queue_generate_deterministic () =
+  (* Heavy-tailed arrival generation is a pure function of the seed: two
+     generators with the same seed yield bit-identical job lists, so the
+     allocator's scenario sweeps are reproducible. *)
+  let draw seed =
+    Queue_sim.generate (Rng.create seed) Queue_sim.default_workload ~capacity:40
+  in
+  Alcotest.(check bool) "same seed, same jobs" true (draw 17 = draw 17);
+  Alcotest.(check bool) "different seed, different jobs" true (draw 17 <> draw 18)
 
 let test_queue_contended_cluster_matches_fig1_shape () =
   (* Figure 1's headline: on a busy cluster, >80% of jobs wait at least as
@@ -278,6 +359,17 @@ let () =
           Alcotest.test_case "linear in time and memory" `Quick
             test_pricing_linear_in_time_and_memory;
           Alcotest.test_case "gb_seconds pricing" `Quick test_pricing_gb_seconds;
+          Alcotest.test_case "flat schedule never swings" `Quick
+            test_pricing_flat_never_swings;
+          Alcotest.test_case "spot: zero-duration window" `Quick
+            test_pricing_spot_zero_duration;
+          Alcotest.test_case "spot: step exactly at stage boundary" `Quick
+            test_pricing_spot_step_at_boundary;
+          Alcotest.test_case "spot: multi-segment integral" `Quick
+            test_pricing_spot_multi_segment_integral;
+          Alcotest.test_case "spot: rejects bad swings" `Quick test_pricing_spot_validation;
+          Alcotest.test_case "random swings deterministic and bounded" `Quick
+            test_pricing_random_swings_deterministic;
         ] );
       ( "queue_sim",
         [
@@ -288,6 +380,8 @@ let () =
           Alcotest.test_case "rejects infeasible demand" `Quick
             test_queue_rejects_oversized_demand;
           Alcotest.test_case "generated workload bounds" `Quick test_queue_generate_bounds;
+          Alcotest.test_case "generation deterministic under fixed seed" `Quick
+            test_queue_generate_deterministic;
           Alcotest.test_case "contended cluster reproduces Fig 1 shape" `Quick
             test_queue_contended_cluster_matches_fig1_shape;
         ]

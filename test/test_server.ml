@@ -129,6 +129,7 @@ let ok_response = function
   | Protocol.Rejected { reason; message; _ } ->
       Alcotest.failf "rejected (%s): %s" (Protocol.reason_name reason) message
   | Protocol.Health_ok _ -> Alcotest.fail "unexpected health response"
+  | Protocol.Allocated _ -> Alcotest.fail "unexpected allocate response"
 
 let test_engine_matches_sql_frontend () =
   (* The tentpole contract: a served plan is bit-identical (plan string,
@@ -242,10 +243,108 @@ let test_admission_bounded () =
       Alcotest.(check int) "drain finishes the queue" 1 (List.length rest);
       Alcotest.(check int) "responses counter" 4 (Engine.responses t);
       List.iter
-        (fun (req, resp) ->
+        (fun ((req : Protocol.request), resp) ->
           Alcotest.(check (option string))
             "response id matches" (Some req.Protocol.id) (Protocol.response_id resp))
         (wave @ rest))
+
+(* --------------------------------------------------------------- Tenants *)
+
+let test_tenant_roundtrip () =
+  let bare = parse_ok (req_line sql3) in
+  Alcotest.(check (option string)) "default has no tenant" None bare.Protocol.tenant;
+  Alcotest.(check bool) "absent tenant stays off the wire" false
+    (contains (Protocol.request_to_json bare) "tenant");
+  let r = parse_ok (req_line sql3 ~extra:",\"tenant\":\"gold\"") in
+  Alcotest.(check (option string)) "tenant parsed" (Some "gold") r.Protocol.tenant;
+  let r' = parse_ok (Protocol.request_to_json r) in
+  Alcotest.(check bool) "tenant round-trips" true (r = r');
+  let e = parse_err (req_line sql3 ~extra:",\"tenant\":\"\"") in
+  Alcotest.(check bool) "empty tenant rejected" true (contains e "tenant")
+
+let test_tenant_quota () =
+  let config =
+    { Engine.default_config with jobs = 1; queue_capacity = 16; batch = 16;
+      tenant_quota = Some 2 }
+  in
+  with_engine ~config (fun t ->
+      let req tenant i =
+        let extra =
+          match tenant with
+          | None -> ""
+          | Some x -> Printf.sprintf ",\"tenant\":%S" x
+        in
+        parse_ok (req_line sql3 ~id:(Printf.sprintf "%s%d" (Option.value tenant ~default:"d") i) ~extra)
+      in
+      (* Two gold queries fit the quota, the third sheds — while the
+         untenanted query rides the global queue untouched. *)
+      Alcotest.(check bool) "gold 1 admitted" true (Engine.submit t (req (Some "gold") 1) = None);
+      Alcotest.(check bool) "gold 2 admitted" true (Engine.submit t (req (Some "gold") 2) = None);
+      (match Engine.submit t (req (Some "gold") 3) with
+      | Some (Protocol.Rejected { reason = Protocol.Overloaded; message; _ }) ->
+          Alcotest.(check bool) "rejection names the tenant" true
+            (contains message "\"gold\"")
+      | _ -> Alcotest.fail "third gold query must shed as overloaded");
+      Alcotest.(check bool) "default tenant unaffected" true
+        (Engine.submit t (req None 1) = None);
+      Alcotest.(check bool) "per-tenant queued/rejected" true
+        (Engine.tenant_stats t
+        = [ ("default", (1, 0, 0)); ("gold", (2, 0, 1)) ]);
+      let _ = Engine.drain t in
+      Alcotest.(check bool) "planned accounted per tenant" true
+        (Engine.tenant_stats t
+        = [ ("default", (0, 1, 0)); ("gold", (0, 2, 1)) ]))
+
+(* -------------------------------------------------------------- Allocate *)
+
+let alloc_line =
+  "{\"op\":\"allocate\",\"id\":\"al1\",\"budget\":12,\"fairness\":0.5,\
+   \"search\":\"exact\",\"seed\":7,\"queries\":[{\"id\":\"q1\",\"relations\":\
+   [\"orders\",\"lineitem\"]},{\"id\":\"q2\",\"relations\":[\"customer\",\
+   \"orders\"],\"tenant\":\"gold\",\"weight\":2,\"arrival\":3,\"slo\":500}]}"
+
+let parse_alloc line =
+  match Protocol.parse_line line with
+  | Ok (Protocol.Allocate a) -> a
+  | Ok _ -> Alcotest.failf "parse_line %S: not an allocate request" line
+  | Error e -> Alcotest.failf "parse_line %S: %s" line e
+
+let alloc_err line =
+  match Protocol.parse_line line with
+  | Ok _ -> Alcotest.failf "parse_line accepted %S" line
+  | Error e -> e
+
+let test_allocate_parse () =
+  let a = parse_alloc alloc_line in
+  Alcotest.(check int) "budget" 12 a.Protocol.budget;
+  Alcotest.(check string) "search" "exact" a.Protocol.search;
+  Alcotest.(check int) "two queries" 2 (List.length a.Protocol.queries);
+  (match a.Protocol.queries with
+  | _ :: (q2 : Protocol.alloc_query) :: _ ->
+      Alcotest.(check (option string)) "query tenant" (Some "gold") q2.Protocol.tenant;
+      Alcotest.(check (option (float 0.0))) "query slo" (Some 500.0) q2.Protocol.slo
+  | _ -> Alcotest.fail "expected two queries");
+  let e = alloc_err "{\"op\":\"allocate\",\"id\":\"x\",\"budget\":0,\"queries\":[{\"id\":\"q\",\"relations\":[\"orders\"]}]}" in
+  Alcotest.(check bool) "bad budget named" true (contains e "budget");
+  let e = alloc_err "{\"op\":\"allocate\",\"id\":\"x\",\"budget\":4,\"queries\":[{\"id\":\"q\",\"relations\":[\"orders\"]},{\"id\":\"q\",\"relations\":[\"orders\"]}]}" in
+  Alcotest.(check bool) "duplicate qid named" true (contains e "q");
+  let e = alloc_err "{\"op\":\"allocate\",\"id\":\"x\",\"budget\":4,\"objective\":\"speed\",\"queries\":[{\"id\":\"q\",\"relations\":[\"orders\"]}]}" in
+  Alcotest.(check bool) "bad objective names choices" true (contains e "makespan");
+  let e = alloc_err "{\"op\":\"allocate\",\"id\":\"x\",\"budget\":4,\"search\":\"brute\",\"queries\":[{\"id\":\"q\",\"relations\":[\"orders\"]}]}" in
+  Alcotest.(check bool) "bad search names choices" true (contains e "randomized");
+  let e = alloc_err "{\"op\":\"allocate\",\"id\":\"x\",\"budget\":4,\"quieres\":[]}" in
+  Alcotest.(check bool) "unknown field named" true (contains e "quieres")
+
+let test_allocate_served_equals_oneshot () =
+  let areq = parse_alloc alloc_line in
+  let alone = Protocol.response_to_json (Engine.oneshot_allocate areq) in
+  Alcotest.(check bool) "allocate response is ok" true
+    (contains alone "\"status\":\"ok\"" && contains alone "\"op\":\"allocate\"");
+  with_engine (fun t ->
+      match Serve.serve_lines t [ alloc_line ] with
+      | [ served ] ->
+          Alcotest.(check string) "served equals oneshot, byte for byte" alone served
+      | out -> Alcotest.failf "expected one response, got %d" (List.length out))
 
 (* ----------------------------------------------------------------- Serve *)
 
@@ -470,6 +569,17 @@ let () =
             test_engine_qo_and_adaptive;
           Alcotest.test_case "bounded admission, typed shedding" `Quick
             test_admission_bounded;
+        ] );
+      ( "tenants",
+        [
+          Alcotest.test_case "tenant field round-trips" `Quick test_tenant_roundtrip;
+          Alcotest.test_case "per-tenant quota and accounting" `Quick test_tenant_quota;
+        ] );
+      ( "allocate",
+        [
+          Alcotest.test_case "strict parsing" `Quick test_allocate_parse;
+          Alcotest.test_case "served equals oneshot" `Quick
+            test_allocate_served_equals_oneshot;
         ] );
       ( "serve",
         [
